@@ -1,0 +1,466 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--fast] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|all]
+//! ```
+//!
+//! Paper-scale runs (`escat`, `render`, `htf`) use the 128-node Caltech
+//! Paragon partition and the `paper()` parameters; `--fast` substitutes the
+//! scaled-down parameters (for smoke tests). Outputs land in `results/`
+//! (override with `--out`): one `.txt` report and one `.csv` per figure.
+
+use paragon_sim::MachineConfig;
+use sio_analysis::characterize::Characterization;
+use sio_analysis::experiments;
+use sio_analysis::figures;
+use sio_analysis::report;
+use sio_apps::{EscatParams, HtfParams, RenderParams};
+use std::path::PathBuf;
+
+struct Cli {
+    fast: bool,
+    out: PathBuf,
+    what: Vec<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut fast = false;
+    let mut out = PathBuf::from("results");
+    let mut what = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: repro [--fast] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|all]..."
+                );
+                std::process::exit(0);
+            }
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    Cli { fast, out, what }
+}
+
+fn machine(fast: bool) -> MachineConfig {
+    if fast {
+        MachineConfig::tiny(8, 4)
+    } else {
+        MachineConfig::paragon_128()
+    }
+}
+
+fn run_escat(cli: &Cli) {
+    let params = if cli.fast {
+        EscatParams::small(8, 8)
+    } else {
+        EscatParams::paper()
+    };
+    eprintln!("[repro] escat: {} nodes, {} iterations...", params.nodes, params.iters);
+    let a = experiments::escat(&machine(cli.fast), &params);
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    body.push_str(&report::section("Table 1 — ESCAT I/O operations", &a.table1.render()));
+    body.push_str(&report::section("Table 2 — ESCAT request sizes", &a.table2.render()));
+    body.push_str(&report::section(
+        "Paper vs measured",
+        &report::render_checks(&a.checks),
+    ));
+    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    body.push_str(&report::section(
+        "Figure 4 burst spacing (s)",
+        &format!("{:.1?}\n(wall {:.0}s)", a.gaps, a.out.wall_secs()),
+    ));
+    body.push_str(&report::section(
+        "Qualitative characterization (paper §8)",
+        &Characterization::from_trace(&a.out.trace).render(),
+    ));
+    for f in &a.figures.figures {
+        body.push_str(&f.to_ascii());
+        body.push('\n');
+    }
+    a.figures.write_all(&cli.out).expect("write figures");
+    // Reduction-derived artifacts: windowed intensity and the staging
+    // file's spatial (region) profile.
+    let win = figures::window_series(&a.out.trace, 10.0);
+    figures::write_window_csv(&win, &cli.out, "escat-window-10s").expect("window csv");
+    let region = figures::region_series(&a.out.trace, 7, 64 * 1024);
+    figures::write_region_csv(&region, &cli.out, "escat-staging-regions").expect("region csv");
+    report::write_text(&cli.out, "escat", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_render(cli: &Cli) {
+    let params = if cli.fast {
+        RenderParams::small(8, 4)
+    } else {
+        RenderParams::paper()
+    };
+    eprintln!("[repro] render: {} nodes, {} frames...", params.nodes, params.frames);
+    let a = experiments::render(&machine(cli.fast), &params);
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    body.push_str(&report::section("Table 3 — RENDER I/O operations", &a.table3.render()));
+    body.push_str(&report::section("Table 4 — RENDER request sizes", &a.table4.render()));
+    body.push_str(&report::section(
+        "Paper vs measured",
+        &report::render_checks(&a.checks),
+    ));
+    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    body.push_str(&format!(
+        "init phase ends at {:.0}s; wall {:.0}s\n",
+        a.init_end_secs,
+        a.out.wall_secs()
+    ));
+    body.push_str(&report::section(
+        "Qualitative characterization (paper §8)",
+        &Characterization::from_trace(&a.out.trace).render(),
+    ));
+    for f in &a.figures.figures {
+        body.push_str(&f.to_ascii());
+        body.push('\n');
+    }
+    a.figures.write_all(&cli.out).expect("write figures");
+    let win = figures::window_series(&a.out.trace, 5.0);
+    figures::write_window_csv(&win, &cli.out, "render-window-5s").expect("window csv");
+    report::write_text(&cli.out, "render", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_htf(cli: &Cli) {
+    let params = if cli.fast {
+        HtfParams::small(8)
+    } else {
+        HtfParams::paper()
+    };
+    eprintln!("[repro] htf: {} nodes, 3-program pipeline...", params.nodes);
+    let a = experiments::htf(&machine(cli.fast), &params);
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    for (name, table, sizes, out) in [
+        ("HTF Initialization (psetup)", &a.table5[0], &a.table6[0], &a.psetup),
+        ("HTF Integral Calculation (pargos)", &a.table5[1], &a.table6[1], &a.pargos),
+        ("HTF Self-Consistent Field (pscf)", &a.table5[2], &a.table6[2], &a.pscf),
+    ] {
+        body.push_str(&report::section(
+            &format!("Table 5 — {name}"),
+            &format!("{}\n(wall {:.0}s)", table.render(), out.wall_secs()),
+        ));
+        body.push_str(&report::section(
+            &format!("Table 6 — {name} sizes"),
+            &sizes.render(),
+        ));
+    }
+    body.push_str(&report::section(
+        "Paper vs measured",
+        &report::render_checks(&a.checks),
+    ));
+    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    let pipeline = sio_core::Trace::concat_pipeline(
+        "htf-pipeline",
+        &[&a.psetup.trace, &a.pargos.trace, &a.pscf.trace],
+    );
+    body.push_str(&report::section(
+        "Qualitative characterization (paper §8, whole pipeline)",
+        &Characterization::from_trace(&pipeline).render(),
+    ));
+    for f in &a.figures.figures {
+        body.push_str(&f.to_ascii());
+        body.push('\n');
+    }
+    a.figures.write_all(&cli.out).expect("write figures");
+    for (trace, name) in [
+        (&a.psetup.trace, "htf-psetup-window-5s"),
+        (&a.pargos.trace, "htf-pargos-window-10s"),
+        (&a.pscf.trace, "htf-pscf-window-10s"),
+    ] {
+        let width = if name.ends_with("5s") { 5.0 } else { 10.0 };
+        let win = figures::window_series(trace, width);
+        figures::write_window_csv(&win, &cli.out, name).expect("window csv");
+    }
+    report::write_text(&cli.out, "htf", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_ppfs_ablation(cli: &Cli) {
+    let params = if cli.fast {
+        EscatParams::small(8, 8)
+    } else {
+        EscatParams::paper()
+    };
+    eprintln!("[repro] ppfs ablation (ESCAT on PFS vs PPFS)...");
+    let r = experiments::ppfs_ablation(&machine(cli.fast), &params);
+    let note = if cli.fast {
+        "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n"
+    } else {
+        ""
+    };
+    let body = note.to_string() + &report::section(
+        "X1 — §5.2 PPFS write-behind + aggregation on ESCAT",
+        &format!(
+            "PFS  write+seek node time: {:>12.1} s\n\
+             PPFS write+seek node time: {:>12.1} s\n\
+             improvement:               {:>12.1} x\n\
+             application writes buffered: {}\n\
+             flush extents written back:  {}\n",
+            r.pfs_write_seek_secs,
+            r.ppfs_write_seek_secs,
+            r.speedup,
+            r.writes_buffered,
+            r.flush_extents,
+        ),
+    );
+    report::write_text(&cli.out, "ppfs_ablation", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_crossover(cli: &Cli) {
+    eprintln!("[repro] htf read-vs-recompute crossover...");
+    let rows = experiments::htf_crossover_paper();
+    let mut b = String::new();
+    b.push_str("rate(MB/s)  read(us)  recompute(us)  preferred\n");
+    for r in &rows {
+        b.push_str(&format!(
+            "{:>9.1} {:>9.2} {:>14.2}  {}\n",
+            r.io_rate_mb_s,
+            r.read_us,
+            r.compute_us,
+            if r.io_preferred { "read" } else { "recompute" }
+        ));
+    }
+    let body = report::section("X3 — §7.2 integral read vs recompute crossover", &b);
+    let csv_rows: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{},{},{}", r.io_rate_mb_s, r.read_us, r.compute_us, r.io_preferred))
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "htf_crossover",
+        "rate_mb_s,read_us,compute_us,io_preferred",
+        &csv_rows,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "htf_crossover", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_scaling(cli: &Cli) {
+    eprintln!("[repro] scaling studies (S1 weak scaling, S2 data growth)...");
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+
+    let big_machine = if cli.fast {
+        MachineConfig::tiny(16, 4)
+    } else {
+        MachineConfig::caltech_paragon()
+    };
+    let counts: &[u32] = if cli.fast { &[4, 8, 16] } else { &[32, 64, 128, 256, 512] };
+    let rows = experiments::escat_scaling(&big_machine, counts);
+    let mut b = String::new();
+    b.push_str("nodes   io node-time(s)   wall(s)   io share of node-time
+");
+    for r in &rows {
+        b.push_str(&format!(
+            "{:>5} {:>17.1} {:>9.0} {:>10.2}%
+",
+            r.nodes,
+            r.io_secs,
+            r.wall_secs,
+            r.io_fraction * 100.0
+        ));
+    }
+    body.push_str(&report::section(
+        "S1 — ESCAT weak scaling (same per-node work, 16 I/O nodes)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{},{},{}", r.nodes, r.io_secs, r.wall_secs, r.io_fraction))
+        .collect();
+    report::write_csv(&cli.out, "escat_scaling", "nodes,io_secs,wall_secs,io_fraction", &csv)
+        .expect("csv");
+
+    let params = if cli.fast { EscatParams::small(8, 6) } else { EscatParams::paper() };
+    let scales: &[u32] = if cli.fast { &[1, 8] } else { &[1, 4, 16] };
+    let rows = experiments::escat_growth(&machine(cli.fast), &params, scales);
+    let mut b = String::new();
+    b.push_str("scale   write volume(B)   io share   wall(s)
+");
+    for r in &rows {
+        b.push_str(&format!(
+            "{:>5}x {:>17} {:>9.2}% {:>9.0}
+",
+            r.scale,
+            r.write_volume,
+            r.io_fraction * 100.0,
+            r.wall_secs
+        ));
+    }
+    body.push_str(&report::section(
+        "S2 — ESCAT quadrature growth (S5.2: O(N^3) data at fixed compute)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{},{},{}", r.scale, r.write_volume, r.io_fraction, r.wall_secs))
+        .collect();
+    report::write_csv(&cli.out, "escat_growth", "scale,write_volume,io_fraction,wall_secs", &csv)
+        .expect("csv");
+
+    report::write_text(&cli.out, "scaling", &body).expect("write report");
+    println!("{body}");
+}
+
+fn run_ablations(cli: &Cli) {
+    let m = machine(cli.fast);
+    eprintln!("[repro] ablations (A1 modes, A2 policies, A3 queue, A4 raid)...");
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+
+    let (nodes, per_node) = if cli.fast { (4, 4) } else { (32, 16) };
+    let rows = experiments::mode_ablation(&m, nodes, per_node, 2048);
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<9} write {:>9.2} s   wall {:>8.2} s\n",
+            r.mode.name(),
+            r.write_secs,
+            r.wall_secs
+        ));
+    }
+    body.push_str(&report::section("A1 — access-mode costs (synchronized writers)", &b));
+
+    let rows = experiments::policy_matrix(&m);
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<11} {:<11} read {:>9.3} s   hits {:>5}\n",
+            r.kernel, r.policy, r.read_secs, r.reads_hit
+        ));
+    }
+    body.push_str(&report::section("A2 — policy matrix (pattern x policy)", &b));
+
+    let rows = experiments::queue_discipline(&m, if cli.fast { 4 } else { 16 });
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<7?} read {:>9.2} s   wall {:>8.2} s\n",
+            r.discipline, r.read_secs, r.wall_secs
+        ));
+    }
+    body.push_str(&report::section("A3 — I/O-node queue discipline", &b));
+
+    let rows = experiments::raid_degraded(&m);
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "degraded={:<5} read {:>9.3} s\n",
+            r.degraded, r.read_secs
+        ));
+    }
+    body.push_str(&report::section("A4 — RAID-3 degraded-mode reads", &b));
+
+    let rows = experiments::two_level_buffering(&m, if cli.fast { 4 } else { 8 });
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "server cache {:>4} blocks: read {:>9.3} s   server hits {:>5}\n",
+            r.server_blocks, r.read_secs, r.server_hits
+        ));
+    }
+    body.push_str(&report::section(
+        "B1 — two-level buffering (paper §8: compute-node + I/O-node caches)",
+        &b,
+    ));
+
+    let (ep, hp) = if cli.fast {
+        (EscatParams::small(4, 5), HtfParams::small(4))
+    } else {
+        (EscatParams::paper(), HtfParams::paper())
+    };
+    let rows = experiments::workload_mix(&m, &ep, &hp);
+    let mut b = String::new();
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<10} ({:>2} I/O nodes) isolated {:>10.1} s   mixed {:>10.1} s   inflation {:>5.2}x\n",
+            r.app,
+            r.io_nodes,
+            r.isolated_io_secs,
+            r.mixed_io_secs,
+            r.inflation()
+        ));
+    }
+    body.push_str(&report::section(
+        "M1 — application-mix interference (paper §8: workload mixes)",
+        &b,
+    ));
+
+    report::write_text(&cli.out, "ablations", &body).expect("write report");
+    println!("{body}");
+}
+
+fn main() {
+    let cli = parse_args();
+    for what in cli.what.clone() {
+        match what.as_str() {
+            "escat" => run_escat(&cli),
+            "render" => run_render(&cli),
+            "htf" => run_htf(&cli),
+            "ppfs-ablation" => run_ppfs_ablation(&cli),
+            "crossover" => run_crossover(&cli),
+            "ablations" => run_ablations(&cli),
+            "scaling" => run_scaling(&cli),
+            "all" => {
+                // Independent experiments fan out across threads; each
+                // simulation is single-threaded and deterministic, so
+                // parallelism changes nothing but wall time.
+                crossbeam::thread::scope(|scope| {
+                    scope.spawn(|_| run_escat(&cli));
+                    scope.spawn(|_| run_render(&cli));
+                    scope.spawn(|_| run_htf(&cli));
+                    scope.spawn(|_| run_ppfs_ablation(&cli));
+                    scope.spawn(|_| run_crossover(&cli));
+                    scope.spawn(|_| run_ablations(&cli));
+                    scope.spawn(|_| run_scaling(&cli));
+                })
+                .expect("experiment thread panicked");
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("[repro] artifacts written to {}", cli.out.display());
+}

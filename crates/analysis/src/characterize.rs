@@ -1,0 +1,439 @@
+//! Qualitative access-pattern characterization — the §8 observations.
+//!
+//! Beyond tables and figures, the paper draws qualitative conclusions:
+//!
+//! * "data files were generally read or written in their entirety, in many
+//!   cases by a single node";
+//! * "most of the data written eventually was propagated to secondary
+//!   storage" (no short-lived temporaries, little overwriting);
+//! * "the majority of the request patterns are sequential";
+//! * "Cyclic behavior, with repeated patterns of file open, access, and
+//!   close, occur often";
+//! * "Requests tend to be of fixed size".
+//!
+//! [`Characterization`] computes each of those as a metric from a trace, so
+//! the claims can be *checked* against the three applications instead of
+//! merely quoted. Used by the `repro` reports and the integration tests.
+
+use sio_core::classify::{classify_accesses, AccessPattern};
+use sio_core::event::{FileId, IoOp, NodeId};
+use sio_core::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file's qualitative profile.
+#[derive(Debug, Clone, Default)]
+pub struct FileProfile {
+    /// Highest byte offset touched + 1 (observed file size).
+    pub observed_len: u64,
+    /// Distinct bytes read (union of read extents).
+    pub bytes_read_unique: u64,
+    /// Distinct bytes written (union of write extents).
+    pub bytes_written_unique: u64,
+    /// Total bytes written (sum over writes; > unique ⇒ overwriting).
+    pub bytes_written_total: u64,
+    /// Nodes that touched the file.
+    pub nodes: BTreeSet<NodeId>,
+    /// Open events observed.
+    pub opens: u64,
+    /// Close events observed.
+    pub closes: u64,
+}
+
+/// The paper's §2 taxonomy of why I/O happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Read but never written: compulsory input ("reading initialization
+    /// files ... or reading input data sets").
+    CompulsoryInput,
+    /// Written and later reread in the same run: out-of-core staging or
+    /// checkpoint reuse (ESCAT's quadrature files, HTF's integral files
+    /// across the pipeline).
+    Staging,
+    /// Written but never read back: application output or checkpoint
+    /// ("generating application output").
+    Output,
+    /// Opened or seeked but never moved data.
+    Untouched,
+}
+
+impl FileRole {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileRole::CompulsoryInput => "compulsory input",
+            FileRole::Staging => "staging/out-of-core",
+            FileRole::Output => "output/checkpoint",
+            FileRole::Untouched => "untouched",
+        }
+    }
+}
+
+impl FileProfile {
+    /// Classify the file into the paper's §2 I/O classes.
+    pub fn role(&self) -> FileRole {
+        match (self.bytes_read_unique > 0, self.bytes_written_unique > 0) {
+            (true, false) => FileRole::CompulsoryInput,
+            (true, true) => FileRole::Staging,
+            (false, true) => FileRole::Output,
+            (false, false) => FileRole::Untouched,
+        }
+    }
+
+    /// Whether reads covered (almost) the whole observed file.
+    pub fn read_entirely(&self, tolerance: f64) -> bool {
+        self.observed_len > 0
+            && self.bytes_read_unique as f64 >= self.observed_len as f64 * tolerance
+    }
+
+    /// Whether writes covered (almost) the whole observed file.
+    pub fn written_entirely(&self, tolerance: f64) -> bool {
+        self.observed_len > 0
+            && self.bytes_written_unique as f64 >= self.observed_len as f64 * tolerance
+    }
+
+    /// Fraction of written bytes that overwrote already-written bytes
+    /// (0 = every write created new data, the paper's survival claim).
+    pub fn rewrite_fraction(&self) -> f64 {
+        if self.bytes_written_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.bytes_written_unique as f64 / self.bytes_written_total as f64
+    }
+}
+
+/// Whole-trace qualitative characterization.
+#[derive(Debug, Clone, Default)]
+pub struct Characterization {
+    /// Per-file profiles.
+    pub files: BTreeMap<FileId, FileProfile>,
+    /// Per-(node, file) stream classifications.
+    pub streams: BTreeMap<(NodeId, FileId), AccessPattern>,
+    /// Per-(file, op) request-size mode share: how often the most common
+    /// request size occurs.
+    fixed_size_share: Vec<f64>,
+}
+
+fn union_bytes(extents: &mut [(u64, u64)]) -> u64 {
+    extents.sort_unstable();
+    let mut covered = 0u64;
+    let mut end = 0u64;
+    for &(s, e) in extents.iter() {
+        if e <= end {
+            continue;
+        }
+        covered += e - s.max(end);
+        end = e;
+    }
+    covered
+}
+
+impl Characterization {
+    /// Compute the characterization from a trace.
+    pub fn from_trace(trace: &Trace) -> Characterization {
+        let mut files: BTreeMap<FileId, FileProfile> = BTreeMap::new();
+        let mut read_extents: BTreeMap<FileId, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut write_extents: BTreeMap<FileId, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut streams: BTreeMap<(NodeId, FileId), Vec<(u64, u64)>> = BTreeMap::new();
+        let mut sizes: BTreeMap<(FileId, bool), BTreeMap<u64, u64>> = BTreeMap::new();
+
+        for ev in trace.events() {
+            let f = files.entry(ev.file).or_default();
+            match ev.op {
+                IoOp::Open => f.opens += 1,
+                IoOp::Close => f.closes += 1,
+                _ => {}
+            }
+            if !ev.op.is_data() || ev.bytes == 0 {
+                continue;
+            }
+            f.observed_len = f.observed_len.max(ev.offset + ev.bytes);
+            f.nodes.insert(ev.node);
+            streams
+                .entry((ev.node, ev.file))
+                .or_default()
+                .push((ev.offset, ev.bytes));
+            *sizes
+                .entry((ev.file, ev.op.is_write()))
+                .or_default()
+                .entry(ev.bytes)
+                .or_insert(0) += 1;
+            if ev.op.is_read() {
+                read_extents
+                    .entry(ev.file)
+                    .or_default()
+                    .push((ev.offset, ev.offset + ev.bytes));
+            } else {
+                f.bytes_written_total += ev.bytes;
+                write_extents
+                    .entry(ev.file)
+                    .or_default()
+                    .push((ev.offset, ev.offset + ev.bytes));
+            }
+        }
+        for (file, mut extents) in read_extents {
+            files.get_mut(&file).unwrap().bytes_read_unique = union_bytes(&mut extents);
+        }
+        for (file, mut extents) in write_extents {
+            files.get_mut(&file).unwrap().bytes_written_unique = union_bytes(&mut extents);
+        }
+        let streams = streams
+            .into_iter()
+            .map(|(k, acc)| (k, classify_accesses(&acc)))
+            .collect();
+        let fixed_size_share = sizes
+            .values()
+            .map(|dist| {
+                let total: u64 = dist.values().sum();
+                let max = dist.values().copied().max().unwrap_or(0);
+                max as f64 / total.max(1) as f64
+            })
+            .collect();
+        Characterization {
+            files,
+            streams,
+            fixed_size_share,
+        }
+    }
+
+    /// Fraction of accessed files read or written (almost) in their
+    /// entirety — §8's whole-file claim. `tolerance` is the coverage
+    /// fraction that counts as "entire" (e.g. 0.75).
+    pub fn whole_file_fraction(&self, tolerance: f64) -> f64 {
+        let accessed: Vec<&FileProfile> =
+            self.files.values().filter(|f| f.observed_len > 0).collect();
+        if accessed.is_empty() {
+            return 0.0;
+        }
+        let whole = accessed
+            .iter()
+            .filter(|f| f.read_entirely(tolerance) || f.written_entirely(tolerance))
+            .count();
+        whole as f64 / accessed.len() as f64
+    }
+
+    /// Fraction of accessed files touched by exactly one node.
+    pub fn single_node_fraction(&self) -> f64 {
+        let accessed: Vec<&FileProfile> =
+            self.files.values().filter(|f| f.observed_len > 0).collect();
+        if accessed.is_empty() {
+            return 0.0;
+        }
+        accessed.iter().filter(|f| f.nodes.len() == 1).count() as f64 / accessed.len() as f64
+    }
+
+    /// Fraction of written bytes that survive (are not overwritten) —
+    /// §8's "most of the data written eventually was propagated" claim.
+    pub fn write_survival_fraction(&self) -> f64 {
+        let total: u64 = self.files.values().map(|f| f.bytes_written_total).sum();
+        let unique: u64 = self.files.values().map(|f| f.bytes_written_unique).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        unique as f64 / total as f64
+    }
+
+    /// Fraction of (node, file) access streams classified sequential or
+    /// cyclic (repeated sequential passes) — §10's "the majority of the
+    /// request patterns are sequential".
+    pub fn sequential_stream_fraction(&self) -> f64 {
+        if self.streams.is_empty() {
+            return 0.0;
+        }
+        let seq = self
+            .streams
+            .values()
+            .filter(|p| {
+                matches!(
+                    p,
+                    AccessPattern::Sequential | AccessPattern::Cyclic { .. }
+                )
+            })
+            .count();
+        seq as f64 / self.streams.len() as f64
+    }
+
+    /// Mean share of the most common request size per (file, direction) —
+    /// §10's "requests tend to be of fixed size" (1.0 = perfectly fixed).
+    pub fn fixed_size_share(&self) -> f64 {
+        if self.fixed_size_share.is_empty() {
+            return 0.0;
+        }
+        self.fixed_size_share.iter().sum::<f64>() / self.fixed_size_share.len() as f64
+    }
+
+    /// Number of files opened more than once (open/access/close cycles).
+    pub fn reopened_files(&self) -> usize {
+        self.files.values().filter(|f| f.opens > 1).count()
+    }
+
+    /// Byte volume per §2 I/O class: (compulsory-input read bytes,
+    /// staging bytes [reads + writes on reread files], output write bytes).
+    pub fn class_volumes(&self) -> (u64, u64, u64) {
+        let mut compulsory = 0u64;
+        let mut staging = 0u64;
+        let mut output = 0u64;
+        for f in self.files.values() {
+            match f.role() {
+                FileRole::CompulsoryInput => compulsory += f.bytes_read_unique,
+                FileRole::Staging => {
+                    staging += f.bytes_written_total + f.bytes_read_unique;
+                }
+                FileRole::Output => output += f.bytes_written_total,
+                FileRole::Untouched => {}
+            }
+        }
+        (compulsory, staging, output)
+    }
+
+    /// File counts per §2 I/O class (compulsory, staging, output).
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in self.files.values() {
+            match f.role() {
+                FileRole::CompulsoryInput => c.0 += 1,
+                FileRole::Staging => c.1 += 1,
+                FileRole::Output => c.2 += 1,
+                FileRole::Untouched => {}
+            }
+        }
+        c
+    }
+
+    /// Render a compact report of the §8 metrics and §2 class breakdown.
+    pub fn render(&self) -> String {
+        let (cv, sv, ov) = self.class_volumes();
+        let (cc, sc, oc) = self.class_counts();
+        format!(
+            "whole-file access:        {:.0}% of files\n\
+             single-node files:        {:.0}%\n\
+             write survival:           {:.0}% of written bytes\n\
+             sequential streams:       {:.0}%\n\
+             fixed-size requests:      {:.0}% modal share\n\
+             reopened files:           {}\n\
+             I/O classes (paper S2):   compulsory {} files / {} B, \
+             staging {} files / {} B, output {} files / {} B\n",
+            self.whole_file_fraction(0.75) * 100.0,
+            self.single_node_fraction() * 100.0,
+            self.write_survival_fraction() * 100.0,
+            self.sequential_stream_fraction() * 100.0,
+            self.fixed_size_share() * 100.0,
+            self.reopened_files(),
+            cc, cv, sc, sv, oc, ov,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sio_core::event::IoEvent;
+    use sio_core::trace::Tracer;
+
+    fn ev(node: NodeId, file: FileId, op: IoOp, offset: u64, bytes: u64) -> IoEvent {
+        IoEvent::new(node, file, op).span(0, 10).extent(offset, bytes)
+    }
+
+    #[test]
+    fn whole_file_and_single_node() {
+        let t = Tracer::new("c");
+        // File 0: node 0 writes it entirely.
+        for k in 0..4u64 {
+            t.record(ev(0, 0, IoOp::Write, k * 100, 100));
+        }
+        // File 1: two nodes read only the first 10% of it.
+        t.record(ev(0, 1, IoOp::Read, 0, 100));
+        t.record(ev(1, 1, IoOp::Read, 900, 100));
+        let c = Characterization::from_trace(&t.finish());
+        assert!(c.files[&0].written_entirely(0.99));
+        assert!(!c.files[&1].read_entirely(0.75));
+        assert_eq!(c.whole_file_fraction(0.75), 0.5);
+        assert_eq!(c.single_node_fraction(), 0.5);
+    }
+
+    #[test]
+    fn write_survival_detects_overwrites() {
+        let t = Tracer::new("c");
+        t.record(ev(0, 0, IoOp::Write, 0, 100));
+        t.record(ev(0, 0, IoOp::Write, 0, 100)); // full overwrite
+        let c = Characterization::from_trace(&t.finish());
+        assert!((c.write_survival_fraction() - 0.5).abs() < 1e-9);
+        assert!((c.files[&0].rewrite_fraction() - 0.5).abs() < 1e-9);
+
+        let t = Tracer::new("c2");
+        t.record(ev(0, 0, IoOp::Write, 0, 100));
+        t.record(ev(0, 0, IoOp::Write, 100, 100));
+        let c = Characterization::from_trace(&t.finish());
+        assert_eq!(c.write_survival_fraction(), 1.0);
+    }
+
+    #[test]
+    fn stream_classification() {
+        let t = Tracer::new("c");
+        for k in 0..10u64 {
+            t.record(ev(0, 0, IoOp::Read, k * 4096, 4096)); // sequential
+        }
+        let offs = [17u64, 3, 29, 11, 23, 5, 31, 2];
+        for &o in &offs {
+            t.record(ev(1, 0, IoOp::Read, o * 131072 + o * 7, 512)); // random
+        }
+        let c = Characterization::from_trace(&t.finish());
+        assert_eq!(c.streams[&(0, 0)], AccessPattern::Sequential);
+        assert_eq!(c.streams[&(1, 0)], AccessPattern::Random);
+        assert!((c.sequential_stream_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_size_share_and_reopens() {
+        let t = Tracer::new("c");
+        t.record(ev(0, 0, IoOp::Open, 0, 0));
+        for _ in 0..9 {
+            t.record(ev(0, 0, IoOp::Write, 0, 2048));
+        }
+        t.record(ev(0, 0, IoOp::Write, 0, 100));
+        t.record(ev(0, 0, IoOp::Close, 0, 0));
+        t.record(ev(0, 0, IoOp::Open, 0, 0));
+        let c = Characterization::from_trace(&t.finish());
+        assert!((c.fixed_size_share() - 0.9).abs() < 1e-9);
+        assert_eq!(c.reopened_files(), 1);
+    }
+
+    #[test]
+    fn file_roles_follow_section2_taxonomy() {
+        let t = Tracer::new("roles");
+        // File 0: input only. File 1: written then reread (staging).
+        // File 2: output only. File 3: opened, never touched.
+        t.record(ev(0, 0, IoOp::Read, 0, 100));
+        t.record(ev(0, 1, IoOp::Write, 0, 100));
+        t.record(ev(0, 1, IoOp::Read, 0, 100));
+        t.record(ev(0, 2, IoOp::Write, 0, 100));
+        t.record(ev(0, 3, IoOp::Open, 0, 0));
+        let c = Characterization::from_trace(&t.finish());
+        assert_eq!(c.files[&0].role(), FileRole::CompulsoryInput);
+        assert_eq!(c.files[&1].role(), FileRole::Staging);
+        assert_eq!(c.files[&2].role(), FileRole::Output);
+        assert_eq!(c.files[&3].role(), FileRole::Untouched);
+        assert_eq!(c.class_counts(), (1, 1, 1));
+        let (cv, sv, ov) = c.class_volumes();
+        assert_eq!((cv, sv, ov), (100, 200, 100));
+        assert!(c.render().contains("I/O classes"));
+    }
+
+    #[test]
+    fn union_handles_overlaps_and_gaps() {
+        let mut ext = vec![(0u64, 100u64), (50, 150), (200, 300)];
+        assert_eq!(union_bytes(&mut ext), 250);
+        let mut empty: Vec<(u64, u64)> = vec![];
+        assert_eq!(union_bytes(&mut empty), 0);
+        let mut nested = vec![(0u64, 1000u64), (100, 200)];
+        assert_eq!(union_bytes(&mut nested), 1000);
+    }
+
+    #[test]
+    fn empty_trace_metrics() {
+        let c = Characterization::from_trace(&Tracer::new("e").finish());
+        assert_eq!(c.whole_file_fraction(0.75), 0.0);
+        assert_eq!(c.write_survival_fraction(), 1.0);
+        assert_eq!(c.sequential_stream_fraction(), 0.0);
+        assert_eq!(c.reopened_files(), 0);
+    }
+}

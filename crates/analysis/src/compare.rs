@@ -1,0 +1,343 @@
+//! Paper reference values and shape checks.
+//!
+//! The fidelity contract (DESIGN.md §3): operation counts and byte volumes
+//! are workload-determined and must match the paper near-exactly; the time
+//! columns are calibration-dependent and must match in *shape* — which
+//! operation class dominates, and by roughly what factor. [`Check`] records
+//! one paper-vs-measured comparison; the `*_shape` functions encode the
+//! qualitative claims the paper's prose makes about each application.
+
+use crate::optable::OpTable;
+use crate::sizetable::SizeTable;
+use sio_core::event::IoOp;
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is compared.
+    pub name: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Tolerance as a relative error for `pass` (counts: tight; times:
+    /// loose or shape-only).
+    pub rel_tol: f64,
+}
+
+impl Check {
+    /// Build a comparison.
+    pub fn new(name: &str, paper: f64, measured: f64, rel_tol: f64) -> Check {
+        Check {
+            name: name.to_string(),
+            paper,
+            measured,
+            rel_tol,
+        }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+
+    /// Whether the measured value is within tolerance.
+    pub fn pass(&self) -> bool {
+        if self.paper == 0.0 {
+            return self.measured == 0.0;
+        }
+        ((self.measured - self.paper) / self.paper).abs() <= self.rel_tol
+    }
+
+    /// One rendered line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} paper {:>15.0}  measured {:>15.0}  ratio {:>6.3}  {}",
+            self.name,
+            self.paper,
+            self.measured,
+            self.ratio(),
+            if self.pass() { "OK" } else { "DEVIATES" }
+        )
+    }
+}
+
+/// A qualitative shape assertion.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// The claim, quoting the paper where possible.
+    pub claim: String,
+    /// Whether our run exhibits it.
+    pub pass: bool,
+    /// Supporting detail.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    fn new(claim: &str, pass: bool, detail: String) -> ShapeCheck {
+        ShapeCheck {
+            claim: claim.to_string(),
+            pass,
+            detail,
+        }
+    }
+
+    /// One rendered line.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {} ({})",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.claim,
+            self.detail
+        )
+    }
+}
+
+/// Count tolerance: exact.
+pub const COUNT_TOL: f64 = 0.0;
+/// Volume tolerance: 3 %.
+pub const VOLUME_TOL: f64 = 0.03;
+
+/// Table 1 count/volume comparisons for an ESCAT operation table.
+pub fn escat_table1_checks(t: &OpTable) -> Vec<Check> {
+    vec![
+        Check::new("escat reads (count)", 560.0, t.count(IoOp::Read) as f64, COUNT_TOL),
+        Check::new("escat writes (count)", 13_330.0, t.count(IoOp::Write) as f64, COUNT_TOL),
+        Check::new("escat seeks (count)", 12_034.0, t.count(IoOp::Seek) as f64, COUNT_TOL),
+        Check::new("escat opens (count)", 262.0, t.count(IoOp::Open) as f64, COUNT_TOL),
+        Check::new("escat closes (count)", 262.0, t.count(IoOp::Close) as f64, COUNT_TOL),
+        Check::new("escat read volume (B)", 34_226_048.0, t.volume(IoOp::Read) as f64, 0.05),
+        Check::new("escat write volume (B)", 26_757_088.0, t.volume(IoOp::Write) as f64, VOLUME_TOL),
+    ]
+}
+
+/// Table 2 size-bin comparisons.
+pub fn escat_table2_checks(s: &SizeTable) -> Vec<Check> {
+    let [r4, r64, r256, rbig] = s.read.as_row().map(|v| v as f64);
+    let [w4, w64, w256, wbig] = s.write.as_row().map(|v| v as f64);
+    vec![
+        Check::new("escat reads <4KB", 297.0, r4, COUNT_TOL),
+        Check::new("escat reads <64KB", 3.0, r64, COUNT_TOL),
+        Check::new("escat reads <256KB", 260.0, r256, COUNT_TOL),
+        Check::new("escat reads >=256KB", 0.0, rbig, COUNT_TOL),
+        Check::new("escat writes <4KB", 13_330.0, w4, COUNT_TOL),
+        Check::new("escat writes other bins", 0.0, w64 + w256 + wbig, COUNT_TOL),
+    ]
+}
+
+/// The §5 prose claims about ESCAT's time structure.
+pub fn escat_shape(t: &OpTable, gaps: &[f64]) -> Vec<ShapeCheck> {
+    let seek_write_pct = t.pct(IoOp::Seek) + t.pct(IoOp::Write);
+    let mut checks = vec![
+        ShapeCheck::new(
+            "writes+seeks dominate I/O time (paper: ~96%)",
+            seek_write_pct > 80.0,
+            format!("measured {seek_write_pct:.1}%"),
+        ),
+        ShapeCheck::new(
+            "reads are a negligible share of I/O time (paper: 0.21%)",
+            t.pct(IoOp::Read) < 5.0,
+            format!("measured {:.2}%", t.pct(IoOp::Read)),
+        ),
+        ShapeCheck::new(
+            "read volume exceeds write volume (paper: 56% of volume)",
+            t.volume(IoOp::Read) > t.volume(IoOp::Write),
+            format!(
+                "read {} B vs write {} B",
+                t.volume(IoOp::Read),
+                t.volume(IoOp::Write)
+            ),
+        ),
+    ];
+    if gaps.len() >= 4 {
+        let head: f64 = gaps[..2].iter().sum::<f64>() / 2.0;
+        let tail: f64 = gaps[gaps.len() - 2..].iter().sum::<f64>() / 2.0;
+        checks.push(ShapeCheck::new(
+            "write-burst spacing shrinks to ~half (paper: ~160s -> ~80s)",
+            tail < head * 0.7,
+            format!("first gaps ≈ {head:.0}s, last ≈ {tail:.0}s"),
+        ));
+    }
+    checks
+}
+
+/// Table 3 comparisons for RENDER.
+pub fn render_table3_checks(t: &OpTable) -> Vec<Check> {
+    vec![
+        Check::new("render reads (count)", 121.0, t.count(IoOp::Read) as f64, COUNT_TOL),
+        Check::new("render async reads (count)", 436.0, t.count(IoOp::AsyncRead) as f64, COUNT_TOL),
+        Check::new("render iowaits (count)", 436.0, t.count(IoOp::IoWait) as f64, COUNT_TOL),
+        Check::new("render writes (count)", 300.0, t.count(IoOp::Write) as f64, COUNT_TOL),
+        Check::new("render seeks (count)", 4.0, t.count(IoOp::Seek) as f64, COUNT_TOL),
+        Check::new("render opens (count)", 106.0, t.count(IoOp::Open) as f64, COUNT_TOL),
+        Check::new("render closes (count)", 101.0, t.count(IoOp::Close) as f64, COUNT_TOL),
+        Check::new(
+            "render async read volume (B)",
+            880_849_125.0,
+            t.volume(IoOp::AsyncRead) as f64,
+            0.01,
+        ),
+        Check::new("render write volume (B)", 98_305_400.0, t.volume(IoOp::Write) as f64, 0.001),
+        Check::new("render read volume (B)", 8_457.0, t.volume(IoOp::Read) as f64, 0.01),
+    ]
+}
+
+/// The §6 prose claims about RENDER.
+pub fn render_shape(t: &OpTable, wall_secs: f64, init_end_secs: f64) -> Vec<ShapeCheck> {
+    let read_vol = t.volume(IoOp::Read) + t.volume(IoOp::AsyncRead);
+    let total_vol = read_vol + t.volume(IoOp::Write);
+    let vol_share = 100.0 * read_vol as f64 / total_vol as f64;
+    let throughput_mb = t.volume(IoOp::AsyncRead) as f64 / 1e6 / init_end_secs.max(1e-9);
+    vec![
+        ShapeCheck::new(
+            "reads dominate I/O volume (paper: 89%)",
+            vol_share > 80.0,
+            format!("measured {vol_share:.1}%"),
+        ),
+        ShapeCheck::new(
+            "iowait is the largest I/O time component (paper: 54%)",
+            t.pct(IoOp::IoWait) >= t.pct(IoOp::Write)
+                && t.pct(IoOp::IoWait) > t.pct(IoOp::AsyncRead),
+            format!(
+                "iowait {:.1}%, write {:.1}%, async-issue {:.1}%",
+                t.pct(IoOp::IoWait),
+                t.pct(IoOp::Write),
+                t.pct(IoOp::AsyncRead)
+            ),
+        ),
+        ShapeCheck::new(
+            "gateway read throughput ~9.5 MB/s (paper §6.2)",
+            (5.0..20.0).contains(&throughput_mb),
+            format!("measured {throughput_mb:.1} MB/s over {init_end_secs:.0}s init"),
+        ),
+        ShapeCheck::new(
+            "wall time ~470 s (paper: 8 minutes for 100 frames)",
+            (200.0..900.0).contains(&wall_secs),
+            format!("measured {wall_secs:.0}s"),
+        ),
+    ]
+}
+
+/// Table 5 comparisons for the three HTF phases.
+pub fn htf_table5_checks(
+    psetup: &OpTable,
+    pargos: &OpTable,
+    pscf: &OpTable,
+) -> Vec<Check> {
+    vec![
+        Check::new("psetup reads (count)", 371.0, psetup.count(IoOp::Read) as f64, COUNT_TOL),
+        Check::new("psetup writes (count)", 452.0, psetup.count(IoOp::Write) as f64, COUNT_TOL),
+        Check::new("psetup read volume (B)", 3_522_497.0, psetup.volume(IoOp::Read) as f64, 0.01),
+        Check::new("psetup write volume (B)", 3_744_872.0, psetup.volume(IoOp::Write) as f64, 0.01),
+        Check::new("pargos reads (count)", 145.0, pargos.count(IoOp::Read) as f64, COUNT_TOL),
+        Check::new("pargos writes (count)", 8_535.0, pargos.count(IoOp::Write) as f64, COUNT_TOL),
+        Check::new("pargos opens (count)", 130.0, pargos.count(IoOp::Open) as f64, COUNT_TOL),
+        Check::new("pargos lsize (count)", 128.0, pargos.count(IoOp::Lsize) as f64, COUNT_TOL),
+        Check::new("pargos forflush (count)", 8_657.0, pargos.count(IoOp::Flush) as f64, 0.001),
+        Check::new(
+            "pargos write volume (B)",
+            698_958_109.0,
+            pargos.volume(IoOp::Write) as f64,
+            0.001,
+        ),
+        Check::new("pscf reads (count)", 51_499.0, pscf.count(IoOp::Read) as f64, COUNT_TOL),
+        Check::new("pscf writes (count)", 207.0, pscf.count(IoOp::Write) as f64, COUNT_TOL),
+        Check::new("pscf seeks (count)", 813.0, pscf.count(IoOp::Seek) as f64, 0.002),
+        Check::new("pscf opens (count)", 157.0, pscf.count(IoOp::Open) as f64, COUNT_TOL),
+        Check::new(
+            "pscf read volume (B)",
+            4_201_634_304.0,
+            pscf.volume(IoOp::Read) as f64,
+            0.01,
+        ),
+        Check::new(
+            "pscf seek distance volume (B)",
+            3_495_198_798.0,
+            pscf.volume(IoOp::Seek) as f64,
+            0.01,
+        ),
+    ]
+}
+
+/// Table 6 size-bin comparisons.
+pub fn htf_table6_checks(psetup: &SizeTable, pargos: &SizeTable, pscf: &SizeTable) -> Vec<Check> {
+    let mut v = Vec::new();
+    let mut bins = |name: &str, s: &SizeTable, read_ref: [f64; 4], write_ref: [f64; 4]| {
+        let r = s.read.as_row().map(|x| x as f64);
+        let w = s.write.as_row().map(|x| x as f64);
+        for (i, label) in ["<4KB", "<64KB", "<256KB", ">=256KB"].iter().enumerate() {
+            v.push(Check::new(&format!("{name} reads {label}"), read_ref[i], r[i], COUNT_TOL));
+            v.push(Check::new(&format!("{name} writes {label}"), write_ref[i], w[i], COUNT_TOL));
+        }
+    };
+    bins("psetup", psetup, [151.0, 220.0, 0.0, 0.0], [218.0, 234.0, 0.0, 0.0]);
+    bins("pargos", pargos, [143.0, 2.0, 0.0, 0.0], [2.0, 1.0, 8_532.0, 0.0]);
+    bins("pscf", pscf, [165.0, 109.0, 51_225.0, 0.0], [43.0, 158.0, 6.0, 0.0]);
+    v
+}
+
+/// The §7 prose claims about HTF.
+pub fn htf_shape(pargos: &OpTable, pscf: &OpTable) -> Vec<ShapeCheck> {
+    vec![
+        ShapeCheck::new(
+            "integral calculation is write-intensive (paper: 31% write vs ~0% read time)",
+            pargos.secs(IoOp::Write) > 100.0 * pargos.secs(IoOp::Read),
+            format!(
+                "write {:.1}s vs read {:.2}s",
+                pargos.secs(IoOp::Write),
+                pargos.secs(IoOp::Read)
+            ),
+        ),
+        ShapeCheck::new(
+            "SCF phase is read-intensive (paper: reads are 98.4% of I/O time)",
+            pscf.pct(IoOp::Read) > 80.0,
+            format!("measured {:.1}%", pscf.pct(IoOp::Read)),
+        ),
+        ShapeCheck::new(
+            "pscf local seeks are cheap (paper: 813 seeks in 1.67 s)",
+            pscf.secs(IoOp::Seek) < 60.0,
+            format!("measured {:.2}s", pscf.secs(IoOp::Seek)),
+        ),
+        ShapeCheck::new(
+            "pargos opens (128 simultaneous creates) are expensive (paper: 4,057 s)",
+            pargos.secs(IoOp::Open) > 100.0,
+            format!("measured {:.0}s", pargos.secs(IoOp::Open)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_math() {
+        let c = Check::new("x", 100.0, 103.0, 0.05);
+        assert!(c.pass());
+        assert!((c.ratio() - 1.03).abs() < 1e-12);
+        let d = Check::new("y", 100.0, 120.0, 0.05);
+        assert!(!d.pass());
+        let z = Check::new("z", 0.0, 0.0, 0.0);
+        assert!(z.pass());
+        assert_eq!(z.ratio(), 1.0);
+        let nz = Check::new("nz", 0.0, 5.0, 0.0);
+        assert!(!nz.pass());
+        assert!(nz.ratio().is_infinite());
+    }
+
+    #[test]
+    fn renders_contain_verdicts() {
+        assert!(Check::new("x", 1.0, 1.0, 0.0).render().contains("OK"));
+        assert!(Check::new("x", 1.0, 9.0, 0.0).render().contains("DEVIATES"));
+        let s = ShapeCheck::new("claim", true, "detail".into()).render();
+        assert!(s.contains("PASS"));
+    }
+}

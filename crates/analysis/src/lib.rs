@@ -1,0 +1,29 @@
+//! # sio-analysis — regenerating the paper's tables and figures
+//!
+//! Everything the paper's evaluation reports is reproduced here from
+//! simulated traces:
+//!
+//! * [`optable`] — operation-summary tables (count / volume / node time /
+//!   % I/O time): Tables 1, 3, and 5;
+//! * [`sizetable`] — request-size histograms with the paper's bins: Tables
+//!   2, 4, and 6;
+//! * [`figures`] — timeline series (CSV + ASCII): Figures 2–17;
+//! * [`compare`] — the paper's reference numbers and shape checks
+//!   (who dominates, by roughly what factor);
+//! * [`experiments`] — one driver per experiment in DESIGN.md's index,
+//!   used by the `repro` binary, the integration tests, and the benches;
+//! * [`report`] — plain-text table rendering and CSV writers.
+//!
+//! The `repro` binary (`cargo run -p sio-analysis --bin repro --release`)
+//! regenerates every artifact into `results/`.
+
+pub mod characterize;
+pub mod compare;
+pub mod experiments;
+pub mod figures;
+pub mod optable;
+pub mod report;
+pub mod sizetable;
+
+pub use optable::OpTable;
+pub use sizetable::SizeTable;

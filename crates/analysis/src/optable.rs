@@ -1,0 +1,181 @@
+//! Operation-summary tables (Tables 1, 3, 5).
+//!
+//! Each row reports, for one operation kind: the number of operations, the
+//! byte volume (data bytes for reads/writes, seek distance for seeks, `-`
+//! otherwise), the *node time* (sum of the operation durations across all
+//! nodes — concurrent operations count in full, exactly as Pablo summed
+//! per-node instrumentation), and the percentage of total I/O time.
+
+use sio_core::event::{IoOp, NS_PER_SEC};
+use sio_core::trace::Trace;
+
+/// One table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRow {
+    /// Operation kind (`None` for the "All I/O" summary row).
+    pub op: Option<IoOp>,
+    /// Operation count.
+    pub count: u64,
+    /// Byte volume (data bytes; seek distance for seeks). `None` renders
+    /// as `-` for operations without a meaningful volume.
+    pub volume: Option<u64>,
+    /// Total node time, seconds.
+    pub node_secs: f64,
+    /// Share of total I/O node time, percent.
+    pub pct_io_time: f64,
+}
+
+/// An operation-summary table for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTable {
+    /// Trace label the table was computed from.
+    pub label: String,
+    /// "All I/O" totals row.
+    pub total: OpRow,
+    /// Per-operation rows, in [`IoOp::ALL`] order, absent ops skipped.
+    pub rows: Vec<OpRow>,
+}
+
+impl OpTable {
+    /// Compute the table from a trace.
+    pub fn from_trace(trace: &Trace) -> OpTable {
+        let total_time_ns = trace.node_time().max(1);
+        let mut rows = Vec::new();
+        let mut total_count = 0u64;
+        let mut total_volume = 0u64;
+        for op in IoOp::ALL {
+            let mut count = 0u64;
+            let mut volume = 0u64;
+            let mut time_ns = 0u64;
+            for ev in trace.of_op(op) {
+                count += 1;
+                volume += ev.bytes;
+                time_ns += ev.duration();
+            }
+            if count == 0 {
+                continue;
+            }
+            total_count += count;
+            let has_volume = op.is_data() || op == IoOp::Seek;
+            if op.is_data() {
+                total_volume += volume;
+            }
+            rows.push(OpRow {
+                op: Some(op),
+                count,
+                volume: has_volume.then_some(volume),
+                node_secs: time_ns as f64 / NS_PER_SEC,
+                pct_io_time: 100.0 * time_ns as f64 / total_time_ns as f64,
+            });
+        }
+        OpTable {
+            label: trace.meta().label.clone(),
+            total: OpRow {
+                op: None,
+                count: total_count,
+                volume: Some(total_volume),
+                node_secs: trace.node_time() as f64 / NS_PER_SEC,
+                pct_io_time: 100.0,
+            },
+            rows,
+        }
+    }
+
+    /// Row for one operation kind, if present.
+    pub fn row(&self, op: IoOp) -> Option<&OpRow> {
+        self.rows.iter().find(|r| r.op == Some(op))
+    }
+
+    /// Node seconds for one operation (0 when absent).
+    pub fn secs(&self, op: IoOp) -> f64 {
+        self.row(op).map_or(0.0, |r| r.node_secs)
+    }
+
+    /// Percent of I/O time for one operation (0 when absent).
+    pub fn pct(&self, op: IoOp) -> f64 {
+        self.row(op).map_or(0.0, |r| r.pct_io_time)
+    }
+
+    /// Count for one operation (0 when absent).
+    pub fn count(&self, op: IoOp) -> u64 {
+        self.row(op).map_or(0, |r| r.count)
+    }
+
+    /// Volume for one operation (0 when absent or volume-less).
+    pub fn volume(&self, op: IoOp) -> u64 {
+        self.row(op).and_then(|r| r.volume).unwrap_or(0)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<11} {:>10} {:>15} {:>14} {:>10}",
+            "Operation", "Count", "Volume(Bytes)", "NodeTime(s)", "% I/O"
+        );
+        let fmt_row = |out: &mut String, name: &str, r: &OpRow| {
+            let vol = r
+                .volume
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:<11} {:>10} {:>15} {:>14.2} {:>10.2}",
+                name, r.count, vol, r.node_secs, r.pct_io_time
+            );
+        };
+        fmt_row(&mut out, "All I/O", &self.total);
+        for r in &self.rows {
+            fmt_row(&mut out, r.op.unwrap().label(), r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sio_core::event::IoEvent;
+    use sio_core::trace::{TraceMeta, Tracer};
+
+    fn sample() -> Trace {
+        let t = Tracer::new("sample");
+        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 2_000_000_000).extent(0, 1000));
+        t.record(IoEvent::new(1, 1, IoOp::Write).span(0, 6_000_000_000).extent(0, 3000));
+        t.record(IoEvent::new(0, 1, IoOp::Seek).span(0, 2_000_000_000).extent(0, 500));
+        t.finish()
+    }
+
+    #[test]
+    fn rows_and_percentages() {
+        let table = OpTable::from_trace(&sample());
+        assert_eq!(table.total.count, 3);
+        assert_eq!(table.total.volume, Some(4000)); // seek distance excluded
+        assert!((table.total.node_secs - 10.0).abs() < 1e-9);
+        assert!((table.pct(IoOp::Write) - 60.0).abs() < 1e-6);
+        assert!((table.pct(IoOp::Read) - 20.0).abs() < 1e-6);
+        assert_eq!(table.volume(IoOp::Seek), 500);
+        assert_eq!(table.count(IoOp::Open), 0);
+        assert!(table.row(IoOp::Open).is_none());
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = OpTable::from_trace(&sample()).render();
+        assert!(s.contains("All I/O"));
+        assert!(s.contains("Read"));
+        assert!(s.contains("Write"));
+        assert!(s.contains("Seek"));
+        assert!(!s.contains("Lsize"));
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = Trace::from_parts(TraceMeta::default(), vec![]);
+        let table = OpTable::from_trace(&t);
+        assert_eq!(table.total.count, 0);
+        assert!(table.rows.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-application workload mixes.
+//!
+//! §8 of the paper: "The impact of file system changes on real applications
+//! or *application mixes* depends on much more complex application
+//! structure, suggesting that the development of larger application
+//! skeletons and workload mixes are an essential part of developing high
+//! performance input/output systems." [`combine`] places several workloads
+//! on disjoint node ranges of one machine, sharing the I/O nodes — exactly
+//! the contention scenario a production Paragon saw when ESCAT and a
+//! chemistry pipeline ran side by side.
+//!
+//! Node ids, file ids, and collective groups are remapped so the
+//! applications stay logically independent while competing for the same
+//! metadata server, I/O-node queues, and disks.
+
+use crate::workload::Workload;
+use paragon_sim::program::ScriptOp;
+use paragon_sim::NodeId;
+
+/// Combine workloads onto disjoint node ranges (in order: workload 0 gets
+/// nodes `0..n0`, workload 1 gets `n0..n0+n1`, ...). File ids are shifted
+/// into disjoint ranges; each sub-workload's global barrier/broadcast group
+/// is remapped to a group containing only its own nodes.
+///
+/// # Panics
+/// If a sub-workload uses groups other than 0 (the applications in this
+/// crate only use the global group).
+pub fn combine(label: &str, parts: &[&Workload]) -> Workload {
+    let mut files = Vec::new();
+    let mut scripts: Vec<Vec<ScriptOp>> = Vec::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut node_offset: NodeId = 0;
+    let mut file_offset: u32 = 0;
+
+    for (i, part) in parts.iter().enumerate() {
+        assert!(
+            part.groups.is_empty(),
+            "sub-workload '{}' uses custom groups; combine supports group 0 only",
+            part.label
+        );
+        let n = part.scripts.len() as NodeId;
+        // Group (i + 1) after combination: runner registers groups 1..=k.
+        let group_id = (i + 1) as u32;
+        groups.push((node_offset..node_offset + n).collect());
+
+        for script in &part.scripts {
+            let mut ops = Vec::with_capacity(script.len());
+            for op in script {
+                let op = match *op {
+                    ScriptOp::Io(mut req) => {
+                        req.file += file_offset;
+                        ScriptOp::Io(req)
+                    }
+                    ScriptOp::IoAsync(mut req) => {
+                        req.file += file_offset;
+                        ScriptOp::IoAsync(req)
+                    }
+                    ScriptOp::Barrier(g) => {
+                        assert_eq!(g, 0, "non-global barrier in sub-workload");
+                        ScriptOp::Barrier(group_id)
+                    }
+                    ScriptOp::Broadcast { root, bytes, group } => {
+                        assert_eq!(group, 0, "non-global broadcast in sub-workload");
+                        ScriptOp::Broadcast {
+                            root: root + node_offset,
+                            bytes,
+                            group: group_id,
+                        }
+                    }
+                    ScriptOp::Send { to, bytes, tag } => ScriptOp::Send {
+                        to: to + node_offset,
+                        bytes,
+                        // Tag-space separation keeps cross-app messages
+                        // impossible even if tags collide.
+                        tag: tag + group_id * 1_000_000,
+                    },
+                    ScriptOp::Recv { from, tag } => ScriptOp::Recv {
+                        from: from + node_offset,
+                        tag: tag + group_id * 1_000_000,
+                    },
+                    other => other,
+                };
+                ops.push(op);
+            }
+            scripts.push(ops);
+        }
+        files.extend(part.files.iter().cloned());
+        node_offset += n;
+        file_offset += part.files.len() as u32;
+    }
+
+    Workload {
+        label: label.to_string(),
+        files,
+        scripts,
+        groups,
+    }
+}
+
+/// Which nodes of a combined workload belong to sub-workload `i`.
+pub fn node_range(parts: &[&Workload], i: usize) -> std::ops::Range<NodeId> {
+    let start: NodeId = parts[..i].iter().map(|p| p.scripts.len() as NodeId).sum();
+    start..start + parts[i].scripts.len() as NodeId
+}
+
+/// Which file ids of a combined workload belong to sub-workload `i`.
+pub fn file_range(parts: &[&Workload], i: usize) -> std::ops::Range<u32> {
+    let start: u32 = parts[..i].iter().map(|p| p.files.len() as u32).sum();
+    start..start + parts[i].files.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{run_workload, Backend};
+    use crate::{EscatParams, HtfParams};
+    use paragon_sim::MachineConfig;
+    use sio_core::event::IoOp;
+    use sio_core::trace::Trace;
+
+    fn split_trace(trace: &Trace, nodes: std::ops::Range<u32>) -> Vec<sio_core::IoEvent> {
+        trace
+            .events()
+            .iter()
+            .filter(|e| nodes.contains(&e.node))
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn combined_mix_runs_clean_and_preserves_per_app_counts() {
+        let escat = EscatParams::small(4, 4);
+        let htf = HtfParams::small(4);
+        let w_escat = escat.workload();
+        let w_pscf = htf.pscf_workload();
+        let parts = [&w_escat, &w_pscf];
+        let mixed = combine("escat+pscf", &parts);
+        assert_eq!(mixed.scripts.len(), 8);
+        assert_eq!(mixed.groups.len(), 2);
+
+        let m = MachineConfig::tiny(8, 2);
+        let out = run_workload(&m, &mixed, &Backend::Pfs);
+
+        // Per-app event counts match the isolated runs.
+        let iso_escat = run_workload(&MachineConfig::tiny(4, 2), &w_escat, &Backend::Pfs);
+        let iso_pscf = run_workload(&MachineConfig::tiny(4, 2), &w_pscf, &Backend::Pfs);
+        let mixed_escat = split_trace(&out.trace, 0..4);
+        let mixed_pscf = split_trace(&out.trace, 4..8);
+        assert_eq!(mixed_escat.len(), iso_escat.trace.len());
+        assert_eq!(mixed_pscf.len(), iso_pscf.trace.len());
+    }
+
+    #[test]
+    fn mixed_apps_do_not_share_files() {
+        let escat = EscatParams::small(3, 3);
+        let w_a = escat.workload();
+        let w_b = escat.workload();
+        let parts = [&w_a, &w_b];
+        let mixed = combine("a+b", &parts);
+        let m = MachineConfig::tiny(6, 2);
+        let out = run_workload(&m, &mixed, &Backend::Pfs);
+        // App A's nodes only touch app A's files and vice versa.
+        let fa = file_range(&parts, 0);
+        let fb = file_range(&parts, 1);
+        for ev in out.trace.events() {
+            if (0..3).contains(&ev.node) {
+                assert!(fa.contains(&ev.file), "app A touched file {}", ev.file);
+            } else {
+                assert!(fb.contains(&ev.file), "app B touched file {}", ev.file);
+            }
+        }
+    }
+
+    #[test]
+    fn interference_inflates_io_time() {
+        // Two copies of the ESCAT write phase sharing 2 I/O nodes must see
+        // more total I/O time than one copy alone (queueing interference).
+        let escat = EscatParams::small(4, 6);
+        let w = escat.workload();
+        let m_iso = MachineConfig::tiny(4, 2);
+        let iso = run_workload(&m_iso, &w, &Backend::Pfs);
+
+        let w2 = escat.workload();
+        let parts = [&w, &w2];
+        let mixed = combine("2x-escat", &parts);
+        let m_mix = MachineConfig::tiny(8, 2);
+        let out = run_workload(&m_mix, &mixed, &Backend::Pfs);
+
+        let io_time = |evs: &[sio_core::IoEvent]| -> u64 {
+            evs.iter()
+                .filter(|e| e.op == IoOp::Write)
+                .map(|e| e.duration())
+                .sum()
+        };
+        let mixed_app0 = split_trace(&out.trace, 0..4);
+        let iso_time = io_time(iso.trace.events());
+        let mix_time = io_time(&mixed_app0);
+        assert!(
+            mix_time > iso_time,
+            "no interference visible: iso {iso_time} vs mixed {mix_time}"
+        );
+    }
+
+    #[test]
+    fn ranges_are_consistent() {
+        let a = EscatParams::small(3, 2).workload();
+        let b = EscatParams::small(5, 2).workload();
+        let parts = [&a, &b];
+        assert_eq!(node_range(&parts, 0), 0..3);
+        assert_eq!(node_range(&parts, 1), 3..8);
+        assert_eq!(file_range(&parts, 0), 0..12);
+        assert_eq!(file_range(&parts, 1), 12..24);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom groups")]
+    fn custom_groups_rejected() {
+        let mut a = EscatParams::small(2, 2).workload();
+        a.groups.push(vec![0]);
+        let b = EscatParams::small(2, 2).workload();
+        let _ = combine("bad", &[&a, &b]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Shared workload machinery: the runner and synthetic kernels.
+//!
+//! A [`Workload`] bundles everything a run needs — file specs, one script
+//! per node, extra node groups — and [`run_workload`] executes it against
+//! either file system backend, returning the captured trace. The synthetic
+//! kernels at the bottom are the "simple synthetic kernels often used to
+//! evaluate new file system ideas" the paper warns about (§8); here they
+//! drive the access-mode and policy ablations (DESIGN.md A1/A2), not
+//! whole-application conclusions.
+
+use paragon_sim::engine::IoService;
+use paragon_sim::mesh::Mesh;
+use paragon_sim::program::{IoRequest, NodeProgram, ScriptOp, ScriptProgram};
+use paragon_sim::{Engine, EngineReport, MachineConfig, NodeId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sio_core::trace::{Trace, Tracer};
+use sio_pfs::{AccessMode, FileSpec, Pfs};
+use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
+
+/// Which file system serves the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// The Intel PFS model (`sio-pfs`).
+    Pfs,
+    /// The PPFS policy engine with the given configuration (`sio-ppfs`).
+    Ppfs(PolicyConfig),
+}
+
+/// A complete, backend-independent workload description.
+#[derive(Debug)]
+pub struct Workload {
+    /// Display label (becomes the trace label).
+    pub label: String,
+    /// Files, registered in order (index = file id).
+    pub files: Vec<FileSpec>,
+    /// One script per node; `scripts.len()` nodes run.
+    pub scripts: Vec<Vec<ScriptOp>>,
+    /// Extra node groups (group 0 = all nodes is implicit; these become
+    /// groups 1, 2, ...).
+    pub groups: Vec<Vec<NodeId>>,
+}
+
+/// Result of a workload run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The captured application-level I/O trace.
+    pub trace: Trace,
+    /// Engine statistics (wall time, events, clean finish).
+    pub report: EngineReport,
+    /// PPFS statistics when the PPFS backend ran.
+    pub ppfs_stats: Option<PpfsStats>,
+}
+
+impl RunOutput {
+    /// Simulated wall-clock seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.report.wall.as_secs_f64()
+    }
+}
+
+fn run_engine<S: IoService>(
+    machine: &MachineConfig,
+    workload: &Workload,
+    service: S,
+    tracer: &Tracer,
+) -> (EngineReport, S) {
+    assert!(
+        workload.scripts.len() as u32 <= machine.compute_nodes,
+        "workload needs {} nodes, machine has {}",
+        workload.scripts.len(),
+        machine.compute_nodes
+    );
+    let programs: Vec<Box<dyn NodeProgram>> = workload
+        .scripts
+        .iter()
+        .map(|s| Box::new(ScriptProgram::new(s.clone())) as Box<dyn NodeProgram>)
+        .collect();
+    let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
+    let mut engine = Engine::new(mesh, machine.comm, programs, service);
+    for g in &workload.groups {
+        engine.add_group(g.clone());
+    }
+    let report = engine.run();
+    assert!(
+        report.clean(),
+        "workload '{}' deadlocked; blocked nodes: {:?}",
+        workload.label,
+        report.blocked
+    );
+    tracer.set_run_info(workload.scripts.len() as u32, report.wall.nanos());
+    (report, engine.into_service())
+}
+
+/// Run a workload on a machine with the chosen backend.
+pub fn run_workload(machine: &MachineConfig, workload: &Workload, backend: &Backend) -> RunOutput {
+    let tracer = Tracer::new(&workload.label);
+    match backend {
+        Backend::Pfs => {
+            let mut fs = Pfs::new(machine, tracer.clone());
+            for f in &workload.files {
+                fs.register(f.clone());
+            }
+            let (report, _fs) = run_engine(machine, workload, fs, &tracer);
+            RunOutput {
+                trace: tracer.finish(),
+                report,
+                ppfs_stats: None,
+            }
+        }
+        Backend::Ppfs(policy) => {
+            let mut fs = Ppfs::new(machine, *policy, tracer.clone());
+            for f in &workload.files {
+                fs.register(f.clone());
+            }
+            let (report, fs) = run_engine(machine, workload, fs, &tracer);
+            RunOutput {
+                trace: tracer.finish(),
+                report,
+                ppfs_stats: Some(fs.stats()),
+            }
+        }
+    }
+}
+
+/// Open helper: `ScriptOp::Io(open)` with a mode.
+pub fn op_open(file: u32, mode: AccessMode) -> ScriptOp {
+    ScriptOp::Io(IoRequest::open(file, mode.code()))
+}
+
+/// Compute helper from fractional seconds.
+pub fn op_compute(secs: f64) -> ScriptOp {
+    ScriptOp::Compute(SimDuration::from_secs_f64(secs))
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic kernels (ablations A1/A2).
+// ---------------------------------------------------------------------------
+
+/// A single-node sequential scan: `count` reads of `bytes` from file 0.
+pub fn sequential_read_kernel(count: u32, bytes: u64, mode: AccessMode) -> Workload {
+    let mut ops = vec![op_open(0, mode)];
+    for _ in 0..count {
+        ops.push(ScriptOp::Io(IoRequest::read(0, bytes)));
+    }
+    ops.push(ScriptOp::Io(IoRequest::close(0)));
+    Workload {
+        label: format!("seq-read-{}x{}-{}", count, bytes, mode),
+        files: vec![FileSpec::input("data", count as u64 * bytes)],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    }
+}
+
+/// `nodes` synchronized writers appending fixed records through a mode —
+/// the kernel for the access-mode ablation (A1).
+pub fn parallel_write_kernel(nodes: u32, per_node: u32, bytes: u64, mode: AccessMode) -> Workload {
+    let scripts = (0..nodes)
+        .map(|node| {
+            let mut ops = vec![op_open(0, mode)];
+            ops.push(ScriptOp::Barrier(0));
+            for k in 0..per_node {
+                if mode == AccessMode::MUnix || mode == AccessMode::MAsync {
+                    // Independent pointers need explicit placement.
+                    let off = (node as u64 * per_node as u64 + k as u64) * bytes;
+                    ops.push(ScriptOp::Io(IoRequest::seek(0, off)));
+                }
+                ops.push(ScriptOp::Io(IoRequest::write(0, bytes)));
+            }
+            ops.push(ScriptOp::Io(IoRequest::close(0)));
+            ops
+        })
+        .collect();
+    Workload {
+        label: format!("par-write-{}n-{}x{}-{}", nodes, per_node, bytes, mode),
+        files: vec![FileSpec::output("shared")],
+        scripts,
+        groups: Vec::new(),
+    }
+}
+
+/// A single-node strided read kernel (fixed stride larger than the record).
+pub fn strided_read_kernel(count: u32, bytes: u64, stride: u64) -> Workload {
+    assert!(stride >= bytes);
+    let mut ops = vec![op_open(0, AccessMode::MUnix)];
+    for k in 0..count as u64 {
+        ops.push(ScriptOp::Io(IoRequest::seek(0, k * stride)));
+        ops.push(ScriptOp::Io(IoRequest::read(0, bytes)));
+    }
+    Workload {
+        label: format!("strided-read-{count}x{bytes}+{stride}"),
+        files: vec![FileSpec::input("data", count as u64 * stride)],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    }
+}
+
+/// A single-node uniformly random read kernel (seeded).
+pub fn random_read_kernel(count: u32, bytes: u64, file_len: u64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = vec![op_open(0, AccessMode::MUnix)];
+    for _ in 0..count {
+        let max = (file_len.saturating_sub(bytes)).max(1);
+        let off = rng.random_range(0..max);
+        ops.push(ScriptOp::Io(IoRequest::seek(0, off)));
+        ops.push(ScriptOp::Io(IoRequest::read(0, bytes)));
+    }
+    Workload {
+        label: format!("random-read-{count}x{bytes}"),
+        files: vec![FileSpec::input("data", file_len)],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    }
+}
+
+/// Cyclic multi-pass scan kernel (HTF-pscf-like), single node.
+pub fn cyclic_read_kernel(passes: u32, reads_per_pass: u32, bytes: u64) -> Workload {
+    let mut ops = vec![op_open(0, AccessMode::MUnix)];
+    for _ in 0..passes {
+        ops.push(ScriptOp::Io(IoRequest::seek(0, 0)));
+        for _ in 0..reads_per_pass {
+            ops.push(ScriptOp::Io(IoRequest::read(0, bytes)));
+        }
+    }
+    Workload {
+        label: format!("cyclic-read-{passes}x{reads_per_pass}x{bytes}"),
+        files: vec![FileSpec::input("data", reads_per_pass as u64 * bytes)],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sio_core::event::IoOp;
+
+    fn tiny() -> MachineConfig {
+        MachineConfig::tiny(4, 2)
+    }
+
+    #[test]
+    fn sequential_kernel_runs_on_both_backends() {
+        let w = sequential_read_kernel(8, 65536, AccessMode::MUnix);
+        let pfs = run_workload(&tiny(), &w, &Backend::Pfs);
+        let ppfs = run_workload(&tiny(), &w, &Backend::Ppfs(PolicyConfig::readahead(4)));
+        assert_eq!(pfs.trace.of_op(IoOp::Read).count(), 8);
+        assert_eq!(ppfs.trace.of_op(IoOp::Read).count(), 8);
+        assert!(ppfs.ppfs_stats.is_some());
+        assert!(pfs.ppfs_stats.is_none());
+        // Same logical volume on both backends.
+        assert_eq!(pfs.trace.data_volume(), ppfs.trace.data_volume());
+    }
+
+    #[test]
+    fn parallel_write_kernel_counts() {
+        let w = parallel_write_kernel(4, 5, 2048, AccessMode::MUnix);
+        let out = run_workload(&tiny(), &w, &Backend::Pfs);
+        assert_eq!(out.trace.of_op(IoOp::Write).count(), 20);
+        assert_eq!(out.trace.of_op(IoOp::Seek).count(), 20);
+        assert_eq!(out.trace.of_op(IoOp::Open).count(), 4);
+        // Disjoint extents: every write offset unique.
+        let mut offs: Vec<u64> = out.trace.of_op(IoOp::Write).map(|e| e.offset).collect();
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 20);
+    }
+
+    #[test]
+    fn mode_kernels_run_for_every_mode() {
+        for mode in AccessMode::ALL {
+            let w = parallel_write_kernel(3, 2, 1024, mode);
+            if mode == AccessMode::MGlobal {
+                // M_GLOBAL writes replicate the same data; kernel is
+                // read-oriented for that mode — skip.
+                continue;
+            }
+            let out = run_workload(&tiny(), &w, &Backend::Pfs);
+            assert_eq!(out.trace.of_op(IoOp::Write).count(), 6, "{mode}");
+        }
+    }
+
+    #[test]
+    fn random_kernel_is_deterministic() {
+        let a = random_read_kernel(10, 4096, 1 << 20, 7);
+        let b = random_read_kernel(10, 4096, 1 << 20, 7);
+        let ta = run_workload(&tiny(), &a, &Backend::Pfs);
+        let tb = run_workload(&tiny(), &b, &Backend::Pfs);
+        assert_eq!(ta.trace.events(), tb.trace.events());
+        let c = random_read_kernel(10, 4096, 1 << 20, 8);
+        let tc = run_workload(&tiny(), &c, &Backend::Pfs);
+        assert_ne!(ta.trace.events(), tc.trace.events());
+    }
+
+    #[test]
+    fn cyclic_kernel_rewinds() {
+        let w = cyclic_read_kernel(3, 4, 8192);
+        let out = run_workload(&tiny(), &w, &Backend::Pfs);
+        assert_eq!(out.trace.of_op(IoOp::Read).count(), 12);
+        assert_eq!(out.trace.of_op(IoOp::Seek).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn too_many_scripts_panics() {
+        let w = parallel_write_kernel(64, 1, 1024, AccessMode::MUnix);
+        let _ = run_workload(&tiny(), &w, &Backend::Pfs);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table-regeneration benchmarks: every iteration reruns one paper
+//! experiment at full 128-node scale and rebuilds its tables, asserting
+//! the headline counts so a regression in the workload model fails the
+//! bench rather than silently benchmarking the wrong thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sio_analysis::experiments;
+use sio_apps::{EscatParams, HtfParams, RenderParams};
+use sio_bench::bench_machine;
+use sio_core::event::IoOp;
+use std::hint::black_box;
+
+fn table1_2_escat(c: &mut Criterion) {
+    let machine = bench_machine();
+    let params = EscatParams::paper();
+    c.bench_function("table1_2_escat_full_run", |b| {
+        b.iter(|| {
+            let a = experiments::escat(black_box(&machine), black_box(&params));
+            assert_eq!(a.table1.count(IoOp::Write), 13_330);
+            assert_eq!(a.table2.read.as_row(), [297, 3, 260, 0]);
+            black_box(a.table1.total.node_secs)
+        })
+    });
+}
+
+fn table3_4_render(c: &mut Criterion) {
+    let machine = bench_machine();
+    let params = RenderParams::paper();
+    c.bench_function("table3_4_render_full_run", |b| {
+        b.iter(|| {
+            let a = experiments::render(black_box(&machine), black_box(&params));
+            assert_eq!(a.table3.count(IoOp::AsyncRead), 436);
+            assert_eq!(a.table3.count(IoOp::IoWait), 436);
+            black_box(a.table3.total.node_secs)
+        })
+    });
+}
+
+fn table5_6_htf(c: &mut Criterion) {
+    let machine = bench_machine();
+    let params = HtfParams::paper();
+    let mut group = c.benchmark_group("table5_6_htf");
+    group.sample_size(10); // pscf runs ~500k events per iteration
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let a = experiments::htf(black_box(&machine), black_box(&params));
+            assert_eq!(a.table5[2].count(IoOp::Read), 51_499);
+            black_box(a.table5[2].total.node_secs)
+        })
+    });
+    group.finish();
+}
+
+fn figures_extraction(c: &mut Criterion) {
+    // Figure extraction alone (trace already captured): Figures 2-5.
+    let machine = bench_machine();
+    let a = experiments::escat(&machine, &EscatParams::paper());
+    c.bench_function("figures_2_to_5_from_trace", |b| {
+        b.iter(|| {
+            let init_end = 10.0;
+            let set = sio_analysis::figures::FigureSet::escat(black_box(&a.out.trace), init_end);
+            assert_eq!(set.figures.len(), 4);
+            black_box(set.figures.len())
+        })
+    });
+}
+
+criterion_group!(
+    tables,
+    table1_2_escat,
+    table3_4_render,
+    table5_6_htf,
+    figures_extraction
+);
+criterion_main!(tables);

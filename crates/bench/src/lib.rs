@@ -1,0 +1,36 @@
+//! # sio-bench — benchmark harness
+//!
+//! Criterion benchmarks, one group per reproduced artifact plus micro
+//! benchmarks of the hot substrate paths. Three targets:
+//!
+//! * `tables` — regenerates each paper table at full 128-node scale per
+//!   iteration (T1/T2, T3/T4, T5/T6) and checks the headline counts;
+//! * `ablations` — the experiment-index ablations (X1 PPFS, A1 modes,
+//!   A2 policy matrix, A3 queue discipline, A4 RAID degraded mode);
+//! * `micro` — engine event throughput, stripe mapping, block cache,
+//!   write-behind buffer, classifier/predictor, and SDDF codec.
+//!
+//! Run with `cargo bench --workspace`.
+
+use paragon_sim::MachineConfig;
+
+/// The machine every table bench runs on (the paper's 128-node partition).
+pub fn bench_machine() -> MachineConfig {
+    MachineConfig::paragon_128()
+}
+
+/// A smaller machine for ablation benches.
+pub fn small_machine() -> MachineConfig {
+    MachineConfig::tiny(16, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_build() {
+        assert_eq!(bench_machine().compute_nodes, 128);
+        assert_eq!(small_machine().compute_nodes, 16);
+    }
+}

@@ -1,0 +1,275 @@
+//! Instrumenting *real* file I/O.
+//!
+//! Pablo's instrumentation brackets "invocations of input/output routines
+//! … captur\[ing\] the parameters and duration of each invocation" (§3.1) in
+//! real programs. This module is that capability for Rust code:
+//! [`TracedFile`] wraps `std::fs::File`, records one [`IoEvent`] per call
+//! with monotonic-clock timestamps, and implements `Read`/`Write`/`Seek`,
+//! so existing code can be characterized by swapping the constructor.
+//!
+//! The captured trace feeds the exact same reductions, tables, and
+//! classifiers as the simulator's traces — the analysis pipeline does not
+//! care where events came from.
+
+use crate::event::{FileId, IoEvent, IoOp, NodeId, Ns};
+use crate::trace::Tracer;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// A clock mapping real time onto trace timestamps. One epoch per program;
+/// share it across all traced files so their events are mutually ordered.
+#[derive(Debug, Clone)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        TraceClock::new()
+    }
+}
+
+impl TraceClock {
+    /// Start a new epoch (t = 0) now.
+    pub fn new() -> TraceClock {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn now(&self) -> Ns {
+        self.epoch.elapsed().as_nanos() as Ns
+    }
+}
+
+/// An instrumented file handle.
+pub struct TracedFile {
+    inner: File,
+    tracer: Tracer,
+    clock: TraceClock,
+    node: NodeId,
+    file_id: FileId,
+    /// Current position, tracked so events carry offsets like the
+    /// simulator's do.
+    pos: u64,
+}
+
+impl TracedFile {
+    /// Open an existing file for reading, recording the open.
+    pub fn open(
+        path: &Path,
+        tracer: Tracer,
+        clock: TraceClock,
+        node: NodeId,
+        file_id: FileId,
+    ) -> std::io::Result<TracedFile> {
+        let start = clock.now();
+        let inner = File::open(path)?;
+        let end = clock.now();
+        tracer.record(IoEvent::new(node, file_id, IoOp::Open).span(start, end));
+        Ok(TracedFile {
+            inner,
+            tracer,
+            clock,
+            node,
+            file_id,
+            pos: 0,
+        })
+    }
+
+    /// Create (or truncate) a file for writing, recording the open.
+    pub fn create(
+        path: &Path,
+        tracer: Tracer,
+        clock: TraceClock,
+        node: NodeId,
+        file_id: FileId,
+    ) -> std::io::Result<TracedFile> {
+        let start = clock.now();
+        let inner = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let end = clock.now();
+        tracer.record(IoEvent::new(node, file_id, IoOp::Open).span(start, end));
+        Ok(TracedFile {
+            inner,
+            tracer,
+            clock,
+            node,
+            file_id,
+            pos: 0,
+        })
+    }
+
+    /// Explicitly close, recording the close event. (Dropping without
+    /// calling this records no close, mirroring programs that leak
+    /// descriptors — RENDER's data files, for instance.)
+    pub fn close(self) -> std::io::Result<()> {
+        let start = self.clock.now();
+        drop(self.inner);
+        let end = self.clock.now();
+        self.tracer
+            .record(IoEvent::new(self.node, self.file_id, IoOp::Close).span(start, end));
+        Ok(())
+    }
+
+    /// Flush, recorded as a [`IoOp::Flush`] event.
+    pub fn flush_traced(&mut self) -> std::io::Result<()> {
+        let start = self.clock.now();
+        self.inner.flush()?;
+        let end = self.clock.now();
+        self.tracer
+            .record(IoEvent::new(self.node, self.file_id, IoOp::Flush).span(start, end));
+        Ok(())
+    }
+}
+
+impl Read for TracedFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let start = self.clock.now();
+        let n = self.inner.read(buf)?;
+        let end = self.clock.now();
+        self.tracer.record(
+            IoEvent::new(self.node, self.file_id, IoOp::Read)
+                .span(start, end)
+                .extent(self.pos, n as u64),
+        );
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for TracedFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let start = self.clock.now();
+        let n = self.inner.write(buf)?;
+        let end = self.clock.now();
+        self.tracer.record(
+            IoEvent::new(self.node, self.file_id, IoOp::Write)
+                .span(start, end)
+                .extent(self.pos, n as u64),
+        );
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Seek for TracedFile {
+    fn seek(&mut self, to: SeekFrom) -> std::io::Result<u64> {
+        let start = self.clock.now();
+        let new_pos = self.inner.seek(to)?;
+        let end = self.clock.now();
+        let distance = new_pos.abs_diff(self.pos);
+        self.tracer.record(
+            IoEvent::new(self.node, self.file_id, IoOp::Seek)
+                .span(start, end)
+                .extent(new_pos, distance),
+        );
+        self.pos = new_pos;
+        Ok(new_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::lifetime::LifetimeReducer;
+    use crate::reduce::Reducer;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sio_instrument_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn real_io_is_captured_and_analyzable() {
+        let path = tmp("t1.dat");
+        let tracer = Tracer::new("real-io");
+        let clock = TraceClock::new();
+
+        let mut f = TracedFile::create(&path, tracer.clone(), clock.clone(), 0, 7).unwrap();
+        f.write_all(b"hello world").unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        let mut buf = [0u8; 5];
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        f.flush_traced().unwrap();
+        f.close().unwrap();
+
+        let trace = tracer.finish();
+        assert_eq!(trace.of_op(IoOp::Open).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Write).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Read).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Seek).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Flush).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Close).count(), 1);
+        trace.validate().unwrap();
+
+        // The same reductions the simulator traces feed.
+        let mut lifetimes = LifetimeReducer::new();
+        lifetimes.observe_trace(&trace);
+        let lt = lifetimes.file(7).unwrap();
+        assert_eq!(lt.bytes_written, 11);
+        assert_eq!(lt.bytes_read, 5);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn offsets_track_position() {
+        let path = tmp("t2.dat");
+        let tracer = Tracer::new("offsets");
+        let clock = TraceClock::new();
+        let mut f = TracedFile::create(&path, tracer.clone(), clock, 3, 9).unwrap();
+        f.write_all(&[0u8; 100]).unwrap();
+        f.write_all(&[1u8; 50]).unwrap();
+        f.seek(SeekFrom::Start(25)).unwrap();
+        f.write_all(&[2u8; 10]).unwrap();
+        let trace = tracer.finish();
+        let writes: Vec<(u64, u64)> = trace
+            .of_op(IoOp::Write)
+            .map(|e| (e.offset, e.bytes))
+            .collect();
+        assert_eq!(writes, vec![(0, 100), (100, 50), (25, 10)]);
+        // Seek distance: from 150 back to 25.
+        let seek = trace.of_op(IoOp::Seek).next().unwrap();
+        assert_eq!(seek.bytes, 125);
+        assert_eq!(seek.offset, 25);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn events_are_monotonic_per_clock() {
+        let path = tmp("t3.dat");
+        let tracer = Tracer::new("mono");
+        let clock = TraceClock::new();
+        let mut f = TracedFile::create(&path, tracer.clone(), clock, 0, 0).unwrap();
+        for _ in 0..10 {
+            f.write_all(&[9u8; 8]).unwrap();
+        }
+        let trace = tracer.finish();
+        let starts: Vec<u64> = trace.events().iter().map(|e| e.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_missing_file_fails_without_event_leak() {
+        let tracer = Tracer::new("missing");
+        let clock = TraceClock::new();
+        let r = TracedFile::open(&tmp("does-not-exist"), tracer.clone(), clock, 0, 0);
+        assert!(r.is_err());
+        assert!(tracer.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Real-time performance-data reductions.
+//!
+//! Pablo supported reducing I/O performance data *on the fly* instead of (or
+//! in addition to) capturing full event traces, trading computation
+//! perturbation for I/O perturbation (§3.1). Three reductions were offered,
+//! and all three are implemented here:
+//!
+//! * **file lifetime** ([`lifetime`]) — per-file operation counts, durations,
+//!   byte volumes, and total open time;
+//! * **time window** ([`window`]) — the same aggregates per fixed-width time
+//!   window;
+//! * **file region** ([`region`]) — the spatial analog: aggregates per
+//!   fixed-size region of each file.
+//!
+//! Every reducer implements [`Reducer`] and can be driven either online (one
+//! event at a time, as the tracer sees them) or offline over a frozen
+//! [`crate::trace::Trace`].
+
+pub mod lifetime;
+pub mod region;
+pub mod window;
+
+use crate::event::IoEvent;
+
+/// An online reduction over a stream of I/O events.
+pub trait Reducer {
+    /// Fold one event into the reduction.
+    fn observe(&mut self, event: &IoEvent);
+
+    /// Fold an entire trace (convenience; order follows the trace).
+    fn observe_trace(&mut self, trace: &crate::trace::Trace) {
+        for ev in trace.events() {
+            self.observe(ev);
+        }
+    }
+}
+
+/// Per-operation aggregate shared by all three reductions: count, total
+/// blocking time, and byte volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpAgg {
+    /// Number of operations.
+    pub count: u64,
+    /// Sum of operation durations, nanoseconds.
+    pub time_ns: u64,
+    /// Bytes moved (or seek distance for seeks).
+    pub bytes: u64,
+}
+
+impl OpAgg {
+    /// Fold one event in.
+    pub fn add(&mut self, ev: &IoEvent) {
+        self.count += 1;
+        self.time_ns += ev.duration();
+        self.bytes += ev.bytes;
+    }
+
+    /// Merge another aggregate.
+    pub fn merge(&mut self, other: &OpAgg) {
+        self.count += other.count;
+        self.time_ns += other.time_ns;
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{IoEvent, IoOp};
+
+    #[test]
+    fn op_agg_accumulates() {
+        let mut agg = OpAgg::default();
+        agg.add(&IoEvent::new(0, 1, IoOp::Read).span(0, 10).extent(0, 100));
+        agg.add(&IoEvent::new(0, 1, IoOp::Read).span(20, 25).extent(100, 50));
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.time_ns, 15);
+        assert_eq!(agg.bytes, 150);
+        let mut other = OpAgg::default();
+        other.add(&IoEvent::new(1, 1, IoOp::Read).span(0, 1).extent(0, 1));
+        agg.merge(&other);
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.bytes, 151);
+    }
+}

@@ -1,0 +1,194 @@
+//! File-region summaries — the spatial analog of time-window summaries.
+//!
+//! Pablo's file-region reduction "define\[s\] a summary over the accesses to a
+//! file region" (§3.1). Each file is divided into fixed-size regions; data
+//! operations are charged to every region their extent overlaps (a 3 MB
+//! RENDER read spanning 48 stripe-sized regions counts in all 48). This is
+//! the reduction that exposes spatial locality: ESCAT's disjoint per-node
+//! staging regions, HTF's whole-file scans.
+
+use super::{OpAgg, Reducer};
+use crate::event::{FileId, IoEvent};
+use std::collections::BTreeMap;
+
+/// Aggregates for one region of one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionAgg {
+    /// Read aggregate (sync + async).
+    pub reads: OpAgg,
+    /// Write aggregate.
+    pub writes: OpAgg,
+    /// Distinct nodes that touched the region (exact, small sets expected).
+    touchers: Vec<u32>,
+}
+
+impl RegionAgg {
+    /// Number of distinct nodes that touched this region.
+    pub fn node_count(&self) -> usize {
+        self.touchers.len()
+    }
+
+    fn touch(&mut self, node: u32) {
+        if let Err(pos) = self.touchers.binary_search(&node) {
+            self.touchers.insert(pos, node);
+        }
+    }
+}
+
+/// Fixed-size file-region reduction.
+#[derive(Debug)]
+pub struct RegionReducer {
+    region_bytes: u64,
+    files: BTreeMap<FileId, BTreeMap<u64, RegionAgg>>,
+}
+
+impl RegionReducer {
+    /// New reduction with the given region size (must be nonzero). A natural
+    /// choice on the Paragon is the PFS stripe unit, 64 KB.
+    pub fn new(region_bytes: u64) -> RegionReducer {
+        assert!(region_bytes > 0, "region size must be nonzero");
+        RegionReducer {
+            region_bytes,
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Region size in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    /// Regions of one file: (region index, aggregate), ordered by index.
+    pub fn file_regions(&self, file: FileId) -> impl Iterator<Item = (u64, &RegionAgg)> {
+        self.files
+            .get(&file)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// Aggregate for one (file, region index), if touched.
+    pub fn region(&self, file: FileId, idx: u64) -> Option<&RegionAgg> {
+        self.files.get(&file).and_then(|m| m.get(&idx))
+    }
+
+    /// Number of touched regions of a file.
+    pub fn touched_regions(&self, file: FileId) -> usize {
+        self.files.get(&file).map_or(0, |m| m.len())
+    }
+
+    /// Fraction of a file's touched regions accessed by exactly one node —
+    /// a disjointness measure (1.0 for ESCAT's staging files, where each
+    /// node owns its region).
+    pub fn single_writer_fraction(&self, file: FileId) -> f64 {
+        let Some(regions) = self.files.get(&file) else {
+            return 0.0;
+        };
+        if regions.is_empty() {
+            return 0.0;
+        }
+        let single = regions.values().filter(|r| r.node_count() == 1).count();
+        single as f64 / regions.len() as f64
+    }
+}
+
+impl Reducer for RegionReducer {
+    fn observe(&mut self, ev: &IoEvent) {
+        if !ev.op.is_data() || ev.bytes == 0 {
+            return;
+        }
+        let first = ev.offset / self.region_bytes;
+        let last = (ev.offset + ev.bytes - 1) / self.region_bytes;
+        let file = self.files.entry(ev.file).or_default();
+        for idx in first..=last {
+            let region = file.entry(idx).or_default();
+            let agg = if ev.op.is_read() {
+                &mut region.reads
+            } else {
+                &mut region.writes
+            };
+            // Charge the full event to each overlapped region for counts and
+            // time; charge only the overlapping bytes for volume.
+            let rb_start = idx * self.region_bytes;
+            let rb_end = rb_start + self.region_bytes;
+            let ov_start = ev.offset.max(rb_start);
+            let ov_end = (ev.offset + ev.bytes).min(rb_end);
+            agg.count += 1;
+            agg.time_ns += ev.duration();
+            agg.bytes += ov_end - ov_start;
+            region.touch(ev.node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoOp;
+
+    fn ev(node: u32, file: FileId, op: IoOp, offset: u64, bytes: u64) -> IoEvent {
+        IoEvent::new(node, file, op).span(0, 10).extent(offset, bytes)
+    }
+
+    #[test]
+    fn extent_spanning_regions_charges_each() {
+        let mut r = RegionReducer::new(100);
+        // Write [50, 250): overlaps regions 0, 1, 2.
+        r.observe(&ev(0, 1, IoOp::Write, 50, 200));
+        assert_eq!(r.touched_regions(1), 3);
+        assert_eq!(r.region(1, 0).unwrap().writes.bytes, 50);
+        assert_eq!(r.region(1, 1).unwrap().writes.bytes, 100);
+        assert_eq!(r.region(1, 2).unwrap().writes.bytes, 50);
+        // Volume is conserved across regions.
+        let total: u64 = r.file_regions(1).map(|(_, a)| a.writes.bytes).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn reads_and_writes_separate() {
+        let mut r = RegionReducer::new(64);
+        r.observe(&ev(0, 2, IoOp::Read, 0, 64));
+        r.observe(&ev(0, 2, IoOp::AsyncRead, 0, 64));
+        r.observe(&ev(0, 2, IoOp::Write, 0, 64));
+        let region = r.region(2, 0).unwrap();
+        assert_eq!(region.reads.count, 2);
+        assert_eq!(region.writes.count, 1);
+    }
+
+    #[test]
+    fn non_data_ops_ignored() {
+        let mut r = RegionReducer::new(64);
+        r.observe(&ev(0, 1, IoOp::Seek, 0, 4096));
+        r.observe(&ev(0, 1, IoOp::Open, 0, 0));
+        assert_eq!(r.touched_regions(1), 0);
+    }
+
+    #[test]
+    fn zero_byte_data_ops_ignored() {
+        let mut r = RegionReducer::new(64);
+        r.observe(&ev(0, 1, IoOp::Read, 128, 0));
+        assert_eq!(r.touched_regions(1), 0);
+    }
+
+    #[test]
+    fn single_writer_fraction_detects_disjoint_layout() {
+        let mut r = RegionReducer::new(100);
+        // ESCAT-style: node i owns region i.
+        for node in 0..4u32 {
+            r.observe(&ev(node, 7, IoOp::Write, node as u64 * 100, 100));
+        }
+        assert_eq!(r.single_writer_fraction(7), 1.0);
+        // Shared region drops the fraction.
+        r.observe(&ev(9, 7, IoOp::Write, 0, 100));
+        assert_eq!(r.single_writer_fraction(7), 0.75);
+        assert_eq!(r.single_writer_fraction(99), 0.0);
+    }
+
+    #[test]
+    fn node_count_deduplicates() {
+        let mut r = RegionReducer::new(100);
+        r.observe(&ev(3, 1, IoOp::Write, 0, 10));
+        r.observe(&ev(3, 1, IoOp::Write, 20, 10));
+        r.observe(&ev(5, 1, IoOp::Read, 30, 10));
+        assert_eq!(r.region(1, 0).unwrap().node_count(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Whole-trace characterization summaries.
+//!
+//! The paper's off-line analyses (§3.1) provide "means, variances, minima,
+//! maxima, and distributions of file operation durations and sizes".
+//! [`TraceSummary`] computes exactly that, per operation kind, plus the
+//! per-node aggregates that the tables' "node time" columns are built from.
+
+use crate::event::{IoOp, NodeId};
+use crate::stats::{Pow2Histogram, SummaryStats};
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Duration and size statistics for one operation kind.
+#[derive(Debug, Clone, Default)]
+pub struct OpSummary {
+    /// Duration statistics, seconds.
+    pub duration_secs: SummaryStats,
+    /// Size statistics, bytes (data operations only; zero-filled otherwise).
+    pub size_bytes: SummaryStats,
+    /// Power-of-two distribution of request sizes.
+    pub size_dist: Pow2Histogram,
+    /// Power-of-two distribution of durations in microseconds.
+    pub duration_dist_us: Pow2Histogram,
+}
+
+/// Per-node activity aggregate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeSummary {
+    /// Operations issued by the node.
+    pub ops: u64,
+    /// Bytes moved by the node's data operations.
+    pub bytes: u64,
+    /// Total blocking time, nanoseconds.
+    pub time_ns: u64,
+}
+
+/// Off-line statistics over a whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    per_op: BTreeMap<u8, OpSummary>,
+    per_node: BTreeMap<NodeId, NodeSummary>,
+}
+
+impl TraceSummary {
+    /// Compute the summary from a trace.
+    pub fn from_trace(trace: &Trace) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for ev in trace.events() {
+            let op = s.per_op.entry(ev.op as u8).or_default();
+            op.duration_secs.push(ev.duration_secs());
+            op.duration_dist_us.push(ev.duration() / 1_000);
+            if ev.op.is_data() {
+                op.size_bytes.push(ev.bytes as f64);
+                op.size_dist.push(ev.bytes);
+            }
+            let node = s.per_node.entry(ev.node).or_default();
+            node.ops += 1;
+            node.time_ns += ev.duration();
+            if ev.op.is_data() {
+                node.bytes += ev.bytes;
+            }
+        }
+        s
+    }
+
+    /// Statistics for one operation kind, if any occurred.
+    pub fn op(&self, op: IoOp) -> Option<&OpSummary> {
+        self.per_op.get(&(op as u8))
+    }
+
+    /// Per-node aggregates in node order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeSummary)> {
+        self.per_node.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of nodes that performed any I/O.
+    pub fn active_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Load imbalance across active nodes: max node time / mean node time
+    /// (1.0 = perfectly balanced; large values indicate a gateway-style
+    /// asymmetry like RENDER's).
+    pub fn node_time_imbalance(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.per_node.values().map(|n| n.time_ns as f64).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        times.iter().fold(0.0_f64, |a, &b| a.max(b)) / mean
+    }
+
+    /// Render a compact text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<11} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "op", "count", "mean dur(s)", "max dur(s)", "mean size", "max size"
+        );
+        for op in IoOp::ALL {
+            let Some(s) = self.op(op) else { continue };
+            let _ = writeln!(
+                out,
+                "{:<11} {:>8} {:>12.6} {:>12.6} {:>12.0} {:>12.0}",
+                op.label(),
+                s.duration_secs.count(),
+                s.duration_secs.mean(),
+                s.duration_secs.max().unwrap_or(0.0),
+                s.size_bytes.mean(),
+                s.size_bytes.max().unwrap_or(0.0),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "active nodes: {}; node-time imbalance (max/mean): {:.2}",
+            self.active_nodes(),
+            self.node_time_imbalance()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoEvent;
+    use crate::trace::Tracer;
+
+    fn trace() -> Trace {
+        let t = Tracer::new("s");
+        // Node 0: 2 reads of 1 KB and 3 KB taking 1 s and 3 s.
+        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 1_000_000_000).extent(0, 1024));
+        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 3_000_000_000).extent(0, 3072));
+        // Node 1: a seek (no size stats).
+        t.record(IoEvent::new(1, 1, IoOp::Seek).span(0, 500_000_000).extent(0, 777));
+        t.finish()
+    }
+
+    #[test]
+    fn per_op_stats() {
+        let s = TraceSummary::from_trace(&trace());
+        let reads = s.op(IoOp::Read).unwrap();
+        assert_eq!(reads.duration_secs.count(), 2);
+        assert!((reads.duration_secs.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(reads.size_bytes.max(), Some(3072.0));
+        assert_eq!(reads.size_dist.count(), 2);
+        // Seeks have durations but no sizes.
+        let seeks = s.op(IoOp::Seek).unwrap();
+        assert_eq!(seeks.duration_secs.count(), 1);
+        assert_eq!(seeks.size_bytes.count(), 0);
+        assert!(s.op(IoOp::Write).is_none());
+    }
+
+    #[test]
+    fn per_node_aggregates_and_imbalance() {
+        let s = TraceSummary::from_trace(&trace());
+        assert_eq!(s.active_nodes(), 2);
+        let nodes: Vec<_> = s.nodes().collect();
+        assert_eq!(nodes[0].1.ops, 2);
+        assert_eq!(nodes[0].1.bytes, 4096);
+        assert_eq!(nodes[1].1.bytes, 0);
+        // Node 0: 4 s, node 1: 0.5 s -> mean 2.25, max 4 -> 1.78.
+        assert!((s.node_time_imbalance() - 4.0 / 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceSummary::from_trace(&Tracer::new("e").finish());
+        assert_eq!(s.active_nodes(), 0);
+        assert_eq!(s.node_time_imbalance(), 1.0);
+        assert!(s.render().contains("active nodes: 0"));
+    }
+
+    #[test]
+    fn render_lists_present_ops_only() {
+        let r = TraceSummary::from_trace(&trace()).render();
+        assert!(r.contains("Read"));
+        assert!(r.contains("Seek"));
+        assert!(!r.contains("Write"));
+    }
+}

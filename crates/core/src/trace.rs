@@ -1,0 +1,294 @@
+//! Trace capture.
+//!
+//! [`Tracer`] is the capture-side handle: the instrumented file-system layer
+//! clones it into every client and records one [`IoEvent`] per call. Capture
+//! is append-only and thread-safe (the Paragon simulator is single-threaded,
+//! but the bench harness runs independent experiments concurrently and a
+//! `std::fs` shim would be multi-threaded).
+//!
+//! [`Trace`] is the frozen, analysis-side product: an ordered event list plus
+//! metadata. All reductions, tables, and figures are computed from a `Trace`.
+
+use crate::event::{IoEvent, IoOp, Ns};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Metadata describing a captured trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable label ("escat", "render", "htf-pscf", ...).
+    pub label: String,
+    /// Number of nodes that participated in the run.
+    pub nodes: u32,
+    /// Wall-clock (simulated) end time of the run, nanoseconds.
+    pub wall_ns: Ns,
+}
+
+/// A frozen, analyzable trace: events in capture order plus metadata.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    events: Vec<IoEvent>,
+}
+
+impl Trace {
+    /// Build a trace directly from parts (used by decoders and tests).
+    pub fn from_parts(meta: TraceMeta, events: Vec<IoEvent>) -> Trace {
+        Trace { meta, events }
+    }
+
+    /// Trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// All events, in capture order.
+    pub fn events(&self) -> &[IoEvent] {
+        &self.events
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one operation kind.
+    pub fn of_op(&self, op: IoOp) -> impl Iterator<Item = &IoEvent> {
+        self.events.iter().filter(move |e| e.op == op)
+    }
+
+    /// Total bytes moved by data operations (reads + writes).
+    pub fn data_volume(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.op.is_data())
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Sum of event durations across all nodes ("node time" in the paper's
+    /// tables: concurrent operations on different nodes both count in full).
+    pub fn node_time(&self) -> Ns {
+        self.events.iter().map(|e| e.duration()).sum()
+    }
+
+    /// Earliest event start, if any.
+    pub fn first_start(&self) -> Option<Ns> {
+        self.events.iter().map(|e| e.start).min()
+    }
+
+    /// Latest event end, if any.
+    pub fn last_end(&self) -> Option<Ns> {
+        self.events.iter().map(|e| e.end).max()
+    }
+
+    /// Merge several traces (e.g. the three HTF programs) into one, keeping
+    /// event order by start time. The label of the merged trace is given by
+    /// the caller; `nodes` is the max of the parts and `wall_ns` the sum
+    /// (the HTF programs run as a sequential pipeline).
+    pub fn concat_pipeline(label: &str, parts: &[&Trace]) -> Trace {
+        let mut events = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        let mut shift: Ns = 0;
+        let mut nodes = 0;
+        for part in parts {
+            for ev in part.events() {
+                let mut ev = *ev;
+                ev.start += shift;
+                ev.end += shift;
+                events.push(ev);
+            }
+            shift += part.meta.wall_ns;
+            nodes = nodes.max(part.meta.nodes);
+        }
+        Trace {
+            meta: TraceMeta {
+                label: label.to_string(),
+                nodes,
+                wall_ns: shift,
+            },
+            events,
+        }
+    }
+
+    /// Validate every event.
+    pub fn validate(&self) -> crate::Result<()> {
+        for ev in &self.events {
+            ev.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    meta: TraceMeta,
+    events: Vec<IoEvent>,
+}
+
+/// Capture-side handle. Cheap to clone; all clones feed one trace.
+///
+/// A `Tracer` may model the *perturbation* the paper discusses in §3.1: if a
+/// per-event capture overhead is configured, [`Tracer::overhead`] reports the
+/// extra time the caller should charge to the instrumented program.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TraceInner>>,
+    /// Per-event capture cost, charged to the traced program (0 = ideal,
+    /// perturbation-free capture).
+    overhead_ns: Ns,
+}
+
+impl Tracer {
+    /// New tracer with perturbation-free capture.
+    pub fn new(label: &str) -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(TraceInner {
+                meta: TraceMeta {
+                    label: label.to_string(),
+                    ..TraceMeta::default()
+                },
+                events: Vec::new(),
+            })),
+            overhead_ns: 0,
+        }
+    }
+
+    /// New tracer that charges `overhead_ns` of instrumentation cost per
+    /// captured event (models Pablo's capture perturbation).
+    pub fn with_overhead(label: &str, overhead_ns: Ns) -> Tracer {
+        let mut t = Tracer::new(label);
+        t.overhead_ns = overhead_ns;
+        t
+    }
+
+    /// Per-event capture cost the instrumented program should absorb.
+    pub fn overhead(&self) -> Ns {
+        self.overhead_ns
+    }
+
+    /// Record one event.
+    pub fn record(&self, event: IoEvent) {
+        self.inner.lock().events.push(event);
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Set run-level metadata (node count, wall time).
+    pub fn set_run_info(&self, nodes: u32, wall_ns: Ns) {
+        let mut inner = self.inner.lock();
+        inner.meta.nodes = nodes;
+        inner.meta.wall_ns = wall_ns;
+    }
+
+    /// Freeze into an analyzable [`Trace`]. Other clones of this tracer keep
+    /// working but feed a now-empty buffer; `finish` is intended to be called
+    /// once, after the run completes.
+    pub fn finish(self) -> Trace {
+        let mut inner = self.inner.lock();
+        Trace {
+            meta: std::mem::take(&mut inner.meta),
+            events: std::mem::take(&mut inner.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoOp;
+
+    fn ev(op: IoOp, start: Ns, end: Ns, bytes: u64) -> IoEvent {
+        IoEvent::new(1, 2, op).span(start, end).extent(0, bytes)
+    }
+
+    #[test]
+    fn capture_and_freeze() {
+        let t = Tracer::new("t");
+        t.record(ev(IoOp::Read, 0, 10, 100));
+        t.record(ev(IoOp::Write, 10, 30, 50));
+        t.set_run_info(4, 30);
+        let trace = t.finish();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.meta().nodes, 4);
+        assert_eq!(trace.data_volume(), 150);
+        assert_eq!(trace.node_time(), 30);
+        assert_eq!(trace.first_start(), Some(0));
+        assert_eq!(trace.last_end(), Some(30));
+    }
+
+    #[test]
+    fn clones_share_buffer() {
+        let t = Tracer::new("t");
+        let t2 = t.clone();
+        t.record(ev(IoOp::Read, 0, 1, 1));
+        t2.record(ev(IoOp::Write, 1, 2, 1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn of_op_filters() {
+        let t = Tracer::new("t");
+        t.record(ev(IoOp::Read, 0, 1, 1));
+        t.record(ev(IoOp::Write, 1, 2, 1));
+        t.record(ev(IoOp::Read, 2, 3, 1));
+        let trace = t.finish();
+        assert_eq!(trace.of_op(IoOp::Read).count(), 2);
+        assert_eq!(trace.of_op(IoOp::Seek).count(), 0);
+    }
+
+    #[test]
+    fn overhead_configured() {
+        let t = Tracer::with_overhead("t", 500);
+        assert_eq!(t.overhead(), 500);
+        assert_eq!(Tracer::new("t").overhead(), 0);
+    }
+
+    #[test]
+    fn pipeline_concat_shifts_times() {
+        let a = Trace::from_parts(
+            TraceMeta {
+                label: "a".into(),
+                nodes: 2,
+                wall_ns: 100,
+            },
+            vec![ev(IoOp::Read, 0, 10, 5)],
+        );
+        let b = Trace::from_parts(
+            TraceMeta {
+                label: "b".into(),
+                nodes: 8,
+                wall_ns: 50,
+            },
+            vec![ev(IoOp::Write, 5, 9, 7)],
+        );
+        let merged = Trace::concat_pipeline("ab", &[&a, &b]);
+        assert_eq!(merged.meta().label, "ab");
+        assert_eq!(merged.meta().nodes, 8);
+        assert_eq!(merged.meta().wall_ns, 150);
+        assert_eq!(merged.events()[1].start, 105);
+        assert_eq!(merged.events()[1].end, 109);
+    }
+
+    #[test]
+    fn empty_trace_queries() {
+        let trace = Tracer::new("e").finish();
+        assert!(trace.is_empty());
+        assert_eq!(trace.first_start(), None);
+        assert_eq!(trace.last_end(), None);
+        assert_eq!(trace.node_time(), 0);
+    }
+}

@@ -1,0 +1,732 @@
+//! Deterministic discrete-event engine.
+//!
+//! The engine owns the global event queue, the node programs, and one
+//! [`IoService`] (the file-system model). It executes node programs in
+//! global simulated-time order with deterministic tie-breaking (FIFO by
+//! event sequence number), handles blocking and unblocking for every
+//! [`Step`] kind (compute, sync/async I/O, barriers, eager sends, blocking
+//! receives, broadcasts), and routes I/O calls to the service, which answers
+//! by scheduling completions and private timers through [`Sched`].
+//!
+//! The engine knows nothing about files, striping, or access modes: that is
+//! the service's business. The service knows nothing about blocking: that is
+//! the engine's.
+
+use crate::mesh::{CommCosts, Mesh};
+use crate::program::{GroupId, IoRequest, IoResult, IoToken, NodeProgram, Resume, Step};
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// The file-system side of the simulation.
+///
+/// `submit` is called once per I/O step; the service must eventually call
+/// [`Sched::complete_io`] with the same token (possibly scheduling private
+/// timers first and finishing the work in [`IoService::on_timer`]).
+pub trait IoService {
+    /// Handle an I/O call issued by `node` at time `now`. `is_async` is true
+    /// when the call came from [`Step::IoAsync`] (the service may account for
+    /// it differently, e.g. tracing an `AsynchRead` instead of a `Read`).
+    fn submit(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        req: IoRequest,
+        token: IoToken,
+        is_async: bool,
+        sched: &mut Sched,
+    );
+
+    /// A timer armed via [`Sched::timer`] fired.
+    fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched);
+
+    /// Client-side cost of *issuing* an asynchronous operation. The issuing
+    /// node resumes after this long; the operation itself completes whenever
+    /// the service says so.
+    fn issue_cost(&self, node: NodeId, req: &IoRequest) -> SimDuration {
+        let _ = (node, req);
+        SimDuration::ZERO
+    }
+
+    /// Notification that `node` blocked on an asynchronous operation against
+    /// `file` from `wait_start` to `wait_end` — the `iowait` interval the
+    /// paper reports for RENDER (Table 3). Default: ignore.
+    fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
+        let _ = (node, file, wait_start, wait_end);
+    }
+
+    /// The run finished at `now`: flush any buffered state (write-behind
+    /// buffers, open summaries). Default: nothing.
+    fn on_run_end(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+/// Buffered scheduling interface handed to the service.
+#[derive(Debug, Default)]
+pub struct Sched {
+    completions: Vec<(IoToken, SimTime, IoResult)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl Sched {
+    /// Complete the I/O identified by `token` at time `at`.
+    pub fn complete_io(&mut self, token: IoToken, at: SimTime, result: IoResult) {
+        self.completions.push((token, at, result));
+    }
+
+    /// Arm a service-private timer that fires [`IoService::on_timer`] at
+    /// `at` with the given timer id.
+    pub fn timer(&mut self, at: SimTime, timer: u64) {
+        self.timers.push((at, timer));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Resume(NodeId, Resume),
+    IoComplete(IoToken, IoResult),
+    ServiceTimer(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TokenState {
+    /// Node blocked on a synchronous call.
+    Sync(NodeId, u32),
+    /// Async in flight, nobody waiting yet.
+    AsyncPending(NodeId, u32),
+    /// Async in flight, issuer blocked in IoWait since the given time.
+    AsyncWaited(NodeId, u32, SimTime),
+    /// Async completed, result parked until the issuer waits (file id kept
+    /// for the `on_iowait` notification).
+    AsyncDone(IoResult, u32),
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct BroadcastState {
+    arrived: Vec<NodeId>,
+    bytes: u64,
+}
+
+/// Final run statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Time of the last processed event.
+    pub wall: SimTime,
+    /// Total events processed.
+    pub events: u64,
+    /// Nodes whose programs reached `Done`.
+    pub nodes_done: u32,
+    /// Nodes still blocked when the event queue drained (deadlock or missing
+    /// partner); empty on a clean run.
+    pub blocked: Vec<NodeId>,
+}
+
+impl EngineReport {
+    /// True when every node finished.
+    pub fn clean(&self) -> bool {
+        self.blocked.is_empty()
+    }
+}
+
+/// Hard safety limit on processed events (runaway-program backstop).
+const MAX_EVENTS: u64 = 2_000_000_000;
+
+/// The discrete-event engine.
+pub struct Engine<S: IoService> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u8)>>,
+    payloads: HashMap<u64, Ev>,
+    programs: Vec<Box<dyn NodeProgram>>,
+    done: Vec<bool>,
+    service: S,
+    mesh: Mesh,
+    comm: CommCosts,
+    groups: Vec<Vec<NodeId>>,
+    barriers: HashMap<GroupId, BarrierState>,
+    broadcasts: HashMap<GroupId, BroadcastState>,
+    /// In-flight eager messages: (from, to, tag) -> FIFO of (arrival, bytes).
+    mailbox: HashMap<(NodeId, NodeId, u32), VecDeque<(SimTime, u64)>>,
+    /// Blocked receivers: (from, to, tag) -> receiver node (one at a time:
+    /// receives are issued by `to` itself).
+    recv_waiting: HashMap<(NodeId, NodeId, u32), NodeId>,
+    tokens: HashMap<IoToken, TokenState>,
+    next_token: IoToken,
+    events_processed: u64,
+}
+
+impl<S: IoService> Engine<S> {
+    /// Build an engine over `programs` (node `i` runs `programs[i]`) with the
+    /// given mesh/interconnect parameters and file-system service. Group 0 is
+    /// pre-registered as "all nodes".
+    pub fn new(mesh: Mesh, comm: CommCosts, programs: Vec<Box<dyn NodeProgram>>, service: S) -> Engine<S> {
+        assert!(
+            programs.len() as u32 <= mesh.compute_nodes,
+            "more programs than compute nodes"
+        );
+        let n = programs.len();
+        let all: Vec<NodeId> = (0..n as NodeId).collect();
+        let done = vec![false; n];
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            programs,
+            done,
+            service,
+            mesh,
+            comm,
+            groups: vec![all],
+            barriers: HashMap::new(),
+            broadcasts: HashMap::new(),
+            mailbox: HashMap::new(),
+            recv_waiting: HashMap::new(),
+            tokens: HashMap::new(),
+            next_token: 1,
+            events_processed: 0,
+        }
+    }
+
+    /// Register a node group for barriers/broadcasts; returns its id.
+    pub fn add_group(&mut self, nodes: Vec<NodeId>) -> GroupId {
+        assert!(!nodes.is_empty(), "empty group");
+        self.groups.push(nodes);
+        (self.groups.len() - 1) as GroupId
+    }
+
+    /// Access the service (e.g. to extract its tracer after the run).
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Mutable access to the service (fault injection mid-run is done by
+    /// wrapping programs; this is for post-run extraction).
+    pub fn service_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+
+    /// Consume the engine, returning the service.
+    pub fn into_service(self) -> S {
+        self.service
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.payloads.insert(seq, ev);
+        self.heap.push(Reverse((at, seq, 0)));
+    }
+
+    /// Drain buffered scheduling into the heap; returns whether anything
+    /// was scheduled (a no-effect timer should not extend the reported
+    /// wall time).
+    fn drain_sched(&mut self, sched: Sched) -> bool {
+        let any = !sched.completions.is_empty() || !sched.timers.is_empty();
+        for (token, at, result) in sched.completions {
+            self.push(at.max(self.now), Ev::IoComplete(token, result));
+        }
+        for (at, timer) in sched.timers {
+            self.push(at.max(self.now), Ev::ServiceTimer(timer));
+        }
+        any
+    }
+
+    /// Run to completion (event queue drained). Returns run statistics.
+    pub fn run(&mut self) -> EngineReport {
+        for node in 0..self.programs.len() as NodeId {
+            self.push(SimTime::ZERO, Ev::Resume(node, Resume::Start));
+        }
+        // Wall time excludes trailing no-effect service timers (e.g. a
+        // periodic flush firing long after the programs finished with
+        // nothing left to flush).
+        let mut wall = SimTime::ZERO;
+        while let Some(Reverse((t, seq, _))) = self.heap.pop() {
+            let ev = self.payloads.remove(&seq).expect("payload missing");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            assert!(
+                self.events_processed < MAX_EVENTS,
+                "event budget exceeded: runaway program?"
+            );
+            match ev {
+                Ev::Resume(node, resume) => {
+                    self.step_node(node, resume);
+                    wall = self.now;
+                }
+                Ev::IoComplete(token, result) => {
+                    self.io_complete(token, result);
+                    wall = self.now;
+                }
+                Ev::ServiceTimer(timer) => {
+                    let mut sched = Sched::default();
+                    self.service.on_timer(self.now, timer, &mut sched);
+                    if self.drain_sched(sched) {
+                        wall = self.now;
+                    }
+                }
+            }
+        }
+        self.service.on_run_end(self.now);
+        let blocked: Vec<NodeId> = (0..self.programs.len() as NodeId)
+            .filter(|&n| !self.done[n as usize])
+            .collect();
+        EngineReport {
+            wall,
+            events: self.events_processed,
+            nodes_done: self.done.iter().filter(|d| **d).count() as u32,
+            blocked,
+        }
+    }
+
+    fn step_node(&mut self, node: NodeId, resume: Resume) {
+        if self.done[node as usize] {
+            return;
+        }
+        let step = self.programs[node as usize].step(node, resume);
+        match step {
+            Step::Compute(d) => {
+                let at = self.now + d;
+                self.push(at, Ev::Resume(node, Resume::Computed));
+            }
+            Step::Io(req) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.tokens.insert(token, TokenState::Sync(node, req.file));
+                let mut sched = Sched::default();
+                self.service.submit(node, self.now, req, token, false, &mut sched);
+                let _ = self.drain_sched(sched);
+            }
+            Step::IoAsync(req) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.tokens
+                    .insert(token, TokenState::AsyncPending(node, req.file));
+                let issue = self.service.issue_cost(node, &req);
+                let mut sched = Sched::default();
+                self.service.submit(node, self.now, req, token, true, &mut sched);
+                let _ = self.drain_sched(sched);
+                let at = self.now + issue;
+                self.push(at, Ev::Resume(node, Resume::IoIssued(token)));
+            }
+            Step::IoWait(token) => match self.tokens.entry(token) {
+                Entry::Occupied(mut e) => match *e.get() {
+                    TokenState::AsyncDone(result, file) => {
+                        e.remove();
+                        self.service.on_iowait(node, file, self.now, self.now);
+                        let at = self.now;
+                        self.push(at, Ev::Resume(node, Resume::IoWaited(result)));
+                    }
+                    TokenState::AsyncPending(owner, file) => {
+                        debug_assert_eq!(owner, node, "waiting on another node's token");
+                        e.insert(TokenState::AsyncWaited(node, file, self.now));
+                    }
+                    other => panic!("IoWait on non-async token {token}: {other:?}"),
+                },
+                Entry::Vacant(_) => panic!("IoWait on unknown token {token}"),
+            },
+            Step::Barrier(group) => {
+                let size = self.group(group).len();
+                debug_assert!(
+                    self.group(group).contains(&node),
+                    "node {node} not in group {group}"
+                );
+                let state = self.barriers.entry(group).or_default();
+                state.arrived.push(node);
+                if state.arrived.len() == size {
+                    let members = std::mem::take(&mut state.arrived);
+                    let release = self.now + self.mesh.barrier_time(&self.comm, size as u32);
+                    for member in members {
+                        self.push(release, Ev::Resume(member, Resume::BarrierDone));
+                    }
+                }
+            }
+            Step::Send { to, bytes, tag } => {
+                let hops = self.mesh.compute_hops(node, to);
+                let arrival = self.now + self.mesh.msg_time(&self.comm, hops, bytes);
+                let key = (node, to, tag);
+                if let Some(receiver) = self.recv_waiting.remove(&key) {
+                    self.push(arrival, Ev::Resume(receiver, Resume::Received(bytes)));
+                } else {
+                    self.mailbox.entry(key).or_default().push_back((arrival, bytes));
+                }
+                let resumed = self.now + self.comm.sw_overhead;
+                self.push(resumed, Ev::Resume(node, Resume::Sent));
+            }
+            Step::Recv { from, tag } => {
+                let key = (from, node, tag);
+                if let Some(queue) = self.mailbox.get_mut(&key) {
+                    if let Some((arrival, bytes)) = queue.pop_front() {
+                        let at = arrival.max(self.now);
+                        self.push(at, Ev::Resume(node, Resume::Received(bytes)));
+                        return;
+                    }
+                }
+                let prev = self.recv_waiting.insert(key, node);
+                debug_assert!(prev.is_none(), "double recv on {key:?}");
+            }
+            Step::Broadcast { root, bytes, group } => {
+                let size = self.group(group).len();
+                debug_assert!(
+                    self.group(group).contains(&node),
+                    "node {node} not in group {group}"
+                );
+                let state = self.broadcasts.entry(group).or_default();
+                state.arrived.push(node);
+                if node == root {
+                    state.bytes = bytes;
+                }
+                if state.arrived.len() == size {
+                    let members = std::mem::take(&mut state.arrived);
+                    let payload = state.bytes;
+                    state.bytes = 0;
+                    let done = self.now + self.mesh.broadcast_time(&self.comm, size as u32, payload);
+                    for member in members {
+                        self.push(done, Ev::Resume(member, Resume::BroadcastDone));
+                    }
+                }
+            }
+            Step::Done => {
+                self.done[node as usize] = true;
+            }
+        }
+    }
+
+    fn io_complete(&mut self, token: IoToken, result: IoResult) {
+        match self.tokens.remove(&token) {
+            Some(TokenState::Sync(node, _file)) => {
+                let at = self.now;
+                self.push(at, Ev::Resume(node, Resume::IoDone(result)));
+            }
+            Some(TokenState::AsyncPending(_node, file)) => {
+                // Completed before anyone waited: park the result.
+                self.tokens.insert(token, TokenState::AsyncDone(result, file));
+            }
+            Some(TokenState::AsyncWaited(node, file, wait_start)) => {
+                self.service.on_iowait(node, file, wait_start, self.now);
+                let at = self.now;
+                self.push(at, Ev::Resume(node, Resume::IoWaited(result)));
+            }
+            Some(TokenState::AsyncDone(..)) | None => {
+                panic!("duplicate or unknown completion for token {token}")
+            }
+        }
+    }
+
+    fn group(&self, id: GroupId) -> &[NodeId] {
+        &self.groups[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{IoVerb, ScriptOp, ScriptProgram};
+
+    /// A trivial service: every operation takes a fixed 1 ms.
+    struct FixedService {
+        latency: SimDuration,
+        submitted: Vec<(NodeId, IoVerb)>,
+        iowaits: Vec<(NodeId, SimDuration)>,
+    }
+
+    impl FixedService {
+        fn new() -> FixedService {
+            FixedService {
+                latency: SimDuration::from_millis(1),
+                submitted: Vec::new(),
+                iowaits: Vec::new(),
+            }
+        }
+    }
+
+    impl IoService for FixedService {
+        fn submit(
+            &mut self,
+            node: NodeId,
+            now: SimTime,
+            req: IoRequest,
+            token: IoToken,
+            _is_async: bool,
+            sched: &mut Sched,
+        ) {
+            self.submitted.push((node, req.verb));
+            sched.complete_io(
+                token,
+                now + self.latency,
+                IoResult {
+                    bytes: req.bytes,
+                    queued: SimDuration::ZERO,
+                    service: self.latency,
+                },
+            );
+        }
+
+        fn on_timer(&mut self, _now: SimTime, _timer: u64, _sched: &mut Sched) {}
+
+        fn issue_cost(&self, _node: NodeId, _req: &IoRequest) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+
+        fn on_iowait(&mut self, node: NodeId, _file: u32, s: SimTime, e: SimTime) {
+            self.iowaits.push((node, e.since(s)));
+        }
+    }
+
+    fn engine_for(progs: Vec<Vec<ScriptOp>>) -> Engine<FixedService> {
+        let n = progs.len() as u32;
+        let mesh = Mesh::for_nodes(n.max(2), 1);
+        let programs: Vec<Box<dyn NodeProgram>> = progs
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+            .collect();
+        Engine::new(mesh, CommCosts::default(), programs, FixedService::new())
+    }
+
+    #[test]
+    fn compute_advances_time() {
+        let mut e = engine_for(vec![vec![ScriptOp::Compute(SimDuration::from_secs(3))]]);
+        let report = e.run();
+        assert!(report.clean());
+        assert_eq!(report.wall, SimTime(3_000_000_000));
+        assert_eq!(report.nodes_done, 1);
+    }
+
+    #[test]
+    fn sync_io_blocks_for_service_latency() {
+        let mut e = engine_for(vec![vec![
+            ScriptOp::Io(IoRequest::read(1, 100)),
+            ScriptOp::Io(IoRequest::write(1, 100)),
+        ]]);
+        let report = e.run();
+        assert!(report.clean());
+        assert_eq!(report.wall, SimTime(2_000_000));
+        assert_eq!(
+            e.service().submitted,
+            vec![(0, IoVerb::Read), (0, IoVerb::Write)]
+        );
+    }
+
+    #[test]
+    fn async_io_overlaps_with_compute() {
+        // Async read (1 ms) issued, then 5 ms of compute, then wait: total
+        // should be ~5 ms (+ issue cost), not 6 ms.
+        let mut e = engine_for(vec![vec![
+            ScriptOp::IoAsync(IoRequest::read(1, 100)),
+            ScriptOp::Compute(SimDuration::from_millis(5)),
+            ScriptOp::WaitOldest,
+        ]]);
+        let report = e.run();
+        assert!(report.clean());
+        assert!(report.wall < SimTime(5_200_000), "wall {}", report.wall);
+        // The wait found the result ready: zero recorded iowait.
+        assert_eq!(e.service().iowaits.len(), 1);
+        assert_eq!(e.service().iowaits[0].1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn async_io_wait_blocks_when_not_ready() {
+        let mut e = engine_for(vec![vec![
+            ScriptOp::IoAsync(IoRequest::read(1, 100)),
+            ScriptOp::WaitOldest,
+        ]]);
+        let report = e.run();
+        assert!(report.clean());
+        // Wait started at issue-cost (10 us), completion at 1 ms.
+        let wait = e.service().iowaits[0].1;
+        assert_eq!(wait, SimDuration(990_000));
+    }
+
+    #[test]
+    fn barrier_synchronizes_nodes() {
+        // Node 0 computes 1 ms, node 1 computes 10 ms; both then barrier and
+        // finish together.
+        let mut e = engine_for(vec![
+            vec![
+                ScriptOp::Compute(SimDuration::from_millis(1)),
+                ScriptOp::Barrier(0),
+            ],
+            vec![
+                ScriptOp::Compute(SimDuration::from_millis(10)),
+                ScriptOp::Barrier(0),
+            ],
+        ]);
+        let report = e.run();
+        assert!(report.clean());
+        assert!(report.wall >= SimTime(10_000_000));
+    }
+
+    #[test]
+    fn send_recv_rendezvous_both_orders() {
+        // Order 1: send first.
+        let mut e = engine_for(vec![
+            vec![ScriptOp::Send { to: 1, bytes: 1000, tag: 5 }],
+            vec![ScriptOp::Recv { from: 0, tag: 5 }],
+        ]);
+        assert!(e.run().clean());
+        // Order 2: receiver blocks first (receiver is delayed less than the
+        // sender's compute).
+        let mut e = engine_for(vec![
+            vec![
+                ScriptOp::Compute(SimDuration::from_millis(5)),
+                ScriptOp::Send { to: 1, bytes: 1000, tag: 5 },
+            ],
+            vec![ScriptOp::Recv { from: 0, tag: 5 }],
+        ]);
+        let report = e.run();
+        assert!(report.clean());
+        assert!(report.wall >= SimTime(5_000_000));
+    }
+
+    #[test]
+    fn tags_keep_messages_apart() {
+        let mut e = engine_for(vec![
+            vec![
+                ScriptOp::Send { to: 1, bytes: 10, tag: 1 },
+                ScriptOp::Send { to: 1, bytes: 20, tag: 2 },
+            ],
+            vec![
+                // Receive tag 2 first, then tag 1.
+                ScriptOp::Recv { from: 0, tag: 2 },
+                ScriptOp::Recv { from: 0, tag: 1 },
+            ],
+        ]);
+        assert!(e.run().clean());
+    }
+
+    #[test]
+    fn broadcast_releases_whole_group() {
+        let mut e = engine_for(vec![
+            vec![ScriptOp::Broadcast { root: 0, bytes: 1 << 20, group: 0 }],
+            vec![
+                ScriptOp::Compute(SimDuration::from_millis(3)),
+                ScriptOp::Broadcast { root: 0, bytes: 1 << 20, group: 0 },
+            ],
+        ]);
+        let report = e.run();
+        assert!(report.clean());
+        // Broadcast cannot complete before the latest arrival.
+        assert!(report.wall >= SimTime(3_000_000));
+    }
+
+    #[test]
+    fn subgroup_barrier_excludes_outsiders() {
+        let mesh = Mesh::for_nodes(3, 1);
+        let programs: Vec<Box<dyn NodeProgram>> = vec![
+            // Node 0 never joins the group barrier.
+            Box::new(ScriptProgram::new(vec![ScriptOp::Compute(SimDuration::from_millis(1))])),
+            Box::new(ScriptProgram::new(vec![ScriptOp::Barrier(1)])),
+            Box::new(ScriptProgram::new(vec![ScriptOp::Barrier(1)])),
+        ];
+        let mut e = Engine::new(mesh, CommCosts::default(), programs, FixedService::new());
+        let g = e.add_group(vec![1, 2]);
+        assert_eq!(g, 1);
+        let report = e.run();
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn missing_partner_reports_blocked() {
+        let mut e = engine_for(vec![vec![ScriptOp::Recv { from: 1, tag: 0 }], vec![]]);
+        let report = e.run();
+        assert!(!report.clean());
+        assert_eq!(report.blocked, vec![0]);
+        assert_eq!(report.nodes_done, 1);
+    }
+
+    #[test]
+    fn repeated_barriers_reuse_group_state() {
+        // Ten consecutive barriers on the same group must all release.
+        let progs = (0..3)
+            .map(|_| {
+                let mut ops = Vec::new();
+                for _ in 0..10 {
+                    ops.push(ScriptOp::Compute(SimDuration(100)));
+                    ops.push(ScriptOp::Barrier(0));
+                }
+                ops
+            })
+            .collect();
+        let mut e = engine_for(progs);
+        let report = e.run();
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn repeated_broadcasts_reuse_group_state() {
+        let progs = (0..3)
+            .map(|_| {
+                (0..5)
+                    .map(|_| ScriptOp::Broadcast { root: 1, bytes: 4096, group: 0 })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut e = engine_for(progs);
+        assert!(e.run().clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn iowait_on_unknown_token_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            fn step(&mut self, _: NodeId, _: crate::program::Resume) -> crate::program::Step {
+                crate::program::Step::IoWait(999)
+            }
+        }
+        let mesh = Mesh::for_nodes(2, 1);
+        let mut e = Engine::new(
+            mesh,
+            CommCosts::default(),
+            vec![Box::new(Bad)],
+            FixedService::new(),
+        );
+        let _ = e.run();
+    }
+
+    #[test]
+    fn unwaited_async_completes_without_resume() {
+        // A program that issues async I/O and finishes without waiting must
+        // not deadlock or panic; the completion is simply parked.
+        let mut e = engine_for(vec![vec![
+            ScriptOp::IoAsync(IoRequest::read(1, 64)),
+            ScriptOp::Compute(SimDuration::from_millis(5)),
+        ]]);
+        let report = e.run();
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let build = || {
+            engine_for(vec![
+                vec![
+                    ScriptOp::Io(IoRequest::read(1, 10)),
+                    ScriptOp::Barrier(0),
+                    ScriptOp::Io(IoRequest::write(1, 10)),
+                ],
+                vec![
+                    ScriptOp::Io(IoRequest::read(2, 10)),
+                    ScriptOp::Barrier(0),
+                    ScriptOp::Io(IoRequest::write(2, 10)),
+                ],
+            ])
+        };
+        let mut a = build();
+        let mut b = build();
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(ra, rb);
+        assert_eq!(a.service().submitted, b.service().submitted);
+    }
+}

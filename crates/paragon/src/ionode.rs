@@ -1,0 +1,310 @@
+//! I/O node request-queue model.
+//!
+//! Each I/O node serves stripe-segment requests against its RAID-3 array,
+//! one at a time, from a queue with a configurable discipline. The file
+//! system (sio-pfs / sio-ppfs) splits application requests into segments,
+//! submits them here, and arms a timer for [`IoNodeSim::next_done`]; on each
+//! timer it calls [`IoNodeSim::complete_head`] and re-arms. This exposes the
+//! one machine behavior the paper's time columns hinge on: queueing delay
+//! when 128 synchronized clients burst onto 16 servers.
+
+use crate::raid::Raid3;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Queue discipline for pending segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First-come-first-served (the PFS default; our baseline).
+    Fifo,
+    /// Circular SCAN: serve pending segments in ascending disk-offset order
+    /// from the current head position, wrapping at the end — an ablation for
+    /// DESIGN.md experiment A3.
+    CScan,
+    /// Shortest-seek-time-first: serve the pending segment closest to the
+    /// current head position. Minimizes per-step seek cost at the risk of
+    /// starving distant requests (which is why real systems prefer C-SCAN).
+    Sstf,
+}
+
+/// One stripe-segment request at an I/O node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentReq {
+    /// Caller-chosen id, returned on completion.
+    pub id: u64,
+    /// Byte offset on this I/O node's array.
+    pub offset: u64,
+    /// Segment length.
+    pub bytes: u64,
+    /// True for writes.
+    pub write: bool,
+    /// Skip the mechanical seek/rotation component (the segment is known to
+    /// continue the previous one — used by aggregated sequential runs).
+    pub sequential: bool,
+}
+
+/// An I/O node: a request queue over one RAID-3 array.
+#[derive(Debug)]
+pub struct IoNodeSim {
+    array: Raid3,
+    discipline: QueueDiscipline,
+    /// Server CPU cost charged per segment.
+    per_request: SimDuration,
+    /// Currently serviced segment and its completion time.
+    busy: Option<(SimTime, SegmentReq)>,
+    pending: VecDeque<SegmentReq>,
+    /// Completed-segment count (statistics).
+    completed: u64,
+    /// Sum of queueing delays (statistics).
+    queued_total: SimDuration,
+    /// Arrival times for queued segments, parallel to `pending`.
+    arrivals: VecDeque<SimTime>,
+}
+
+impl IoNodeSim {
+    /// New idle I/O node.
+    pub fn new(array: Raid3, discipline: QueueDiscipline, per_request: SimDuration) -> IoNodeSim {
+        IoNodeSim {
+            array,
+            discipline,
+            per_request,
+            busy: None,
+            pending: VecDeque::new(),
+            arrivals: VecDeque::new(),
+            completed: 0,
+            queued_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Mutable access to the underlying array (fault injection).
+    pub fn array_mut(&mut self) -> &mut Raid3 {
+        &mut self.array
+    }
+
+    /// Submit a segment at time `now`. Returns `true` if the node was idle
+    /// and the caller must (re-)arm its completion timer.
+    pub fn submit(&mut self, now: SimTime, req: SegmentReq) -> bool {
+        if self.busy.is_none() {
+            self.start(now, req, now);
+            true
+        } else {
+            self.pending.push_back(req);
+            self.arrivals.push_back(now);
+            false
+        }
+    }
+
+    fn start(&mut self, now: SimTime, req: SegmentReq, arrived: SimTime) {
+        self.queued_total += now.since(arrived);
+        let mech = if req.sequential {
+            if req.write {
+                self.array.write_sequential(req.offset, req.bytes)
+            } else {
+                // Sequential read continuation: pure transfer.
+                self.array.write_sequential(req.offset, req.bytes)
+            }
+        } else if req.write {
+            self.array.write(req.offset, req.bytes)
+        } else {
+            self.array.read(req.offset, req.bytes)
+        };
+        let done = now + self.per_request + mech;
+        self.busy = Some((done, req));
+    }
+
+    /// Completion time of the in-service segment, if any.
+    pub fn next_done(&self) -> Option<(SimTime, u64)> {
+        self.busy.map(|(t, r)| (t, r.id))
+    }
+
+    /// Complete the in-service segment (must be called at its `next_done`
+    /// time) and start the next pending segment per the discipline. Returns
+    /// the finished segment id.
+    ///
+    /// # Panics
+    /// If the node is idle.
+    pub fn complete_head(&mut self, now: SimTime) -> u64 {
+        let (done, req) = self.busy.take().expect("complete_head on idle i/o node");
+        debug_assert!(now >= done, "completing before service finished");
+        self.completed += 1;
+        if let Some(idx) = self.pick_next(req.offset + req.bytes) {
+            let next = self.pending.remove(idx).unwrap();
+            let arrived = self.arrivals.remove(idx).unwrap();
+            self.start(now, next, arrived);
+        }
+        req.id
+    }
+
+    fn pick_next(&self, head_offset: u64) -> Option<usize> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        match self.discipline {
+            QueueDiscipline::Fifo => Some(0),
+            QueueDiscipline::CScan => {
+                // Smallest offset >= head, else wrap to smallest overall.
+                let mut best_ge: Option<(u64, usize)> = None;
+                let mut best_any: Option<(u64, usize)> = None;
+                for (i, r) in self.pending.iter().enumerate() {
+                    if best_any.is_none_or(|(o, _)| r.offset < o) {
+                        best_any = Some((r.offset, i));
+                    }
+                    if r.offset >= head_offset && best_ge.is_none_or(|(o, _)| r.offset < o) {
+                        best_ge = Some((r.offset, i));
+                    }
+                }
+                best_ge.or(best_any).map(|(_, i)| i)
+            }
+            QueueDiscipline::Sstf => self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.offset.abs_diff(head_offset))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Number of segments waiting (not counting the one in service).
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a segment is in service.
+    pub fn busy(&self) -> bool {
+        self.busy.is_some()
+    }
+
+    /// Segments completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total queueing delay accumulated by started segments.
+    pub fn queued_total(&self) -> SimDuration {
+        self.queued_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use crate::raid::RaidParams;
+
+    fn node(discipline: QueueDiscipline) -> IoNodeSim {
+        IoNodeSim::new(
+            Raid3::new(DiskParams::default(), RaidParams::default(), 3),
+            discipline,
+            SimDuration::from_millis(1),
+        )
+    }
+
+    fn seg(id: u64, offset: u64, bytes: u64) -> SegmentReq {
+        SegmentReq {
+            id,
+            offset,
+            bytes,
+            write: false,
+            sequential: false,
+        }
+    }
+
+    #[test]
+    fn idle_submit_starts_immediately() {
+        let mut n = node(QueueDiscipline::Fifo);
+        assert!(n.submit(SimTime(0), seg(1, 0, 4096)));
+        assert!(n.busy());
+        let (done, id) = n.next_done().unwrap();
+        assert_eq!(id, 1);
+        assert!(done > SimTime(0));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut n = node(QueueDiscipline::Fifo);
+        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
+        assert!(!n.submit(SimTime(0), seg(2, 100 << 20, 4096)));
+        assert!(!n.submit(SimTime(0), seg(3, 900 << 20, 4096)));
+        let mut order = Vec::new();
+        while let Some((t, _)) = n.next_done() {
+            order.push(n.complete_head(t));
+        }
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(n.completed(), 3);
+        assert_eq!(n.queue_depth(), 0);
+    }
+
+    #[test]
+    fn cscan_orders_by_offset_from_head() {
+        let mut n = node(QueueDiscipline::CScan);
+        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
+        n.submit(SimTime(0), seg(2, 100 << 20, 4096));
+        n.submit(SimTime(0), seg(3, 900 << 20, 4096));
+        n.submit(SimTime(0), seg(4, 600 << 20, 4096));
+        let mut order = Vec::new();
+        while let Some((t, _)) = n.next_done() {
+            order.push(n.complete_head(t));
+        }
+        // Head ends segment 1 around 500 MB: ascending from there (600, 900),
+        // then wrap to 100.
+        assert_eq!(order, vec![1, 4, 3, 2]);
+    }
+
+    #[test]
+    fn cscan_beats_fifo_on_scattered_bursts() {
+        // A burst of offset-scattered segments: C-SCAN should finish no later
+        // than FIFO (usually strictly earlier thanks to shorter seeks).
+        let offs: Vec<u64> = (0..32).map(|i| ((i * 37) % 64) << 24).collect();
+        let run = |d| {
+            let mut n = node(d);
+            for (i, &o) in offs.iter().enumerate() {
+                n.submit(SimTime(0), seg(i as u64, o, 65536));
+            }
+            let mut last = SimTime(0);
+            while let Some((t, _)) = n.next_done() {
+                n.complete_head(t);
+                last = t;
+            }
+            last
+        };
+        let fifo = run(QueueDiscipline::Fifo);
+        let cscan = run(QueueDiscipline::CScan);
+        assert!(cscan <= fifo, "cscan {cscan} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn sstf_picks_nearest_offset() {
+        let mut n = node(QueueDiscipline::Sstf);
+        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
+        n.submit(SimTime(0), seg(2, 100 << 20, 4096));
+        n.submit(SimTime(0), seg(3, 490 << 20, 4096));
+        n.submit(SimTime(0), seg(4, 900 << 20, 4096));
+        let mut order = Vec::new();
+        while let Some((t, _)) = n.next_done() {
+            order.push(n.complete_head(t));
+        }
+        // Head ends near 500 MB: nearest is 490, then 900 vs 100 -> 900
+        // (410 MB away vs 390... 490->100 is 390, 490->900 is 410): 100 next.
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 3);
+        assert_eq!(order, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn queueing_delay_accounted() {
+        let mut n = node(QueueDiscipline::Fifo);
+        n.submit(SimTime(0), seg(1, 0, 1 << 20));
+        n.submit(SimTime(0), seg(2, 0, 1 << 20));
+        let (t1, _) = n.next_done().unwrap();
+        n.complete_head(t1);
+        assert_eq!(n.queued_total(), t1.since(SimTime(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn complete_on_idle_panics() {
+        let mut n = node(QueueDiscipline::Fifo);
+        n.complete_head(SimTime(0));
+    }
+}

@@ -1,0 +1,1092 @@
+//! The PFS model: a [`paragon_sim::IoService`] implementation.
+//!
+//! `Pfs` interprets every [`IoVerb`] with the semantics of §3.2:
+//!
+//! * **metadata path** — opens, creates, closes, and `lsize` serialize
+//!   through one metadata server (`meta_free`); *seeks on shared files*
+//!   serialize at the file's metadata owner (per-file `seek_free`), which is
+//!   what makes ESCAT's 128-node synchronized seeks so expensive (Table 1);
+//!   seeks on single-opener files are a cheap local pointer update (HTF
+//!   `pscf`, Table 5);
+//! * **data path** — the access mode resolves the request's offset
+//!   (per-node pointer, shared pointer with token serialization, record
+//!   interleaving, or collective coalescing), the stripe layout splits it
+//!   into per-I/O-node segments, the segments queue at the
+//!   [`paragon_sim::ionode::IoNodeSim`]s, and the request completes when its
+//!   last segment does plus the client copy cost;
+//! * **tracing** — every application-visible call is recorded in a
+//!   [`sio_core::Tracer`] with its simulated interval; asynchronous reads
+//!   record their issue cost, and the engine's `on_iowait` hook records the
+//!   un-overlapped wait, exactly the two rows RENDER's Table 3 reports.
+
+use crate::file::{FileSpec, FileState};
+use crate::layout::StripeLayout;
+use crate::mode::AccessMode;
+use paragon_sim::calibration::IoSwCosts;
+use paragon_sim::engine::{IoService, Sched};
+use paragon_sim::ionode::{IoNodeSim, SegmentReq};
+use paragon_sim::mesh::{CommCosts, Mesh};
+use paragon_sim::program::{IoRequest, IoResult, IoToken, IoVerb};
+use paragon_sim::time::transfer_time;
+use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
+use sio_core::event::{IoEvent, IoOp};
+use sio_core::trace::Tracer;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-I/O-node bytes reserved for each registered file (a fixed-slot
+/// allocator: file `f`'s node-local space starts at `f × file_slot`).
+const DEFAULT_FILE_SLOT: u64 = 32 << 20;
+
+/// PFS configuration, derived from a [`MachineConfig`].
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Stripe map.
+    pub layout: StripeLayout,
+    /// Software-path costs.
+    pub io_sw: IoSwCosts,
+    /// Mesh geometry (M_GLOBAL broadcast costs).
+    pub mesh: Mesh,
+    /// Interconnect costs.
+    pub comm: CommCosts,
+    /// Per-I/O-node slot size of the file allocator.
+    pub file_slot: u64,
+    /// Array capacity per I/O node (slot allocator bound).
+    pub array_capacity: u64,
+}
+
+impl PfsConfig {
+    /// Derive from a machine configuration (64 KB PFS striping).
+    pub fn from_machine(m: &MachineConfig) -> PfsConfig {
+        PfsConfig {
+            layout: StripeLayout::pfs(m.io_nodes),
+            io_sw: m.io_sw,
+            mesh: m.mesh(),
+            comm: m.comm,
+            file_slot: DEFAULT_FILE_SLOT,
+            array_capacity: m.disk.capacity * m.raid.data_disks as u64,
+        }
+    }
+}
+
+/// The per-node client copy path: one CPU per node moves data between the
+/// application and the message system, so concurrent completions on the same
+/// node serialize through it. This is the effect behind §6.2's observation
+/// that the RENDER gateway sustains only ~9.5 MB/s against a ~140 MB/s
+/// aggregate array rate.
+#[derive(Debug, Default)]
+pub struct ClientPath {
+    free: HashMap<NodeId, SimTime>,
+}
+
+impl ClientPath {
+    /// New, idle client path.
+    pub fn new() -> ClientPath {
+        ClientPath::default()
+    }
+
+    /// Serialize a `bytes`-sized copy on `node`'s client CPU, starting no
+    /// earlier than `ready`; returns the completion time.
+    pub fn copy_done(&mut self, node: NodeId, ready: SimTime, bytes: u64, rate: f64) -> SimTime {
+        let free = self.free.entry(node).or_insert(SimTime::ZERO);
+        let start = (*free).max(ready);
+        let done = start + transfer_time(bytes, rate);
+        *free = done;
+        done
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    file: u32,
+    write: bool,
+    is_async: bool,
+    offset: u64,
+    bytes: u64,
+    issued: SimTime,
+    node: NodeId,
+    segs_left: u32,
+    /// Extra completers for M_GLOBAL collectives: (token, node, issued).
+    collective: Vec<(IoToken, NodeId, SimTime)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Deferred {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    write: bool,
+    is_async: bool,
+    offset: u64,
+    bytes: u64,
+    issued: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParkedSync {
+    token: IoToken,
+    write: bool,
+    bytes: u64,
+    issued: SimTime,
+    is_async: bool,
+}
+
+/// The Intel PFS model.
+pub struct Pfs {
+    cfg: PfsConfig,
+    ionodes: Vec<IoNodeSim>,
+    files: Vec<FileState>,
+    tracer: Tracer,
+    /// Global metadata server: next-free time.
+    meta_free: SimTime,
+    /// Per-file metadata-owner queues for shared-file seeks.
+    seek_free: Vec<SimTime>,
+    pending: HashMap<IoToken, Pending>,
+    seg_owner: HashMap<u64, IoToken>,
+    next_seg: u64,
+    deferred: HashMap<u64, Deferred>,
+    next_deferred: u64,
+    /// M_GLOBAL coalescing: file -> waiting participants.
+    #[allow(clippy::type_complexity)]
+    global_waiting: HashMap<u32, Vec<(IoToken, NodeId, SimTime, bool, u64)>>,
+    /// M_SYNC parking: file -> node -> parked request.
+    sync_parked: HashMap<u32, BTreeMap<NodeId, ParkedSync>>,
+    /// Per-node serial client copy path.
+    client: ClientPath,
+}
+
+impl Pfs {
+    /// Build a PFS over the given machine, tracing into `tracer`.
+    pub fn new(machine: &MachineConfig, tracer: Tracer) -> Pfs {
+        let cfg = PfsConfig::from_machine(machine);
+        let ionodes = machine.build_io_nodes();
+        let next_deferred = ionodes.len() as u64;
+        Pfs {
+            cfg,
+            ionodes,
+            files: Vec::new(),
+            tracer,
+            meta_free: SimTime::ZERO,
+            seek_free: Vec::new(),
+            pending: HashMap::new(),
+            seg_owner: HashMap::new(),
+            next_seg: 0,
+            deferred: HashMap::new(),
+            next_deferred,
+            global_waiting: HashMap::new(),
+            sync_parked: HashMap::new(),
+            client: ClientPath::new(),
+        }
+    }
+
+    /// Register a file; returns its id (used in [`IoRequest::file`]).
+    pub fn register(&mut self, spec: FileSpec) -> u32 {
+        let id = self.files.len() as u32;
+        let max_slots = self.cfg.array_capacity / self.cfg.file_slot;
+        assert!(
+            (id as u64) < max_slots,
+            "file slot allocator exhausted ({max_slots} slots)"
+        );
+        self.files.push(FileState::new(spec));
+        self.seek_free.push(SimTime::ZERO);
+        id
+    }
+
+    /// Current length of a registered file.
+    pub fn file_len(&self, file: u32) -> u64 {
+        self.files[file as usize].len
+    }
+
+    /// The tracer (clone to keep after the run).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Inject a disk failure into one I/O node's array (experiment A4).
+    pub fn fail_disk(&mut self, io_node: u32, disk: u32) {
+        self.ionodes[io_node as usize].array_mut().fail_disk(disk);
+    }
+
+    /// Sum of queueing delay accumulated across all I/O nodes.
+    pub fn total_queueing(&self) -> SimDuration {
+        self.ionodes
+            .iter()
+            .map(|n| n.queued_total())
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Total stripe segments completed across all I/O nodes.
+    pub fn segments_completed(&self) -> u64 {
+        self.ionodes.iter().map(|n| n.completed()).sum()
+    }
+
+    fn state(&mut self, file: u32) -> &mut FileState {
+        &mut self.files[file as usize]
+    }
+
+    fn record(&self, ev: IoEvent) {
+        self.tracer.record(ev);
+    }
+
+    /// Serialize a metadata operation on the global server; returns its
+    /// completion time.
+    fn meta_op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = self.meta_free.max(now);
+        let done = start + cost;
+        self.meta_free = done;
+        done
+    }
+
+    /// Dispatch a resolved data operation to the I/O nodes.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        write: bool,
+        offset: u64,
+        bytes: u64,
+        issued: SimTime,
+        is_async: bool,
+        collective: Vec<(IoToken, NodeId, SimTime)>,
+        sched: &mut Sched,
+    ) {
+        let eff_bytes = {
+            let st = self.state(file);
+            if write {
+                st.extend_to(offset + bytes);
+                bytes
+            } else {
+                bytes.min(st.len.saturating_sub(offset))
+            }
+        };
+        if eff_bytes == 0 {
+            // Nothing to move: a short software path only.
+            let done = now + SimDuration::from_micros(200);
+            self.finish(
+                Pending {
+                    file,
+                    write,
+                    is_async,
+                    offset,
+                    bytes: 0,
+                    issued,
+                    node,
+                    segs_left: 0,
+                    collective,
+                },
+                token,
+                done,
+                sched,
+            );
+            return;
+        }
+        let segments = self.cfg.layout.segments(offset, eff_bytes);
+        let slot_base = file as u64 * self.cfg.file_slot;
+        let mut segs_submitted = 0u32;
+        for seg in segments {
+            let array_offset = slot_base + seg.local_offset;
+            assert!(
+                array_offset + seg.bytes <= self.cfg.array_capacity,
+                "file {file} overflows its allocator slot"
+            );
+            let id = self.next_seg;
+            self.next_seg += 1;
+            self.seg_owner.insert(id, token);
+            let ion = &mut self.ionodes[seg.io_node as usize];
+            let was_idle = ion.submit(
+                now,
+                SegmentReq {
+                    id,
+                    offset: array_offset,
+                    bytes: seg.bytes,
+                    write,
+                    sequential: false,
+                },
+            );
+            if was_idle {
+                let (t, _) = ion.next_done().expect("just started");
+                sched.timer(t, seg.io_node as u64);
+            }
+            segs_submitted += 1;
+        }
+        self.pending.insert(
+            token,
+            Pending {
+                file,
+                write,
+                is_async,
+                offset,
+                bytes: eff_bytes,
+                issued,
+                node,
+                segs_left: segs_submitted,
+                collective,
+            },
+        );
+    }
+
+    /// Complete a data request: charge the client copy cost, trace, complete
+    /// every participating token.
+    fn finish(&mut self, p: Pending, token: IoToken, now: SimTime, sched: &mut Sched) {
+        let rate = self.cfg.io_sw.client_byte_rate;
+        let mut done = self.client.copy_done(p.node, now, p.bytes, rate);
+        if !p.collective.is_empty() {
+            // M_GLOBAL: one physical I/O, then an internal broadcast to the
+            // participant group.
+            let n = (p.collective.len() + 1) as u32;
+            done += self.cfg.mesh.broadcast_time(&self.cfg.comm, n, p.bytes);
+        }
+        let op = match (p.write, p.is_async) {
+            (true, _) => IoOp::Write,
+            (false, false) => IoOp::Read,
+            (false, true) => IoOp::AsyncRead,
+        };
+        let result = IoResult {
+            bytes: p.bytes,
+            queued: SimDuration::ZERO,
+            service: done.since(p.issued),
+        };
+        // Async issue events are traced at submit; sync ops trace here with
+        // their full blocking interval.
+        if !p.is_async {
+            self.record(
+                IoEvent::new(p.node, p.file, op)
+                    .span(p.issued.nanos(), done.nanos())
+                    .extent(p.offset, p.bytes),
+            );
+        }
+        sched.complete_io(token, done, result);
+        for (tok, node, issued) in p.collective {
+            if !p.is_async {
+                self.record(
+                    IoEvent::new(node, p.file, op)
+                        .span(issued.nanos(), done.nanos())
+                        .extent(p.offset, p.bytes),
+                );
+            }
+            sched.complete_io(tok, done, result);
+        }
+    }
+
+    /// Resolve and dispatch a data operation according to the file's mode.
+    #[allow(clippy::too_many_arguments)]
+    fn data_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        req: IoRequest,
+        write: bool,
+        is_async: bool,
+        sched: &mut Sched,
+    ) {
+        let file = req.file;
+        let mode = self.state(file).mode.unwrap_or_else(|| {
+            panic!(
+                "data op on closed file {} by node {node}",
+                self.files[file as usize].spec.name
+            )
+        });
+        // Trace the async issue itself (the paper's "AsynchRead" row), with
+        // the offset the request will resolve to under the file's mode.
+        if is_async {
+            let resolved = match mode {
+                AccessMode::MUnix | AccessMode::MAsync => req.offset.unwrap_or_else(|| {
+                    self.files[file as usize]
+                        .pos
+                        .get(&node)
+                        .copied()
+                        .unwrap_or(0)
+                }),
+                AccessMode::MLog | AccessMode::MSync | AccessMode::MGlobal => {
+                    self.files[file as usize].shared_pos
+                }
+                AccessMode::MRecord => {
+                    let st = self.state(file);
+                    let rs = st.record_size.unwrap_or(req.bytes);
+                    let n = st.participants().len() as u64;
+                    let rank = st.rank_of(node);
+                    let k = st.op_count.get(&node).copied().unwrap_or(0);
+                    (k * n + rank) * rs
+                }
+            };
+            let issue_end = now + self.cfg.io_sw.async_issue;
+            self.record(
+                IoEvent::new(node, file, IoOp::AsyncRead)
+                    .span(now.nanos(), issue_end.nanos())
+                    .extent(resolved, req.bytes),
+            );
+        }
+        match mode {
+            AccessMode::MUnix | AccessMode::MAsync => {
+                let shared = self.state(file).opener_count() > 1;
+                let st = self.state(file);
+                let pos = st.pos.entry(node).or_insert(0);
+                let offset = req.offset.unwrap_or(*pos);
+                *pos = offset + req.bytes;
+                // M_UNIX preserves operation atomicity: concurrent writers
+                // to a shared file serialize at the file's metadata owner.
+                // M_ASYNC explicitly waives atomicity and skips this.
+                if write && shared && mode == AccessMode::MUnix {
+                    let rpc = self.cfg.io_sw.atomic_write_rpc;
+                    let free = &mut self.seek_free[file as usize];
+                    let acquire = (*free).max(now) + rpc;
+                    *free = acquire;
+                    let id = self.next_deferred;
+                    self.next_deferred += 1;
+                    self.deferred.insert(
+                        id,
+                        Deferred {
+                            token,
+                            node,
+                            file,
+                            write,
+                            is_async,
+                            offset,
+                            bytes: req.bytes,
+                            issued: now,
+                        },
+                    );
+                    sched.timer(acquire, id);
+                } else {
+                    self.dispatch(
+                        now, token, node, file, write, offset, req.bytes, now, is_async,
+                        Vec::new(), sched,
+                    );
+                }
+            }
+            AccessMode::MRecord => {
+                let st = self.state(file);
+                let rs = *st.record_size.get_or_insert(req.bytes);
+                assert_eq!(
+                    req.bytes, rs,
+                    "M_RECORD requires fixed-size records ({rs} B) on {}",
+                    st.spec.name
+                );
+                let n = st.participants().len() as u64;
+                let rank = st.rank_of(node);
+                let k = st.op_count.entry(node).or_insert(0);
+                let record_index = *k * n + rank;
+                *k += 1;
+                let offset = record_index * rs;
+                self.dispatch(
+                    now, token, node, file, write, offset, req.bytes, now, is_async,
+                    Vec::new(), sched,
+                );
+            }
+            AccessMode::MLog => {
+                // Acquire the shared pointer token (serialized), then run.
+                let token_cost = self.cfg.io_sw.pointer_token;
+                let st = self.state(file);
+                let acquire = st.token_free.max(now) + token_cost;
+                st.token_free = acquire;
+                let offset = st.shared_pos;
+                st.shared_pos += req.bytes;
+                if acquire > now {
+                    let id = self.next_deferred;
+                    self.next_deferred += 1;
+                    self.deferred.insert(
+                        id,
+                        Deferred {
+                            token,
+                            node,
+                            file,
+                            write,
+                            is_async,
+                            offset,
+                            bytes: req.bytes,
+                            issued: now,
+                        },
+                    );
+                    sched.timer(acquire, id);
+                } else {
+                    self.dispatch(
+                        now, token, node, file, write, offset, req.bytes, now, is_async,
+                        Vec::new(), sched,
+                    );
+                }
+            }
+            AccessMode::MSync => {
+                let parked = self.sync_parked.entry(file).or_default();
+                let prev = parked.insert(
+                    node,
+                    ParkedSync {
+                        token,
+                        write,
+                        bytes: req.bytes,
+                        issued: now,
+                        is_async,
+                    },
+                );
+                assert!(prev.is_none(), "node {node} issued overlapping M_SYNC ops");
+                self.drain_sync(now, file, sched);
+            }
+            AccessMode::MGlobal => {
+                let n = {
+                    let st = self.state(file);
+                    st.participants().len()
+                };
+                let waiting = self.global_waiting.entry(file).or_default();
+                waiting.push((token, node, now, is_async, req.bytes));
+                if waiting.len() == n {
+                    let group = std::mem::take(self.global_waiting.get_mut(&file).unwrap());
+                    let bytes = group[0].4;
+                    debug_assert!(group.iter().all(|g| g.4 == bytes));
+                    let st = self.state(file);
+                    let offset = st.shared_pos;
+                    st.shared_pos += bytes;
+                    let (lead_tok, lead_node, lead_issued, lead_async, _) = group[0];
+                    let collective: Vec<(IoToken, NodeId, SimTime)> = group[1..]
+                        .iter()
+                        .map(|&(t, nd, iss, _, _)| (t, nd, iss))
+                        .collect();
+                    self.dispatch(
+                        now, lead_tok, lead_node, file, write, offset, bytes, lead_issued,
+                        lead_async, collective, sched,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run every parked M_SYNC request whose turn has come.
+    fn drain_sync(&mut self, now: SimTime, file: u32, sched: &mut Sched) {
+        loop {
+            let next = {
+                let st = self.state(file);
+                let parts = st.participants().to_vec();
+                let expected = parts[(st.turn % parts.len() as u64) as usize];
+                let parked = self.sync_parked.entry(file).or_default();
+                match parked.remove(&expected) {
+                    Some(p) => {
+                        let st = self.state(file);
+                        st.turn += 1;
+                        let offset = st.shared_pos;
+                        st.shared_pos += p.bytes;
+                        Some((expected, p, offset))
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some((node, p, offset)) => {
+                    self.dispatch(
+                        now, p.token, node, file, p.write, offset, p.bytes, p.issued,
+                        p.is_async, Vec::new(), sched,
+                    );
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl IoService for Pfs {
+    fn submit(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        req: IoRequest,
+        token: IoToken,
+        is_async: bool,
+        sched: &mut Sched,
+    ) {
+        match req.verb {
+            IoVerb::Open => {
+                let mode = AccessMode::from_code(req.hint)
+                    .unwrap_or_else(|| panic!("bad access-mode code {}", req.hint));
+                let create = self.state(req.file).open(node, mode);
+                let cost = if create {
+                    self.cfg.io_sw.create
+                } else {
+                    self.cfg.io_sw.open
+                };
+                let done = self.meta_op(now, cost);
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Open).span(now.nanos(), done.nanos()),
+                );
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Close => {
+                self.state(req.file).close(node);
+                let done = self.meta_op(now, self.cfg.io_sw.close);
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Close).span(now.nanos(), done.nanos()),
+                );
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Seek => {
+                let target = req.offset.expect("seek needs an offset");
+                let shared = self.state(req.file).opener_count() > 1;
+                let (done, distance) = if shared {
+                    // Serialized at the file's metadata owner.
+                    let cost = self.cfg.io_sw.seek_shared_rpc;
+                    let free = &mut self.seek_free[req.file as usize];
+                    let start = (*free).max(now);
+                    let done = start + cost;
+                    *free = done;
+                    let st = self.state(req.file);
+                    let pos = st.pos.entry(node).or_insert(0);
+                    let distance = pos.abs_diff(target);
+                    *pos = target;
+                    (done, distance)
+                } else {
+                    let st = self.state(req.file);
+                    let pos = st.pos.entry(node).or_insert(0);
+                    let distance = pos.abs_diff(target);
+                    *pos = target;
+                    (now + self.cfg.io_sw.seek_local, distance)
+                };
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Seek)
+                        .span(now.nanos(), done.nanos())
+                        .extent(target, distance),
+                );
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Flush => {
+                let done = now + self.cfg.io_sw.flush;
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Flush).span(now.nanos(), done.nanos()),
+                );
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Lsize => {
+                let done = self.meta_op(now, self.cfg.io_sw.lsize);
+                let len = self.file_len(req.file);
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Lsize).span(now.nanos(), done.nanos()),
+                );
+                sched.complete_io(token, done, IoResult { bytes: len, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Read => self.data_op(now, token, node, req, false, is_async, sched),
+            IoVerb::Write => self.data_op(now, token, node, req, true, is_async, sched),
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
+        if (timer as usize) < self.ionodes.len() {
+            // An I/O node finished its in-service segment.
+            let io = timer as usize;
+            let seg_id = self.ionodes[io].complete_head(now);
+            if let Some((t, _)) = self.ionodes[io].next_done() {
+                sched.timer(t, timer);
+            }
+            let token = self
+                .seg_owner
+                .remove(&seg_id)
+                .expect("segment with no owner");
+            let finished = {
+                let p = self.pending.get_mut(&token).expect("pending missing");
+                p.segs_left -= 1;
+                p.segs_left == 0
+            };
+            if finished {
+                let p = self.pending.remove(&token).unwrap();
+                self.finish(p, token, now, sched);
+            }
+        } else {
+            // Deferred dispatch (M_LOG pointer-token acquisition).
+            let d = self.deferred.remove(&timer).expect("unknown deferred op");
+            self.dispatch(
+                now, d.token, d.node, d.file, d.write, d.offset, d.bytes, d.issued,
+                d.is_async, Vec::new(), sched,
+            );
+        }
+    }
+
+    fn issue_cost(&self, _node: NodeId, _req: &IoRequest) -> SimDuration {
+        self.cfg.io_sw.async_issue
+    }
+
+    fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
+        self.record(
+            IoEvent::new(node, file, IoOp::IoWait).span(wait_start.nanos(), wait_end.nanos()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_sim::mesh::Mesh;
+    use paragon_sim::program::{NodeProgram, ScriptOp, ScriptProgram};
+    use paragon_sim::Engine;
+    use sio_core::trace::Trace;
+
+    fn run_scripts(
+        machine: &MachineConfig,
+        files: Vec<FileSpec>,
+        scripts: Vec<Vec<ScriptOp>>,
+    ) -> (Trace, paragon_sim::EngineReport) {
+        let tracer = Tracer::new("test");
+        let mut pfs = Pfs::new(machine, tracer.clone());
+        for f in files {
+            pfs.register(f);
+        }
+        let programs: Vec<Box<dyn NodeProgram>> = scripts
+            .into_iter()
+            .map(|s| Box::new(ScriptProgram::new(s)) as Box<dyn NodeProgram>)
+            .collect();
+        let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
+        let mut engine = Engine::new(mesh, machine.comm, programs, pfs);
+        let report = engine.run();
+        assert!(report.clean(), "blocked nodes: {:?}", report.blocked);
+        tracer.set_run_info(machine.compute_nodes, report.wall.nanos());
+        (tracer.finish(), report)
+    }
+
+    fn machine() -> MachineConfig {
+        MachineConfig::tiny(4, 2)
+    }
+
+    fn open(file: u32, mode: AccessMode) -> ScriptOp {
+        ScriptOp::Io(IoRequest::open(file, mode.code()))
+    }
+
+    #[test]
+    fn open_write_read_close_roundtrip() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::write(0, 100_000)),
+            ScriptOp::Io(IoRequest::seek(0, 0)),
+            ScriptOp::Io(IoRequest::read(0, 100_000)),
+            ScriptOp::Io(IoRequest::close(0)),
+        ];
+        let (trace, report) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
+        assert_eq!(trace.of_op(IoOp::Write).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Read).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Seek).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Open).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Close).count(), 1);
+        // Read returns what was written.
+        let rd = trace.of_op(IoOp::Read).next().unwrap();
+        assert_eq!(rd.bytes, 100_000);
+        assert!(report.wall > SimTime::ZERO);
+    }
+
+    #[test]
+    fn munix_pointer_advances_per_node() {
+        // Two nodes write 1000 B each twice into their own regions.
+        let mk = |node: u32| {
+            vec![
+                open(0, AccessMode::MUnix),
+                ScriptOp::Io(IoRequest::seek(0, node as u64 * 10_000)),
+                ScriptOp::Io(IoRequest::write(0, 1000)),
+                ScriptOp::Io(IoRequest::write(0, 1000)),
+                ScriptOp::Io(IoRequest::close(0)),
+            ]
+        };
+        let (trace, _) = run_scripts(
+            &machine(),
+            vec![FileSpec::output("f")],
+            vec![mk(0), mk(1)],
+        );
+        let mut writes: Vec<(u32, u64)> = trace
+            .of_op(IoOp::Write)
+            .map(|e| (e.node, e.offset))
+            .collect();
+        writes.sort_unstable();
+        assert_eq!(writes, vec![(0, 0), (0, 1000), (1, 10_000), (1, 11_000)]);
+    }
+
+    #[test]
+    fn reads_clamp_to_eof() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::write(0, 500)),
+            ScriptOp::Io(IoRequest::seek(0, 0)),
+            ScriptOp::Io(IoRequest::read(0, 10_000)),
+            ScriptOp::Io(IoRequest::read(0, 10_000)), // past EOF: 0 bytes
+        ];
+        let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
+        let sizes: Vec<u64> = trace.of_op(IoOp::Read).map(|e| e.bytes).collect();
+        assert_eq!(sizes, vec![500, 0]);
+    }
+
+    #[test]
+    fn input_files_are_readable_without_writes() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::read(0, 4096)),
+        ];
+        let (trace, _) =
+            run_scripts(&machine(), vec![FileSpec::input("in", 1 << 20)], vec![script]);
+        assert_eq!(trace.of_op(IoOp::Read).next().unwrap().bytes, 4096);
+    }
+
+    #[test]
+    fn mrecord_interleaves_records_in_node_order() {
+        let mk = |_node: u32| {
+            vec![
+                open(0, AccessMode::MRecord),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::write(0, 2048)),
+                ScriptOp::Io(IoRequest::write(0, 2048)),
+            ]
+        };
+        let (trace, _) = run_scripts(
+            &MachineConfig::tiny(3, 2),
+            vec![FileSpec::output("rec")],
+            vec![mk(0), mk(1), mk(2)],
+        );
+        // Node n's k-th record lands at (k*3 + n) * 2048.
+        let mut offs: Vec<(u32, u64)> = trace
+            .of_op(IoOp::Write)
+            .map(|e| (e.node, e.offset))
+            .collect();
+        offs.sort_unstable();
+        assert_eq!(
+            offs,
+            vec![
+                (0, 0),
+                (0, 3 * 2048),
+                (1, 2048),
+                (1, 4 * 2048),
+                (2, 2 * 2048),
+                (2, 5 * 2048)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-size records")]
+    fn mrecord_rejects_variable_sizes() {
+        let script = vec![
+            open(0, AccessMode::MRecord),
+            ScriptOp::Io(IoRequest::write(0, 2048)),
+            ScriptOp::Io(IoRequest::write(0, 1024)),
+        ];
+        let _ = run_scripts(&machine(), vec![FileSpec::output("rec")], vec![script]);
+    }
+
+    #[test]
+    fn mlog_shared_pointer_packs_variable_records() {
+        let mk = |bytes: u64| {
+            vec![
+                open(0, AccessMode::MLog),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::write(0, bytes)),
+            ]
+        };
+        let (trace, _) = run_scripts(
+            &MachineConfig::tiny(3, 2),
+            vec![FileSpec::output("log")],
+            vec![mk(100), mk(200), mk(300)],
+        );
+        let mut extents: Vec<(u64, u64)> = trace
+            .of_op(IoOp::Write)
+            .map(|e| (e.offset, e.bytes))
+            .collect();
+        extents.sort_unstable();
+        // Records are contiguous, non-overlapping, total 600.
+        let mut expect_off = 0;
+        for (off, bytes) in extents {
+            assert_eq!(off, expect_off);
+            expect_off += bytes;
+        }
+        assert_eq!(expect_off, 600);
+    }
+
+    #[test]
+    fn msync_enforces_node_order() {
+        // Node 2 issues first (no compute delay); nodes 0 and 1 delayed.
+        // The shared pointer must still assign offsets in node order.
+        let mk = |node: u32| {
+            let delay = SimDuration::from_millis(10 * (2 - node) as u64);
+            vec![
+                open(0, AccessMode::MSync),
+                ScriptOp::Barrier(0),
+                ScriptOp::Compute(delay),
+                ScriptOp::Io(IoRequest::write(0, 1000)),
+            ]
+        };
+        let (trace, _) = run_scripts(
+            &MachineConfig::tiny(3, 2),
+            vec![FileSpec::output("sync")],
+            vec![mk(0), mk(1), mk(2)],
+        );
+        let mut by_node: Vec<(u32, u64)> = trace
+            .of_op(IoOp::Write)
+            .map(|e| (e.node, e.offset))
+            .collect();
+        by_node.sort_unstable();
+        assert_eq!(by_node, vec![(0, 0), (1, 1000), (2, 2000)]);
+    }
+
+    #[test]
+    fn mglobal_coalesces_into_one_physical_read() {
+        let mk = || {
+            vec![
+                open(0, AccessMode::MGlobal),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::read(0, 8192)),
+                ScriptOp::Io(IoRequest::read(0, 8192)),
+            ]
+        };
+        let m = MachineConfig::tiny(4, 2);
+        let tracer = Tracer::new("g");
+        let mut pfs = Pfs::new(&m, tracer.clone());
+        pfs.register(FileSpec::input("shared", 1 << 20));
+        let programs: Vec<Box<dyn NodeProgram>> = (0..4)
+            .map(|_| Box::new(ScriptProgram::new(mk())) as Box<dyn NodeProgram>)
+            .collect();
+        let mesh = Mesh::for_nodes(4, 2);
+        let mut engine = Engine::new(mesh, m.comm, programs, pfs);
+        let report = engine.run();
+        assert!(report.clean());
+        // All four nodes see both reads traced...
+        let trace = tracer.finish();
+        assert_eq!(trace.of_op(IoOp::Read).count(), 8);
+        // ...at exactly two distinct offsets (shared pointer advanced twice).
+        let mut offs: Vec<u64> = trace.of_op(IoOp::Read).map(|e| e.offset).collect();
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs, vec![0, 8192]);
+        // ...but the disks served only one request's worth of segments per
+        // coalesced read: 8192 B fits one 64 KB unit = 1 segment, × 2 reads.
+        assert_eq!(engine.service().segments_completed(), 2);
+    }
+
+    #[test]
+    fn shared_seeks_serialize_and_cost_more() {
+        // Two nodes sharing a file seek simultaneously; durations reflect
+        // serialization at the metadata owner.
+        let mk = |node: u32| {
+            vec![
+                open(0, AccessMode::MUnix),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::seek(0, node as u64 * 4096)),
+            ]
+        };
+        let (trace, _) = run_scripts(
+            &machine(),
+            vec![FileSpec::output("shared")],
+            vec![mk(0), mk(1)],
+        );
+        let mut durations: Vec<u64> = trace.of_op(IoOp::Seek).map(|e| e.duration()).collect();
+        durations.sort_unstable();
+        let rpc = MachineConfig::tiny(4, 2).io_sw.seek_shared_rpc.nanos();
+        assert!(durations[0] >= rpc);
+        assert!(durations[1] >= 2 * rpc, "second seek must queue: {durations:?}");
+
+        // A single-opener file seeks locally and cheaply.
+        let solo = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::seek(0, 4096)),
+        ];
+        let (strace, _) = run_scripts(&machine(), vec![FileSpec::output("solo")], vec![solo]);
+        let local = MachineConfig::tiny(4, 2).io_sw.seek_local.nanos();
+        assert_eq!(strace.of_op(IoOp::Seek).next().unwrap().duration(), local);
+    }
+
+    #[test]
+    fn seek_records_distance() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::seek(0, 10_000)),
+            ScriptOp::Io(IoRequest::seek(0, 4_000)),
+        ];
+        let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
+        let dists: Vec<u64> = trace.of_op(IoOp::Seek).map(|e| e.bytes).collect();
+        assert_eq!(dists, vec![10_000, 6_000]);
+    }
+
+    #[test]
+    fn async_read_traces_issue_and_iowait() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::IoAsync(IoRequest::read(0, 1 << 20)),
+            ScriptOp::WaitOldest,
+            ScriptOp::Io(IoRequest::close(0)),
+        ];
+        let (trace, _) = run_scripts(
+            &machine(),
+            vec![FileSpec::input("data", 4 << 20)],
+            vec![script],
+        );
+        assert_eq!(trace.of_op(IoOp::AsyncRead).count(), 1);
+        assert_eq!(trace.of_op(IoOp::IoWait).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Read).count(), 0);
+        // The issue event is short; the iowait carries the real latency.
+        let issue = trace.of_op(IoOp::AsyncRead).next().unwrap().duration();
+        let wait = trace.of_op(IoOp::IoWait).next().unwrap().duration();
+        assert!(issue < wait, "issue {issue} !< wait {wait}");
+    }
+
+    #[test]
+    fn create_costs_more_than_open() {
+        let script = vec![
+            open(0, AccessMode::MUnix), // create
+            ScriptOp::Io(IoRequest::close(0)),
+            open(0, AccessMode::MUnix), // plain open
+        ];
+        let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
+        let opens: Vec<u64> = trace.of_op(IoOp::Open).map(|e| e.duration()).collect();
+        assert!(opens[0] > opens[1], "create {} !> open {}", opens[0], opens[1]);
+    }
+
+    #[test]
+    fn flush_and_lsize_trace() {
+        let script = vec![
+            open(0, AccessMode::MUnix),
+            ScriptOp::Io(IoRequest::write(0, 100)),
+            ScriptOp::Io(IoRequest::flush(0)),
+            ScriptOp::Io(IoRequest::lsize(0)),
+        ];
+        let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
+        assert_eq!(trace.of_op(IoOp::Flush).count(), 1);
+        assert_eq!(trace.of_op(IoOp::Lsize).count(), 1);
+    }
+
+    #[test]
+    fn concurrent_bursts_queue_at_io_nodes() {
+        // 4 nodes write 64 KB each simultaneously through 1 I/O node: the
+        // last writer's latency must exceed the first's (queueing).
+        let mk = || {
+            vec![
+                open(0, AccessMode::MUnix),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::write(0, 65536)),
+            ]
+        };
+        let m = MachineConfig::tiny(4, 1);
+        let (trace, _) = run_scripts(
+            &m,
+            vec![FileSpec::output("hot")],
+            vec![mk(), mk(), mk(), mk()],
+        );
+        let mut durs: Vec<u64> = trace.of_op(IoOp::Write).map(|e| e.duration()).collect();
+        durs.sort_unstable();
+        assert!(durs[3] > durs[0] * 2, "queueing invisible: {durs:?}");
+    }
+
+    #[test]
+    fn degraded_array_slows_reads() {
+        let script = || {
+            vec![
+                open(0, AccessMode::MUnix),
+                ScriptOp::Io(IoRequest::read(0, 64 * 1024)),
+            ]
+        };
+        let m = MachineConfig::tiny(1, 1);
+        let run = |fail: bool| {
+            let tracer = Tracer::new("d");
+            let mut pfs = Pfs::new(&m, tracer.clone());
+            pfs.register(FileSpec::input("data", 1 << 20));
+            if fail {
+                pfs.fail_disk(0, 0);
+            }
+            let programs: Vec<Box<dyn NodeProgram>> =
+                vec![Box::new(ScriptProgram::new(script()))];
+            let mut engine = Engine::new(Mesh::for_nodes(1, 1), m.comm, programs, pfs);
+            engine.run();
+            let trace = tracer.finish();
+            let dur = trace.of_op(IoOp::Read).next().unwrap().duration();
+            dur
+        };
+        assert!(run(true) > run(false));
+    }
+}

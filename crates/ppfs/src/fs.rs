@@ -1,0 +1,1215 @@
+//! The PPFS model: a policy-driven [`IoService`] over the same I/O-node
+//! substrate as `sio-pfs`.
+//!
+//! Differences from PFS, all policy-driven and all directly comparable on
+//! identical workloads:
+//!
+//! * **client-side pointers** — seeks are a local bookkeeping update, never
+//!   a metadata RPC;
+//! * **block cache** per node with configurable eviction; reads are served
+//!   block-wise, hitting the cache, joining in-flight fetches, or fetching;
+//! * **prefetching** — fixed readahead or adaptive (classification-driven)
+//!   background fetches;
+//! * **write-behind + aggregation** — writes complete into a dirty buffer
+//!   that drains in the background as few large sequential requests (§5.2's
+//!   policy pair).
+//!
+//! Tracing matches PFS: the application-visible interval of every call is
+//! recorded, so the paper's tables can be regenerated for either file
+//! system and compared (DESIGN.md experiment X1).
+
+use crate::advice::FileAdvice;
+use crate::cache::{BlockCache, BlockState};
+use crate::policy::PolicyConfig;
+use crate::prefetch::StreamPrefetcher;
+use crate::write_behind::{DirtyBuffer, Extent};
+use paragon_sim::engine::{IoService, Sched};
+use paragon_sim::ionode::{IoNodeSim, SegmentReq};
+use paragon_sim::program::{IoRequest, IoResult, IoToken, IoVerb};
+
+use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
+use sio_core::event::{IoEvent, IoOp};
+use sio_core::trace::Tracer;
+use sio_pfs::file::{FileSpec, FileState};
+use sio_pfs::fs::PfsConfig;
+use sio_pfs::mode::AccessMode;
+use std::collections::HashMap;
+
+/// Running statistics of a PPFS instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PpfsStats {
+    /// Application reads served entirely from cache.
+    pub reads_hit: u64,
+    /// Application reads that had to fetch at least one block.
+    pub reads_missed: u64,
+    /// Blocks fetched on behalf of prefetch suggestions.
+    pub prefetched_blocks: u64,
+    /// Application writes absorbed by the write-behind buffer.
+    pub writes_buffered: u64,
+    /// Extents written back by flushes.
+    pub flush_extents: u64,
+    /// Bytes written back by flushes.
+    pub flushed_bytes: u64,
+    /// Stripe segments submitted to I/O nodes (all causes).
+    pub segments: u64,
+    /// Blocks served from an I/O-node server cache (two-level buffering).
+    pub server_hits: u64,
+    /// Blocks that had to go to disk despite the server cache.
+    pub server_misses: u64,
+}
+
+#[derive(Debug)]
+enum Transfer {
+    /// Block fetch into `node`'s cache (demand or prefetch).
+    Fetch {
+        node: NodeId,
+        file: u32,
+        blocks: Vec<u64>,
+        segs_left: u32,
+    },
+    /// Application write-through (write-behind disabled).
+    AppWrite {
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        issued: SimTime,
+        segs_left: u32,
+    },
+    /// Background write-back of dirty extents.
+    Flush { segs_left: u32 },
+}
+
+#[derive(Debug)]
+struct ReadPending {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    offset: u64,
+    bytes: u64,
+    issued: SimTime,
+    is_async: bool,
+    blocks_left: u32,
+}
+
+/// The PPFS file system.
+pub struct Ppfs {
+    cfg: PfsConfig,
+    policy: PolicyConfig,
+    ionodes: Vec<IoNodeSim>,
+    files: Vec<FileState>,
+    tracer: Tracer,
+    meta_free: SimTime,
+    seed: u64,
+    caches: HashMap<NodeId, BlockCache>,
+    prefetchers: HashMap<(NodeId, u32), StreamPrefetcher>,
+    dirty: HashMap<(NodeId, u32), DirtyBuffer>,
+    transfers: HashMap<u64, Transfer>,
+    next_transfer: u64,
+    seg_owner: HashMap<u64, u64>,
+    next_seg: u64,
+    reads: HashMap<u64, ReadPending>,
+    next_read: u64,
+    /// (node, file, block) -> read ids waiting for the block.
+    block_waiters: HashMap<(NodeId, u32, u64), Vec<u64>>,
+    flush_timer_armed: bool,
+    stats: PpfsStats,
+    /// Per-node serial client copy path (shared model with PFS).
+    client: sio_pfs::fs::ClientPath,
+    /// Per-I/O-node server caches (empty when disabled).
+    server_caches: Vec<BlockCache>,
+    /// Pending server-cache hit deliveries: timer id -> (node, file, blocks).
+    fetch_hits: HashMap<u64, (NodeId, u32, Vec<u64>)>,
+    /// Next server-hit timer id (above the ionode and flush timer ids).
+    next_hit_timer: u64,
+    /// Per-file policy advice (paper §10: advertised access patterns).
+    advice: HashMap<u32, FileAdvice>,
+}
+
+impl Ppfs {
+    /// Build a PPFS over the machine with the given policy.
+    pub fn new(machine: &MachineConfig, policy: PolicyConfig, tracer: Tracer) -> Ppfs {
+        let ionodes = machine.build_io_nodes();
+        let server_caches: Vec<BlockCache> = if policy.server_cache_blocks > 0 {
+            (0..ionodes.len())
+                .map(|i| {
+                    BlockCache::new(
+                        policy.server_cache_blocks,
+                        policy.eviction,
+                        machine.seed ^ (0xA5A5_0000 + i as u64),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let next_hit_timer = ionodes.len() as u64 + 1;
+        Ppfs {
+            cfg: PfsConfig::from_machine(machine),
+            policy,
+            ionodes,
+            files: Vec::new(),
+            tracer,
+            meta_free: SimTime::ZERO,
+            seed: machine.seed,
+            caches: HashMap::new(),
+            prefetchers: HashMap::new(),
+            dirty: HashMap::new(),
+            transfers: HashMap::new(),
+            next_transfer: 0,
+            seg_owner: HashMap::new(),
+            next_seg: 0,
+            reads: HashMap::new(),
+            next_read: 0,
+            block_waiters: HashMap::new(),
+            flush_timer_armed: false,
+            stats: PpfsStats::default(),
+            client: sio_pfs::fs::ClientPath::new(),
+            server_caches,
+            fetch_hits: HashMap::new(),
+            next_hit_timer,
+            advice: HashMap::new(),
+        }
+    }
+
+    /// Advertise expected access behavior for one file (paper §10). The
+    /// advice overrides the matching pieces of the global policy for that
+    /// file only.
+    pub fn advise(&mut self, file: u32, advice: FileAdvice) {
+        self.advice.insert(file, advice);
+    }
+
+    /// The effective policy for one file (global policy with any advice
+    /// applied).
+    pub fn policy_for(&self, file: u32) -> PolicyConfig {
+        match self.advice.get(&file) {
+            Some(a) => a.apply(&self.policy),
+            None => self.policy,
+        }
+    }
+
+    /// Register a file; returns its id.
+    pub fn register(&mut self, spec: FileSpec) -> u32 {
+        let id = self.files.len() as u32;
+        self.files.push(FileState::new(spec));
+        id
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> PpfsStats {
+        self.stats
+    }
+
+    /// Current length of a file.
+    pub fn file_len(&self, file: u32) -> u64 {
+        self.files[file as usize].len
+    }
+
+    /// The pattern the adaptive prefetcher has inferred for a stream, if the
+    /// stream exists.
+    pub fn inferred_pattern(
+        &self,
+        node: NodeId,
+        file: u32,
+    ) -> Option<sio_core::classify::AccessPattern> {
+        self.prefetchers.get(&(node, file)).map(|p| p.pattern())
+    }
+
+    fn timer_flush_id(&self) -> u64 {
+        self.ionodes.len() as u64
+    }
+
+    fn record(&self, ev: IoEvent) {
+        self.tracer.record(ev);
+    }
+
+    fn meta_op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = self.meta_free.max(now);
+        let done = start + cost;
+        self.meta_free = done;
+        done
+    }
+
+    fn cache_for(&mut self, node: NodeId) -> &mut BlockCache {
+        let policy = self.policy;
+        let seed = self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node as u64 + 1));
+        self.caches
+            .entry(node)
+            .or_insert_with(|| BlockCache::new(policy.cache_blocks, policy.eviction, seed))
+    }
+
+    /// Submit the stripe segments of `[offset, offset+bytes)` of `file` to
+    /// the I/O nodes, owned by transfer `tid`. Returns the segment count.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_extent(
+        &mut self,
+        now: SimTime,
+        tid: u64,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        write: bool,
+        sched: &mut Sched,
+    ) -> u32 {
+        let slot_base = file as u64 * self.cfg.file_slot;
+        let mut count = 0;
+        for seg in self.cfg.layout.segments(offset, bytes) {
+            let id = self.next_seg;
+            self.next_seg += 1;
+            self.seg_owner.insert(id, tid);
+            let ion = &mut self.ionodes[seg.io_node as usize];
+            let was_idle = ion.submit(
+                now,
+                SegmentReq {
+                    id,
+                    offset: slot_base + seg.local_offset,
+                    bytes: seg.bytes,
+                    write,
+                    sequential: false,
+                },
+            );
+            if was_idle {
+                let (t, _) = ion.next_done().expect("just started");
+                sched.timer(t, seg.io_node as u64);
+            }
+            count += 1;
+            self.stats.segments += 1;
+        }
+        count
+    }
+
+    /// I/O node owning a file block (block start decides for blocks that
+    /// straddle stripe units).
+    fn block_owner(&self, block: u64) -> usize {
+        self.cfg.layout.io_node_of(block * self.policy.block_size) as usize
+    }
+
+    /// Fetch a run of blocks of `file` into `node`'s cache. Blocks resident
+    /// in a server cache are satisfied at server latency without touching
+    /// the disk queue (two-level buffering, §8).
+    fn fetch_blocks(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        file: u32,
+        blocks: Vec<u64>,
+        prefetch: bool,
+        sched: &mut Sched,
+    ) {
+        debug_assert!(!blocks.is_empty());
+        let bs = self.policy.block_size;
+        // Mark everything in flight first.
+        for &b in &blocks {
+            self.cache_for(node).insert((file, b), BlockState::InFlight(now));
+        }
+        if prefetch {
+            self.stats.prefetched_blocks += blocks.len() as u64;
+        }
+        // Split into server-cache hits and disk blocks.
+        let mut disk_blocks: Vec<u64> = Vec::new();
+        let mut hit_blocks: Vec<u64> = Vec::new();
+        if self.server_caches.is_empty() {
+            disk_blocks = blocks;
+        } else {
+            for b in blocks {
+                let owner = self.block_owner(b);
+                if self.server_caches[owner].lookup((file, b)).is_some() {
+                    hit_blocks.push(b);
+                } else {
+                    disk_blocks.push(b);
+                }
+            }
+        }
+        if !hit_blocks.is_empty() {
+            self.stats.server_hits += hit_blocks.len() as u64;
+            let timer = self.next_hit_timer;
+            self.next_hit_timer += 1;
+            let at = now + self.cfg.io_sw.server_per_request;
+            self.fetch_hits.insert(timer, (node, file, hit_blocks));
+            sched.timer(at, timer);
+        }
+        if disk_blocks.is_empty() {
+            return;
+        }
+        self.stats.server_misses += disk_blocks.len() as u64;
+        // Fetch contiguous disk runs; server-cache filtering may have
+        // fragmented the original run.
+        let mut run: Vec<u64> = Vec::new();
+        let submit_run = |this: &mut Ppfs, run: Vec<u64>, sched: &mut Sched| {
+            if run.is_empty() {
+                return;
+            }
+            let offset = run[0] * bs;
+            let bytes = run.len() as u64 * bs;
+            let tid = this.next_transfer;
+            this.next_transfer += 1;
+            let segs = this.submit_extent(now, tid, file, offset, bytes, false, sched);
+            this.transfers.insert(
+                tid,
+                Transfer::Fetch {
+                    node,
+                    file,
+                    blocks: run,
+                    segs_left: segs,
+                },
+            );
+        };
+        for b in disk_blocks {
+            if run.last().is_some_and(|&p| p + 1 != b) {
+                let r = std::mem::take(&mut run);
+                submit_run(self, r, sched);
+            }
+            run.push(b);
+        }
+        submit_run(self, run, sched);
+    }
+
+    /// Blocks arrived for `node`: mark present (client + server caches) and
+    /// complete any reads that were waiting on them.
+    fn complete_blocks(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        file: u32,
+        blocks: Vec<u64>,
+        install_server: bool,
+        sched: &mut Sched,
+    ) {
+        let hit_cost = SimDuration::from_secs_f64(self.policy.hit_cost_secs);
+        for b in blocks {
+            self.cache_for(node).mark_present((file, b));
+            if install_server && !self.server_caches.is_empty() {
+                let owner = self.block_owner(b);
+                self.server_caches[owner].insert((file, b), BlockState::Present);
+            }
+            let Some(waiters) = self.block_waiters.remove(&(node, file, b)) else {
+                continue;
+            };
+            for rid in waiters {
+                let ready = {
+                    let Some(r) = self.reads.get_mut(&rid) else {
+                        continue;
+                    };
+                    r.blocks_left -= 1;
+                    r.blocks_left == 0
+                };
+                if ready {
+                    let r = self.reads.remove(&rid).unwrap();
+                    let rate = self.cfg.io_sw.client_byte_rate;
+                    let done = self.client.copy_done(r.node, now + hit_cost, r.bytes, rate);
+                    if !r.is_async {
+                        self.record(
+                            IoEvent::new(r.node, r.file, IoOp::Read)
+                                .span(r.issued.nanos(), done.nanos())
+                                .extent(r.offset, r.bytes),
+                        );
+                    }
+                    sched.complete_io(
+                        r.token,
+                        done,
+                        IoResult {
+                            bytes: r.bytes,
+                            queued: SimDuration::ZERO,
+                            service: done.since(r.issued),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flush one (node, file) dirty buffer to the I/O nodes.
+    fn flush_dirty(&mut self, now: SimTime, node: NodeId, file: u32, sched: &mut Sched) {
+        let Some(buf) = self.dirty.get_mut(&(node, file)) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        let aggregation = self.policy_for(file).aggregation;
+        let extents = {
+            let buf = self.dirty.get_mut(&(node, file)).unwrap();
+            buf.drain(aggregation, self.policy.block_size)
+        };
+        for Extent { offset, bytes } in extents {
+            let tid = self.next_transfer;
+            self.next_transfer += 1;
+            let segs = self.submit_extent(now, tid, file, offset, bytes, true, sched);
+            self.transfers.insert(tid, Transfer::Flush { segs_left: segs });
+            self.stats.flush_extents += 1;
+            self.stats.flushed_bytes += bytes;
+        }
+    }
+
+    fn flush_all(&mut self, now: SimTime, sched: &mut Sched) {
+        let keys: Vec<(NodeId, u32)> = self
+            .dirty
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        for (node, file) in keys {
+            self.flush_dirty(now, node, file, sched);
+        }
+    }
+
+    fn arm_flush_timer(&mut self, now: SimTime, sched: &mut Sched) {
+        if !self.flush_timer_armed && self.policy.write_behind {
+            self.flush_timer_armed = true;
+            let at = now + SimDuration::from_secs_f64(self.policy.flush_interval_secs);
+            sched.timer(at, self.timer_flush_id());
+        }
+    }
+
+    /// Handle an application read.
+    #[allow(clippy::too_many_arguments)]
+    fn read_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        is_async: bool,
+        sched: &mut Sched,
+    ) {
+        let eff = {
+            let st = &self.files[file as usize];
+            bytes.min(st.len.saturating_sub(offset))
+        };
+        let hit_cost = SimDuration::from_secs_f64(self.policy.hit_cost_secs);
+        let rate = self.cfg.io_sw.client_byte_rate;
+        if eff == 0 {
+            let done = now + hit_cost;
+            if !is_async {
+                self.record(
+                    IoEvent::new(node, file, IoOp::Read)
+                        .span(now.nanos(), done.nanos())
+                        .extent(offset, 0),
+                );
+            }
+            sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: hit_cost });
+            return;
+        }
+        let bs = self.policy.block_size;
+        let first = offset / bs;
+        let last = (offset + eff - 1) / bs;
+        let mut missing: Vec<u64> = Vec::new();
+        let mut waiting: Vec<u64> = Vec::new();
+        for b in first..=last {
+            match self.cache_for(node).lookup((file, b)) {
+                Some(BlockState::Present) => {}
+                Some(BlockState::InFlight(_)) => waiting.push(b),
+                None => missing.push(b),
+            }
+        }
+        let read_id = self.next_read;
+        self.next_read += 1;
+        let blocks_left = (missing.len() + waiting.len()) as u32;
+        if blocks_left == 0 {
+            self.stats.reads_hit += 1;
+            let done = self.client.copy_done(node, now + hit_cost, eff, rate);
+            if !is_async {
+                self.record(
+                    IoEvent::new(node, file, IoOp::Read)
+                        .span(now.nanos(), done.nanos())
+                        .extent(offset, eff),
+                );
+            }
+            sched.complete_io(token, done, IoResult { bytes: eff, queued: SimDuration::ZERO, service: done.since(now) });
+        } else {
+            self.stats.reads_missed += 1;
+            for &b in waiting.iter().chain(missing.iter()) {
+                self.block_waiters
+                    .entry((node, file, b))
+                    .or_default()
+                    .push(read_id);
+            }
+            // Fetch contiguous runs of missing blocks together.
+            let mut run: Vec<u64> = Vec::new();
+            for &b in &missing {
+                if run.last().is_some_and(|&p| p + 1 != b) {
+                    let r = std::mem::take(&mut run);
+                    self.fetch_blocks(now, node, file, r, false, sched);
+                }
+                run.push(b);
+            }
+            if !run.is_empty() {
+                self.fetch_blocks(now, node, file, run, false, sched);
+            }
+            self.reads.insert(
+                read_id,
+                ReadPending {
+                    token,
+                    node,
+                    file,
+                    offset,
+                    bytes: eff,
+                    issued: now,
+                    is_async,
+                    blocks_left,
+                },
+            );
+        }
+        // Prefetch suggestions, bounded by the file length. The prefetch
+        // policy may be overridden per file by advice.
+        let suggestions = {
+            let policy = self.policy_for(file).prefetch;
+            let pf = self
+                .prefetchers
+                .entry((node, file))
+                .or_insert_with(|| StreamPrefetcher::new(policy, bs));
+            pf.on_access(offset, eff)
+        };
+        let file_len = self.files[file as usize].len;
+        for ext in suggestions {
+            if ext.offset >= file_len {
+                continue;
+            }
+            let pf_first = ext.offset / bs;
+            let pf_last = (ext.offset + ext.bytes - 1).min(file_len - 1) / bs;
+            let mut run: Vec<u64> = Vec::new();
+            for b in pf_first..=pf_last {
+                if self.cache_for(node).peek((file, b)).is_none() {
+                    if run.last().is_some_and(|&p| p + 1 != b) {
+                        let r = std::mem::take(&mut run);
+                        self.fetch_blocks(now, node, file, r, true, sched);
+                    }
+                    run.push(b);
+                }
+            }
+            if !run.is_empty() {
+                self.fetch_blocks(now, node, file, run, true, sched);
+            }
+        }
+    }
+
+    /// Handle an application write.
+    #[allow(clippy::too_many_arguments)]
+    fn write_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        sched: &mut Sched,
+    ) {
+        self.files[file as usize].extend_to(offset + bytes);
+        let rate = self.cfg.io_sw.client_byte_rate;
+        if self.policy_for(file).write_behind {
+            // Complete into the dirty buffer at copy cost.
+            let ready = now + SimDuration::from_secs_f64(self.policy.hit_cost_secs);
+            let done = self.client.copy_done(node, ready, bytes, rate);
+            self.record(
+                IoEvent::new(node, file, IoOp::Write)
+                    .span(now.nanos(), done.nanos())
+                    .extent(offset, bytes),
+            );
+            sched.complete_io(token, done, IoResult { bytes, queued: SimDuration::ZERO, service: done.since(now) });
+            self.dirty.entry((node, file)).or_default().add(offset, bytes);
+            self.stats.writes_buffered += 1;
+            if self.dirty[&(node, file)].bytes() >= self.policy.high_water_bytes {
+                self.flush_dirty(now, node, file, sched);
+            }
+            self.arm_flush_timer(now, sched);
+        } else {
+            let tid = self.next_transfer;
+            self.next_transfer += 1;
+            let segs = self.submit_extent(now, tid, file, offset, bytes, true, sched);
+            self.transfers.insert(
+                tid,
+                Transfer::AppWrite {
+                    token,
+                    node,
+                    file,
+                    offset,
+                    bytes,
+                    issued: now,
+                    segs_left: segs,
+                },
+            );
+        }
+        // Writes invalidate any cached copy of the blocks they touch.
+        let bs = self.policy.block_size;
+        if bytes > 0 {
+            for b in offset / bs..=(offset + bytes - 1) / bs {
+                // Re-inserting as Present models write-allocate caching.
+                self.cache_for(node).insert((file, b), BlockState::Present);
+                // The write passes through the owning server: write-allocate
+                // there too (two-level buffering).
+                if !self.server_caches.is_empty() {
+                    let owner = self.block_owner(b);
+                    self.server_caches[owner].insert((file, b), BlockState::Present);
+                }
+            }
+        }
+    }
+
+    fn transfer_done(&mut self, now: SimTime, tid: u64, sched: &mut Sched) {
+        let finished = {
+            let t = self.transfers.get_mut(&tid).expect("unknown transfer");
+            let left = match t {
+                Transfer::Fetch { segs_left, .. }
+                | Transfer::AppWrite { segs_left, .. }
+                | Transfer::Flush { segs_left } => segs_left,
+            };
+            *left -= 1;
+            *left == 0
+        };
+        if !finished {
+            return;
+        }
+        match self.transfers.remove(&tid).unwrap() {
+            Transfer::Fetch { node, file, blocks, .. } => {
+                self.complete_blocks(now, node, file, blocks, true, sched);
+            }
+            Transfer::AppWrite { token, node, file, offset, bytes, issued, .. } => {
+                let rate = self.cfg.io_sw.client_byte_rate;
+                let done = self.client.copy_done(node, now, bytes, rate);
+                self.record(
+                    IoEvent::new(node, file, IoOp::Write)
+                        .span(issued.nanos(), done.nanos())
+                        .extent(offset, bytes),
+                );
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult { bytes, queued: SimDuration::ZERO, service: done.since(issued) },
+                );
+            }
+            Transfer::Flush { .. } => {}
+        }
+    }
+}
+
+impl IoService for Ppfs {
+    fn submit(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        req: IoRequest,
+        token: IoToken,
+        is_async: bool,
+        sched: &mut Sched,
+    ) {
+        match req.verb {
+            IoVerb::Open => {
+                let mode = AccessMode::from_code(req.hint).unwrap_or(AccessMode::MUnix);
+                let create = self.files[req.file as usize].open(node, mode);
+                let cost = if create { self.cfg.io_sw.create } else { self.cfg.io_sw.open };
+                let done = self.meta_op(now, cost);
+                self.record(IoEvent::new(node, req.file, IoOp::Open).span(now.nanos(), done.nanos()));
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Close => {
+                self.flush_dirty(now, node, req.file, sched);
+                self.files[req.file as usize].close(node);
+                let done = self.meta_op(now, self.cfg.io_sw.close);
+                self.record(IoEvent::new(node, req.file, IoOp::Close).span(now.nanos(), done.nanos()));
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Seek => {
+                // Client-managed pointers: always local, always cheap.
+                let target = req.offset.expect("seek needs an offset");
+                let st = &mut self.files[req.file as usize];
+                let pos = st.pos.entry(node).or_insert(0);
+                let distance = pos.abs_diff(target);
+                *pos = target;
+                let done = now + SimDuration::from_micros(200);
+                self.record(
+                    IoEvent::new(node, req.file, IoOp::Seek)
+                        .span(now.nanos(), done.nanos())
+                        .extent(target, distance),
+                );
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Flush => {
+                self.flush_dirty(now, node, req.file, sched);
+                let done = now + self.cfg.io_sw.flush;
+                self.record(IoEvent::new(node, req.file, IoOp::Flush).span(now.nanos(), done.nanos()));
+                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Lsize => {
+                let done = self.meta_op(now, self.cfg.io_sw.lsize);
+                let len = self.file_len(req.file);
+                self.record(IoEvent::new(node, req.file, IoOp::Lsize).span(now.nanos(), done.nanos()));
+                sched.complete_io(token, done, IoResult { bytes: len, queued: SimDuration::ZERO, service: done.since(now) });
+            }
+            IoVerb::Read | IoVerb::Write => {
+                let st = &mut self.files[req.file as usize];
+                let pos = st.pos.entry(node).or_insert(0);
+                let offset = req.offset.unwrap_or(*pos);
+                *pos = offset + req.bytes;
+                if is_async {
+                    let issue_end = now + self.cfg.io_sw.async_issue;
+                    self.record(
+                        IoEvent::new(node, req.file, IoOp::AsyncRead)
+                            .span(now.nanos(), issue_end.nanos())
+                            .extent(offset, req.bytes),
+                    );
+                }
+                if req.verb == IoVerb::Read {
+                    self.read_op(now, token, node, req.file, offset, req.bytes, is_async, sched);
+                } else {
+                    self.write_op(now, token, node, req.file, offset, req.bytes, sched);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
+        if (timer as usize) < self.ionodes.len() {
+            let io = timer as usize;
+            let seg_id = self.ionodes[io].complete_head(now);
+            if let Some((t, _)) = self.ionodes[io].next_done() {
+                sched.timer(t, timer);
+            }
+            let tid = self.seg_owner.remove(&seg_id).expect("segment with no owner");
+            self.transfer_done(now, tid, sched);
+        } else if timer == self.timer_flush_id() {
+            self.flush_timer_armed = false;
+            self.flush_all(now, sched);
+            // Re-arm while dirty data may still arrive (cheap: only when
+            // something was flushed or remains buffered).
+            if self.dirty.values().any(|b| !b.is_empty()) {
+                self.arm_flush_timer(now, sched);
+            }
+        } else if let Some((node, file, blocks)) = self.fetch_hits.remove(&timer) {
+            // Server-cache hit delivery: no server install (they came from
+            // there).
+            self.complete_blocks(now, node, file, blocks, false, sched);
+        } else {
+            panic!("unknown timer {timer}");
+        }
+    }
+
+    fn issue_cost(&self, _node: NodeId, _req: &IoRequest) -> SimDuration {
+        self.cfg.io_sw.async_issue
+    }
+
+    fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
+        self.record(IoEvent::new(node, file, IoOp::IoWait).span(wait_start.nanos(), wait_end.nanos()));
+    }
+
+    fn on_run_end(&mut self, _now: SimTime) {
+        // Account (but no longer time) any data still buffered: it would
+        // reach disk during program teardown.
+        let remaining: Vec<(NodeId, u32)> = self.dirty.keys().copied().collect();
+        for key in remaining {
+            let aggregation = self.policy_for(key.1).aggregation;
+            let block_size = self.policy.block_size;
+            let buf = self.dirty.get_mut(&key).unwrap();
+            if !buf.is_empty() {
+                let extents = buf.drain(aggregation, block_size);
+                for e in &extents {
+                    self.stats.flushed_bytes += e.bytes;
+                }
+                self.stats.flush_extents += extents.len() as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_sim::time::transfer_time;
+    use crate::policy::Eviction;
+    use paragon_sim::mesh::Mesh;
+    use paragon_sim::program::{NodeProgram, ScriptOp, ScriptProgram};
+    use paragon_sim::Engine;
+    use sio_core::trace::Trace;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::tiny(4, 2)
+    }
+
+    fn open(file: u32) -> ScriptOp {
+        ScriptOp::Io(IoRequest::open(file, AccessMode::MUnix.code()))
+    }
+
+    fn run(
+        m: &MachineConfig,
+        policy: PolicyConfig,
+        files: Vec<FileSpec>,
+        scripts: Vec<Vec<ScriptOp>>,
+    ) -> (Trace, PpfsStats) {
+        let tracer = Tracer::new("ppfs-test");
+        let mut fs = Ppfs::new(m, policy, tracer.clone());
+        for f in files {
+            fs.register(f);
+        }
+        let programs: Vec<Box<dyn NodeProgram>> = scripts
+            .into_iter()
+            .map(|s| Box::new(ScriptProgram::new(s)) as Box<dyn NodeProgram>)
+            .collect();
+        let mut engine = Engine::new(
+            Mesh::for_nodes(m.compute_nodes, m.io_nodes),
+            m.comm,
+            programs,
+            fs,
+        );
+        let report = engine.run();
+        assert!(report.clean(), "blocked: {:?}", report.blocked);
+        let stats = engine.service().stats();
+        tracer.set_run_info(m.compute_nodes, report.wall.nanos());
+        (tracer.finish(), stats)
+    }
+
+    #[test]
+    fn cached_reread_is_fast() {
+        let script = vec![
+            open(0),
+            ScriptOp::Io(IoRequest::read(0, 65536)),
+            ScriptOp::Io(IoRequest::seek(0, 0)),
+            ScriptOp::Io(IoRequest::read(0, 65536)),
+        ];
+        let (trace, stats) = run(
+            &machine(),
+            PolicyConfig::write_through(),
+            vec![FileSpec::input("in", 1 << 20)],
+            vec![script],
+        );
+        let durs: Vec<u64> = trace.of_op(IoOp::Read).map(|e| e.duration()).collect();
+        assert_eq!(durs.len(), 2);
+        // The cached reread pays only hit cost + client copy (~6.4 ms at the
+        // calibrated 10.5 MB/s copy rate); the first read adds disk + queue.
+        assert!(durs[1] * 4 < durs[0], "reread not cached: {durs:?}");
+        let copy_ns = transfer_time(65536, 10.5e6).nanos();
+        assert!(durs[1] < copy_ns * 2, "reread slower than copy bound: {durs:?}");
+        assert_eq!(stats.reads_hit, 1);
+        assert_eq!(stats.reads_missed, 1);
+    }
+
+    #[test]
+    fn write_behind_makes_small_writes_cheap() {
+        let script = |wb: bool| {
+            let mut ops = vec![open(0)];
+            for i in 0..16u64 {
+                ops.push(ScriptOp::Io(IoRequest::seek(0, i * 2048)));
+                ops.push(ScriptOp::Io(IoRequest::write(0, 2048)));
+            }
+            let _ = wb;
+            ops
+        };
+        let base = PolicyConfig::write_through();
+        let (t_wt, _) = run(&machine(), base, vec![FileSpec::output("f")], vec![script(false)]);
+        let (t_wb, stats) = run(
+            &machine(),
+            PolicyConfig::escat_tuned(),
+            vec![FileSpec::output("f")],
+            vec![script(true)],
+        );
+        let sum = |t: &Trace| -> u64 { t.of_op(IoOp::Write).map(|e| e.duration()).sum() };
+        assert!(
+            sum(&t_wb) * 5 < sum(&t_wt),
+            "write-behind did not help: {} vs {}",
+            sum(&t_wb),
+            sum(&t_wt)
+        );
+        assert_eq!(stats.writes_buffered, 16);
+        // Aggregation merged the contiguous region into few extents.
+        assert!(stats.flush_extents <= 2, "extents: {}", stats.flush_extents);
+        assert_eq!(stats.flushed_bytes, 16 * 2048);
+    }
+
+    #[test]
+    fn aggregation_reduces_flush_extents() {
+        // Strided dirty data: aggregation merges per contiguous run.
+        let script = || {
+            let mut ops = vec![open(0)];
+            for i in 0..8u64 {
+                ops.push(ScriptOp::Io(IoRequest::seek(0, i * 100_000)));
+                ops.push(ScriptOp::Io(IoRequest::write(0, 2048)));
+            }
+            ops
+        };
+        let mut agg = PolicyConfig::escat_tuned();
+        agg.high_water_bytes = u64::MAX; // flush only via timer/run-end
+        let mut no_agg = agg;
+        no_agg.aggregation = false;
+        let (_, s_agg) = run(&machine(), agg, vec![FileSpec::output("f")], vec![script()]);
+        let (_, s_no) = run(&machine(), no_agg, vec![FileSpec::output("f")], vec![script()]);
+        // Disjoint strided extents: both have 8 extents, but with adjacent
+        // writes aggregation shines; verify at least not worse here and
+        // byte totals identical.
+        assert!(s_agg.flush_extents <= s_no.flush_extents);
+        assert_eq!(s_agg.flushed_bytes, s_no.flushed_bytes);
+    }
+
+    #[test]
+    fn readahead_accelerates_sequential_scan() {
+        let script = || {
+            let mut ops = vec![open(0)];
+            for _ in 0..32 {
+                ops.push(ScriptOp::Io(IoRequest::read(0, 65536)));
+            }
+            ops
+        };
+        let (t_none, _) = run(
+            &machine(),
+            PolicyConfig::write_through(),
+            vec![FileSpec::input("in", 4 << 20)],
+            vec![script()],
+        );
+        let (t_ra, stats) = run(
+            &machine(),
+            PolicyConfig::readahead(4),
+            vec![FileSpec::input("in", 4 << 20)],
+            vec![script()],
+        );
+        let total = |t: &Trace| -> u64 { t.of_op(IoOp::Read).map(|e| e.duration()).sum() };
+        assert!(
+            total(&t_ra) < total(&t_none),
+            "readahead did not help: {} vs {}",
+            total(&t_ra),
+            total(&t_none)
+        );
+        assert!(stats.prefetched_blocks > 0);
+    }
+
+    #[test]
+    fn adaptive_matches_readahead_on_sequential_and_stays_quiet_on_random() {
+        let seq_script = || {
+            let mut ops = vec![open(0)];
+            for _ in 0..32 {
+                ops.push(ScriptOp::Io(IoRequest::read(0, 65536)));
+            }
+            ops
+        };
+        let (_, s_seq) = run(
+            &machine(),
+            PolicyConfig::adaptive(4),
+            vec![FileSpec::input("in", 4 << 20)],
+            vec![seq_script()],
+        );
+        assert!(s_seq.prefetched_blocks > 0);
+
+        // Random offsets: adaptive must not waste fetches.
+        let rnd_script = || {
+            let offs = [31u64, 3, 47, 11, 59, 23, 7, 41, 17, 53];
+            let mut ops = vec![open(0)];
+            for &o in &offs {
+                ops.push(ScriptOp::Io(IoRequest::seek(0, o * 65536)));
+                ops.push(ScriptOp::Io(IoRequest::read(0, 4096)));
+            }
+            ops
+        };
+        let (_, s_rnd) = run(
+            &machine(),
+            PolicyConfig::adaptive(4),
+            vec![FileSpec::input("in", 8 << 20)],
+            vec![rnd_script()],
+        );
+        assert_eq!(s_rnd.prefetched_blocks, 0);
+    }
+
+    #[test]
+    fn seeks_are_always_local() {
+        let script = |n: u32| {
+            vec![
+                open(0),
+                ScriptOp::Barrier(0),
+                ScriptOp::Io(IoRequest::seek(0, n as u64 * 4096)),
+            ]
+        };
+        let (trace, _) = run(
+            &machine(),
+            PolicyConfig::write_through(),
+            vec![FileSpec::output("f")],
+            (0..4).map(script).collect(),
+        );
+        for ev in trace.of_op(IoOp::Seek) {
+            assert!(ev.duration() < 1_000_000, "seek too slow: {}", ev.duration());
+        }
+    }
+
+    #[test]
+    fn mru_cache_policy_applies() {
+        // Cyclic scan over 12 blocks with an 8-block cache.
+        let script = || {
+            let mut ops = vec![open(0)];
+            for _pass in 0..4 {
+                ops.push(ScriptOp::Io(IoRequest::seek(0, 0)));
+                for _ in 0..12 {
+                    ops.push(ScriptOp::Io(IoRequest::read(0, 65536)));
+                }
+            }
+            ops
+        };
+        let file = || vec![FileSpec::input("in", 12 * 65536)];
+        let lru = PolicyConfig::write_through().with_cache(8, Eviction::Lru);
+        let mru = PolicyConfig::write_through().with_cache(8, Eviction::Mru);
+        let (_, s_lru) = run(&machine(), lru, file(), vec![script()]);
+        let (_, s_mru) = run(&machine(), mru, file(), vec![script()]);
+        assert!(
+            s_mru.reads_hit > s_lru.reads_hit,
+            "mru {} !> lru {}",
+            s_mru.reads_hit,
+            s_lru.reads_hit
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_have_independent_caches() {
+        let script = || {
+            vec![
+                open(0),
+                ScriptOp::Io(IoRequest::read(0, 65536)),
+                ScriptOp::Io(IoRequest::seek(0, 0)),
+                ScriptOp::Io(IoRequest::read(0, 65536)),
+            ]
+        };
+        let (_, stats) = run(
+            &machine(),
+            PolicyConfig::write_through(),
+            vec![FileSpec::input("in", 1 << 20)],
+            vec![script(), script()],
+        );
+        // Each node misses once and hits once.
+        assert_eq!(stats.reads_missed, 2);
+        assert_eq!(stats.reads_hit, 2);
+    }
+
+    #[test]
+    fn inferred_pattern_exposed() {
+        let m = machine();
+        let tracer = Tracer::new("p");
+        let mut fs = Ppfs::new(&m, PolicyConfig::adaptive(2), tracer.clone());
+        fs.register(FileSpec::input("in", 4 << 20));
+        let mut ops = vec![open(0)];
+        for _ in 0..8 {
+            ops.push(ScriptOp::Io(IoRequest::read(0, 65536)));
+        }
+        let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
+        let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        engine.run();
+        use sio_core::classify::AccessPattern;
+        assert_eq!(
+            engine.service().inferred_pattern(0, 0),
+            Some(AccessPattern::Sequential)
+        );
+        assert_eq!(engine.service().inferred_pattern(3, 0), None);
+    }
+
+    #[test]
+    fn server_cache_serves_second_node_without_disk() {
+        // Node 0 streams the file (cold), node 1 reads it afterwards: with a
+        // server cache, node 1's blocks come from the I/O nodes' memory.
+        let script = |delay_ms: u64| {
+            let mut ops = vec![open(0), ScriptOp::Compute(SimDuration::from_millis(delay_ms))];
+            for _ in 0..16 {
+                ops.push(ScriptOp::Io(IoRequest::read(0, 65536)));
+            }
+            ops
+        };
+        let file = || vec![FileSpec::input("in", 16 * 65536)];
+        let run_with = |policy: PolicyConfig| {
+            run(
+                &machine(),
+                policy,
+                file(),
+                vec![script(0), script(2000)],
+            )
+        };
+        let (t_two, s_two) = run_with(PolicyConfig::two_level(64, 256));
+        let (t_one, s_one) = run_with(PolicyConfig::write_through());
+        assert!(s_two.server_hits >= 16, "hits {}", s_two.server_hits);
+        assert_eq!(s_one.server_hits, 0);
+        // Node 1's reads are faster with the server cache.
+        let node1 = |t: &Trace| -> u64 {
+            t.of_op(IoOp::Read).filter(|e| e.node == 1).map(|e| e.duration()).sum()
+        };
+        assert!(
+            node1(&t_two) < node1(&t_one),
+            "two-level {} !< one-level {}",
+            node1(&t_two),
+            node1(&t_one)
+        );
+    }
+
+    #[test]
+    fn server_cache_write_allocate() {
+        // A writer populates the server cache; a later reader on another
+        // node hits it.
+        let writer = vec![
+            open(0),
+            ScriptOp::Io(IoRequest::write(0, 65536)),
+            ScriptOp::Send { to: 1, bytes: 1, tag: 1 },
+        ];
+        let reader = vec![
+            open(0),
+            ScriptOp::Recv { from: 0, tag: 1 },
+            ScriptOp::Io(IoRequest::seek(0, 0)),
+            ScriptOp::Io(IoRequest::read(0, 65536)),
+        ];
+        let (_, stats) = run(
+            &machine(),
+            PolicyConfig::two_level(64, 256),
+            vec![FileSpec::output("f")],
+            vec![writer, reader],
+        );
+        assert_eq!(stats.server_hits, 1);
+        assert_eq!(stats.server_misses, 0);
+    }
+
+    #[test]
+    fn per_file_advice_overrides_global_policy() {
+        // Global policy: write-through. File 0 advised as staging
+        // (write-behind + aggregation); file 1 inherits write-through.
+        let m = machine();
+        let tracer = Tracer::new("advice");
+        let mut fs = Ppfs::new(&m, PolicyConfig::write_through(), tracer.clone());
+        fs.register(FileSpec::output("staging"));
+        fs.register(FileSpec::output("plain"));
+        fs.advise(0, crate::advice::FileAdvice::staging());
+        let mut ops = vec![open(0), open(1)];
+        for i in 0..8u64 {
+            ops.push(ScriptOp::Io(IoRequest::seek(0, i * 2048)));
+            ops.push(ScriptOp::Io(IoRequest::write(0, 2048)));
+            ops.push(ScriptOp::Io(IoRequest::seek(1, i * 2048)));
+            ops.push(ScriptOp::Io(IoRequest::write(1, 2048)));
+        }
+        let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
+        let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        let report = engine.run();
+        assert!(report.clean());
+        let stats = engine.service().stats();
+        // Only the advised file's writes were buffered.
+        assert_eq!(stats.writes_buffered, 8);
+        let trace = tracer.finish();
+        let wtime = |file: u32| -> u64 {
+            trace
+                .of_op(IoOp::Write)
+                .filter(|e| e.file == file)
+                .map(|e| e.duration())
+                .sum()
+        };
+        assert!(
+            wtime(0) * 3 < wtime(1),
+            "advised {} !<< plain {}",
+            wtime(0),
+            wtime(1)
+        );
+    }
+
+    #[test]
+    fn run_end_accounts_unflushed_data() {
+        let m = machine();
+        let tracer = Tracer::new("e");
+        let mut policy = PolicyConfig::escat_tuned();
+        policy.high_water_bytes = u64::MAX;
+        policy.flush_interval_secs = 1e9; // never fires
+        let mut fs = Ppfs::new(&m, policy, tracer.clone());
+        fs.register(FileSpec::output("f"));
+        let ops = vec![open(0), ScriptOp::Io(IoRequest::write(0, 2048))];
+        let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
+        let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        engine.run();
+        assert_eq!(engine.service().stats().flushed_bytes, 2048);
+    }
+}

@@ -1,0 +1,171 @@
+//! Readahead and adaptive prefetching.
+//!
+//! One [`StreamPrefetcher`] tracks one (node, file) access stream. After
+//! every application read it suggests extents to fetch in the background.
+//! The adaptive variant implements the paper's closing direction (§10):
+//! "general, adaptive prefetching methods that can learn to hide
+//! input/output latency by automatically classifying and predicting access
+//! patterns" — classification comes from [`sio_core::classify`], prediction
+//! from [`sio_core::predict`].
+
+use crate::policy::PrefetchPolicy;
+use crate::write_behind::Extent;
+use sio_core::classify::{AccessPattern, PatternClassifier};
+use sio_core::predict::{LastStridePredictor, Predictor};
+
+/// Per-stream prefetch state.
+#[derive(Debug)]
+pub struct StreamPrefetcher {
+    policy: PrefetchPolicy,
+    block_size: u64,
+    classifier: PatternClassifier,
+    stride: LastStridePredictor,
+}
+
+impl StreamPrefetcher {
+    /// New prefetcher for one access stream.
+    pub fn new(policy: PrefetchPolicy, block_size: u64) -> StreamPrefetcher {
+        assert!(block_size > 0, "block size must be nonzero");
+        StreamPrefetcher {
+            policy,
+            block_size,
+            classifier: PatternClassifier::new(),
+            stride: LastStridePredictor::new(),
+        }
+    }
+
+    /// The classification of the stream so far (adaptive policy only keeps
+    /// this meaningful; exposed for reports and tests).
+    pub fn pattern(&self) -> AccessPattern {
+        self.classifier.classify()
+    }
+
+    /// Observe a completed application read and return extents worth
+    /// prefetching (the caller filters out already-cached blocks).
+    pub fn on_access(&mut self, offset: u64, len: u64) -> Vec<Extent> {
+        self.classifier.observe(offset, len);
+        self.stride.observe(offset, len);
+        match self.policy {
+            PrefetchPolicy::None => Vec::new(),
+            PrefetchPolicy::Readahead { depth } => self.readahead(offset + len, depth),
+            PrefetchPolicy::Adaptive { depth } => match self.classifier.classify() {
+                AccessPattern::Sequential | AccessPattern::Cyclic { .. } => {
+                    self.readahead(offset + len, depth)
+                }
+                AccessPattern::Strided { stride } => self.strided(offset, len, stride, depth),
+                AccessPattern::Random | AccessPattern::Unknown => Vec::new(),
+            },
+        }
+    }
+
+    fn readahead(&self, from: u64, depth: u32) -> Vec<Extent> {
+        let first = from.div_ceil(self.block_size);
+        (0..depth as u64)
+            .map(|k| Extent {
+                offset: (first + k) * self.block_size,
+                bytes: self.block_size,
+            })
+            .collect()
+    }
+
+    fn strided(&self, offset: u64, len: u64, stride: i64, depth: u32) -> Vec<Extent> {
+        let mut out = Vec::with_capacity(depth as usize);
+        let mut pos = offset as i64;
+        for _ in 0..depth {
+            pos += stride;
+            if pos < 0 {
+                break;
+            }
+            out.push(Extent {
+                offset: pos as u64,
+                bytes: len,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: u64 = 64 * 1024;
+
+    #[test]
+    fn none_suggests_nothing() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::None, BS);
+        for i in 0..10u64 {
+            assert!(p.on_access(i * BS, BS).is_empty());
+        }
+    }
+
+    #[test]
+    fn readahead_suggests_next_blocks() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::Readahead { depth: 3 }, BS);
+        let suggestions = p.on_access(0, BS);
+        assert_eq!(
+            suggestions,
+            vec![
+                Extent { offset: BS, bytes: BS },
+                Extent { offset: 2 * BS, bytes: BS },
+                Extent { offset: 3 * BS, bytes: BS },
+            ]
+        );
+    }
+
+    #[test]
+    fn readahead_aligns_up_for_unaligned_access() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::Readahead { depth: 1 }, BS);
+        let s = p.on_access(100, 50); // next block boundary after 150 is BS
+        assert_eq!(s, vec![Extent { offset: BS, bytes: BS }]);
+    }
+
+    #[test]
+    fn adaptive_waits_for_classification() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::Adaptive { depth: 2 }, BS);
+        // Before warmup: Unknown -> nothing.
+        assert!(p.on_access(0, BS).is_empty());
+        assert!(p.on_access(BS, BS).is_empty());
+        // Warmup reached (two sequential transitions): readahead engages.
+        let s = p.on_access(2 * BS, BS);
+        assert_eq!(p.pattern(), AccessPattern::Sequential);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].offset, 3 * BS);
+    }
+
+    #[test]
+    fn adaptive_predicts_strides() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::Adaptive { depth: 2 }, BS);
+        let stride = 10 * BS;
+        let mut last = Vec::new();
+        for k in 0..8u64 {
+            last = p.on_access(k * stride, 2048);
+        }
+        assert!(matches!(p.pattern(), AccessPattern::Strided { .. }));
+        assert_eq!(
+            last,
+            vec![
+                Extent { offset: 8 * stride, bytes: 2048 },
+                Extent { offset: 9 * stride, bytes: 2048 },
+            ]
+        );
+    }
+
+    #[test]
+    fn adaptive_stays_quiet_on_random() {
+        let mut p = StreamPrefetcher::new(PrefetchPolicy::Adaptive { depth: 4 }, BS);
+        let offsets = [90u64, 13, 77, 41, 5, 63, 29, 99, 3, 55];
+        let mut total = 0;
+        for &o in &offsets {
+            total += p.on_access(o * BS + o, 512).len();
+        }
+        assert_eq!(p.pattern(), AccessPattern::Random);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_block_size_panics() {
+        let _ = StreamPrefetcher::new(PrefetchPolicy::None, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Write-behind buffering with global request aggregation.
+//!
+//! With write-behind enabled, an application write completes as soon as its
+//! bytes land in the node's dirty buffer; the buffer drains to the I/O nodes
+//! in the background. Aggregation merges adjacent or overlapping dirty
+//! extents so the drain consists of few large sequential requests instead of
+//! many small ones — the §5.2 mechanism: ESCAT's "multiple writers into
+//! disjoint locations in a shared file ... can be combined, significantly
+//! increasing disk efficiency" (§8).
+
+use std::collections::BTreeMap;
+
+/// A dirty byte extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Start offset.
+    pub offset: u64,
+    /// Length, bytes.
+    pub bytes: u64,
+}
+
+impl Extent {
+    /// One past the last dirty byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+}
+
+/// Per-(node, file) dirty buffer.
+#[derive(Debug, Default)]
+pub struct DirtyBuffer {
+    /// Extents keyed by start offset; invariant: non-overlapping, and (when
+    /// aggregating) non-adjacent — adjacent extents are merged on insert.
+    extents: BTreeMap<u64, u64>,
+    bytes: u64,
+}
+
+impl DirtyBuffer {
+    /// Empty buffer.
+    pub fn new() -> DirtyBuffer {
+        DirtyBuffer::default()
+    }
+
+    /// Total dirty bytes (double-written ranges counted once).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of distinct extents held.
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Record a write. Overlapping or touching extents are coalesced (the
+    /// buffer is a set of dirty byte ranges, so this is semantics, not
+    /// policy — policy decides how the *drain* groups them).
+    pub fn add(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut start = offset;
+        let mut end = offset + len;
+        // Absorb any extent that overlaps or touches [start, end).
+        // Candidates: the last extent starting at or before `end`, walking
+        // backwards while they still touch.
+        loop {
+            let overlapping: Vec<u64> = self
+                .extents
+                .range(..=end)
+                .rev()
+                .take_while(|(&s, &b)| s + b >= start)
+                .map(|(&s, _)| s)
+                .collect();
+            if overlapping.is_empty() {
+                break;
+            }
+            for s in overlapping {
+                let b = self.extents.remove(&s).unwrap();
+                self.bytes -= b;
+                start = start.min(s);
+                end = end.max(s + b);
+            }
+        }
+        self.extents.insert(start, end - start);
+        self.bytes += end - start;
+    }
+
+    /// Drain the buffer for flushing.
+    ///
+    /// With `aggregate`, returns the coalesced extents as-is (few, large).
+    /// Without it, returns extents chopped to `chunk` bytes — modeling a
+    /// naive flush that writes back in cache-block units, preserving the
+    /// small-request stream the disks would have seen anyway.
+    pub fn drain(&mut self, aggregate: bool, chunk: u64) -> Vec<Extent> {
+        let taken = std::mem::take(&mut self.extents);
+        self.bytes = 0;
+        if aggregate {
+            taken
+                .into_iter()
+                .map(|(offset, bytes)| Extent { offset, bytes })
+                .collect()
+        } else {
+            assert!(chunk > 0, "chunk must be nonzero");
+            let mut out = Vec::new();
+            for (offset, bytes) in taken {
+                let mut pos = offset;
+                let end = offset + bytes;
+                while pos < end {
+                    let len = chunk.min(end - pos);
+                    out.push(Extent { offset: pos, bytes: len });
+                    pos += len;
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_extents_kept_apart() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 100);
+        b.add(1000, 100);
+        assert_eq!(b.extent_count(), 2);
+        assert_eq!(b.bytes(), 200);
+    }
+
+    #[test]
+    fn touching_extents_merge() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 100);
+        b.add(100, 100); // touches
+        assert_eq!(b.extent_count(), 1);
+        assert_eq!(b.bytes(), 200);
+        assert_eq!(b.drain(true, 64), vec![Extent { offset: 0, bytes: 200 }]);
+    }
+
+    #[test]
+    fn overlapping_extents_merge_without_double_count() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 100);
+        b.add(50, 100); // overlaps [50,100)
+        assert_eq!(b.bytes(), 150);
+        assert_eq!(b.extent_count(), 1);
+    }
+
+    #[test]
+    fn extent_bridging_two_neighbors() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 100);
+        b.add(200, 100);
+        b.add(100, 100); // bridges both
+        assert_eq!(b.extent_count(), 1);
+        assert_eq!(b.bytes(), 300);
+    }
+
+    #[test]
+    fn escat_style_strided_writes_aggregate_per_region() {
+        // 8 iterations of 2 KB appended at a node's contiguous region: one
+        // extent after aggregation.
+        let mut b = DirtyBuffer::new();
+        for i in 0..8u64 {
+            b.add(i * 2048, 2048);
+        }
+        let agg = b.drain(true, 2048);
+        assert_eq!(agg, vec![Extent { offset: 0, bytes: 8 * 2048 }]);
+    }
+
+    #[test]
+    fn non_aggregated_drain_chops_to_chunks() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 10_000);
+        let parts = b.drain(false, 4096);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], Extent { offset: 0, bytes: 4096 });
+        assert_eq!(parts[2], Extent { offset: 8192, bytes: 10_000 - 8192 });
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_resets_buffer() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 10);
+        let _ = b.drain(true, 64);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+        b.add(5, 5);
+        assert_eq!(b.bytes(), 5);
+    }
+
+    #[test]
+    fn zero_length_write_ignored() {
+        let mut b = DirtyBuffer::new();
+        b.add(100, 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn rewrite_same_range_counts_once() {
+        let mut b = DirtyBuffer::new();
+        b.add(0, 2048);
+        b.add(0, 2048);
+        assert_eq!(b.bytes(), 2048);
+        assert_eq!(b.extent_count(), 1);
+    }
+}

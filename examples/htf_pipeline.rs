@@ -1,0 +1,58 @@
+//! Reproduce the paper's Hartree-Fock characterization (§7, Tables 5–6,
+//! Figures 9–17): the three-program pipeline psetup → pargos → pscf, plus
+//! the §7.2 read-vs-recompute crossover analysis.
+//!
+//! Run with: `cargo run --release --example htf_pipeline`
+
+use sio::analysis::experiments;
+use sio::analysis::report;
+use sio::apps::HtfParams;
+use sio::core::Trace;
+use sio::paragon::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paragon_128();
+    let params = HtfParams::paper();
+
+    println!(
+        "HTF Hartree-Fock pipeline: {} nodes, {} integral records of {} B, {} SCF passes",
+        params.nodes, params.integral_records, params.integral_bytes, params.scf_passes
+    );
+    let a = experiments::htf(&machine, &params);
+
+    for (name, table, out) in [
+        ("psetup", &a.table5[0], &a.psetup),
+        ("pargos", &a.table5[1], &a.pargos),
+        ("pscf", &a.table5[2], &a.pscf),
+    ] {
+        println!("\n== Table 5: {name} (wall {:.0}s) ==\n{}", out.wall_secs(), table.render());
+    }
+    println!("== Paper vs measured ==\n{}", report::render_checks(&a.checks));
+    println!("== Shape ==\n{}", report::render_shapes(&a.shapes));
+
+    // The whole pipeline as one logical trace (the three programs run
+    // back-to-back on the machine).
+    let pipeline = Trace::concat_pipeline(
+        "htf-pipeline",
+        &[&a.psetup.trace, &a.pargos.trace, &a.pscf.trace],
+    );
+    println!(
+        "pipeline: {} events over {:.0}s of execution, {:.2} GB moved",
+        pipeline.len(),
+        pipeline.meta().wall_ns as f64 / 1e9,
+        pipeline.data_volume() as f64 / 1e9
+    );
+
+    // §7.2: when does reading precomputed integrals beat recomputing them?
+    println!("\n§7.2 read-vs-recompute crossover:");
+    for r in experiments::htf_crossover_paper() {
+        println!(
+            "  {:>5.1} MB/s per node: read {:>6.2} us vs recompute {:>5.2} us -> {}",
+            r.io_rate_mb_s,
+            r.read_us,
+            r.compute_us,
+            if r.io_preferred { "READ" } else { "recompute" }
+        );
+    }
+    println!("(the paper places the requirement at ~5-10 MB/s per node)");
+}

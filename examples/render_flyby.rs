@@ -1,0 +1,56 @@
+//! Reproduce the paper's RENDER characterization (§6, Tables 3–4, Figures
+//! 6–8): a simulated Mars "virtual flyby" — gateway-prefetched terrain
+//! input, broadcast, and a 100-frame render loop.
+//!
+//! Also demonstrates the frame-rate sensitivity the paper discusses in
+//! §6.2: sweep the renderer compute time and watch the achieved frame rate
+//! saturate at the I/O path.
+//!
+//! Run with: `cargo run --release --example render_flyby`
+
+use sio::analysis::experiments;
+use sio::analysis::report;
+use sio::apps::RenderParams;
+use sio::paragon::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paragon_128();
+    let params = RenderParams::paper();
+
+    println!(
+        "RENDER terrain rendering: {} nodes (1 gateway + {} renderers), {} frames",
+        params.nodes,
+        params.nodes - 1,
+        params.frames
+    );
+    let a = experiments::render(&machine, &params);
+    println!("\n== Table 3 ==\n{}", a.table3.render());
+    println!("== Table 4 ==\n{}", a.table4.render());
+    println!("== Paper vs measured ==\n{}", report::render_checks(&a.checks));
+    println!("== Shape ==\n{}", report::render_shapes(&a.shapes));
+
+    let render_phase = a.out.wall_secs() - a.init_end_secs;
+    println!(
+        "init {:.0}s, render {:.0}s -> {:.2} frames/s (paper: several seconds per frame)",
+        a.init_end_secs,
+        render_phase,
+        params.frames as f64 / render_phase
+    );
+
+    // §6.2: higher frame rates need faster I/O — sweep the compute time to
+    // find where the file system becomes the limiter.
+    println!("\nframe-rate sweep (renderer compute -> achieved fps):");
+    for compute in [2.2, 1.0, 0.5, 0.2, 0.1, 0.05] {
+        let mut p = RenderParams::paper();
+        p.render_compute = compute;
+        p.frames = 30;
+        let a = experiments::render(&machine, &p);
+        let render_phase = a.out.wall_secs() - a.init_end_secs;
+        println!(
+            "  compute {:>5.2}s -> {:>5.2} fps",
+            compute,
+            p.frames as f64 / render_phase
+        );
+    }
+    println!("(fps saturates once frame output dominates: the paper's case for HiPPi streaming)");
+}

@@ -1,0 +1,79 @@
+//! Trace capture → persist → replay, across configurations.
+//!
+//! §8 of the paper argues synthetic kernels mispredict real applications
+//! and calls for "application skeletons and workload mixes". This example
+//! closes the loop: characterize ESCAT, save its trace in the
+//! self-describing format, reconstruct a workload from the trace alone, and
+//! replay it on a *different* machine configuration and file system —
+//! answering "what would this very run have seen with twice the I/O nodes
+//! and a caching file system?"
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use sio::analysis::OpTable;
+use sio::apps::replay::{workload_from_trace, ReplayOptions};
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::EscatParams;
+use sio::core::sddf;
+use sio::paragon::MachineConfig;
+use sio::ppfs::PolicyConfig;
+
+fn main() {
+    // 1. Capture: a scaled ESCAT on the standard 16-I/O-node machine.
+    let machine = MachineConfig::tiny(16, 8);
+    let params = EscatParams::small(16, 10);
+    let original = run_workload(&machine, &params.workload(), &Backend::Pfs);
+    println!(
+        "captured: {} events, wall {:.1}s",
+        original.trace.len(),
+        original.wall_secs()
+    );
+
+    // 2. Persist and reload through the self-describing trace format.
+    let dir = std::env::temp_dir().join("sio_replay_example");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("escat.sddf");
+    sddf::write_file(&original.trace, &path).unwrap();
+    let reloaded = sddf::read_file(&path).unwrap();
+    println!("persisted + reloaded: {} bytes on disk", std::fs::metadata(&path).unwrap().len());
+
+    // 3. Replay faithfully on the same configuration.
+    let faithful = run_workload(
+        &machine,
+        &workload_from_trace(&reloaded, ReplayOptions::default()),
+        &Backend::Pfs,
+    );
+    println!(
+        "faithful replay: wall {:.1}s (original {:.1}s)",
+        faithful.wall_secs(),
+        original.wall_secs()
+    );
+
+    // 4. What-if: same trace, twice the I/O nodes, write-behind file system,
+    //    think time stripped (pure I/O stress).
+    let what_if_machine = MachineConfig::tiny(16, 16);
+    let stress = run_workload(
+        &what_if_machine,
+        &workload_from_trace(
+            &reloaded,
+            ReplayOptions {
+                think_time_scale: 0.0,
+                max_gap_secs: 0.0,
+            },
+        ),
+        &Backend::Ppfs(PolicyConfig::escat_tuned()),
+    );
+    println!(
+        "what-if stress replay (2x I/O nodes, PPFS write-behind): wall {:.2}s",
+        stress.wall_secs()
+    );
+
+    let t_orig = OpTable::from_trace(&original.trace);
+    let t_what = OpTable::from_trace(&stress.trace);
+    println!(
+        "write node time: {:.1}s on PFS -> {:.3}s on the what-if stack",
+        t_orig.secs(sio::core::IoOp::Write),
+        t_what.secs(sio::core::IoOp::Write)
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,29 @@
+//! # sio — umbrella crate for the SC '95 parallel-I/O characterization suite
+//!
+//! Re-exports the member crates of the workspace so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] (`sio-core`) — Pablo-style instrumentation, trace reductions,
+//!   statistics, access-pattern classification and prediction.
+//! * [`paragon`] (`paragon-sim`) — discrete-event Intel Paragon XP/S model.
+//! * [`pfs`] (`sio-pfs`) — Intel PFS model with the six parallel access modes.
+//! * [`ppfs`] (`sio-ppfs`) — portable parallel file system with tunable
+//!   caching / prefetching / write-behind / aggregation policies.
+//! * [`apps`] (`sio-apps`) — ESCAT, RENDER, and HTF application skeletons.
+//! * [`analysis`] (`sio-analysis`) — regeneration of every table and figure.
+
+pub use paragon_sim as paragon;
+pub use sio_analysis as analysis;
+pub use sio_apps as apps;
+pub use sio_core as core;
+pub use sio_pfs as pfs;
+pub use sio_ppfs as ppfs;
+
+/// Convenience prelude: the types most programs need to run a characterized
+/// workload end to end.
+pub mod prelude {
+    pub use paragon_sim::machine::MachineConfig;
+    pub use sio_analysis::experiments;
+    pub use sio_apps::{escat::EscatParams, htf::HtfParams, render::RenderParams};
+    pub use sio_core::{IoEvent, IoOp, Trace, Tracer};
+}

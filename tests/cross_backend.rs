@@ -1,0 +1,82 @@
+//! Cross-backend invariants: PFS and PPFS must agree on everything
+//! *logical* (operation counts, byte volumes, file population) and disagree
+//! only on timing — that is what makes the §5.2 comparison meaningful.
+
+use sio::analysis::{OpTable, SizeTable};
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::IoOp;
+use sio::paragon::MachineConfig;
+use sio::ppfs::PolicyConfig;
+
+fn m() -> MachineConfig {
+    MachineConfig::tiny(8, 4)
+}
+
+fn counts(trace: &sio::core::Trace) -> Vec<(IoOp, usize)> {
+    IoOp::ALL
+        .into_iter()
+        .map(|op| (op, trace.of_op(op).count()))
+        .collect()
+}
+
+#[test]
+fn escat_logical_behavior_is_backend_independent() {
+    let p = EscatParams::small(8, 6);
+    let pfs = run_workload(&m(), &p.workload(), &Backend::Pfs);
+    let ppfs = run_workload(
+        &m(),
+        &p.workload(),
+        &Backend::Ppfs(PolicyConfig::escat_tuned()),
+    );
+    assert_eq!(counts(&pfs.trace), counts(&ppfs.trace));
+    assert_eq!(
+        SizeTable::from_trace(&pfs.trace),
+        SizeTable::from_trace(&ppfs.trace)
+    );
+    assert_eq!(pfs.trace.data_volume(), ppfs.trace.data_volume());
+}
+
+#[test]
+fn render_runs_on_ppfs_with_prefetch() {
+    let p = RenderParams::small(8, 3);
+    let out = run_workload(&m(), &p.workload(), &Backend::Ppfs(PolicyConfig::readahead(4)));
+    let (reads, async_reads, writes, ..) = p.expected_counts();
+    assert_eq!(out.trace.of_op(IoOp::Read).count() as u64, reads);
+    assert_eq!(out.trace.of_op(IoOp::AsyncRead).count() as u64, async_reads);
+    assert_eq!(out.trace.of_op(IoOp::Write).count() as u64, writes);
+}
+
+#[test]
+fn htf_pscf_benefits_from_caching() {
+    // pscf makes 2 passes over each integral file in the small config; a
+    // cache big enough for one file should serve the second pass.
+    let p = HtfParams::small(4);
+    let w = p.pscf_workload();
+    let pfs = run_workload(&m(), &w, &Backend::Pfs);
+    let policy = PolicyConfig::write_through().with_cache(256, sio::ppfs::Eviction::Lru);
+    let ppfs = run_workload(&m(), &w, &Backend::Ppfs(policy));
+    let read_secs = |t: &sio::core::Trace| -> f64 {
+        OpTable::from_trace(t).secs(IoOp::Read)
+    };
+    assert!(
+        read_secs(&ppfs.trace) < read_secs(&pfs.trace),
+        "caching did not help: {} vs {}",
+        read_secs(&ppfs.trace),
+        read_secs(&pfs.trace)
+    );
+    assert!(ppfs.ppfs_stats.unwrap().reads_hit > 0);
+}
+
+#[test]
+fn seeks_cheaper_on_ppfs_shared_files() {
+    // The other §5.2 effect: client-side pointers remove the shared-file
+    // seek RPC.
+    let p = EscatParams::small(8, 6);
+    let pfs = run_workload(&m(), &p.workload(), &Backend::Pfs);
+    let ppfs = run_workload(&m(), &p.workload(), &Backend::Ppfs(PolicyConfig::write_through()));
+    let seek_secs = |t: &sio::core::Trace| -> f64 {
+        OpTable::from_trace(t).secs(IoOp::Seek)
+    };
+    assert!(seek_secs(&ppfs.trace) * 10.0 < seek_secs(&pfs.trace));
+}

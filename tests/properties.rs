@@ -1,0 +1,310 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the stack: stripe layout, write-behind buffer, RAID-3
+//! parity, statistics, trace serialization, and the pattern classifier.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sio::core::event::{IoEvent, IoOp};
+use sio::core::sddf;
+use sio::core::stats::{SizeHistogram, SummaryStats};
+use sio::core::trace::{Trace, TraceMeta};
+use sio::paragon::raid::Raid3;
+use sio::pfs::StripeLayout;
+use sio::ppfs::write_behind::DirtyBuffer;
+use std::collections::BTreeSet;
+
+proptest! {
+    // ---------------- stripe layout ----------------
+
+    /// Striping conserves bytes and never produces an empty or misowned
+    /// segment, for arbitrary geometry and extents.
+    #[test]
+    fn stripe_segments_conserve_bytes(
+        unit in 1u64..200_000,
+        io_nodes in 1u32..64,
+        offset in 0u64..1_000_000_000,
+        bytes in 0u64..50_000_000,
+    ) {
+        let l = StripeLayout::new(unit, io_nodes);
+        let segs = l.segments(offset, bytes);
+        let total: u64 = segs.iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(total, bytes);
+        for s in &segs {
+            prop_assert!(s.bytes > 0);
+            prop_assert!(s.io_node < io_nodes);
+        }
+    }
+
+    /// Every byte of the request maps (point-wise) into exactly one
+    /// segment's node-local range — merging may reorder segments relative
+    /// to the file walk, but coverage must be exact.
+    #[test]
+    fn stripe_segments_cover_every_byte_exactly_once(
+        unit in 1u64..512,
+        io_nodes in 1u32..9,
+        offset in 0u64..10_000,
+        bytes in 1u64..4_000,
+    ) {
+        let l = StripeLayout::new(unit, io_nodes);
+        let segs = l.segments(offset, bytes);
+        for p in offset..offset + bytes {
+            let io = l.io_node_of(p);
+            let local = l.local_offset_of(p);
+            let covering = segs
+                .iter()
+                .filter(|s| {
+                    s.io_node == io && s.local_offset <= local && local < s.local_offset + s.bytes
+                })
+                .count();
+            prop_assert_eq!(covering, 1, "byte {} covered {} times", p, covering);
+        }
+    }
+
+    // ---------------- write-behind buffer ----------------
+
+    /// The dirty buffer behaves exactly like a set of dirty bytes: its
+    /// aggregated drain equals the interval union of everything added.
+    #[test]
+    fn dirty_buffer_equals_byte_set_model(
+        writes in vec((0u64..2_000, 1u64..300), 1..40)
+    ) {
+        let mut buf = DirtyBuffer::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for &(off, len) in &writes {
+            buf.add(off, len);
+            model.extend(off..off + len);
+        }
+        prop_assert_eq!(buf.bytes(), model.len() as u64);
+        let extents = buf.drain(true, 64);
+        // Extents are sorted, disjoint, non-adjacent, and cover the model.
+        let mut covered: BTreeSet<u64> = BTreeSet::new();
+        let mut prev_end: Option<u64> = None;
+        for e in &extents {
+            if let Some(pe) = prev_end {
+                prop_assert!(e.offset > pe, "adjacent or overlapping extents");
+            }
+            covered.extend(e.offset..e.end());
+            prev_end = Some(e.end());
+        }
+        prop_assert_eq!(covered, model);
+    }
+
+    /// Chunked (non-aggregated) drain covers the same bytes in pieces no
+    /// larger than the chunk.
+    #[test]
+    fn dirty_buffer_chunked_drain_covers_same_bytes(
+        writes in vec((0u64..5_000, 1u64..500), 1..20),
+        chunk in 1u64..1_000,
+    ) {
+        let mut a = DirtyBuffer::new();
+        let mut b = DirtyBuffer::new();
+        for &(off, len) in &writes {
+            a.add(off, len);
+            b.add(off, len);
+        }
+        let agg: u64 = a.drain(true, chunk).iter().map(|e| e.bytes).sum();
+        let chopped = b.drain(false, chunk);
+        let chop_total: u64 = chopped.iter().map(|e| e.bytes).sum();
+        prop_assert_eq!(agg, chop_total);
+        for e in &chopped {
+            prop_assert!(e.bytes <= chunk);
+        }
+    }
+
+    // ---------------- RAID-3 parity ----------------
+
+    /// XOR reconstruction recovers any lost member from the others plus
+    /// parity, for arbitrary data and any failed index.
+    #[test]
+    fn raid3_reconstruction_recovers_any_member(
+        blocks in vec(vec(any::<u8>(), 16), 2..6),
+        lost_idx in 0usize..6,
+    ) {
+        let lost_idx = lost_idx % blocks.len();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let parity = Raid3::parity(&refs);
+        let mut survivors: Vec<&[u8]> = refs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != lost_idx)
+            .map(|(_, b)| *b)
+            .collect();
+        survivors.push(&parity);
+        let rebuilt = Raid3::reconstruct(&survivors);
+        prop_assert_eq!(rebuilt, blocks[lost_idx].clone());
+    }
+
+    // ---------------- statistics ----------------
+
+    /// Merged summary statistics equal single-stream statistics.
+    #[test]
+    fn summary_stats_merge_is_exact(
+        xs in vec(-1.0e6f64..1.0e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split % xs.len();
+        let mut whole = SummaryStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = SummaryStats::new();
+        let mut b = SummaryStats::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// The size histogram's bins partition the requests: totals always add
+    /// up and each value lands in exactly the bin a naive comparison picks.
+    #[test]
+    fn size_histogram_partitions(sizes in vec(0u64..10_000_000, 0..100)) {
+        let mut h = SizeHistogram::new();
+        let mut naive = [0u64; 4];
+        for &s in &sizes {
+            h.push(s);
+            let idx = if s < 4096 { 0 } else if s < 65_536 { 1 } else if s < 262_144 { 2 } else { 3 };
+            naive[idx] += 1;
+        }
+        prop_assert_eq!(h.as_row(), naive);
+        prop_assert_eq!(h.total(), sizes.len() as u64);
+    }
+
+    // ---------------- trace serialization ----------------
+
+    /// Any well-formed trace roundtrips through the SDDF encoding.
+    #[test]
+    fn sddf_roundtrips_arbitrary_traces(
+        events in vec(
+            (0u32..64, 0u32..32, 0u8..9, any::<u32>(), any::<u32>(), any::<u32>(), 0u32..1000),
+            0..50
+        ),
+        label in "[a-z]{0,12}",
+        nodes in 0u32..512,
+    ) {
+        let events: Vec<IoEvent> = events
+            .into_iter()
+            .map(|(node, file, op, offset, bytes, start, dur)| IoEvent {
+                node,
+                file,
+                op: IoOp::from_u8(op).unwrap(),
+                offset: offset as u64,
+                bytes: bytes as u64,
+                start: start as u64,
+                end: start as u64 + dur as u64,
+            })
+            .collect();
+        let trace = Trace::from_parts(
+            TraceMeta { label, nodes, wall_ns: 0 },
+            events,
+        );
+        let back = sddf::from_bytes(&sddf::to_bytes(&trace)).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    // ---------------- engine + file system fuzz ----------------
+
+    /// Random well-formed workloads (same barrier count on every node,
+    /// reads/writes/seeks/opens in any order after an open) always run to
+    /// completion on both file systems, produce valid traces, and agree on
+    /// logical operation counts across backends.
+    #[test]
+    fn random_workloads_run_clean_on_both_backends(
+        rounds in vec(vec((0u8..5, 1u64..200_000), 0..5), 1..5),
+        nodes in 1u32..6,
+    ) {
+        use sio::apps::workload::{run_workload, Backend, Workload};
+        use sio::paragon::program::{IoRequest, ScriptOp};
+        use sio::paragon::{MachineConfig, SimDuration};
+        use sio::pfs::{AccessMode, FileSpec};
+        use sio::ppfs::PolicyConfig;
+
+        let scripts: Vec<Vec<ScriptOp>> = (0..nodes)
+            .map(|node| {
+                let mut ops = vec![ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code()))];
+                for round in &rounds {
+                    for &(kind, size) in round {
+                        let op = match kind {
+                            0 => ScriptOp::Compute(SimDuration(size * 1000)),
+                            1 => ScriptOp::Io(IoRequest::write(0, size)),
+                            2 => ScriptOp::Io(IoRequest::read(0, size)),
+                            3 => ScriptOp::Io(IoRequest::seek(0, size * node as u64)),
+                            _ => ScriptOp::Io(IoRequest::flush(0)),
+                        };
+                        ops.push(op);
+                    }
+                    // Every node executes every round: barriers always match.
+                    ops.push(ScriptOp::Barrier(0));
+                }
+                ops.push(ScriptOp::Io(IoRequest::close(0)));
+                ops
+            })
+            .collect();
+        let build = || Workload {
+            label: "fuzz".to_string(),
+            files: vec![FileSpec::input("f", 1 << 20)],
+            scripts: scripts.clone(),
+            groups: Vec::new(),
+        };
+        let machine = MachineConfig::tiny(nodes.max(2), 2);
+        let pfs = run_workload(&machine, &build(), &Backend::Pfs);
+        let ppfs = run_workload(&machine, &build(), &Backend::Ppfs(PolicyConfig::escat_tuned()));
+        prop_assert!(pfs.report.clean());
+        prop_assert!(ppfs.report.clean());
+        pfs.trace.validate().unwrap();
+        ppfs.trace.validate().unwrap();
+        // Logical op counts agree across backends.
+        for op in sio::core::IoOp::ALL {
+            prop_assert_eq!(
+                pfs.trace.of_op(op).count(),
+                ppfs.trace.of_op(op).count(),
+                "op {:?}", op
+            );
+        }
+        // Every event fits inside the run (validity of timestamps).
+        for t in [&pfs.trace, &ppfs.trace] {
+            let wall = t.meta().wall_ns;
+            for ev in t.events() {
+                prop_assert!(ev.end <= wall, "event beyond wall: {:?}", ev);
+            }
+        }
+    }
+
+    // ---------------- classifier ----------------
+
+    /// Pure sequential streams of any record size classify as sequential
+    /// (never random), regardless of length past warm-up.
+    #[test]
+    fn classifier_never_calls_sequential_random(
+        len in 1u64..100_000,
+        count in 5usize..60,
+    ) {
+        use sio::core::classify::{classify_accesses, AccessPattern};
+        let acc: Vec<(u64, u64)> = (0..count as u64).map(|i| (i * len, len)).collect();
+        prop_assert_eq!(classify_accesses(&acc), AccessPattern::Sequential);
+    }
+
+    /// Fixed-stride streams classify as strided with the right stride.
+    #[test]
+    fn classifier_detects_arbitrary_strides(
+        record in 1u64..5_000,
+        gap in 1u64..100_000,
+        count in 8usize..50,
+    ) {
+        use sio::core::classify::{classify_accesses, AccessPattern};
+        let stride = record + gap;
+        let acc: Vec<(u64, u64)> = (0..count as u64).map(|i| (i * stride, record)).collect();
+        prop_assert_eq!(
+            classify_accesses(&acc),
+            AccessPattern::Strided { stride: stride as i64 }
+        );
+    }
+}

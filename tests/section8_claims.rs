@@ -1,0 +1,115 @@
+//! The paper's §8/§10 qualitative observations, checked as metrics against
+//! our three application runs (full 128-node scale).
+
+use sio::analysis::characterize::Characterization;
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::Trace;
+use sio::paragon::MachineConfig;
+
+fn m() -> MachineConfig {
+    MachineConfig::paragon_128()
+}
+
+fn characterize(trace: &Trace) -> Characterization {
+    Characterization::from_trace(trace)
+}
+
+#[test]
+fn files_are_accessed_in_their_entirety() {
+    // §8: "data files were generally read or written in their entirety".
+    for (label, c) in app_characterizations() {
+        let frac = c.whole_file_fraction(0.75);
+        assert!(frac >= 0.8, "{label}: whole-file fraction {frac}");
+    }
+}
+
+#[test]
+fn many_files_are_single_node() {
+    // §8: "... in many cases by a single node".
+    for (label, c) in app_characterizations() {
+        let frac = c.single_node_fraction();
+        assert!(frac >= 0.5, "{label}: single-node fraction {frac}");
+    }
+    // RENDER is the extreme case: the gateway mediates ALL file I/O.
+    let render = run_workload(&m(), &RenderParams::paper().workload(), &Backend::Pfs);
+    assert_eq!(characterize(&render.trace).single_node_fraction(), 1.0);
+}
+
+#[test]
+fn written_data_survives_to_disk() {
+    // §8: "most of the data written eventually was propagated to secondary
+    // storage" — little overwriting, no short-lived temporaries.
+    for (label, c) in app_characterizations() {
+        let frac = c.write_survival_fraction();
+        assert!(frac >= 0.95, "{label}: write survival {frac}");
+    }
+}
+
+#[test]
+fn majority_of_streams_are_sequential() {
+    // §10: "the majority of the request patterns are sequential".
+    for (label, c) in app_characterizations() {
+        let frac = c.sequential_stream_fraction();
+        assert!(frac >= 0.6, "{label}: sequential streams {frac}");
+    }
+}
+
+#[test]
+fn requests_tend_to_fixed_sizes() {
+    // §10: "Requests tend to be of fixed size".
+    for (label, c) in app_characterizations() {
+        let share = c.fixed_size_share();
+        assert!(share >= 0.5, "{label}: fixed-size modal share {share}");
+    }
+}
+
+#[test]
+fn htf_shows_open_access_close_cycles() {
+    // §10: "Cyclic behavior, with repeated patterns of file open, access,
+    // and close, occur often" — pscf's checkpoint/matrix files.
+    let p = HtfParams::paper();
+    let pscf = run_workload(&m(), &p.pscf_workload(), &Backend::Pfs);
+    let c = characterize(&pscf.trace);
+    assert!(c.reopened_files() >= 2, "reopened: {}", c.reopened_files());
+}
+
+#[test]
+fn escat_files_follow_section2_roles() {
+    use sio::analysis::characterize::FileRole;
+    let escat = run_workload(&m(), &EscatParams::paper().workload(), &Backend::Pfs);
+    let c = characterize(&escat.trace);
+    // Inputs 9-11 compulsory; staging 7-8 written-and-reread; outputs 3-5.
+    for f in [9u32, 10, 11] {
+        assert_eq!(c.files[&f].role(), FileRole::CompulsoryInput, "file {f}");
+    }
+    for f in [7u32, 8] {
+        assert_eq!(c.files[&f].role(), FileRole::Staging, "file {f}");
+    }
+    for f in [3u32, 4, 5] {
+        assert_eq!(c.files[&f].role(), FileRole::Output, "file {f}");
+    }
+    // The quadrature staging traffic dominates the class volumes, as the
+    // paper's out-of-core discussion (S2) describes.
+    let (compulsory, staging, output) = c.class_volumes();
+    assert!(staging > compulsory && staging > output);
+}
+
+fn app_characterizations() -> Vec<(&'static str, Characterization)> {
+    let machine = m();
+    let escat = run_workload(&machine, &EscatParams::paper().workload(), &Backend::Pfs);
+    let render = run_workload(&machine, &RenderParams::paper().workload(), &Backend::Pfs);
+    let htf = HtfParams::paper();
+    let psetup = run_workload(&machine, &htf.psetup_workload(), &Backend::Pfs);
+    let pargos = run_workload(&machine, &htf.pargos_workload(), &Backend::Pfs);
+    let pscf = run_workload(&machine, &htf.pscf_workload(), &Backend::Pfs);
+    let pipeline = Trace::concat_pipeline(
+        "htf",
+        &[&psetup.trace, &pargos.trace, &pscf.trace],
+    );
+    vec![
+        ("escat", characterize(&escat.trace)),
+        ("render", characterize(&render.trace)),
+        ("htf", characterize(&pipeline)),
+    ]
+}

@@ -1,0 +1,52 @@
+//! Trace persistence: a captured application trace must survive the
+//! self-describing binary format bit-for-bit, and the analyses computed
+//! before and after must agree.
+
+use sio::analysis::{OpTable, SizeTable};
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::RenderParams;
+use sio::core::sddf;
+use sio::paragon::MachineConfig;
+
+#[test]
+fn application_trace_roundtrips_through_sddf() {
+    let p = RenderParams::small(6, 3);
+    let out = run_workload(&MachineConfig::tiny(6, 2), &p.workload(), &Backend::Pfs);
+
+    let bytes = sddf::to_bytes(&out.trace);
+    let back = sddf::from_bytes(&bytes).expect("decode");
+    assert_eq!(back, out.trace);
+
+    // Analyses agree.
+    assert_eq!(OpTable::from_trace(&back), OpTable::from_trace(&out.trace));
+    assert_eq!(SizeTable::from_trace(&back), SizeTable::from_trace(&out.trace));
+}
+
+#[test]
+fn trace_file_roundtrip_and_text_export() {
+    let p = RenderParams::small(4, 2);
+    let out = run_workload(&MachineConfig::tiny(4, 2), &p.workload(), &Backend::Pfs);
+
+    let dir = std::env::temp_dir().join("sio_trace_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("render.sddf");
+    sddf::write_file(&out.trace, &path).unwrap();
+    let back = sddf::read_file(&path).unwrap();
+    assert_eq!(back, out.trace);
+
+    let text = sddf::to_text(&out.trace);
+    // Header + column row + one line per event.
+    assert_eq!(text.lines().count(), 2 + out.trace.len());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_trace_is_rejected_not_misread() {
+    let p = RenderParams::small(4, 2);
+    let out = run_workload(&MachineConfig::tiny(4, 2), &p.workload(), &Backend::Pfs);
+    let bytes = sddf::to_bytes(&out.trace).to_vec();
+    // Truncations anywhere must fail cleanly.
+    for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+        assert!(sddf::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+}
