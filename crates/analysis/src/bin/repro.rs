@@ -1,19 +1,25 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--fast] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|all]
+//! repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|all]
 //! ```
 //!
 //! Paper-scale runs (`escat`, `render`, `htf`) use the 128-node Caltech
 //! Paragon partition and the `paper()` parameters; `--fast` substitutes the
 //! scaled-down parameters (for smoke tests). Outputs land in `results/`
 //! (override with `--out`): one `.txt` report and one `.csv` per figure.
+//!
+//! `--jobs N` (or the `SIO_JOBS` environment variable) bounds the worker
+//! pool every sweep fans out over; the default is the host's available
+//! parallelism. Each simulation is deterministic, so the worker count only
+//! changes wall time, never output.
 
 use paragon_sim::MachineConfig;
 use sio_analysis::characterize::Characterization;
 use sio_analysis::experiments;
 use sio_analysis::figures;
 use sio_analysis::report;
+use sio_analysis::runner;
 use sio_apps::{EscatParams, HtfParams, RenderParams};
 use std::path::PathBuf;
 
@@ -31,6 +37,13 @@ fn parse_args() -> Cli {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => runner::set_jobs(n),
+                _ => {
+                    eprintln!("error: --jobs requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -40,7 +53,7 @@ fn parse_args() -> Cli {
             },
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: repro [--fast] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|all]..."
+                    "usage: repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|all]..."
                 );
                 std::process::exit(0);
             }
@@ -67,7 +80,10 @@ fn run_escat(cli: &Cli) {
     } else {
         EscatParams::paper()
     };
-    eprintln!("[repro] escat: {} nodes, {} iterations...", params.nodes, params.iters);
+    eprintln!(
+        "[repro] escat: {} nodes, {} iterations...",
+        params.nodes, params.iters
+    );
     let a = experiments::escat(&machine(cli.fast), &params);
     let mut body = String::new();
     if cli.fast {
@@ -75,13 +91,22 @@ fn run_escat(cli: &Cli) {
             "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
         );
     }
-    body.push_str(&report::section("Table 1 — ESCAT I/O operations", &a.table1.render()));
-    body.push_str(&report::section("Table 2 — ESCAT request sizes", &a.table2.render()));
+    body.push_str(&report::section(
+        "Table 1 — ESCAT I/O operations",
+        &a.table1.render(),
+    ));
+    body.push_str(&report::section(
+        "Table 2 — ESCAT request sizes",
+        &a.table2.render(),
+    ));
     body.push_str(&report::section(
         "Paper vs measured",
         &report::render_checks(&a.checks),
     ));
-    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    body.push_str(&report::section(
+        "Shape checks",
+        &report::render_shapes(&a.shapes),
+    ));
     body.push_str(&report::section(
         "Figure 4 burst spacing (s)",
         &format!("{:.1?}\n(wall {:.0}s)", a.gaps, a.out.wall_secs()),
@@ -111,7 +136,10 @@ fn run_render(cli: &Cli) {
     } else {
         RenderParams::paper()
     };
-    eprintln!("[repro] render: {} nodes, {} frames...", params.nodes, params.frames);
+    eprintln!(
+        "[repro] render: {} nodes, {} frames...",
+        params.nodes, params.frames
+    );
     let a = experiments::render(&machine(cli.fast), &params);
     let mut body = String::new();
     if cli.fast {
@@ -119,13 +147,22 @@ fn run_render(cli: &Cli) {
             "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
         );
     }
-    body.push_str(&report::section("Table 3 — RENDER I/O operations", &a.table3.render()));
-    body.push_str(&report::section("Table 4 — RENDER request sizes", &a.table4.render()));
+    body.push_str(&report::section(
+        "Table 3 — RENDER I/O operations",
+        &a.table3.render(),
+    ));
+    body.push_str(&report::section(
+        "Table 4 — RENDER request sizes",
+        &a.table4.render(),
+    ));
     body.push_str(&report::section(
         "Paper vs measured",
         &report::render_checks(&a.checks),
     ));
-    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    body.push_str(&report::section(
+        "Shape checks",
+        &report::render_shapes(&a.shapes),
+    ));
     body.push_str(&format!(
         "init phase ends at {:.0}s; wall {:.0}s\n",
         a.init_end_secs,
@@ -161,9 +198,24 @@ fn run_htf(cli: &Cli) {
         );
     }
     for (name, table, sizes, out) in [
-        ("HTF Initialization (psetup)", &a.table5[0], &a.table6[0], &a.psetup),
-        ("HTF Integral Calculation (pargos)", &a.table5[1], &a.table6[1], &a.pargos),
-        ("HTF Self-Consistent Field (pscf)", &a.table5[2], &a.table6[2], &a.pscf),
+        (
+            "HTF Initialization (psetup)",
+            &a.table5[0],
+            &a.table6[0],
+            &a.psetup,
+        ),
+        (
+            "HTF Integral Calculation (pargos)",
+            &a.table5[1],
+            &a.table6[1],
+            &a.pargos,
+        ),
+        (
+            "HTF Self-Consistent Field (pscf)",
+            &a.table5[2],
+            &a.table6[2],
+            &a.pscf,
+        ),
     ] {
         body.push_str(&report::section(
             &format!("Table 5 — {name}"),
@@ -178,7 +230,10 @@ fn run_htf(cli: &Cli) {
         "Paper vs measured",
         &report::render_checks(&a.checks),
     ));
-    body.push_str(&report::section("Shape checks", &report::render_shapes(&a.shapes)));
+    body.push_str(&report::section(
+        "Shape checks",
+        &report::render_shapes(&a.shapes),
+    ));
     let pipeline = sio_core::Trace::concat_pipeline(
         "htf-pipeline",
         &[&a.psetup.trace, &a.pargos.trace, &a.pscf.trace],
@@ -218,21 +273,22 @@ fn run_ppfs_ablation(cli: &Cli) {
     } else {
         ""
     };
-    let body = note.to_string() + &report::section(
-        "X1 — §5.2 PPFS write-behind + aggregation on ESCAT",
-        &format!(
-            "PFS  write+seek node time: {:>12.1} s\n\
+    let body = note.to_string()
+        + &report::section(
+            "X1 — §5.2 PPFS write-behind + aggregation on ESCAT",
+            &format!(
+                "PFS  write+seek node time: {:>12.1} s\n\
              PPFS write+seek node time: {:>12.1} s\n\
              improvement:               {:>12.1} x\n\
              application writes buffered: {}\n\
              flush extents written back:  {}\n",
-            r.pfs_write_seek_secs,
-            r.ppfs_write_seek_secs,
-            r.speedup,
-            r.writes_buffered,
-            r.flush_extents,
-        ),
-    );
+                r.pfs_write_seek_secs,
+                r.ppfs_write_seek_secs,
+                r.speedup,
+                r.writes_buffered,
+                r.flush_extents,
+            ),
+        );
     report::write_text(&cli.out, "ppfs_ablation", &body).expect("write report");
     println!("{body}");
 }
@@ -254,7 +310,12 @@ fn run_crossover(cli: &Cli) {
     let body = report::section("X3 — §7.2 integral read vs recompute crossover", &b);
     let csv_rows: Vec<String> = rows
         .iter()
-        .map(|r| format!("{},{},{},{}", r.io_rate_mb_s, r.read_us, r.compute_us, r.io_preferred))
+        .map(|r| {
+            format!(
+                "{},{},{},{}",
+                r.io_rate_mb_s, r.read_us, r.compute_us, r.io_preferred
+            )
+        })
         .collect();
     report::write_csv(
         &cli.out,
@@ -281,11 +342,17 @@ fn run_scaling(cli: &Cli) {
     } else {
         MachineConfig::caltech_paragon()
     };
-    let counts: &[u32] = if cli.fast { &[4, 8, 16] } else { &[32, 64, 128, 256, 512] };
+    let counts: &[u32] = if cli.fast {
+        &[4, 8, 16]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let rows = experiments::escat_scaling(&big_machine, counts);
     let mut b = String::new();
-    b.push_str("nodes   io node-time(s)   wall(s)   io share of node-time
-");
+    b.push_str(
+        "nodes   io node-time(s)   wall(s)   io share of node-time
+",
+    );
     for r in &rows {
         b.push_str(&format!(
             "{:>5} {:>17.1} {:>9.0} {:>10.2}%
@@ -302,17 +369,33 @@ fn run_scaling(cli: &Cli) {
     ));
     let csv: Vec<String> = rows
         .iter()
-        .map(|r| format!("{},{},{},{}", r.nodes, r.io_secs, r.wall_secs, r.io_fraction))
+        .map(|r| {
+            format!(
+                "{},{},{},{}",
+                r.nodes, r.io_secs, r.wall_secs, r.io_fraction
+            )
+        })
         .collect();
-    report::write_csv(&cli.out, "escat_scaling", "nodes,io_secs,wall_secs,io_fraction", &csv)
-        .expect("csv");
+    report::write_csv(
+        &cli.out,
+        "escat_scaling",
+        "nodes,io_secs,wall_secs,io_fraction",
+        &csv,
+    )
+    .expect("csv");
 
-    let params = if cli.fast { EscatParams::small(8, 6) } else { EscatParams::paper() };
+    let params = if cli.fast {
+        EscatParams::small(8, 6)
+    } else {
+        EscatParams::paper()
+    };
     let scales: &[u32] = if cli.fast { &[1, 8] } else { &[1, 4, 16] };
     let rows = experiments::escat_growth(&machine(cli.fast), &params, scales);
     let mut b = String::new();
-    b.push_str("scale   write volume(B)   io share   wall(s)
-");
+    b.push_str(
+        "scale   write volume(B)   io share   wall(s)
+",
+    );
     for r in &rows {
         b.push_str(&format!(
             "{:>5}x {:>17} {:>9.2}% {:>9.0}
@@ -329,10 +412,20 @@ fn run_scaling(cli: &Cli) {
     ));
     let csv: Vec<String> = rows
         .iter()
-        .map(|r| format!("{},{},{},{}", r.scale, r.write_volume, r.io_fraction, r.wall_secs))
+        .map(|r| {
+            format!(
+                "{},{},{},{}",
+                r.scale, r.write_volume, r.io_fraction, r.wall_secs
+            )
+        })
         .collect();
-    report::write_csv(&cli.out, "escat_growth", "scale,write_volume,io_fraction,wall_secs", &csv)
-        .expect("csv");
+    report::write_csv(
+        &cli.out,
+        "escat_growth",
+        "scale,write_volume,io_fraction,wall_secs",
+        &csv,
+    )
+    .expect("csv");
 
     report::write_text(&cli.out, "scaling", &body).expect("write report");
     println!("{body}");
@@ -359,7 +452,10 @@ fn run_ablations(cli: &Cli) {
             r.wall_secs
         ));
     }
-    body.push_str(&report::section("A1 — access-mode costs (synchronized writers)", &b));
+    body.push_str(&report::section(
+        "A1 — access-mode costs (synchronized writers)",
+        &b,
+    ));
 
     let rows = experiments::policy_matrix(&m);
     let mut b = String::new();
@@ -369,7 +465,10 @@ fn run_ablations(cli: &Cli) {
             r.kernel, r.policy, r.read_secs, r.reads_hit
         ));
     }
-    body.push_str(&report::section("A2 — policy matrix (pattern x policy)", &b));
+    body.push_str(&report::section(
+        "A2 — policy matrix (pattern x policy)",
+        &b,
+    ));
 
     let rows = experiments::queue_discipline(&m, if cli.fast { 4 } else { 16 });
     let mut b = String::new();
@@ -442,19 +541,20 @@ fn main() {
             "ablations" => run_ablations(&cli),
             "scaling" => run_scaling(&cli),
             "all" => {
-                // Independent experiments fan out across threads; each
-                // simulation is single-threaded and deterministic, so
+                // Independent experiments fan out over the sweep runner;
+                // each simulation is single-threaded and deterministic, so
                 // parallelism changes nothing but wall time.
-                crossbeam::thread::scope(|scope| {
-                    scope.spawn(|_| run_escat(&cli));
-                    scope.spawn(|_| run_render(&cli));
-                    scope.spawn(|_| run_htf(&cli));
-                    scope.spawn(|_| run_ppfs_ablation(&cli));
-                    scope.spawn(|_| run_crossover(&cli));
-                    scope.spawn(|_| run_ablations(&cli));
-                    scope.spawn(|_| run_scaling(&cli));
-                })
-                .expect("experiment thread panicked");
+                let cli = &cli;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                    Box::new(move || run_escat(cli)),
+                    Box::new(move || run_render(cli)),
+                    Box::new(move || run_htf(cli)),
+                    Box::new(move || run_ppfs_ablation(cli)),
+                    Box::new(move || run_crossover(cli)),
+                    Box::new(move || run_ablations(cli)),
+                    Box::new(move || run_scaling(cli)),
+                ];
+                runner::par_run(runner::configured_jobs(), tasks);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

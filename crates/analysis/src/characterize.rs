@@ -242,12 +242,7 @@ impl Characterization {
         let seq = self
             .streams
             .values()
-            .filter(|p| {
-                matches!(
-                    p,
-                    AccessPattern::Sequential | AccessPattern::Cyclic { .. }
-                )
-            })
+            .filter(|p| matches!(p, AccessPattern::Sequential | AccessPattern::Cyclic { .. }))
             .count();
         seq as f64 / self.streams.len() as f64
     }
@@ -318,7 +313,12 @@ impl Characterization {
             self.sequential_stream_fraction() * 100.0,
             self.fixed_size_share() * 100.0,
             self.reopened_files(),
-            cc, cv, sc, sv, oc, ov,
+            cc,
+            cv,
+            sc,
+            sv,
+            oc,
+            ov,
         )
     }
 }
@@ -330,7 +330,9 @@ mod tests {
     use sio_core::trace::Tracer;
 
     fn ev(node: NodeId, file: FileId, op: IoOp, offset: u64, bytes: u64) -> IoEvent {
-        IoEvent::new(node, file, op).span(0, 10).extent(offset, bytes)
+        IoEvent::new(node, file, op)
+            .span(0, 10)
+            .extent(offset, bytes)
     }
 
     #[test]

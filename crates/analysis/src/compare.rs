@@ -109,13 +109,48 @@ pub const VOLUME_TOL: f64 = 0.03;
 /// Table 1 count/volume comparisons for an ESCAT operation table.
 pub fn escat_table1_checks(t: &OpTable) -> Vec<Check> {
     vec![
-        Check::new("escat reads (count)", 560.0, t.count(IoOp::Read) as f64, COUNT_TOL),
-        Check::new("escat writes (count)", 13_330.0, t.count(IoOp::Write) as f64, COUNT_TOL),
-        Check::new("escat seeks (count)", 12_034.0, t.count(IoOp::Seek) as f64, COUNT_TOL),
-        Check::new("escat opens (count)", 262.0, t.count(IoOp::Open) as f64, COUNT_TOL),
-        Check::new("escat closes (count)", 262.0, t.count(IoOp::Close) as f64, COUNT_TOL),
-        Check::new("escat read volume (B)", 34_226_048.0, t.volume(IoOp::Read) as f64, 0.05),
-        Check::new("escat write volume (B)", 26_757_088.0, t.volume(IoOp::Write) as f64, VOLUME_TOL),
+        Check::new(
+            "escat reads (count)",
+            560.0,
+            t.count(IoOp::Read) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "escat writes (count)",
+            13_330.0,
+            t.count(IoOp::Write) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "escat seeks (count)",
+            12_034.0,
+            t.count(IoOp::Seek) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "escat opens (count)",
+            262.0,
+            t.count(IoOp::Open) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "escat closes (count)",
+            262.0,
+            t.count(IoOp::Close) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "escat read volume (B)",
+            34_226_048.0,
+            t.volume(IoOp::Read) as f64,
+            0.05,
+        ),
+        Check::new(
+            "escat write volume (B)",
+            26_757_088.0,
+            t.volume(IoOp::Write) as f64,
+            VOLUME_TOL,
+        ),
     ]
 }
 
@@ -172,21 +207,66 @@ pub fn escat_shape(t: &OpTable, gaps: &[f64]) -> Vec<ShapeCheck> {
 /// Table 3 comparisons for RENDER.
 pub fn render_table3_checks(t: &OpTable) -> Vec<Check> {
     vec![
-        Check::new("render reads (count)", 121.0, t.count(IoOp::Read) as f64, COUNT_TOL),
-        Check::new("render async reads (count)", 436.0, t.count(IoOp::AsyncRead) as f64, COUNT_TOL),
-        Check::new("render iowaits (count)", 436.0, t.count(IoOp::IoWait) as f64, COUNT_TOL),
-        Check::new("render writes (count)", 300.0, t.count(IoOp::Write) as f64, COUNT_TOL),
-        Check::new("render seeks (count)", 4.0, t.count(IoOp::Seek) as f64, COUNT_TOL),
-        Check::new("render opens (count)", 106.0, t.count(IoOp::Open) as f64, COUNT_TOL),
-        Check::new("render closes (count)", 101.0, t.count(IoOp::Close) as f64, COUNT_TOL),
+        Check::new(
+            "render reads (count)",
+            121.0,
+            t.count(IoOp::Read) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render async reads (count)",
+            436.0,
+            t.count(IoOp::AsyncRead) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render iowaits (count)",
+            436.0,
+            t.count(IoOp::IoWait) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render writes (count)",
+            300.0,
+            t.count(IoOp::Write) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render seeks (count)",
+            4.0,
+            t.count(IoOp::Seek) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render opens (count)",
+            106.0,
+            t.count(IoOp::Open) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "render closes (count)",
+            101.0,
+            t.count(IoOp::Close) as f64,
+            COUNT_TOL,
+        ),
         Check::new(
             "render async read volume (B)",
             880_849_125.0,
             t.volume(IoOp::AsyncRead) as f64,
             0.01,
         ),
-        Check::new("render write volume (B)", 98_305_400.0, t.volume(IoOp::Write) as f64, 0.001),
-        Check::new("render read volume (B)", 8_457.0, t.volume(IoOp::Read) as f64, 0.01),
+        Check::new(
+            "render write volume (B)",
+            98_305_400.0,
+            t.volume(IoOp::Write) as f64,
+            0.001,
+        ),
+        Check::new(
+            "render read volume (B)",
+            8_457.0,
+            t.volume(IoOp::Read) as f64,
+            0.01,
+        ),
     ]
 }
 
@@ -227,31 +307,92 @@ pub fn render_shape(t: &OpTable, wall_secs: f64, init_end_secs: f64) -> Vec<Shap
 }
 
 /// Table 5 comparisons for the three HTF phases.
-pub fn htf_table5_checks(
-    psetup: &OpTable,
-    pargos: &OpTable,
-    pscf: &OpTable,
-) -> Vec<Check> {
+pub fn htf_table5_checks(psetup: &OpTable, pargos: &OpTable, pscf: &OpTable) -> Vec<Check> {
     vec![
-        Check::new("psetup reads (count)", 371.0, psetup.count(IoOp::Read) as f64, COUNT_TOL),
-        Check::new("psetup writes (count)", 452.0, psetup.count(IoOp::Write) as f64, COUNT_TOL),
-        Check::new("psetup read volume (B)", 3_522_497.0, psetup.volume(IoOp::Read) as f64, 0.01),
-        Check::new("psetup write volume (B)", 3_744_872.0, psetup.volume(IoOp::Write) as f64, 0.01),
-        Check::new("pargos reads (count)", 145.0, pargos.count(IoOp::Read) as f64, COUNT_TOL),
-        Check::new("pargos writes (count)", 8_535.0, pargos.count(IoOp::Write) as f64, COUNT_TOL),
-        Check::new("pargos opens (count)", 130.0, pargos.count(IoOp::Open) as f64, COUNT_TOL),
-        Check::new("pargos lsize (count)", 128.0, pargos.count(IoOp::Lsize) as f64, COUNT_TOL),
-        Check::new("pargos forflush (count)", 8_657.0, pargos.count(IoOp::Flush) as f64, 0.001),
+        Check::new(
+            "psetup reads (count)",
+            371.0,
+            psetup.count(IoOp::Read) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "psetup writes (count)",
+            452.0,
+            psetup.count(IoOp::Write) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "psetup read volume (B)",
+            3_522_497.0,
+            psetup.volume(IoOp::Read) as f64,
+            0.01,
+        ),
+        Check::new(
+            "psetup write volume (B)",
+            3_744_872.0,
+            psetup.volume(IoOp::Write) as f64,
+            0.01,
+        ),
+        Check::new(
+            "pargos reads (count)",
+            145.0,
+            pargos.count(IoOp::Read) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pargos writes (count)",
+            8_535.0,
+            pargos.count(IoOp::Write) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pargos opens (count)",
+            130.0,
+            pargos.count(IoOp::Open) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pargos lsize (count)",
+            128.0,
+            pargos.count(IoOp::Lsize) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pargos forflush (count)",
+            8_657.0,
+            pargos.count(IoOp::Flush) as f64,
+            0.001,
+        ),
         Check::new(
             "pargos write volume (B)",
             698_958_109.0,
             pargos.volume(IoOp::Write) as f64,
             0.001,
         ),
-        Check::new("pscf reads (count)", 51_499.0, pscf.count(IoOp::Read) as f64, COUNT_TOL),
-        Check::new("pscf writes (count)", 207.0, pscf.count(IoOp::Write) as f64, COUNT_TOL),
-        Check::new("pscf seeks (count)", 813.0, pscf.count(IoOp::Seek) as f64, 0.002),
-        Check::new("pscf opens (count)", 157.0, pscf.count(IoOp::Open) as f64, COUNT_TOL),
+        Check::new(
+            "pscf reads (count)",
+            51_499.0,
+            pscf.count(IoOp::Read) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pscf writes (count)",
+            207.0,
+            pscf.count(IoOp::Write) as f64,
+            COUNT_TOL,
+        ),
+        Check::new(
+            "pscf seeks (count)",
+            813.0,
+            pscf.count(IoOp::Seek) as f64,
+            0.002,
+        ),
+        Check::new(
+            "pscf opens (count)",
+            157.0,
+            pscf.count(IoOp::Open) as f64,
+            COUNT_TOL,
+        ),
         Check::new(
             "pscf read volume (B)",
             4_201_634_304.0,
@@ -274,13 +415,38 @@ pub fn htf_table6_checks(psetup: &SizeTable, pargos: &SizeTable, pscf: &SizeTabl
         let r = s.read.as_row().map(|x| x as f64);
         let w = s.write.as_row().map(|x| x as f64);
         for (i, label) in ["<4KB", "<64KB", "<256KB", ">=256KB"].iter().enumerate() {
-            v.push(Check::new(&format!("{name} reads {label}"), read_ref[i], r[i], COUNT_TOL));
-            v.push(Check::new(&format!("{name} writes {label}"), write_ref[i], w[i], COUNT_TOL));
+            v.push(Check::new(
+                &format!("{name} reads {label}"),
+                read_ref[i],
+                r[i],
+                COUNT_TOL,
+            ));
+            v.push(Check::new(
+                &format!("{name} writes {label}"),
+                write_ref[i],
+                w[i],
+                COUNT_TOL,
+            ));
         }
     };
-    bins("psetup", psetup, [151.0, 220.0, 0.0, 0.0], [218.0, 234.0, 0.0, 0.0]);
-    bins("pargos", pargos, [143.0, 2.0, 0.0, 0.0], [2.0, 1.0, 8_532.0, 0.0]);
-    bins("pscf", pscf, [165.0, 109.0, 51_225.0, 0.0], [43.0, 158.0, 6.0, 0.0]);
+    bins(
+        "psetup",
+        psetup,
+        [151.0, 220.0, 0.0, 0.0],
+        [218.0, 234.0, 0.0, 0.0],
+    );
+    bins(
+        "pargos",
+        pargos,
+        [143.0, 2.0, 0.0, 0.0],
+        [2.0, 1.0, 8_532.0, 0.0],
+    );
+    bins(
+        "pscf",
+        pscf,
+        [165.0, 109.0, 51_225.0, 0.0],
+        [43.0, 158.0, 6.0, 0.0],
+    );
     v
 }
 

@@ -4,19 +4,27 @@
 //! returns everything the `repro` binary, the integration tests, and the
 //! benches need: tables, figures, paper-vs-measured checks, and shape
 //! checks.
+//!
+//! Every multi-run sweep fans out over [`crate::runner`]: each simulation
+//! is an independent pure function of its configuration, so the worker
+//! count (`--jobs` / `SIO_JOBS`) affects wall time only — rows come back
+//! in input order and are bit-identical to the serial path
+//! (`tests/golden_traces.rs`). The `*_jobs` variants take an explicit
+//! worker count; the plain functions use [`runner::configured_jobs`].
 
 use crate::compare::{self, Check, ShapeCheck};
 use crate::figures::{self, FigureSet};
 use crate::optable::OpTable;
+use crate::runner;
 use crate::sizetable::SizeTable;
+use paragon_sim::ionode::QueueDiscipline;
+use paragon_sim::MachineConfig;
 use sio_apps::workload::{
     cyclic_read_kernel, parallel_write_kernel, random_read_kernel, run_workload,
     sequential_read_kernel, strided_read_kernel, Backend, RunOutput,
 };
 use sio_apps::{EscatParams, HtfParams, RenderParams};
 use sio_core::event::{IoOp, NS_PER_SEC};
-use paragon_sim::ionode::QueueDiscipline;
-use paragon_sim::MachineConfig;
 use sio_pfs::AccessMode;
 use sio_ppfs::PolicyConfig;
 
@@ -134,11 +142,19 @@ pub struct HtfArtifacts {
     pub shapes: Vec<ShapeCheck>,
 }
 
-/// Run the HTF pipeline experiment (T5, T6, F9–F17).
+/// Run the HTF pipeline experiment (T5, T6, F9–F17). The three pipeline
+/// programs are characterized independently in the paper, so they run as
+/// three parallel jobs.
 pub fn htf(machine: &MachineConfig, params: &HtfParams) -> HtfArtifacts {
-    let psetup = run_workload(machine, &params.psetup_workload(), &Backend::Pfs);
-    let pargos = run_workload(machine, &params.pargos_workload(), &Backend::Pfs);
-    let pscf = run_workload(machine, &params.pscf_workload(), &Backend::Pfs);
+    let phases = vec![
+        params.psetup_workload(),
+        params.pargos_workload(),
+        params.pscf_workload(),
+    ];
+    let mut outs = runner::par_map(phases, |_, w| run_workload(machine, &w, &Backend::Pfs));
+    let pscf = outs.pop().expect("pscf run");
+    let pargos = outs.pop().expect("pargos run");
+    let psetup = outs.pop().expect("psetup run");
     let table5 = [
         OpTable::from_trace(&psetup.trace),
         OpTable::from_trace(&pargos.trace),
@@ -187,14 +203,15 @@ pub struct PpfsAblation {
     pub writes_buffered: u64,
 }
 
-/// Run the PPFS ablation (X1).
+/// Run the PPFS ablation (X1). The baseline and tuned runs are
+/// independent, so they fan out as two parallel jobs.
 pub fn ppfs_ablation(machine: &MachineConfig, params: &EscatParams) -> PpfsAblation {
-    let pfs = run_workload(machine, &params.workload(), &Backend::Pfs);
-    let ppfs = run_workload(
-        machine,
-        &params.workload(),
-        &Backend::Ppfs(PolicyConfig::escat_tuned()),
-    );
+    let backends = vec![Backend::Pfs, Backend::Ppfs(PolicyConfig::escat_tuned())];
+    let mut outs = runner::par_map(backends, |_, b| {
+        run_workload(machine, &params.workload(), &b)
+    });
+    let ppfs = outs.pop().expect("ppfs run");
+    let pfs = outs.pop().expect("pfs run");
     let ws = |out: &RunOutput| -> f64 {
         let t = OpTable::from_trace(&out.trace);
         t.secs(IoOp::Write) + t.secs(IoOp::Seek)
@@ -219,7 +236,7 @@ pub fn ppfs_ablation(machine: &MachineConfig, params: &EscatParams) -> PpfsAblat
 /// `integral_bytes / io_rate < flops_per_integral / flop_rate`. The paper
 /// states the break-even at roughly 5–10 MB/s per node for ~500 flops per
 /// integral.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossoverRow {
     /// Per-node sustained I/O rate, MB/s.
     pub io_rate_mb_s: f64,
@@ -238,19 +255,33 @@ pub fn htf_crossover(
     flop_rate: f64,
     rates_mb_s: &[f64],
 ) -> Vec<CrossoverRow> {
+    htf_crossover_jobs(
+        integral_bytes,
+        flops_per_integral,
+        flop_rate,
+        rates_mb_s,
+        runner::configured_jobs(),
+    )
+}
+
+/// [`htf_crossover`] with an explicit worker count.
+pub fn htf_crossover_jobs(
+    integral_bytes: f64,
+    flops_per_integral: f64,
+    flop_rate: f64,
+    rates_mb_s: &[f64],
+    jobs: usize,
+) -> Vec<CrossoverRow> {
     let compute_us = flops_per_integral / flop_rate * 1e6;
-    rates_mb_s
-        .iter()
-        .map(|&r| {
-            let read_us = integral_bytes / (r * 1e6) * 1e6;
-            CrossoverRow {
-                io_rate_mb_s: r,
-                read_us,
-                compute_us,
-                io_preferred: read_us < compute_us,
-            }
-        })
-        .collect()
+    runner::par_map_jobs(jobs, rates_mb_s.to_vec(), |_, r| {
+        let read_us = integral_bytes / (r * 1e6) * 1e6;
+        CrossoverRow {
+            io_rate_mb_s: r,
+            read_us,
+            compute_us,
+            io_preferred: read_us < compute_us,
+        }
+    })
 }
 
 /// The paper's crossover sweep: ~100-byte integrals, 500 flops each, a
@@ -265,7 +296,7 @@ pub fn htf_crossover_paper() -> Vec<CrossoverRow> {
 }
 
 /// A1: access-mode cost ablation row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeRow {
     /// The mode.
     pub mode: AccessMode,
@@ -276,26 +307,42 @@ pub struct ModeRow {
 }
 
 /// Run the access-mode ablation (A1): synchronized parallel writers under
-/// every non-collective mode.
-pub fn mode_ablation(machine: &MachineConfig, nodes: u32, per_node: u32, bytes: u64) -> Vec<ModeRow> {
-    AccessMode::ALL
+/// every non-collective mode, one parallel job per mode.
+pub fn mode_ablation(
+    machine: &MachineConfig,
+    nodes: u32,
+    per_node: u32,
+    bytes: u64,
+) -> Vec<ModeRow> {
+    mode_ablation_jobs(machine, nodes, per_node, bytes, runner::configured_jobs())
+}
+
+/// [`mode_ablation`] with an explicit worker count.
+pub fn mode_ablation_jobs(
+    machine: &MachineConfig,
+    nodes: u32,
+    per_node: u32,
+    bytes: u64,
+    jobs: usize,
+) -> Vec<ModeRow> {
+    let modes: Vec<AccessMode> = AccessMode::ALL
         .into_iter()
         .filter(|m| *m != AccessMode::MGlobal) // M_GLOBAL is read-collective
-        .map(|mode| {
-            let w = parallel_write_kernel(nodes, per_node, bytes, mode);
-            let out = run_workload(machine, &w, &Backend::Pfs);
-            let t = OpTable::from_trace(&out.trace);
-            ModeRow {
-                mode,
-                write_secs: t.secs(IoOp::Write),
-                wall_secs: out.wall_secs(),
-            }
-        })
-        .collect()
+        .collect();
+    runner::par_map_jobs(jobs, modes, |_, mode| {
+        let w = parallel_write_kernel(nodes, per_node, bytes, mode);
+        let out = run_workload(machine, &w, &Backend::Pfs);
+        let t = OpTable::from_trace(&out.trace);
+        ModeRow {
+            mode,
+            write_secs: t.secs(IoOp::Write),
+            wall_secs: out.wall_secs(),
+        }
+    })
 }
 
 /// A2: cache/prefetch policy-matrix row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRow {
     /// Workload kernel name.
     pub kernel: &'static str,
@@ -307,11 +354,20 @@ pub struct PolicyRow {
     pub reads_hit: u64,
 }
 
-/// Run the policy matrix (A2): three access patterns × three policies. The
-/// paper's thesis (§8/§10): no single policy wins everywhere.
+/// Run the policy matrix (A2): four access patterns × three policies, one
+/// parallel job per cell. The paper's thesis (§8/§10): no single policy
+/// wins everywhere.
 pub fn policy_matrix(machine: &MachineConfig) -> Vec<PolicyRow> {
+    policy_matrix_jobs(machine, runner::configured_jobs())
+}
+
+/// [`policy_matrix`] with an explicit worker count.
+pub fn policy_matrix_jobs(machine: &MachineConfig, jobs: usize) -> Vec<PolicyRow> {
     let kernels: Vec<(&'static str, sio_apps::Workload)> = vec![
-        ("sequential", sequential_read_kernel(64, 65536, AccessMode::MUnix)),
+        (
+            "sequential",
+            sequential_read_kernel(64, 65536, AccessMode::MUnix),
+        ),
         ("strided", strided_read_kernel(64, 4096, 262_144)),
         ("random", random_read_kernel(64, 4096, 32 << 20, 11)),
         ("cyclic", cyclic_read_kernel(4, 16, 65536)),
@@ -321,24 +377,28 @@ pub fn policy_matrix(machine: &MachineConfig) -> Vec<PolicyRow> {
         ("readahead4", PolicyConfig::readahead(4)),
         ("adaptive4", PolicyConfig::adaptive(4)),
     ];
-    let mut rows = Vec::new();
-    for (kname, kernel) in &kernels {
-        for (pname, policy) in &policies {
-            let out = run_workload(machine, kernel, &Backend::Ppfs(*policy));
-            let t = OpTable::from_trace(&out.trace);
-            rows.push(PolicyRow {
-                kernel: kname,
-                policy: pname,
-                read_secs: t.secs(IoOp::Read),
-                reads_hit: out.ppfs_stats.unwrap().reads_hit,
-            });
+    let cells: Vec<(&'static str, sio_apps::Workload, &'static str, PolicyConfig)> = kernels
+        .iter()
+        .flat_map(|(kname, kernel)| {
+            policies
+                .iter()
+                .map(|(pname, policy)| (*kname, kernel.clone(), *pname, *policy))
+        })
+        .collect();
+    runner::par_map_jobs(jobs, cells, |_, (kernel, workload, policy, config)| {
+        let out = run_workload(machine, &workload, &Backend::Ppfs(config));
+        let t = OpTable::from_trace(&out.trace);
+        PolicyRow {
+            kernel,
+            policy,
+            read_secs: t.secs(IoOp::Read),
+            reads_hit: out.ppfs_stats.unwrap().reads_hit,
         }
-    }
-    rows
+    })
 }
 
 /// A3: disk queue-discipline ablation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueRow {
     /// Discipline.
     pub discipline: QueueDiscipline,
@@ -355,6 +415,12 @@ pub struct QueueRow {
 /// throttles the burst) from many nodes against a machine with only two I/O
 /// nodes — deep queues are exactly where the discipline matters.
 pub fn queue_discipline(machine: &MachineConfig, nodes: u32) -> Vec<QueueRow> {
+    queue_discipline_jobs(machine, nodes, runner::configured_jobs())
+}
+
+/// [`queue_discipline`] with an explicit worker count (one job per
+/// discipline).
+pub fn queue_discipline_jobs(machine: &MachineConfig, nodes: u32, jobs: usize) -> Vec<QueueRow> {
     use paragon_sim::program::{IoRequest, ScriptOp};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -384,20 +450,22 @@ pub fn queue_discipline(machine: &MachineConfig, nodes: u32) -> Vec<QueueRow> {
             groups: Vec::new(),
         }
     };
-    [QueueDiscipline::Fifo, QueueDiscipline::CScan, QueueDiscipline::Sstf]
-        .into_iter()
-        .map(|d| {
-            let mut m = machine.clone().with_discipline(d);
-            m.io_nodes = 2;
-            let out = run_workload(&m, &build(), &Backend::Pfs);
-            let t = OpTable::from_trace(&out.trace);
-            QueueRow {
-                discipline: d,
-                read_secs: t.secs(IoOp::Read),
-                wall_secs: out.wall_secs(),
-            }
-        })
-        .collect()
+    let disciplines = vec![
+        QueueDiscipline::Fifo,
+        QueueDiscipline::CScan,
+        QueueDiscipline::Sstf,
+    ];
+    runner::par_map_jobs(jobs, disciplines, |_, d| {
+        let mut m = machine.clone().with_discipline(d);
+        m.io_nodes = 2;
+        let out = run_workload(&m, &build(), &Backend::Pfs);
+        let t = OpTable::from_trace(&out.trace);
+        QueueRow {
+            discipline: d,
+            read_secs: t.secs(IoOp::Read),
+            wall_secs: out.wall_secs(),
+        }
+    })
 }
 
 /// S1: ESCAT weak scaling — same per-node quadrature work, growing node
@@ -405,7 +473,7 @@ pub fn queue_discipline(machine: &MachineConfig, nodes: u32) -> Vec<QueueRow> {
 /// operations make I/O node-time grow superlinearly: the paper's framing
 /// that "input/output is emerging as a major performance bottleneck" for
 /// scalable applications.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaleRow {
     /// Compute nodes.
     pub nodes: u32,
@@ -417,26 +485,32 @@ pub struct ScaleRow {
     pub io_fraction: f64,
 }
 
-/// Run the ESCAT weak-scaling sweep (S1).
+/// Run the ESCAT weak-scaling sweep (S1), one parallel job per node count.
 pub fn escat_scaling(machine: &MachineConfig, node_counts: &[u32]) -> Vec<ScaleRow> {
-    node_counts
-        .iter()
-        .map(|&nodes| {
-            let mut params = EscatParams::paper();
-            params.nodes = nodes;
-            let mut m = machine.clone();
-            m.compute_nodes = m.compute_nodes.max(nodes);
-            let out = run_workload(&m, &params.workload(), &Backend::Pfs);
-            let io_secs = out.trace.node_time() as f64 / 1e9;
-            let wall_secs = out.wall_secs();
-            ScaleRow {
-                nodes,
-                io_secs,
-                wall_secs,
-                io_fraction: io_secs / (wall_secs * nodes as f64),
-            }
-        })
-        .collect()
+    escat_scaling_jobs(machine, node_counts, runner::configured_jobs())
+}
+
+/// [`escat_scaling`] with an explicit worker count.
+pub fn escat_scaling_jobs(
+    machine: &MachineConfig,
+    node_counts: &[u32],
+    jobs: usize,
+) -> Vec<ScaleRow> {
+    runner::par_map_jobs(jobs, node_counts.to_vec(), |_, nodes| {
+        let mut params = EscatParams::paper();
+        params.nodes = nodes;
+        let mut m = machine.clone();
+        m.compute_nodes = m.compute_nodes.max(nodes);
+        let out = run_workload(&m, &params.workload(), &Backend::Pfs);
+        let io_secs = out.trace.node_time() as f64 / 1e9;
+        let wall_secs = out.wall_secs();
+        ScaleRow {
+            nodes,
+            io_secs,
+            wall_secs,
+            io_fraction: io_secs / (wall_secs * nodes as f64),
+        }
+    })
 }
 
 /// S2: quadrature-data growth. §5.2: the quadrature volume grows as
@@ -446,7 +520,7 @@ pub fn escat_scaling(machine: &MachineConfig, node_counts: &[u32]) -> Vec<ScaleR
 /// dramatically were higher performance input/output possible". We scale
 /// the number of quadrature records at fixed *total* compute, isolating
 /// the I/O growth, and watch the I/O share of the run take over.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GrowthRow {
     /// Multiplier on the quadrature record count.
     pub scale: u32,
@@ -458,35 +532,46 @@ pub struct GrowthRow {
     pub wall_secs: f64,
 }
 
-/// Run the quadrature-growth sweep (S2).
-pub fn escat_growth(machine: &MachineConfig, params: &EscatParams, scales: &[u32]) -> Vec<GrowthRow> {
-    scales
-        .iter()
-        .map(|&scale| {
-            let mut p = params.clone();
-            // More integrals: more records per node, same record size.
-            p.iters = params.iters * scale;
-            p.seek_iters = params.seek_iters * scale;
-            // Total compute held fixed (what-if isolating the I/O term).
-            p.compute_start = params.compute_start / scale as f64;
-            p.compute_end = params.compute_end / scale as f64;
-            let out = run_workload(machine, &p.workload(), &Backend::Pfs);
-            let t = OpTable::from_trace(&out.trace);
-            let io_secs = out.trace.node_time() as f64 / 1e9;
-            let wall_secs = out.wall_secs();
-            GrowthRow {
-                scale,
-                write_volume: t.volume(IoOp::Write),
-                io_fraction: io_secs / (wall_secs * p.nodes as f64),
-                wall_secs,
-            }
-        })
-        .collect()
+/// Run the quadrature-growth sweep (S2), one parallel job per scale.
+pub fn escat_growth(
+    machine: &MachineConfig,
+    params: &EscatParams,
+    scales: &[u32],
+) -> Vec<GrowthRow> {
+    escat_growth_jobs(machine, params, scales, runner::configured_jobs())
+}
+
+/// [`escat_growth`] with an explicit worker count.
+pub fn escat_growth_jobs(
+    machine: &MachineConfig,
+    params: &EscatParams,
+    scales: &[u32],
+    jobs: usize,
+) -> Vec<GrowthRow> {
+    runner::par_map_jobs(jobs, scales.to_vec(), |_, scale| {
+        let mut p = params.clone();
+        // More integrals: more records per node, same record size.
+        p.iters = params.iters * scale;
+        p.seek_iters = params.seek_iters * scale;
+        // Total compute held fixed (what-if isolating the I/O term).
+        p.compute_start = params.compute_start / scale as f64;
+        p.compute_end = params.compute_end / scale as f64;
+        let out = run_workload(machine, &p.workload(), &Backend::Pfs);
+        let t = OpTable::from_trace(&out.trace);
+        let io_secs = out.trace.node_time() as f64 / 1e9;
+        let wall_secs = out.wall_secs();
+        GrowthRow {
+            scale,
+            write_volume: t.volume(IoOp::Write),
+            io_fraction: io_secs / (wall_secs * p.nodes as f64),
+            wall_secs,
+        }
+    })
 }
 
 /// M1: application-mix interference (paper §8) — one application's I/O
 /// time inflates when another shares the I/O nodes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixRow {
     /// Application label.
     pub app: String,
@@ -516,6 +601,26 @@ pub fn workload_mix(
     escat_params: &EscatParams,
     htf_params: &HtfParams,
 ) -> Vec<MixRow> {
+    workload_mix_jobs(machine, escat_params, htf_params, runner::configured_jobs())
+}
+
+/// Which simulation a mix job runs.
+#[derive(Debug, Clone, Copy)]
+enum MixTask {
+    IsoEscat,
+    IsoPscf,
+    Mixed,
+}
+
+/// [`workload_mix`] with an explicit worker count. The two I/O-node
+/// configurations × (two isolated runs + one mixed run) flatten into six
+/// independent jobs.
+pub fn workload_mix_jobs(
+    machine: &MachineConfig,
+    escat_params: &EscatParams,
+    htf_params: &HtfParams,
+    jobs: usize,
+) -> Vec<MixRow> {
     use sio_apps::mix;
     let w_escat = escat_params.workload();
     let w_pscf = htf_params.pscf_workload();
@@ -524,18 +629,35 @@ pub fn workload_mix(
         events.iter().map(|e| e.duration()).sum::<u64>() as f64 / 1e9
     };
 
-    let mut rows = Vec::new();
-    for io_nodes in [machine.io_nodes, (machine.io_nodes / 4).max(1)] {
+    let configs = [machine.io_nodes, (machine.io_nodes / 4).max(1)];
+    let tasks: Vec<(u32, MixTask)> = configs
+        .iter()
+        .flat_map(|&io_nodes| {
+            [MixTask::IsoEscat, MixTask::IsoPscf, MixTask::Mixed]
+                .into_iter()
+                .map(move |t| (io_nodes, t))
+        })
+        .collect();
+    let outs = runner::par_map_jobs(jobs, tasks, |_, (io_nodes, task)| {
         let mut m = machine.clone();
         m.io_nodes = io_nodes;
-        let iso_escat = run_workload(&m, &w_escat, &Backend::Pfs);
-        let iso_pscf = run_workload(&m, &w_pscf, &Backend::Pfs);
+        match task {
+            MixTask::IsoEscat => run_workload(&m, &w_escat, &Backend::Pfs),
+            MixTask::IsoPscf => run_workload(&m, &w_pscf, &Backend::Pfs),
+            MixTask::Mixed => {
+                let mixed_w = mix::combine("escat+pscf", &[&w_escat, &w_pscf]);
+                let mut big = m.clone();
+                big.compute_nodes = big.compute_nodes.max(mixed_w.scripts.len() as u32);
+                run_workload(&big, &mixed_w, &Backend::Pfs)
+            }
+        }
+    });
 
+    let mut rows = Vec::new();
+    for (c, chunk) in outs.chunks_exact(3).enumerate() {
+        let (iso_escat, iso_pscf, mixed) = (&chunk[0], &chunk[1], &chunk[2]);
+        let io_nodes = configs[c];
         let parts = [&w_escat, &w_pscf];
-        let mixed_w = mix::combine("escat+pscf", &parts);
-        let mut big = m.clone();
-        big.compute_nodes = big.compute_nodes.max(mixed_w.scripts.len() as u32);
-        let mixed = run_workload(&big, &mixed_w, &Backend::Pfs);
         let r_escat = mix::node_range(&parts, 0);
         let r_pscf = mix::node_range(&parts, 1);
         let in_range = |r: &std::ops::Range<u32>| -> Vec<sio_core::IoEvent> {
@@ -566,7 +688,7 @@ pub fn workload_mix(
 /// B1: two-level buffering (paper §8) — N nodes stream the same file in
 /// turn; the server cache at the I/O nodes serves every node after the
 /// first from memory.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoLevelRow {
     /// Server cache blocks per I/O node (0 = client-only baseline).
     pub server_blocks: u32,
@@ -578,6 +700,16 @@ pub struct TwoLevelRow {
 
 /// Run the two-level buffering experiment (B1).
 pub fn two_level_buffering(machine: &MachineConfig, nodes: u32) -> Vec<TwoLevelRow> {
+    two_level_buffering_jobs(machine, nodes, runner::configured_jobs())
+}
+
+/// [`two_level_buffering`] with an explicit worker count (one job per
+/// server-cache configuration).
+pub fn two_level_buffering_jobs(
+    machine: &MachineConfig,
+    nodes: u32,
+    jobs: usize,
+) -> Vec<TwoLevelRow> {
     use paragon_sim::program::{IoRequest, ScriptOp};
     use paragon_sim::SimDuration;
     use sio_pfs::FileSpec;
@@ -605,28 +737,25 @@ pub fn two_level_buffering(machine: &MachineConfig, nodes: u32) -> Vec<TwoLevelR
             groups: Vec::new(),
         }
     };
-    [0u32, 256]
-        .into_iter()
-        .map(|server_blocks| {
-            let policy = if server_blocks == 0 {
-                PolicyConfig::write_through()
-            } else {
-                PolicyConfig::two_level(64, server_blocks)
-            };
-            let out = run_workload(machine, &build(), &Backend::Ppfs(policy));
-            let t = OpTable::from_trace(&out.trace);
-            let stats = out.ppfs_stats.unwrap();
-            TwoLevelRow {
-                server_blocks,
-                read_secs: t.secs(IoOp::Read),
-                server_hits: stats.server_hits,
-            }
-        })
-        .collect()
+    runner::par_map_jobs(jobs, vec![0u32, 256], |_, server_blocks| {
+        let policy = if server_blocks == 0 {
+            PolicyConfig::write_through()
+        } else {
+            PolicyConfig::two_level(64, server_blocks)
+        };
+        let out = run_workload(machine, &build(), &Backend::Ppfs(policy));
+        let t = OpTable::from_trace(&out.trace);
+        let stats = out.ppfs_stats.unwrap();
+        TwoLevelRow {
+            server_blocks,
+            read_secs: t.secs(IoOp::Read),
+            server_hits: stats.server_hits,
+        }
+    })
 }
 
 /// A4: RAID-3 degraded-mode read penalty.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RaidRow {
     /// Whether a data disk was failed before the run.
     pub degraded: bool,
@@ -636,47 +765,50 @@ pub struct RaidRow {
 
 /// Run the RAID degraded-mode experiment (A4).
 pub fn raid_degraded(machine: &MachineConfig) -> Vec<RaidRow> {
+    raid_degraded_jobs(machine, runner::configured_jobs())
+}
+
+/// [`raid_degraded`] with an explicit worker count (healthy and degraded
+/// runs in parallel).
+pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> {
     use paragon_sim::mesh::Mesh;
     use paragon_sim::program::{NodeProgram, ScriptProgram};
     use paragon_sim::Engine;
     use sio_core::trace::Tracer;
     use sio_pfs::Pfs;
 
-    [false, true]
-        .into_iter()
-        .map(|degraded| {
-            let w = sequential_read_kernel(64, 262_144, AccessMode::MUnix);
-            let tracer = Tracer::new("raid");
-            let mut fs = Pfs::new(machine, tracer.clone());
-            for f in &w.files {
-                fs.register(f.clone());
+    runner::par_map_jobs(jobs, vec![false, true], |_, degraded| {
+        let w = sequential_read_kernel(64, 262_144, AccessMode::MUnix);
+        let tracer = Tracer::new("raid");
+        let mut fs = Pfs::new(machine, tracer.clone());
+        for f in &w.files {
+            fs.register(f.clone());
+        }
+        if degraded {
+            for io in 0..machine.io_nodes {
+                fs.fail_disk(io, 0);
             }
-            if degraded {
-                for io in 0..machine.io_nodes {
-                    fs.fail_disk(io, 0);
-                }
-            }
-            let programs: Vec<Box<dyn NodeProgram>> = w
-                .scripts
-                .iter()
-                .map(|s| Box::new(ScriptProgram::new(s.clone())) as Box<dyn NodeProgram>)
-                .collect();
-            let mut engine = Engine::new(
-                Mesh::for_nodes(machine.compute_nodes, machine.io_nodes),
-                machine.comm,
-                programs,
-                fs,
-            );
-            let report = engine.run();
-            assert!(report.clean());
-            let trace = tracer.finish();
-            let read_ns: u64 = trace.of_op(IoOp::Read).map(|e| e.duration()).sum();
-            RaidRow {
-                degraded,
-                read_secs: read_ns as f64 / NS_PER_SEC,
-            }
-        })
-        .collect()
+        }
+        let programs: Vec<Box<dyn NodeProgram>> = w
+            .scripts
+            .iter()
+            .map(|s| Box::new(ScriptProgram::new(s.clone())) as Box<dyn NodeProgram>)
+            .collect();
+        let mut engine = Engine::new(
+            Mesh::for_nodes(machine.compute_nodes, machine.io_nodes),
+            machine.comm,
+            programs,
+            fs,
+        );
+        let report = engine.run();
+        assert!(report.clean());
+        let trace = tracer.finish();
+        let read_ns: u64 = trace.of_op(IoOp::Read).map(|e| e.duration()).sum();
+        RaidRow {
+            degraded,
+            read_secs: read_ns as f64 / NS_PER_SEC,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -703,7 +835,10 @@ mod tests {
         let a = render(&tiny(), &RenderParams::small(4, 3));
         assert_eq!(a.figures.figures.len(), 3);
         assert!(a.init_end_secs > 0.0);
-        assert_eq!(a.table3.count(IoOp::IoWait), a.table3.count(IoOp::AsyncRead));
+        assert_eq!(
+            a.table3.count(IoOp::IoWait),
+            a.table3.count(IoOp::AsyncRead)
+        );
     }
 
     #[test]

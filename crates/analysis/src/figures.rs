@@ -15,9 +15,7 @@ use sio_core::event::IoOp;
 use sio_core::reduce::region::RegionReducer;
 use sio_core::reduce::window::WindowReducer;
 use sio_core::reduce::Reducer;
-use sio_core::timeline::{
-    self, ascii_scatter, cluster_gaps, cluster_times, AccessMark, OpPoint,
-};
+use sio_core::timeline::{self, ascii_scatter, cluster_gaps, cluster_times, AccessMark, OpPoint};
 use sio_core::trace::Trace;
 use std::io::Write as _;
 use std::path::Path;
@@ -175,16 +173,16 @@ pub fn window_series(trace: &Trace, width_secs: f64) -> Vec<WindowRow> {
 }
 
 /// Write a window series as CSV into `dir/<name>.csv`.
-pub fn write_window_csv(
-    rows: &[WindowRow],
-    dir: &Path,
-    name: &str,
-) -> std::io::Result<()> {
+pub fn write_window_csv(rows: &[WindowRow], dir: &Path, name: &str) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
     writeln!(f, "t_secs,read_bytes,write_bytes,ops")?;
     for r in rows {
-        writeln!(f, "{:.3},{},{},{}", r.t_secs, r.read_bytes, r.write_bytes, r.ops)?;
+        writeln!(
+            f,
+            "{:.3},{},{},{}",
+            r.t_secs, r.read_bytes, r.write_bytes, r.ops
+        )?;
     }
     Ok(())
 }
@@ -221,16 +219,16 @@ pub fn region_series(trace: &Trace, file: u32, region_bytes: u64) -> Vec<RegionR
 }
 
 /// Write a region series as CSV into `dir/<name>.csv`.
-pub fn write_region_csv(
-    rows: &[RegionRow],
-    dir: &Path,
-    name: &str,
-) -> std::io::Result<()> {
+pub fn write_region_csv(rows: &[RegionRow], dir: &Path, name: &str) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
     writeln!(f, "region,read_bytes,write_bytes,nodes")?;
     for r in rows {
-        writeln!(f, "{},{},{},{}", r.region, r.read_bytes, r.write_bytes, r.nodes)?;
+        writeln!(
+            f,
+            "{},{},{},{}",
+            r.region, r.read_bytes, r.write_bytes, r.nodes
+        )?;
     }
     Ok(())
 }
@@ -302,7 +300,11 @@ mod tests {
         let t = Tracer::new("f");
         for i in 0..10u64 {
             let ns = i * 1_000_000_000;
-            t.record(IoEvent::new(0, 7, IoOp::Write).span(ns, ns + 1000).extent(0, 2048));
+            t.record(
+                IoEvent::new(0, 7, IoOp::Write)
+                    .span(ns, ns + 1000)
+                    .extent(0, 2048),
+            );
             t.record(
                 IoEvent::new(1, 9, IoOp::Read)
                     .span(ns + 500, ns + 1500)
@@ -351,7 +353,11 @@ mod tests {
             let _ = c;
             for k in 0..5u64 {
                 let ns = ((base + k as f64 * 0.01) * 1e9) as u64;
-                t.record(IoEvent::new(0, 1, IoOp::Write).span(ns, ns + 100).extent(0, 10));
+                t.record(
+                    IoEvent::new(0, 1, IoOp::Write)
+                        .span(ns, ns + 100)
+                        .extent(0, 10),
+                );
             }
         }
         let (clusters, gaps) = write_burst_gaps(&t.finish(), 10.0);
@@ -365,7 +371,7 @@ mod tests {
         let tr = trace();
         let rows = window_series(&tr, 2.0);
         assert_eq!(rows.len(), 5); // events span 0..10 s
-        // Each 2 s window holds 2 write starts + 2 read starts.
+                                   // Each 2 s window holds 2 write starts + 2 read starts.
         assert_eq!(rows[0].ops, 4);
         assert_eq!(rows[0].write_bytes, 2 * 2048);
         assert_eq!(rows[0].read_bytes, 2 * 4096);

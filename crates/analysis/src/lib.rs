@@ -12,6 +12,9 @@
 //!   (who dominates, by roughly what factor);
 //! * [`experiments`] — one driver per experiment in DESIGN.md's index,
 //!   used by the `repro` binary, the integration tests, and the benches;
+//! * [`runner`] — the parallel sweep executor: every experiment sweep
+//!   fans its independent, deterministic simulations out over a bounded
+//!   worker pool (`--jobs N` / `SIO_JOBS`), with results in input order;
 //! * [`report`] — plain-text table rendering and CSV writers.
 //!
 //! The `repro` binary (`cargo run -p sio-analysis --bin repro --release`)
@@ -23,6 +26,7 @@ pub mod experiments;
 pub mod figures;
 pub mod optable;
 pub mod report;
+pub mod runner;
 pub mod sizetable;
 
 pub use optable::OpTable;

@@ -142,9 +142,21 @@ mod tests {
 
     fn sample() -> Trace {
         let t = Tracer::new("sample");
-        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 2_000_000_000).extent(0, 1000));
-        t.record(IoEvent::new(1, 1, IoOp::Write).span(0, 6_000_000_000).extent(0, 3000));
-        t.record(IoEvent::new(0, 1, IoOp::Seek).span(0, 2_000_000_000).extent(0, 500));
+        t.record(
+            IoEvent::new(0, 1, IoOp::Read)
+                .span(0, 2_000_000_000)
+                .extent(0, 1000),
+        );
+        t.record(
+            IoEvent::new(1, 1, IoOp::Write)
+                .span(0, 6_000_000_000)
+                .extent(0, 3000),
+        );
+        t.record(
+            IoEvent::new(0, 1, IoOp::Seek)
+                .span(0, 2_000_000_000)
+                .extent(0, 500),
+        );
         t.finish()
     }
 

@@ -40,9 +40,7 @@ impl SizeTable {
         ));
         for (name, h) in [("Read", &self.read), ("Write", &self.write)] {
             let [a, b, c, d] = h.as_row();
-            out.push_str(&format!(
-                "{name:<9} {a:>8} {b:>8} {c:>9} {d:>9}\n"
-            ));
+            out.push_str(&format!("{name:<9} {a:>8} {b:>8} {c:>9} {d:>9}\n"));
         }
         out
     }
@@ -58,7 +56,11 @@ mod tests {
     fn bins_and_async_reads_combined() {
         let t = Tracer::new("s");
         t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 1).extent(0, 100));
-        t.record(IoEvent::new(0, 1, IoOp::AsyncRead).span(1, 2).extent(0, 3_000_000));
+        t.record(
+            IoEvent::new(0, 1, IoOp::AsyncRead)
+                .span(1, 2)
+                .extent(0, 3_000_000),
+        );
         t.record(IoEvent::new(0, 1, IoOp::Write).span(2, 3).extent(0, 5_000));
         t.record(IoEvent::new(0, 1, IoOp::Seek).span(3, 4).extent(0, 999));
         t.record(IoEvent::new(0, 1, IoOp::IoWait).span(4, 5));

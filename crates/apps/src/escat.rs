@@ -149,7 +149,10 @@ impl EscatParams {
         let mut specs: Vec<FileSpec> = Vec::new();
         for id in 0..12u32 {
             let spec = if files::INPUT.contains(&id) {
-                FileSpec::input(&format!("escat-input-{id}"), self.init_volume() / 3 + (1 << 20))
+                FileSpec::input(
+                    &format!("escat-input-{id}"),
+                    self.init_volume() / 3 + (1 << 20),
+                )
             } else if files::STAGING.contains(&id) {
                 FileSpec::output(&format!("escat-staging-{id}"))
             } else if files::OUTPUT.contains(&id) {
@@ -269,8 +272,7 @@ impl EscatParams {
     /// Expected operation counts: (reads, writes, seeks, opens, closes) —
     /// the Table 1 count column.
     pub fn expected_counts(&self) -> (u64, u64, u64, u64, u64) {
-        let reads = (self.init_small_reads + self.init_medium_reads + self.init_large_reads)
-            as u64
+        let reads = (self.init_small_reads + self.init_medium_reads + self.init_large_reads) as u64
             + 2 * self.nodes as u64;
         let writes = 2 * self.iters as u64 * self.nodes as u64 + self.output_writes as u64;
         let seeks = 2 * self.seek_iters as u64 * self.nodes as u64 + 2;

@@ -202,7 +202,10 @@ impl HtfParams {
         for k in 0..self.setup_medium_reads.max(self.setup_medium_writes) {
             if k < self.setup_medium_reads {
                 ops.push(op_compute(slice));
-                ops.push(ScriptOp::Io(IoRequest::read(0, self.setup_medium_read_bytes)));
+                ops.push(ScriptOp::Io(IoRequest::read(
+                    0,
+                    self.setup_medium_read_bytes,
+                )));
             }
             if k < self.setup_medium_writes {
                 ops.push(op_compute(slice));
@@ -253,10 +256,16 @@ impl HtfParams {
                 // Node 0 reads the setup output and re-broadcasts it.
                 ops.push(op_open(0, AccessMode::MUnix));
                 for _ in 0..self.pargos_small_reads {
-                    ops.push(ScriptOp::Io(IoRequest::read(0, self.pargos_small_read_bytes)));
+                    ops.push(ScriptOp::Io(IoRequest::read(
+                        0,
+                        self.pargos_small_read_bytes,
+                    )));
                 }
                 for _ in 0..self.pargos_medium_reads {
-                    ops.push(ScriptOp::Io(IoRequest::read(0, self.pargos_medium_read_bytes)));
+                    ops.push(ScriptOp::Io(IoRequest::read(
+                        0,
+                        self.pargos_medium_read_bytes,
+                    )));
                 }
                 ops.push(ScriptOp::Io(IoRequest::seek(0, 0)));
                 ops.push(ScriptOp::Io(IoRequest::close(0)));
@@ -267,7 +276,11 @@ impl HtfParams {
                 ops.push(ScriptOp::Io(IoRequest::write(1, 1_000)));
                 ops.push(ScriptOp::Io(IoRequest::write(1, 48_000)));
             }
-            ops.push(ScriptOp::Broadcast { root: 0, bytes: 34_400, group: 0 });
+            ops.push(ScriptOp::Broadcast {
+                root: 0,
+                bytes: 34_400,
+                group: 0,
+            });
             let f = self.integral_file(node);
             ops.push(op_open(f, AccessMode::MUnix));
             ops.push(ScriptOp::Io(IoRequest::seek(f, 0)));
@@ -415,8 +428,7 @@ impl HtfParams {
         let reads = big_reads + aux_reads;
         let (ws, wm, wl) = self.scf_aux_writes;
         let writes = (ws + wm + wl) as u64;
-        let seeks =
-            self.scf_passes as u64 * self.nodes as u64 + 1 + self.scf_aux_seeks as u64;
+        let seeks = self.scf_passes as u64 * self.nodes as u64 + 1 + self.scf_aux_seeks as u64;
         let opens = self.nodes as u64 + self.scf_aux_cycles as u64;
         let closes = self.nodes as u64 + self.scf_aux_cycles as u64 - 1;
         (reads, writes, seeks, opens, closes)
@@ -444,7 +456,10 @@ mod tests {
         assert!((flush as i64 - 8_657).unsigned_abs() <= 3, "{flush}");
         // Volume: 8,532 × 81,916 + stray writes ≈ 698,958,109 B.
         let vol = p.integral_records as u64 * p.integral_bytes + 2 * 1_000 + 48_000;
-        assert!((vol as f64 - 698_958_109.0).abs() / 698_958_109.0 < 0.001, "{vol}");
+        assert!(
+            (vol as f64 - 698_958_109.0).abs() / 698_958_109.0 < 0.001,
+            "{vol}"
+        );
     }
 
     #[test]
@@ -486,7 +501,11 @@ mod tests {
     #[test]
     fn small_psetup_runs_and_counts() {
         let p = HtfParams::small(4);
-        let out = run_workload(&MachineConfig::tiny(4, 2), &p.psetup_workload(), &Backend::Pfs);
+        let out = run_workload(
+            &MachineConfig::tiny(4, 2),
+            &p.psetup_workload(),
+            &Backend::Pfs,
+        );
         assert_eq!(
             out.trace.of_op(IoOp::Read).count() as u32,
             p.setup_small_reads + p.setup_medium_reads
@@ -503,7 +522,11 @@ mod tests {
     #[test]
     fn small_pargos_runs_and_counts() {
         let p = HtfParams::small(4);
-        let out = run_workload(&MachineConfig::tiny(4, 2), &p.pargos_workload(), &Backend::Pfs);
+        let out = run_workload(
+            &MachineConfig::tiny(4, 2),
+            &p.pargos_workload(),
+            &Backend::Pfs,
+        );
         let (reads, writes, seeks, opens, closes, lsize, flush) = p.pargos_expected();
         assert_eq!(out.trace.of_op(IoOp::Read).count() as u64, reads);
         assert_eq!(out.trace.of_op(IoOp::Write).count() as u64, writes);
@@ -517,7 +540,11 @@ mod tests {
     #[test]
     fn small_pscf_runs_and_counts() {
         let p = HtfParams::small(4);
-        let out = run_workload(&MachineConfig::tiny(4, 2), &p.pscf_workload(), &Backend::Pfs);
+        let out = run_workload(
+            &MachineConfig::tiny(4, 2),
+            &p.pscf_workload(),
+            &Backend::Pfs,
+        );
         let (reads, writes, seeks, opens, closes) = p.pscf_expected();
         assert_eq!(out.trace.of_op(IoOp::Read).count() as u64, reads);
         assert_eq!(out.trace.of_op(IoOp::Write).count() as u64, writes);
@@ -529,16 +556,27 @@ mod tests {
     #[test]
     fn pscf_reads_are_read_intensive() {
         let p = HtfParams::small(4);
-        let out = run_workload(&MachineConfig::tiny(4, 2), &p.pscf_workload(), &Backend::Pfs);
+        let out = run_workload(
+            &MachineConfig::tiny(4, 2),
+            &p.pscf_workload(),
+            &Backend::Pfs,
+        );
         let read_time: u64 = out.trace.of_op(IoOp::Read).map(|e| e.duration()).sum();
         let write_time: u64 = out.trace.of_op(IoOp::Write).map(|e| e.duration()).sum();
-        assert!(read_time > write_time * 5, "read {read_time} write {write_time}");
+        assert!(
+            read_time > write_time * 5,
+            "read {read_time} write {write_time}"
+        );
     }
 
     #[test]
     fn pargos_integral_files_are_per_node() {
         let p = HtfParams::small(4);
-        let out = run_workload(&MachineConfig::tiny(4, 2), &p.pargos_workload(), &Backend::Pfs);
+        let out = run_workload(
+            &MachineConfig::tiny(4, 2),
+            &p.pargos_workload(),
+            &Backend::Pfs,
+        );
         for ev in out.trace.of_op(IoOp::Write) {
             if ev.bytes == p.integral_bytes {
                 assert_eq!(ev.file, p.integral_file(ev.node));
@@ -553,11 +591,13 @@ mod tests {
         let m = MachineConfig::tiny(4, 2);
         let pargos = run_workload(&m, &p.pargos_workload(), &Backend::Pfs);
         let pscf = run_workload(&m, &p.pscf_workload(), &Backend::Pfs);
-        let wv = |t: &sio_core::Trace| -> u64 {
-            t.of_op(IoOp::Write).map(|e| e.bytes).sum()
-        };
+        let wv = |t: &sio_core::Trace| -> u64 { t.of_op(IoOp::Write).map(|e| e.bytes).sum() };
         let rv = |t: &sio_core::Trace| -> u64 {
-            t.events().iter().filter(|e| e.op.is_read()).map(|e| e.bytes).sum()
+            t.events()
+                .iter()
+                .filter(|e| e.op.is_read())
+                .map(|e| e.bytes)
+                .sum()
         };
         assert!(wv(&pargos.trace) > 10 * rv(&pargos.trace));
         assert!(rv(&pscf.trace) > 10 * wv(&pscf.trace));

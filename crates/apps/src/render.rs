@@ -178,7 +178,11 @@ impl RenderParams {
                             ops.push(op_compute(self.decode_compute));
                             outstanding -= 1;
                         }
-                        let bytes = if issued < big { self.big_bytes } else { self.half_bytes };
+                        let bytes = if issued < big {
+                            self.big_bytes
+                        } else {
+                            self.half_bytes
+                        };
                         ops.push(ScriptOp::IoAsync(IoRequest::read(f, bytes)));
                         issued += 1;
                         outstanding += 1;
@@ -199,9 +203,16 @@ impl RenderParams {
                 ops.push(op_open(ctl, AccessMode::MUnix));
                 for i in 0..self.frames {
                     ops.push(ScriptOp::Io(IoRequest::read(ctl, self.view_bytes)));
-                    ops.push(ScriptOp::Broadcast { root: 0, bytes: self.view_bytes, group: 0 });
+                    ops.push(ScriptOp::Broadcast {
+                        root: 0,
+                        bytes: self.view_bytes,
+                        group: 0,
+                    });
                     for sender in 1..self.nodes {
-                        ops.push(ScriptOp::Recv { from: sender, tag: 1000 + i });
+                        ops.push(ScriptOp::Recv {
+                            from: sender,
+                            tag: 1000 + i,
+                        });
                     }
                     let out = self.frame_file(i);
                     ops.push(op_open(out, AccessMode::MUnix));
@@ -225,9 +236,17 @@ impl RenderParams {
                     group: 0,
                 });
                 for i in 0..self.frames {
-                    ops.push(ScriptOp::Broadcast { root: 0, bytes: self.view_bytes, group: 0 });
+                    ops.push(ScriptOp::Broadcast {
+                        root: 0,
+                        bytes: self.view_bytes,
+                        group: 0,
+                    });
                     ops.push(op_compute(self.render_compute));
-                    ops.push(ScriptOp::Send { to: 0, bytes: partial_bytes, tag: 1000 + i });
+                    ops.push(ScriptOp::Send {
+                        to: 0,
+                        bytes: partial_bytes,
+                        tag: 1000 + i,
+                    });
                 }
             }
             scripts.push(ops);
@@ -340,12 +359,7 @@ mod tests {
             .map(|e| e.start)
             .max()
             .unwrap();
-        let first_write = out
-            .trace
-            .of_op(IoOp::Write)
-            .map(|e| e.start)
-            .min()
-            .unwrap();
+        let first_write = out.trace.of_op(IoOp::Write).map(|e| e.start).min().unwrap();
         assert!(last_async < first_write, "phases interleaved");
     }
 }

@@ -83,9 +83,7 @@ pub fn workload_from_trace(trace: &Trace, opts: ReplayOptions) -> Workload {
             // operation's end and this one's start.
             if ev.start > clock {
                 let gap_ns = (ev.start - clock) as f64 * opts.think_time_scale;
-                let gap = SimDuration::from_secs_f64(
-                    (gap_ns / 1.0e9).min(opts.max_gap_secs),
-                );
+                let gap = SimDuration::from_secs_f64((gap_ns / 1.0e9).min(opts.max_gap_secs));
                 if gap.nanos() > 0 {
                     ops.push(ScriptOp::Compute(gap));
                 }
@@ -98,7 +96,10 @@ pub fn workload_from_trace(trace: &Trace, opts: ReplayOptions) -> Workload {
             match ev.op {
                 IoOp::Open => {
                     opened.insert(file, ());
-                    ops.push(ScriptOp::Io(IoRequest::open(file, AccessMode::MUnix.code())));
+                    ops.push(ScriptOp::Io(IoRequest::open(
+                        file,
+                        AccessMode::MUnix.code(),
+                    )));
                 }
                 IoOp::Close => {
                     opened.remove(&file);
@@ -106,7 +107,10 @@ pub fn workload_from_trace(trace: &Trace, opts: ReplayOptions) -> Workload {
                 }
                 IoOp::Read | IoOp::Write | IoOp::AsyncRead => {
                     if opened.insert(file, ()).is_none() {
-                        ops.push(ScriptOp::Io(IoRequest::open(file, AccessMode::MUnix.code())));
+                        ops.push(ScriptOp::Io(IoRequest::open(
+                            file,
+                            AccessMode::MUnix.code(),
+                        )));
                     }
                     let mut req = if ev.op.is_write() {
                         IoRequest::write(file, ev.bytes)
@@ -123,7 +127,10 @@ pub fn workload_from_trace(trace: &Trace, opts: ReplayOptions) -> Workload {
                 IoOp::IoWait => ops.push(ScriptOp::WaitOldest),
                 IoOp::Seek => {
                     if opened.insert(file, ()).is_none() {
-                        ops.push(ScriptOp::Io(IoRequest::open(file, AccessMode::MUnix.code())));
+                        ops.push(ScriptOp::Io(IoRequest::open(
+                            file,
+                            AccessMode::MUnix.code(),
+                        )));
                     }
                     ops.push(ScriptOp::Io(IoRequest::seek(file, ev.offset)));
                 }
@@ -212,7 +219,10 @@ mod tests {
             &m,
             &workload_from_trace(
                 &original.trace,
-                ReplayOptions { think_time_scale: 0.0, max_gap_secs: 0.0 },
+                ReplayOptions {
+                    think_time_scale: 0.0,
+                    max_gap_secs: 0.0,
+                },
             ),
             &Backend::Pfs,
         );
@@ -242,10 +252,7 @@ mod tests {
             &workload_from_trace(&original.trace, ReplayOptions::default()),
             &Backend::Ppfs(sio_ppfs::PolicyConfig::escat_tuned()),
         );
-        assert_eq!(
-            original.trace.data_volume(),
-            replayed.trace.data_volume()
-        );
+        assert_eq!(original.trace.data_volume(), replayed.trace.data_volume());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub enum Backend {
 }
 
 /// A complete, backend-independent workload description.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Display label (becomes the trace label).
     pub label: String,

@@ -5,7 +5,7 @@
 //! FIFO; degraded RAID reads must cost more), so `cargo bench` doubles as a
 //! coarse regression gate on the reproduced claims.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use sio_analysis::experiments;
 use sio_apps::EscatParams;
 use sio_bench::{bench_machine, small_machine};
@@ -78,4 +78,7 @@ criterion_group!(
     a3_queue_discipline,
     a4_raid_degraded
 );
-criterion_main!(ablations);
+fn main() {
+    sio_bench::configure_sweep_jobs();
+    ablations();
+}

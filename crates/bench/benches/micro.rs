@@ -2,7 +2,7 @@
 //! stripe mapping, block cache, write-behind buffer, access-pattern
 //! classification/prediction, and the SDDF trace codec.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use paragon_sim::mesh::{CommCosts, Mesh};
 use paragon_sim::program::{NodeProgram, ScriptOp, ScriptProgram};
 use paragon_sim::{Engine, IoService, MachineConfig, SimDuration};
@@ -184,7 +184,11 @@ fn replay_reconstruction(c: &mut Criterion) {
     use sio_apps::workload::{run_workload, Backend};
     use sio_apps::EscatParams;
     let machine = MachineConfig::tiny(8, 4);
-    let original = run_workload(&machine, &EscatParams::small(8, 8).workload(), &Backend::Pfs);
+    let original = run_workload(
+        &machine,
+        &EscatParams::small(8, 8).workload(),
+        &Backend::Pfs,
+    );
     let mut group = c.benchmark_group("replay");
     group.throughput(Throughput::Elements(original.trace.len() as u64));
     group.bench_function("reconstruct_workload_from_trace", |b| {
@@ -210,8 +214,8 @@ fn mix_combination(c: &mut Criterion) {
 }
 
 fn server_cache_two_level(c: &mut Criterion) {
-    use sio_apps::workload::{run_workload, Backend, Workload};
     use paragon_sim::program::{IoRequest, ScriptOp};
+    use sio_apps::workload::{run_workload, Backend, Workload};
     use sio_pfs::{AccessMode, FileSpec};
     use sio_ppfs::PolicyConfig;
     let machine = MachineConfig::tiny(8, 4);
@@ -261,4 +265,7 @@ criterion_group!(
     mix_combination,
     server_cache_two_level
 );
-criterion_main!(micro);
+fn main() {
+    sio_bench::configure_sweep_jobs();
+    micro();
+}

@@ -3,7 +3,7 @@
 //! the headline counts so a regression in the workload model fails the
 //! bench rather than silently benchmarking the wrong thing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use sio_analysis::experiments;
 use sio_apps::{EscatParams, HtfParams, RenderParams};
 use sio_bench::bench_machine;
@@ -72,4 +72,7 @@ criterion_group!(
     table5_6_htf,
     figures_extraction
 );
-criterion_main!(tables);
+fn main() {
+    sio_bench::configure_sweep_jobs();
+    tables();
+}

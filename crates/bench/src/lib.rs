@@ -14,6 +14,19 @@
 
 use paragon_sim::MachineConfig;
 
+/// Apply the `SIO_JOBS` sweep-worker knob before benching and return the
+/// resulting worker count. Criterion owns the CLI, so the environment
+/// variable is the bench-side equivalent of `repro --jobs N`; every bench
+/// `main` calls this once so all experiment sweeps fan out over the same
+/// bounded pool ([`sio_analysis::runner`]). Worker count changes wall time
+/// only — sweep output is deterministic.
+pub fn configure_sweep_jobs() -> usize {
+    let jobs = sio_analysis::runner::default_jobs();
+    sio_analysis::runner::set_jobs(jobs);
+    eprintln!("[sio-bench] sweep workers: {jobs} (override with SIO_JOBS=N)");
+    jobs
+}
+
 /// The machine every table bench runs on (the paper's 128-node partition).
 pub fn bench_machine() -> MachineConfig {
     MachineConfig::paragon_128()

@@ -100,7 +100,8 @@ impl PatternClassifier {
             } else if delta != 0 {
                 // Rewind: jumping back to the start of the covered extent
                 // after having advanced through it.
-                if offset <= self.min_offset && prev as i64 + self.last_len as i64 >= self.max_end as i64
+                if offset <= self.min_offset
+                    && prev as i64 + self.last_len as i64 >= self.max_end as i64
                 {
                     self.rewind_hits += 1;
                 } else if Some(delta) == self.last_delta {
@@ -230,10 +231,13 @@ mod tests {
     fn sequential_with_noise_still_sequential() {
         let mut acc: Vec<(u64, u64)> = (0..19).map(|i| (i * 1024, 1024)).collect();
         acc.insert(10, (500_000, 64)); // one stray access
-        // One stray access out of 20 leaves sequential fraction > 0.75.
+                                       // One stray access out of 20 leaves sequential fraction > 0.75.
         let got = classify_accesses(&acc);
         assert!(
-            matches!(got, AccessPattern::Sequential | AccessPattern::Cyclic { .. }),
+            matches!(
+                got,
+                AccessPattern::Sequential | AccessPattern::Cyclic { .. }
+            ),
             "got {got:?}"
         );
     }

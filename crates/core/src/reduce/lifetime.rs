@@ -122,7 +122,9 @@ mod tests {
     use super::*;
 
     fn ev(node: NodeId, file: FileId, op: IoOp, start: Ns, end: Ns, bytes: u64) -> IoEvent {
-        IoEvent::new(node, file, op).span(start, end).extent(0, bytes)
+        IoEvent::new(node, file, op)
+            .span(start, end)
+            .extent(0, bytes)
     }
 
     #[test]

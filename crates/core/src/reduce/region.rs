@@ -126,7 +126,9 @@ mod tests {
     use crate::event::IoOp;
 
     fn ev(node: u32, file: FileId, op: IoOp, offset: u64, bytes: u64) -> IoEvent {
-        IoEvent::new(node, file, op).span(0, 10).extent(offset, bytes)
+        IoEvent::new(node, file, op)
+            .span(0, 10)
+            .extent(offset, bytes)
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl WindowReducer {
                     return false;
                 }
                 let prev = if i > 0 { w[i - 1].total_ops() } else { 0 };
-                let next = if i + 1 < w.len() { w[i + 1].total_ops() } else { 0 };
+                let next = if i + 1 < w.len() {
+                    w[i + 1].total_ops()
+                } else {
+                    0
+                };
                 c > prev && c >= next
             })
             .collect()
@@ -106,7 +110,9 @@ mod tests {
     use super::*;
 
     fn ev(op: IoOp, start: Ns, bytes: u64) -> IoEvent {
-        IoEvent::new(0, 1, op).span(start, start + 5).extent(0, bytes)
+        IoEvent::new(0, 1, op)
+            .span(start, start + 5)
+            .extent(0, bytes)
     }
 
     #[test]

@@ -209,6 +209,30 @@ pub fn to_text(trace: &Trace) -> String {
     out
 }
 
+/// 64-bit FNV-1a digest of a trace's binary (SDDF) encoding.
+///
+/// The digest covers every event field plus the run metadata, so two traces
+/// fingerprint equal iff their SDDF encodings are byte-identical. The
+/// golden-trace regression tests pin these digests: they are stable across
+/// platforms (the codec is fixed-width big-endian) and cheap enough to
+/// compute at full paper scale.
+pub fn fingerprint(trace: &Trace) -> u64 {
+    fingerprint_bytes(&to_bytes(trace))
+}
+
+/// 64-bit FNV-1a digest of an arbitrary byte string (the same hash
+/// [`fingerprint`] applies to a trace's SDDF encoding).
+pub fn fingerprint_bytes(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Write a trace to a file in the binary format.
 pub fn write_file(trace: &Trace, path: &std::path::Path) -> Result<()> {
     std::fs::write(path, to_bytes(trace))?;
@@ -230,9 +254,13 @@ mod tests {
         let t = Tracer::new("sample");
         for i in 0..10u64 {
             t.record(
-                IoEvent::new((i % 3) as u32, 7, if i % 2 == 0 { IoOp::Read } else { IoOp::Write })
-                    .span(i * 100, i * 100 + 50)
-                    .extent(i * 4096, 2048),
+                IoEvent::new(
+                    (i % 3) as u32,
+                    7,
+                    if i % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                )
+                .span(i * 100, i * 100 + 50)
+                .extent(i * 4096, 2048),
             );
         }
         t.set_run_info(3, 1000);
@@ -297,6 +325,19 @@ mod tests {
         assert_eq!(txt.lines().count(), 2 + 10);
         assert!(txt.contains("Read"));
         assert!(txt.contains("Write"));
+    }
+
+    #[test]
+    fn fingerprint_is_fnv1a_of_encoding() {
+        // Reference FNV-1a vectors.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let trace = sample();
+        assert_eq!(fingerprint(&trace), fingerprint_bytes(&to_bytes(&trace)));
+        // Sensitive to any event change.
+        let t = Tracer::new("sample");
+        t.set_run_info(3, 1000);
+        assert_ne!(fingerprint(&trace), fingerprint(&t.finish()));
     }
 
     #[test]

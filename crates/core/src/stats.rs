@@ -165,7 +165,12 @@ impl SizeHistogram {
 
     /// Bin counts in table-column order.
     pub fn as_row(&self) -> [u64; 4] {
-        [self.under_4k, self.under_64k, self.under_256k, self.over_256k]
+        [
+            self.under_4k,
+            self.under_64k,
+            self.under_256k,
+            self.over_256k,
+        ]
     }
 
     /// The paper's notion of a *bimodal* size distribution (§5.1, §6.1):

@@ -134,10 +134,22 @@ mod tests {
     fn trace() -> Trace {
         let t = Tracer::new("s");
         // Node 0: 2 reads of 1 KB and 3 KB taking 1 s and 3 s.
-        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 1_000_000_000).extent(0, 1024));
-        t.record(IoEvent::new(0, 1, IoOp::Read).span(0, 3_000_000_000).extent(0, 3072));
+        t.record(
+            IoEvent::new(0, 1, IoOp::Read)
+                .span(0, 1_000_000_000)
+                .extent(0, 1024),
+        );
+        t.record(
+            IoEvent::new(0, 1, IoOp::Read)
+                .span(0, 3_000_000_000)
+                .extent(0, 3072),
+        );
         // Node 1: a seek (no size stats).
-        t.record(IoEvent::new(1, 1, IoOp::Seek).span(0, 500_000_000).extent(0, 777));
+        t.record(
+            IoEvent::new(1, 1, IoOp::Seek)
+                .span(0, 500_000_000)
+                .extent(0, 777),
+        );
         t.finish()
     }
 

@@ -124,12 +124,25 @@ pub fn ascii_scatter(points: &[OpPoint], width: usize, height: usize) -> String 
     if points.is_empty() || width == 0 || height == 0 {
         return String::from("(no points)\n");
     }
-    let t_max = points.iter().map(|p| p.t_secs).fold(0.0_f64, f64::max).max(1e-9);
+    let t_max = points
+        .iter()
+        .map(|p| p.t_secs)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
     let y_of = |bytes: u64| -> usize {
-        let l = if bytes == 0 { 0 } else { bytes.ilog2() as usize };
+        let l = if bytes == 0 {
+            0
+        } else {
+            bytes.ilog2() as usize
+        };
         l.min(height * 2) // 2 size-doublings per row
     };
-    let y_max = points.iter().map(|p| y_of(p.bytes)).max().unwrap_or(0).max(1);
+    let y_max = points
+        .iter()
+        .map(|p| y_of(p.bytes))
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let mut grid = vec![vec![b' '; width]; height];
     for p in points {
         let x = ((p.t_secs / t_max) * (width - 1) as f64) as usize;
@@ -152,7 +165,9 @@ mod tests {
 
     fn ev(op: IoOp, start_s: f64, bytes: u64, file: FileId) -> IoEvent {
         let ns = (start_s * NS_PER_SEC) as u64;
-        IoEvent::new(0, file, op).span(ns, ns + 1000).extent(0, bytes)
+        IoEvent::new(0, file, op)
+            .span(ns, ns + 1000)
+            .extent(0, bytes)
     }
 
     fn trace(events: Vec<IoEvent>) -> Trace {
@@ -199,9 +214,21 @@ mod tests {
     #[test]
     fn window_filters_halfopen() {
         let pts = vec![
-            OpPoint { t_secs: 1.0, bytes: 1, node: 0 },
-            OpPoint { t_secs: 2.0, bytes: 2, node: 0 },
-            OpPoint { t_secs: 3.0, bytes: 3, node: 0 },
+            OpPoint {
+                t_secs: 1.0,
+                bytes: 1,
+                node: 0,
+            },
+            OpPoint {
+                t_secs: 2.0,
+                bytes: 2,
+                node: 0,
+            },
+            OpPoint {
+                t_secs: 3.0,
+                bytes: 3,
+                node: 0,
+            },
         ];
         let w = window(&pts, 2.0, 3.0);
         assert_eq!(w.len(), 1);
@@ -236,8 +263,16 @@ mod tests {
     #[test]
     fn ascii_scatter_renders() {
         let pts = vec![
-            OpPoint { t_secs: 0.0, bytes: 1024, node: 0 },
-            OpPoint { t_secs: 50.0, bytes: 1 << 20, node: 0 },
+            OpPoint {
+                t_secs: 0.0,
+                bytes: 1024,
+                node: 0,
+            },
+            OpPoint {
+                t_secs: 50.0,
+                bytes: 1 << 20,
+                node: 0,
+            },
         ];
         let s = ascii_scatter(&pts, 40, 10);
         assert_eq!(s.lines().count(), 10);

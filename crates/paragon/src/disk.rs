@@ -82,7 +82,10 @@ impl Disk {
             self.params.seek_base + self.params.seek_per_cyl.times(distance)
         };
         // Deterministic uniform rotational delay in [0, revolution).
-        let rot = SimDuration(self.rng.random_range(0..self.params.revolution.nanos().max(1)));
+        let rot = SimDuration(
+            self.rng
+                .random_range(0..self.params.revolution.nanos().max(1)),
+        );
         let xfer = transfer_time(bytes, self.params.transfer_rate);
         self.head_cylinder = self.cylinder_of(offset + bytes.saturating_sub(1));
         seek + rot + xfer

@@ -167,7 +167,12 @@ impl<S: IoService> Engine<S> {
     /// Build an engine over `programs` (node `i` runs `programs[i]`) with the
     /// given mesh/interconnect parameters and file-system service. Group 0 is
     /// pre-registered as "all nodes".
-    pub fn new(mesh: Mesh, comm: CommCosts, programs: Vec<Box<dyn NodeProgram>>, service: S) -> Engine<S> {
+    pub fn new(
+        mesh: Mesh,
+        comm: CommCosts,
+        programs: Vec<Box<dyn NodeProgram>>,
+        service: S,
+    ) -> Engine<S> {
         assert!(
             programs.len() as u32 <= mesh.compute_nodes,
             "more programs than compute nodes"
@@ -304,7 +309,8 @@ impl<S: IoService> Engine<S> {
                 self.next_token += 1;
                 self.tokens.insert(token, TokenState::Sync(node, req.file));
                 let mut sched = Sched::default();
-                self.service.submit(node, self.now, req, token, false, &mut sched);
+                self.service
+                    .submit(node, self.now, req, token, false, &mut sched);
                 let _ = self.drain_sched(sched);
             }
             Step::IoAsync(req) => {
@@ -314,7 +320,8 @@ impl<S: IoService> Engine<S> {
                     .insert(token, TokenState::AsyncPending(node, req.file));
                 let issue = self.service.issue_cost(node, &req);
                 let mut sched = Sched::default();
-                self.service.submit(node, self.now, req, token, true, &mut sched);
+                self.service
+                    .submit(node, self.now, req, token, true, &mut sched);
                 let _ = self.drain_sched(sched);
                 let at = self.now + issue;
                 self.push(at, Ev::Resume(node, Resume::IoIssued(token)));
@@ -358,7 +365,10 @@ impl<S: IoService> Engine<S> {
                 if let Some(receiver) = self.recv_waiting.remove(&key) {
                     self.push(arrival, Ev::Resume(receiver, Resume::Received(bytes)));
                 } else {
-                    self.mailbox.entry(key).or_default().push_back((arrival, bytes));
+                    self.mailbox
+                        .entry(key)
+                        .or_default()
+                        .push_back((arrival, bytes));
                 }
                 let resumed = self.now + self.comm.sw_overhead;
                 self.push(resumed, Ev::Resume(node, Resume::Sent));
@@ -390,7 +400,8 @@ impl<S: IoService> Engine<S> {
                     let members = std::mem::take(&mut state.arrived);
                     let payload = state.bytes;
                     state.bytes = 0;
-                    let done = self.now + self.mesh.broadcast_time(&self.comm, size as u32, payload);
+                    let done =
+                        self.now + self.mesh.broadcast_time(&self.comm, size as u32, payload);
                     for member in members {
                         self.push(done, Ev::Resume(member, Resume::BroadcastDone));
                     }
@@ -410,7 +421,8 @@ impl<S: IoService> Engine<S> {
             }
             Some(TokenState::AsyncPending(_node, file)) => {
                 // Completed before anyone waited: park the result.
-                self.tokens.insert(token, TokenState::AsyncDone(result, file));
+                self.tokens
+                    .insert(token, TokenState::AsyncDone(result, file));
             }
             Some(TokenState::AsyncWaited(node, file, wait_start)) => {
                 self.service.on_iowait(node, file, wait_start, self.now);
@@ -570,7 +582,11 @@ mod tests {
     fn send_recv_rendezvous_both_orders() {
         // Order 1: send first.
         let mut e = engine_for(vec![
-            vec![ScriptOp::Send { to: 1, bytes: 1000, tag: 5 }],
+            vec![ScriptOp::Send {
+                to: 1,
+                bytes: 1000,
+                tag: 5,
+            }],
             vec![ScriptOp::Recv { from: 0, tag: 5 }],
         ]);
         assert!(e.run().clean());
@@ -579,7 +595,11 @@ mod tests {
         let mut e = engine_for(vec![
             vec![
                 ScriptOp::Compute(SimDuration::from_millis(5)),
-                ScriptOp::Send { to: 1, bytes: 1000, tag: 5 },
+                ScriptOp::Send {
+                    to: 1,
+                    bytes: 1000,
+                    tag: 5,
+                },
             ],
             vec![ScriptOp::Recv { from: 0, tag: 5 }],
         ]);
@@ -592,8 +612,16 @@ mod tests {
     fn tags_keep_messages_apart() {
         let mut e = engine_for(vec![
             vec![
-                ScriptOp::Send { to: 1, bytes: 10, tag: 1 },
-                ScriptOp::Send { to: 1, bytes: 20, tag: 2 },
+                ScriptOp::Send {
+                    to: 1,
+                    bytes: 10,
+                    tag: 1,
+                },
+                ScriptOp::Send {
+                    to: 1,
+                    bytes: 20,
+                    tag: 2,
+                },
             ],
             vec![
                 // Receive tag 2 first, then tag 1.
@@ -607,10 +635,18 @@ mod tests {
     #[test]
     fn broadcast_releases_whole_group() {
         let mut e = engine_for(vec![
-            vec![ScriptOp::Broadcast { root: 0, bytes: 1 << 20, group: 0 }],
+            vec![ScriptOp::Broadcast {
+                root: 0,
+                bytes: 1 << 20,
+                group: 0,
+            }],
             vec![
                 ScriptOp::Compute(SimDuration::from_millis(3)),
-                ScriptOp::Broadcast { root: 0, bytes: 1 << 20, group: 0 },
+                ScriptOp::Broadcast {
+                    root: 0,
+                    bytes: 1 << 20,
+                    group: 0,
+                },
             ],
         ]);
         let report = e.run();
@@ -624,7 +660,9 @@ mod tests {
         let mesh = Mesh::for_nodes(3, 1);
         let programs: Vec<Box<dyn NodeProgram>> = vec![
             // Node 0 never joins the group barrier.
-            Box::new(ScriptProgram::new(vec![ScriptOp::Compute(SimDuration::from_millis(1))])),
+            Box::new(ScriptProgram::new(vec![ScriptOp::Compute(
+                SimDuration::from_millis(1),
+            )])),
             Box::new(ScriptProgram::new(vec![ScriptOp::Barrier(1)])),
             Box::new(ScriptProgram::new(vec![ScriptOp::Barrier(1)])),
         ];
@@ -667,7 +705,11 @@ mod tests {
         let progs = (0..3)
             .map(|_| {
                 (0..5)
-                    .map(|_| ScriptOp::Broadcast { root: 1, bytes: 4096, group: 0 })
+                    .map(|_| ScriptOp::Broadcast {
+                        root: 1,
+                        bytes: 4096,
+                        group: 0,
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();

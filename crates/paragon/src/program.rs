@@ -333,7 +333,9 @@ impl NodeProgram for ScriptProgram {
                 ScriptOp::Barrier(g) => Step::Barrier(g),
                 ScriptOp::Send { to, bytes, tag } => Step::Send { to, bytes, tag },
                 ScriptOp::Recv { from, tag } => Step::Recv { from, tag },
-                ScriptOp::Broadcast { root, bytes, group } => Step::Broadcast { root, bytes, group },
+                ScriptOp::Broadcast { root, bytes, group } => {
+                    Step::Broadcast { root, bytes, group }
+                }
             };
         }
     }
@@ -364,7 +366,10 @@ mod tests {
             ScriptOp::Barrier(0),
         ]);
         assert_eq!(p.remaining(), 3);
-        assert!(matches!(p.step(0, Resume::Start), Step::Compute(SimDuration(5))));
+        assert!(matches!(
+            p.step(0, Resume::Start),
+            Step::Compute(SimDuration(5))
+        ));
         assert!(matches!(p.step(0, Resume::Computed), Step::Io(_)));
         assert!(matches!(
             p.step(0, Resume::IoDone(IoResult::default())),
@@ -410,8 +415,14 @@ mod tests {
         p.step(0, Resume::IoIssued(1));
         p.step(0, Resume::IoIssued(2));
         assert_eq!(p.step(0, Resume::IoIssued(3)), Step::IoWait(1));
-        assert_eq!(p.step(0, Resume::IoWaited(IoResult::default())), Step::IoWait(2));
-        assert_eq!(p.step(0, Resume::IoWaited(IoResult::default())), Step::IoWait(3));
+        assert_eq!(
+            p.step(0, Resume::IoWaited(IoResult::default())),
+            Step::IoWait(2)
+        );
+        assert_eq!(
+            p.step(0, Resume::IoWaited(IoResult::default())),
+            Step::IoWait(3)
+        );
         assert!(matches!(
             p.step(0, Resume::IoWaited(IoResult::default())),
             Step::Compute(_)
@@ -426,6 +437,9 @@ mod tests {
             ScriptOp::Compute(SimDuration(9)),
         ]);
         // Both waits skip straight to the compute.
-        assert!(matches!(p.step(0, Resume::Start), Step::Compute(SimDuration(9))));
+        assert!(matches!(
+            p.step(0, Resume::Start),
+            Step::Compute(SimDuration(9))
+        ));
     }
 }

@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(0.5).nanos(), 500_000_000);
         assert_eq!(SimDuration::from_secs_f64(-1.0).nanos(), 0);
         assert!((SimDuration::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5).nanos(), 3_000_000_000);
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5).nanos(),
+            3_000_000_000
+        );
         assert_eq!(SimDuration::from_secs(2).times(3).nanos(), 6_000_000_000);
     }
 
@@ -180,7 +183,10 @@ mod tests {
         // 1 byte at 2 GB/s = 0.5 ns, rounds up to 1.
         assert_eq!(transfer_time(1, 2.0e9).nanos(), 1);
         // 1 MB at 1 MB/s = 1 s.
-        assert_eq!(transfer_time(1 << 20, (1 << 20) as f64).nanos(), 1_000_000_000);
+        assert_eq!(
+            transfer_time(1 << 20, (1 << 20) as f64).nanos(),
+            1_000_000_000
+        );
     }
 
     #[test]

@@ -452,8 +452,17 @@ impl Pfs {
                     sched.timer(acquire, id);
                 } else {
                     self.dispatch(
-                        now, token, node, file, write, offset, req.bytes, now, is_async,
-                        Vec::new(), sched,
+                        now,
+                        token,
+                        node,
+                        file,
+                        write,
+                        offset,
+                        req.bytes,
+                        now,
+                        is_async,
+                        Vec::new(),
+                        sched,
                     );
                 }
             }
@@ -472,8 +481,17 @@ impl Pfs {
                 *k += 1;
                 let offset = record_index * rs;
                 self.dispatch(
-                    now, token, node, file, write, offset, req.bytes, now, is_async,
-                    Vec::new(), sched,
+                    now,
+                    token,
+                    node,
+                    file,
+                    write,
+                    offset,
+                    req.bytes,
+                    now,
+                    is_async,
+                    Vec::new(),
+                    sched,
                 );
             }
             AccessMode::MLog => {
@@ -503,8 +521,17 @@ impl Pfs {
                     sched.timer(acquire, id);
                 } else {
                     self.dispatch(
-                        now, token, node, file, write, offset, req.bytes, now, is_async,
-                        Vec::new(), sched,
+                        now,
+                        token,
+                        node,
+                        file,
+                        write,
+                        offset,
+                        req.bytes,
+                        now,
+                        is_async,
+                        Vec::new(),
+                        sched,
                     );
                 }
             }
@@ -543,8 +570,17 @@ impl Pfs {
                         .map(|&(t, nd, iss, _, _)| (t, nd, iss))
                         .collect();
                     self.dispatch(
-                        now, lead_tok, lead_node, file, write, offset, bytes, lead_issued,
-                        lead_async, collective, sched,
+                        now,
+                        lead_tok,
+                        lead_node,
+                        file,
+                        write,
+                        offset,
+                        bytes,
+                        lead_issued,
+                        lead_async,
+                        collective,
+                        sched,
                     );
                 }
             }
@@ -573,8 +609,17 @@ impl Pfs {
             match next {
                 Some((node, p, offset)) => {
                     self.dispatch(
-                        now, p.token, node, file, p.write, offset, p.bytes, p.issued,
-                        p.is_async, Vec::new(), sched,
+                        now,
+                        p.token,
+                        node,
+                        file,
+                        p.write,
+                        offset,
+                        p.bytes,
+                        p.issued,
+                        p.is_async,
+                        Vec::new(),
+                        sched,
                     );
                 }
                 None => break,
@@ -607,7 +652,15 @@ impl IoService for Pfs {
                 self.record(
                     IoEvent::new(node, req.file, IoOp::Open).span(now.nanos(), done.nanos()),
                 );
-                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes: 0,
+                        queued: SimDuration::ZERO,
+                        service: done.since(now),
+                    },
+                );
             }
             IoVerb::Close => {
                 self.state(req.file).close(node);
@@ -615,7 +668,15 @@ impl IoService for Pfs {
                 self.record(
                     IoEvent::new(node, req.file, IoOp::Close).span(now.nanos(), done.nanos()),
                 );
-                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes: 0,
+                        queued: SimDuration::ZERO,
+                        service: done.since(now),
+                    },
+                );
             }
             IoVerb::Seek => {
                 let target = req.offset.expect("seek needs an offset");
@@ -644,14 +705,30 @@ impl IoService for Pfs {
                         .span(now.nanos(), done.nanos())
                         .extent(target, distance),
                 );
-                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes: 0,
+                        queued: SimDuration::ZERO,
+                        service: done.since(now),
+                    },
+                );
             }
             IoVerb::Flush => {
                 let done = now + self.cfg.io_sw.flush;
                 self.record(
                     IoEvent::new(node, req.file, IoOp::Flush).span(now.nanos(), done.nanos()),
                 );
-                sched.complete_io(token, done, IoResult { bytes: 0, queued: SimDuration::ZERO, service: done.since(now) });
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes: 0,
+                        queued: SimDuration::ZERO,
+                        service: done.since(now),
+                    },
+                );
             }
             IoVerb::Lsize => {
                 let done = self.meta_op(now, self.cfg.io_sw.lsize);
@@ -659,7 +736,15 @@ impl IoService for Pfs {
                 self.record(
                     IoEvent::new(node, req.file, IoOp::Lsize).span(now.nanos(), done.nanos()),
                 );
-                sched.complete_io(token, done, IoResult { bytes: len, queued: SimDuration::ZERO, service: done.since(now) });
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes: len,
+                        queued: SimDuration::ZERO,
+                        service: done.since(now),
+                    },
+                );
             }
             IoVerb::Read => self.data_op(now, token, node, req, false, is_async, sched),
             IoVerb::Write => self.data_op(now, token, node, req, true, is_async, sched),
@@ -691,8 +776,17 @@ impl IoService for Pfs {
             // Deferred dispatch (M_LOG pointer-token acquisition).
             let d = self.deferred.remove(&timer).expect("unknown deferred op");
             self.dispatch(
-                now, d.token, d.node, d.file, d.write, d.offset, d.bytes, d.issued,
-                d.is_async, Vec::new(), sched,
+                now,
+                d.token,
+                d.node,
+                d.file,
+                d.write,
+                d.offset,
+                d.bytes,
+                d.issued,
+                d.is_async,
+                Vec::new(),
+                sched,
             );
         }
     }
@@ -779,11 +873,7 @@ mod tests {
                 ScriptOp::Io(IoRequest::close(0)),
             ]
         };
-        let (trace, _) = run_scripts(
-            &machine(),
-            vec![FileSpec::output("f")],
-            vec![mk(0), mk(1)],
-        );
+        let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![mk(0), mk(1)]);
         let mut writes: Vec<(u32, u64)> = trace
             .of_op(IoOp::Write)
             .map(|e| (e.node, e.offset))
@@ -812,8 +902,11 @@ mod tests {
             open(0, AccessMode::MUnix),
             ScriptOp::Io(IoRequest::read(0, 4096)),
         ];
-        let (trace, _) =
-            run_scripts(&machine(), vec![FileSpec::input("in", 1 << 20)], vec![script]);
+        let (trace, _) = run_scripts(
+            &machine(),
+            vec![FileSpec::input("in", 1 << 20)],
+            vec![script],
+        );
         assert_eq!(trace.of_op(IoOp::Read).next().unwrap().bytes, 4096);
     }
 
@@ -970,7 +1063,10 @@ mod tests {
         durations.sort_unstable();
         let rpc = MachineConfig::tiny(4, 2).io_sw.seek_shared_rpc.nanos();
         assert!(durations[0] >= rpc);
-        assert!(durations[1] >= 2 * rpc, "second seek must queue: {durations:?}");
+        assert!(
+            durations[1] >= 2 * rpc,
+            "second seek must queue: {durations:?}"
+        );
 
         // A single-opener file seeks locally and cheaply.
         let solo = vec![
@@ -1025,7 +1121,12 @@ mod tests {
         ];
         let (trace, _) = run_scripts(&machine(), vec![FileSpec::output("f")], vec![script]);
         let opens: Vec<u64> = trace.of_op(IoOp::Open).map(|e| e.duration()).collect();
-        assert!(opens[0] > opens[1], "create {} !> open {}", opens[0], opens[1]);
+        assert!(
+            opens[0] > opens[1],
+            "create {} !> open {}",
+            opens[0],
+            opens[1]
+        );
     }
 
     #[test]
@@ -1079,8 +1180,7 @@ mod tests {
             if fail {
                 pfs.fail_disk(0, 0);
             }
-            let programs: Vec<Box<dyn NodeProgram>> =
-                vec![Box::new(ScriptProgram::new(script()))];
+            let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(script()))];
             let mut engine = Engine::new(Mesh::for_nodes(1, 1), m.comm, programs, pfs);
             engine.run();
             let trace = tracer.finish();

@@ -74,11 +74,7 @@ impl StripeLayout {
             let len = chunk_end - pos;
             // Merge with the previous segment for this I/O node when
             // node-locally contiguous.
-            if let Some(prev) = segs
-                .iter_mut()
-                .rev()
-                .find(|s| s.io_node == io_node)
-            {
+            if let Some(prev) = segs.iter_mut().rev().find(|s| s.io_node == io_node) {
                 if prev.local_offset + prev.bytes == local {
                     prev.bytes += len;
                     pos = chunk_end;
@@ -135,9 +131,30 @@ mod tests {
         // then 14 KB on node 2.
         let segs = l.segments(60 * 1024, 82 * 1024);
         assert_eq!(segs.len(), 3);
-        assert_eq!(segs[0], Segment { io_node: 0, local_offset: 60 * 1024, bytes: 4 * 1024 });
-        assert_eq!(segs[1], Segment { io_node: 1, local_offset: 0, bytes: 64 * 1024 });
-        assert_eq!(segs[2], Segment { io_node: 2, local_offset: 0, bytes: 14 * 1024 });
+        assert_eq!(
+            segs[0],
+            Segment {
+                io_node: 0,
+                local_offset: 60 * 1024,
+                bytes: 4 * 1024
+            }
+        );
+        assert_eq!(
+            segs[1],
+            Segment {
+                io_node: 1,
+                local_offset: 0,
+                bytes: 64 * 1024
+            }
+        );
+        assert_eq!(
+            segs[2],
+            Segment {
+                io_node: 2,
+                local_offset: 0,
+                bytes: 14 * 1024
+            }
+        );
     }
 
     #[test]
@@ -156,7 +173,13 @@ mod tests {
     #[test]
     fn bytes_conserved() {
         let l = StripeLayout::new(4096, 5);
-        for (off, len) in [(0u64, 1u64), (1, 4096), (4095, 2), (10_000, 123_456), (0, 0)] {
+        for (off, len) in [
+            (0u64, 1u64),
+            (1, 4096),
+            (4095, 2),
+            (10_000, 123_456),
+            (0, 0),
+        ] {
             let total: u64 = l.segments(off, len).iter().map(|s| s.bytes).sum();
             assert_eq!(total, len, "offset {off} len {len}");
         }

@@ -53,7 +53,10 @@ impl AccessMode {
 
     /// Whether all opening nodes share one file pointer.
     pub fn shared_pointer(self) -> bool {
-        matches!(self, AccessMode::MLog | AccessMode::MSync | AccessMode::MGlobal)
+        matches!(
+            self,
+            AccessMode::MLog | AccessMode::MSync | AccessMode::MGlobal
+        )
     }
 
     /// Whether accesses must be fixed-size records.

@@ -106,9 +106,18 @@ mod tests {
         assert_eq!(
             suggestions,
             vec![
-                Extent { offset: BS, bytes: BS },
-                Extent { offset: 2 * BS, bytes: BS },
-                Extent { offset: 3 * BS, bytes: BS },
+                Extent {
+                    offset: BS,
+                    bytes: BS
+                },
+                Extent {
+                    offset: 2 * BS,
+                    bytes: BS
+                },
+                Extent {
+                    offset: 3 * BS,
+                    bytes: BS
+                },
             ]
         );
     }
@@ -117,7 +126,13 @@ mod tests {
     fn readahead_aligns_up_for_unaligned_access() {
         let mut p = StreamPrefetcher::new(PrefetchPolicy::Readahead { depth: 1 }, BS);
         let s = p.on_access(100, 50); // next block boundary after 150 is BS
-        assert_eq!(s, vec![Extent { offset: BS, bytes: BS }]);
+        assert_eq!(
+            s,
+            vec![Extent {
+                offset: BS,
+                bytes: BS
+            }]
+        );
     }
 
     #[test]
@@ -145,8 +160,14 @@ mod tests {
         assert_eq!(
             last,
             vec![
-                Extent { offset: 8 * stride, bytes: 2048 },
-                Extent { offset: 9 * stride, bytes: 2048 },
+                Extent {
+                    offset: 8 * stride,
+                    bytes: 2048
+                },
+                Extent {
+                    offset: 9 * stride,
+                    bytes: 2048
+                },
             ]
         );
     }

@@ -112,7 +112,10 @@ impl DirtyBuffer {
                 let end = offset + bytes;
                 while pos < end {
                     let len = chunk.min(end - pos);
-                    out.push(Extent { offset: pos, bytes: len });
+                    out.push(Extent {
+                        offset: pos,
+                        bytes: len,
+                    });
                     pos += len;
                 }
             }
@@ -141,7 +144,13 @@ mod tests {
         b.add(100, 100); // touches
         assert_eq!(b.extent_count(), 1);
         assert_eq!(b.bytes(), 200);
-        assert_eq!(b.drain(true, 64), vec![Extent { offset: 0, bytes: 200 }]);
+        assert_eq!(
+            b.drain(true, 64),
+            vec![Extent {
+                offset: 0,
+                bytes: 200
+            }]
+        );
     }
 
     #[test]
@@ -172,7 +181,13 @@ mod tests {
             b.add(i * 2048, 2048);
         }
         let agg = b.drain(true, 2048);
-        assert_eq!(agg, vec![Extent { offset: 0, bytes: 8 * 2048 }]);
+        assert_eq!(
+            agg,
+            vec![Extent {
+                offset: 0,
+                bytes: 8 * 2048
+            }]
+        );
     }
 
     #[test]
@@ -181,8 +196,20 @@ mod tests {
         b.add(0, 10_000);
         let parts = b.drain(false, 4096);
         assert_eq!(parts.len(), 3);
-        assert_eq!(parts[0], Extent { offset: 0, bytes: 4096 });
-        assert_eq!(parts[2], Extent { offset: 8192, bytes: 10_000 - 8192 });
+        assert_eq!(
+            parts[0],
+            Extent {
+                offset: 0,
+                bytes: 4096
+            }
+        );
+        assert_eq!(
+            parts[2],
+            Extent {
+                offset: 8192,
+                bytes: 10_000 - 8192
+            }
+        );
         assert!(b.is_empty());
     }
 

@@ -17,7 +17,10 @@ fn main() {
 
     println!("pattern x policy matrix (total read node time, lower is better):\n");
     let rows = policy_matrix(&machine);
-    println!("{:<12} {:>12} {:>12} {:>12}", "pattern", "none", "readahead4", "adaptive4");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "pattern", "none", "readahead4", "adaptive4"
+    );
     for kernel in ["sequential", "strided", "random", "cyclic"] {
         let t = |p: &str| {
             rows.iter()
@@ -43,7 +46,5 @@ fn main() {
         "  {} reads: {} whole-read cache hits, {} blocks prefetched",
         32, stats.reads_hit, stats.prefetched_blocks
     );
-    println!(
-        "  (prefetch engages only after the warm-up window classifies the stream)"
-    );
+    println!("  (prefetch engages only after the warm-up window classifies the stream)");
 }

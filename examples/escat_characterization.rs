@@ -20,7 +20,10 @@ fn main() {
 
     println!("\n== Table 1 ==\n{}", a.table1.render());
     println!("== Table 2 ==\n{}", a.table2.render());
-    println!("== Paper vs measured ==\n{}", report::render_checks(&a.checks));
+    println!(
+        "== Paper vs measured ==\n{}",
+        report::render_checks(&a.checks)
+    );
     println!("== Shape ==\n{}", report::render_shapes(&a.shapes));
     println!(
         "Figure 4 burst spacing: first ≈ {:.0}s, last ≈ {:.0}s over {} bursts",

@@ -25,9 +25,16 @@ fn main() {
         ("pargos", &a.table5[1], &a.pargos),
         ("pscf", &a.table5[2], &a.pscf),
     ] {
-        println!("\n== Table 5: {name} (wall {:.0}s) ==\n{}", out.wall_secs(), table.render());
+        println!(
+            "\n== Table 5: {name} (wall {:.0}s) ==\n{}",
+            out.wall_secs(),
+            table.render()
+        );
     }
-    println!("== Paper vs measured ==\n{}", report::render_checks(&a.checks));
+    println!(
+        "== Paper vs measured ==\n{}",
+        report::render_checks(&a.checks)
+    );
     println!("== Shape ==\n{}", report::render_shapes(&a.shapes));
 
     // The whole pipeline as one logical trace (the three programs run

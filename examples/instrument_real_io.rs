@@ -41,8 +41,14 @@ fn main() -> std::io::Result<()> {
     println!("captured {} real I/O events", trace.len());
 
     // --- The paper's analyses, applied to the real trace ---
-    println!("\n== operation table ==\n{}", OpTable::from_trace(&trace).render());
-    println!("== request sizes ==\n{}", SizeTable::from_trace(&trace).render());
+    println!(
+        "\n== operation table ==\n{}",
+        OpTable::from_trace(&trace).render()
+    );
+    println!(
+        "== request sizes ==\n{}",
+        SizeTable::from_trace(&trace).render()
+    );
     let c = Characterization::from_trace(&trace);
     println!("== qualitative characterization ==\n{}", c.render());
     for (&(node, file), pattern) in &c.streams {
@@ -53,7 +59,13 @@ fn main() -> std::io::Result<()> {
     let machine = MachineConfig::tiny(4, 2);
     let replayed = run_workload(
         &machine,
-        &workload_from_trace(&trace, ReplayOptions { think_time_scale: 0.0, max_gap_secs: 0.0 }),
+        &workload_from_trace(
+            &trace,
+            ReplayOptions {
+                think_time_scale: 0.0,
+                max_gap_secs: 0.0,
+            },
+        ),
         &Backend::Pfs,
     );
     println!(

@@ -26,7 +26,10 @@ fn main() {
     let a = experiments::render(&machine, &params);
     println!("\n== Table 3 ==\n{}", a.table3.render());
     println!("== Table 4 ==\n{}", a.table4.render());
-    println!("== Paper vs measured ==\n{}", report::render_checks(&a.checks));
+    println!(
+        "== Paper vs measured ==\n{}",
+        report::render_checks(&a.checks)
+    );
     println!("== Shape ==\n{}", report::render_shapes(&a.shapes));
 
     let render_phase = a.out.wall_secs() - a.init_end_secs;

@@ -35,7 +35,10 @@ fn main() {
     let path = dir.join("escat.sddf");
     sddf::write_file(&original.trace, &path).unwrap();
     let reloaded = sddf::read_file(&path).unwrap();
-    println!("persisted + reloaded: {} bytes on disk", std::fs::metadata(&path).unwrap().len());
+    println!(
+        "persisted + reloaded: {} bytes on disk",
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // 3. Replay faithfully on the same configuration.
     let faithful = run_workload(

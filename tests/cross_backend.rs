@@ -40,7 +40,11 @@ fn escat_logical_behavior_is_backend_independent() {
 #[test]
 fn render_runs_on_ppfs_with_prefetch() {
     let p = RenderParams::small(8, 3);
-    let out = run_workload(&m(), &p.workload(), &Backend::Ppfs(PolicyConfig::readahead(4)));
+    let out = run_workload(
+        &m(),
+        &p.workload(),
+        &Backend::Ppfs(PolicyConfig::readahead(4)),
+    );
     let (reads, async_reads, writes, ..) = p.expected_counts();
     assert_eq!(out.trace.of_op(IoOp::Read).count() as u64, reads);
     assert_eq!(out.trace.of_op(IoOp::AsyncRead).count() as u64, async_reads);
@@ -56,9 +60,7 @@ fn htf_pscf_benefits_from_caching() {
     let pfs = run_workload(&m(), &w, &Backend::Pfs);
     let policy = PolicyConfig::write_through().with_cache(256, sio::ppfs::Eviction::Lru);
     let ppfs = run_workload(&m(), &w, &Backend::Ppfs(policy));
-    let read_secs = |t: &sio::core::Trace| -> f64 {
-        OpTable::from_trace(t).secs(IoOp::Read)
-    };
+    let read_secs = |t: &sio::core::Trace| -> f64 { OpTable::from_trace(t).secs(IoOp::Read) };
     assert!(
         read_secs(&ppfs.trace) < read_secs(&pfs.trace),
         "caching did not help: {} vs {}",
@@ -74,9 +76,11 @@ fn seeks_cheaper_on_ppfs_shared_files() {
     // seek RPC.
     let p = EscatParams::small(8, 6);
     let pfs = run_workload(&m(), &p.workload(), &Backend::Pfs);
-    let ppfs = run_workload(&m(), &p.workload(), &Backend::Ppfs(PolicyConfig::write_through()));
-    let seek_secs = |t: &sio::core::Trace| -> f64 {
-        OpTable::from_trace(t).secs(IoOp::Seek)
-    };
+    let ppfs = run_workload(
+        &m(),
+        &p.workload(),
+        &Backend::Ppfs(PolicyConfig::write_through()),
+    );
+    let seek_secs = |t: &sio::core::Trace| -> f64 { OpTable::from_trace(t).secs(IoOp::Seek) };
     assert!(seek_secs(&ppfs.trace) * 10.0 < seek_secs(&pfs.trace));
 }

@@ -1,0 +1,59 @@
+//! Golden-digest snapshots of the paper's Tables 1–6 at full 128-node
+//! scale: any change to the rendered table text — a count, a volume, a
+//! percentage, even formatting — fails here with the entry that moved.
+//!
+//! Digests live in `results/golden_tables.txt` next to the rendered
+//! artifacts; regenerate after an intentional model change with
+//! `SIO_UPDATE_GOLDENS=1 cargo test`.
+
+mod goldens;
+
+use sio::analysis::experiments;
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::sddf::fingerprint_bytes;
+use sio::paragon::MachineConfig;
+
+fn digest(rendered: &str) -> u64 {
+    fingerprint_bytes(rendered.as_bytes())
+}
+
+#[test]
+fn tables_1_through_6_match_goldens() {
+    let machine = MachineConfig::paragon_128();
+    let escat = experiments::escat(&machine, &EscatParams::paper());
+    let render = experiments::render(&machine, &RenderParams::paper());
+    let htf = experiments::htf(&machine, &HtfParams::paper());
+    let mut computed = vec![
+        (
+            "table1-escat-ops".to_string(),
+            digest(&escat.table1.render()),
+        ),
+        (
+            "table2-escat-sizes".to_string(),
+            digest(&escat.table2.render()),
+        ),
+        (
+            "table3-render-ops".to_string(),
+            digest(&render.table3.render()),
+        ),
+        (
+            "table4-render-sizes".to_string(),
+            digest(&render.table4.render()),
+        ),
+    ];
+    for (i, phase) in ["psetup", "pargos", "pscf"].iter().enumerate() {
+        computed.push((
+            format!("table5-htf-{phase}-ops"),
+            digest(&htf.table5[i].render()),
+        ));
+        computed.push((
+            format!("table6-htf-{phase}-sizes"),
+            digest(&htf.table6[i].render()),
+        ));
+    }
+    goldens::check(
+        "results/golden_tables.txt",
+        "Golden digests of Tables 1-6 (FNV-1a over the rendered table text), paper scale.",
+        &computed,
+    );
+}

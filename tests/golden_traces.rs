@@ -1,0 +1,104 @@
+//! Golden-trace regression harness: pins the SDDF digest of every workload
+//! trace, and pins that the parallel sweep executor reproduces the serial
+//! digests bit-for-bit.
+//!
+//! Digests live in `tests/goldens/trace_digests.txt`; regenerate after an
+//! intentional model change with `SIO_UPDATE_GOLDENS=1 cargo test`.
+
+mod goldens;
+
+use sio::analysis::runner;
+use sio::apps::workload::{run_workload, Backend, Workload};
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::sddf;
+use sio::paragon::MachineConfig;
+use sio::ppfs::PolicyConfig;
+
+/// The smoke-scale corpus: one (name, machine, workload, backend) per
+/// reproduced application, small enough to run on every `cargo test`.
+fn corpus() -> Vec<(&'static str, MachineConfig, Workload, Backend)> {
+    let tiny = MachineConfig::tiny(8, 4);
+    vec![
+        (
+            "escat-small-pfs",
+            tiny.clone(),
+            EscatParams::small(8, 8).workload(),
+            Backend::Pfs,
+        ),
+        (
+            "escat-small-ppfs-tuned",
+            tiny.clone(),
+            EscatParams::small(8, 8).workload(),
+            Backend::Ppfs(PolicyConfig::escat_tuned()),
+        ),
+        (
+            "render-small-pfs",
+            tiny.clone(),
+            RenderParams::small(8, 4).workload(),
+            Backend::Pfs,
+        ),
+        (
+            "htf-psetup-small-pfs",
+            tiny.clone(),
+            HtfParams::small(8).psetup_workload(),
+            Backend::Pfs,
+        ),
+        (
+            "htf-pargos-small-pfs",
+            tiny.clone(),
+            HtfParams::small(8).pargos_workload(),
+            Backend::Pfs,
+        ),
+        (
+            "htf-pscf-small-pfs",
+            tiny,
+            HtfParams::small(8).pscf_workload(),
+            Backend::Pfs,
+        ),
+    ]
+}
+
+fn digests(jobs: usize) -> Vec<(String, u64)> {
+    runner::par_map_jobs(jobs, corpus(), |_, (name, machine, workload, backend)| {
+        let out = run_workload(&machine, &workload, &backend);
+        (name.to_string(), sddf::fingerprint(&out.trace))
+    })
+}
+
+/// The tentpole acceptance check: sweep output is byte-identical whether the
+/// corpus runs serially or fanned out over the worker pool, and both match
+/// the checked-in goldens.
+#[test]
+fn trace_digests_match_goldens_serial_and_parallel() {
+    let serial = digests(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            digests(jobs),
+            serial,
+            "parallel sweep (jobs={jobs}) diverged from the serial digests"
+        );
+    }
+    goldens::check(
+        "tests/goldens/trace_digests.txt",
+        "Golden SDDF trace digests (FNV-1a over the binary encoding), smoke scale.",
+        &serial,
+    );
+}
+
+/// The digest pins the full binary encoding: a trace that round-trips
+/// through SDDF keeps its fingerprint, and any event mutation changes it.
+#[test]
+fn fingerprint_tracks_sddf_encoding() {
+    let (_, machine, workload, backend) = corpus().remove(0);
+    let trace = run_workload(&machine, &workload, &backend).trace;
+    let bytes = sddf::to_bytes(&trace);
+    let back = sddf::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(sddf::fingerprint(&back), sddf::fingerprint(&trace));
+    let mut corrupted = bytes.to_vec();
+    let last = corrupted.len() - 1;
+    corrupted[last] ^= 1;
+    assert_ne!(
+        sddf::fingerprint_bytes(&corrupted),
+        sddf::fingerprint_bytes(&bytes)
+    );
+}

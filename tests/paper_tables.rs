@@ -19,14 +19,22 @@ fn escat_tables_and_shapes_match_paper() {
         .filter(|c| !c.pass())
         .map(|c| c.render())
         .collect();
-    assert!(failed.is_empty(), "table checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "table checks failed:\n{}",
+        failed.join("\n")
+    );
     let failed: Vec<String> = a
         .shapes
         .iter()
         .filter(|s| !s.pass)
         .map(|s| s.render())
         .collect();
-    assert!(failed.is_empty(), "shape checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "shape checks failed:\n{}",
+        failed.join("\n")
+    );
     // Wall time in the paper's regime: "roughly one and three quarter hours".
     let wall = a.out.wall_secs();
     assert!((4000.0..9000.0).contains(&wall), "wall {wall}");
@@ -41,14 +49,22 @@ fn render_tables_and_shapes_match_paper() {
         .filter(|c| !c.pass())
         .map(|c| c.render())
         .collect();
-    assert!(failed.is_empty(), "table checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "table checks failed:\n{}",
+        failed.join("\n")
+    );
     let failed: Vec<String> = a
         .shapes
         .iter()
         .filter(|s| !s.pass)
         .map(|s| s.render())
         .collect();
-    assert!(failed.is_empty(), "shape checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "shape checks failed:\n{}",
+        failed.join("\n")
+    );
 }
 
 #[test]
@@ -60,14 +76,22 @@ fn htf_tables_and_shapes_match_paper() {
         .filter(|c| !c.pass())
         .map(|c| c.render())
         .collect();
-    assert!(failed.is_empty(), "table checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "table checks failed:\n{}",
+        failed.join("\n")
+    );
     let failed: Vec<String> = a
         .shapes
         .iter()
         .filter(|s| !s.pass)
         .map(|s| s.render())
         .collect();
-    assert!(failed.is_empty(), "shape checks failed:\n{}", failed.join("\n"));
+    assert!(
+        failed.is_empty(),
+        "shape checks failed:\n{}",
+        failed.join("\n")
+    );
     // Phase walls in the paper's regime (127 s / 1,173 s / 1,008 s).
     assert!((60.0..260.0).contains(&a.psetup.wall_secs()));
     assert!((700.0..1800.0).contains(&a.pargos.wall_secs()));

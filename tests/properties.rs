@@ -307,4 +307,81 @@ proptest! {
             AccessPattern::Strided { stride: stride as i64 }
         );
     }
+
+    // ---------------- parallel sweep runner ----------------
+
+    /// For any worker count (0 and 1 included — 0 clamps to serial) and any
+    /// job list (empty and single-item included), the pool is a drop-in
+    /// replacement for a serial map: same outputs, input order, and every
+    /// job sees its own index.
+    #[test]
+    fn runner_matches_serial_map_for_any_worker_count(
+        jobs in 0usize..12,
+        xs in vec(any::<u64>(), 0..40),
+    ) {
+        use sio::analysis::runner;
+        let expect: Vec<u64> = xs.iter().enumerate().map(|(i, x)| x.wrapping_mul(31) ^ i as u64).collect();
+        let got = runner::par_map_jobs(jobs, xs, |i, x| x.wrapping_mul(31) ^ i as u64);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A panicking job surfaces as a `JobPanic` naming the first panicking
+    /// input index, without poisoning the pool or deadlocking: the
+    /// surviving jobs all still run, and the very next sweep on the same
+    /// pool parameters succeeds.
+    #[test]
+    fn runner_surfaces_panics_without_poisoning(
+        jobs in 0usize..9,
+        xs in vec(any::<u8>(), 1..30),
+    ) {
+        use sio::analysis::runner;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let first_bad = xs.iter().position(|x| x % 4 == 0);
+        let ran = AtomicUsize::new(0);
+        let quiet = quiet_panics();
+        let outcome = runner::try_par_map_jobs(jobs, xs.clone(), |_, x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            assert!(x % 4 != 0, "job input {x} is divisible by 4");
+            u64::from(x) + 1
+        });
+        drop(quiet);
+
+        match first_bad {
+            Some(index) => {
+                let err = outcome.expect_err("a job panicked; the sweep must error");
+                prop_assert_eq!(err.index, index);
+                prop_assert!(err.message.contains("divisible by 4"), "{}", err.message);
+            }
+            None => {
+                let out = outcome.expect("no job panicked; the sweep must succeed");
+                prop_assert_eq!(out, xs.iter().map(|x| u64::from(*x) + 1).collect::<Vec<_>>());
+            }
+        }
+        // Every job ran — a panic must not starve the remaining indices.
+        prop_assert_eq!(ran.load(Ordering::Relaxed), xs.len());
+
+        // And the pool state is not poisoned: an immediately following
+        // sweep with the same worker count works.
+        let again = runner::par_map_jobs(jobs, vec![1u8, 2, 3], |i, x| usize::from(x) + i);
+        prop_assert_eq!(again, vec![1usize, 3, 5]);
+    }
+}
+
+/// Silence the default panic hook while intentionally panicking jobs run
+/// (worker threads are not output-captured by the test harness); restores
+/// the previous hook on drop. Hook swaps are serialized across tests.
+fn quiet_panics() -> impl Drop {
+    use std::sync::{Mutex, MutexGuard};
+    static HOOK: Mutex<()> = Mutex::new(());
+    struct Restore(Option<MutexGuard<'static, ()>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+            self.0.take();
+        }
+    }
+    let guard = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    std::panic::set_hook(Box::new(|_| {}));
+    Restore(Some(guard))
 }

@@ -103,10 +103,7 @@ fn app_characterizations() -> Vec<(&'static str, Characterization)> {
     let psetup = run_workload(&machine, &htf.psetup_workload(), &Backend::Pfs);
     let pargos = run_workload(&machine, &htf.pargos_workload(), &Backend::Pfs);
     let pscf = run_workload(&machine, &htf.pscf_workload(), &Backend::Pfs);
-    let pipeline = Trace::concat_pipeline(
-        "htf",
-        &[&psetup.trace, &pargos.trace, &pscf.trace],
-    );
+    let pipeline = Trace::concat_pipeline("htf", &[&psetup.trace, &pargos.trace, &pscf.trace]);
     vec![
         ("escat", characterize(&escat.trace)),
         ("render", characterize(&render.trace)),

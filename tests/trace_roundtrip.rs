@@ -19,7 +19,10 @@ fn application_trace_roundtrips_through_sddf() {
 
     // Analyses agree.
     assert_eq!(OpTable::from_trace(&back), OpTable::from_trace(&out.trace));
-    assert_eq!(SizeTable::from_trace(&back), SizeTable::from_trace(&out.trace));
+    assert_eq!(
+        SizeTable::from_trace(&back),
+        SizeTable::from_trace(&out.trace)
+    );
 }
 
 #[test]

@@ -1,0 +1,184 @@
+//! Offline stand-in for `bytes` — the subset the SDDF codec in `sio-core`
+//! uses. Multi-byte puts/gets are big-endian, matching upstream defaults,
+//! so encoded traces are layout-compatible with a build against the real
+//! crate.
+
+use std::ops::Deref;
+
+/// Immutable byte container.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copy into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Write-side cursor operations (big-endian).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Read-side cursor operations (big-endian). Getters panic when the
+/// buffer is short, exactly like upstream; callers bounds-check first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Copy `len` bytes into an owned [`Bytes`], advancing the cursor.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let (head, tail) = self.split_at(len);
+        let out = Bytes(head.to_vec());
+        *self = tail;
+        out
+    }
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u16(0x0102);
+        w.put_u32(0x0304_0506);
+        w.put_u64(0x0708_090A_0B0C_0D0E);
+        w.put_slice(b"xyz");
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x0304_0506);
+        assert_eq!(r.get_u64(), 0x0708_090A_0B0C_0D0E);
+        assert_eq!(r.copy_to_bytes(3).as_ref(), b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut w = BytesMut::with_capacity(2);
+        w.put_u16(0x0102);
+        assert_eq!(&*w.freeze(), &[1, 2]);
+    }
+}

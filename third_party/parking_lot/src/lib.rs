@@ -1,0 +1,76 @@
+//! Offline stand-in for `parking_lot` — a [`Mutex`] whose `lock()` returns
+//! the guard directly (no poisoning), backed by `std::sync::Mutex`.
+//!
+//! Poison recovery matters here: the trace buffer in `sio-core` is shared
+//! across worker threads of the sweep runner, and a panicking simulation
+//! must not wedge every later `Tracer::record` (see
+//! `tests/parallel_determinism.rs`).
+
+use std::sync::Mutex as StdMutex;
+
+/// Guard type, re-exported to match the upstream name.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Non-poisoning mutual exclusion.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock. Unlike `std`, a panic in a previous holder does
+    /// not poison the lock: the guard is recovered and handed out.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_lock() {
+            Ok(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_survives_holder_panic() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        // A poisoned std mutex would panic here; ours recovers.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m = Mutex::new(5u32);
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `rand` 0.9 — the subset this repository uses.
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64),
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over integer
+//! and float ranges. Every generator is explicitly seeded; there is no
+//! entropy source, which matches the repository's determinism contract
+//! (`tests/determinism.rs`): identical seeds must yield identical streams
+//! on every platform and build.
+//!
+//! The stream differs from upstream `rand::rngs::StdRng` (ChaCha12); all
+//! in-repo golden digests were produced with this generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of a generator: a uniform `u64` stream.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`. Panics on an empty range, like upstream.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire reduction
+/// without the rejection step: bias is < 2^-32 for every bound used here,
+/// and determinism — not statistical perfection — is the contract).
+fn below(rng: &mut impl RngCore, bound: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every u64 is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 expansion, the reference seeding procedure for
+            // xoshiro generators.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = r.random_range(0.8f64..1.2);
+            assert!((0.8..1.2).contains(&f));
+            let i = r.random_range(0usize..=5);
+            assert!(i <= 5);
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(4);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for _ in 0..2000 {
+            let f = r.random_range(0.0f64..1.0);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage: [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: marker traits plus re-exported no-op
+//! derives. See `third_party/README.md` for the rationale.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

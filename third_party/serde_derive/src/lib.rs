@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its config and trace
+//! types but never routes them through a serde serializer (the SDDF codec in
+//! `sio-core` is hand-written), so erasing the derives is semantically safe.
+
+use proc_macro::TokenStream;
+
+/// Accept and erase `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and erase `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
