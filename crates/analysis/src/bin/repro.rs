@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|all]
+//! repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]
 //! ```
 //!
 //! Paper-scale runs (`escat`, `render`, `htf`) use the 128-node Caltech
@@ -53,7 +53,7 @@ fn parse_args() -> Cli {
             },
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|all]..."
+                    "usage: repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]..."
                 );
                 std::process::exit(0);
             }
@@ -431,6 +431,87 @@ fn run_scaling(cli: &Cli) {
     println!("{body}");
 }
 
+fn run_faults(cli: &Cli) {
+    let m = machine(cli.fast);
+    let (ep, rp, hp) = if cli.fast {
+        (
+            EscatParams::small(8, 8),
+            RenderParams::small(8, 4),
+            HtfParams::small(8),
+        )
+    } else {
+        (
+            EscatParams::paper(),
+            RenderParams::paper(),
+            HtfParams::paper(),
+        )
+    };
+    eprintln!("[repro] fault suite (X4: degraded / rebuild / stalls / crash)...");
+    let rows = experiments::fault_suite(&m, &ep, &rp, &hp);
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    let mut b = String::new();
+    b.push_str(
+        "workload   scenario    wall(s)   read(s)  write(s)  retry  failover  lost  timeout  rebuild(MB)  degraded  dirty(KB)  replayed\n",
+    );
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<10} {:<9} {:>9.1} {:>9.2} {:>9.2} {:>6} {:>9} {:>5} {:>8} {:>12.1} {:>9} {:>10.1} {:>9}\n",
+            r.workload,
+            r.scenario,
+            r.wall_secs,
+            r.read_secs,
+            r.write_secs,
+            r.retries,
+            r.failovers,
+            r.lost_segments,
+            r.timeouts,
+            r.rebuilt_mb,
+            r.degraded_at_end,
+            r.dirty_bytes_lost as f64 / 1024.0,
+            r.replayed_segments,
+        ));
+    }
+    body.push_str(&report::section(
+        "X4 — fault-injection suite (timed RAID rebuild, stalls, crash + failover)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.workload,
+                r.scenario,
+                r.wall_secs,
+                r.read_secs,
+                r.write_secs,
+                r.retries,
+                r.failovers,
+                r.lost_segments,
+                r.timeouts,
+                r.rebuilt_mb,
+                r.degraded_at_end,
+                r.dirty_bytes_lost,
+                r.replayed_segments
+            )
+        })
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "faults",
+        "workload,scenario,wall_secs,read_secs,write_secs,retries,failovers,lost_segments,timeouts,rebuilt_mb,degraded_at_end,dirty_bytes_lost,replayed_segments",
+        &csv,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "faults", &body).expect("write report");
+    println!("{body}");
+}
+
 fn run_ablations(cli: &Cli) {
     let m = machine(cli.fast);
     eprintln!("[repro] ablations (A1 modes, A2 policies, A3 queue, A4 raid)...");
@@ -540,6 +621,7 @@ fn main() {
             "crossover" => run_crossover(&cli),
             "ablations" => run_ablations(&cli),
             "scaling" => run_scaling(&cli),
+            "faults" => run_faults(&cli),
             "all" => {
                 // Independent experiments fan out over the sweep runner;
                 // each simulation is single-threaded and deterministic, so
@@ -553,6 +635,7 @@ fn main() {
                     Box::new(move || run_crossover(cli)),
                     Box::new(move || run_ablations(cli)),
                     Box::new(move || run_scaling(cli)),
+                    Box::new(move || run_faults(cli)),
                 ];
                 runner::par_run(runner::configured_jobs(), tasks);
             }

@@ -18,10 +18,10 @@ use crate::optable::OpTable;
 use crate::runner;
 use crate::sizetable::SizeTable;
 use paragon_sim::ionode::QueueDiscipline;
-use paragon_sim::MachineConfig;
+use paragon_sim::{FaultSchedule, MachineConfig, SimDuration, SimTime};
 use sio_apps::workload::{
     cyclic_read_kernel, parallel_write_kernel, random_read_kernel, run_workload,
-    sequential_read_kernel, strided_read_kernel, Backend, RunOutput,
+    run_workload_with_faults, sequential_read_kernel, strided_read_kernel, Backend, RunOutput,
 };
 use sio_apps::{EscatParams, HtfParams, RenderParams};
 use sio_core::event::{IoOp, NS_PER_SEC};
@@ -786,7 +786,8 @@ pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> 
         }
         if degraded {
             for io in 0..machine.io_nodes {
-                fs.fail_disk(io, 0);
+                fs.fail_disk(io, 0)
+                    .expect("first failure on a healthy array");
             }
         }
         let programs: Vec<Box<dyn NodeProgram>> = w
@@ -809,6 +810,206 @@ pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> 
             read_secs: read_ns as f64 / NS_PER_SEC,
         }
     })
+}
+
+/// X4: one cell of the fault-injection suite (workload × fault scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Workload label (`escat`, `render`, `htf-pscf`, `escat-wb`).
+    pub workload: String,
+    /// Fault scenario (`healthy`, `degraded`, `rebuild`, `stalls`, `crash`).
+    pub scenario: String,
+    /// Simulated wall seconds (includes any rebuild tail: the run is over
+    /// when the machine is quiet, not when the programs exit).
+    pub wall_secs: f64,
+    /// Total read node time, seconds.
+    pub read_secs: f64,
+    /// Total write node time, seconds.
+    pub write_secs: f64,
+    /// Backoff retries after explicit rejections (PFS path).
+    pub retries: u64,
+    /// Segments failed over to the buddy node (PFS path).
+    pub failovers: u64,
+    /// Segments lost to node crashes.
+    pub lost_segments: u64,
+    /// Requests failed by the per-request deadline.
+    pub timeouts: u64,
+    /// Background rebuild chunks serviced.
+    pub rebuild_chunks: u64,
+    /// Member bytes rebuilt, MB.
+    pub rebuilt_mb: f64,
+    /// Arrays still degraded when the run ended.
+    pub degraded_at_end: u32,
+    /// Write-behind bytes exposed to an I/O-node crash (PPFS path).
+    pub dirty_bytes_lost: u64,
+    /// Segments replayed after node recovery (PPFS path).
+    pub replayed_segments: u64,
+}
+
+/// The canned fault schedule for one X4 scenario (`None` = healthy run,
+/// keeping the fault machinery fully dormant). Time-relative scenarios
+/// (`stalls`, `crash`) are scaled to `healthy_wall` — the workload's
+/// fault-free wall time — so the fault window always overlaps the
+/// workload's actual I/O, whatever its scale. Events landing after the
+/// faulted run finishes are deterministic no-ops.
+pub fn fault_scenario_schedule(
+    name: &str,
+    io_nodes: u32,
+    seed: u64,
+    healthy_wall: SimTime,
+) -> Option<FaultSchedule> {
+    let wall = healthy_wall.nanos().max(1);
+    let mut s = FaultSchedule::new();
+    match name {
+        "healthy" => return None,
+        // Every array loses one member before the first request: the whole
+        // run pays the degraded-read reconstruction penalty.
+        "degraded" => s = FaultSchedule::all_disks_fail(SimTime::ZERO, io_nodes, 0),
+        // As above, but a hot spare arrives at t=1s: background rebuild
+        // traffic competes with foreground requests at member spindle rate
+        // until every array heals (~546 s of member time per array).
+        "rebuild" => {
+            s = FaultSchedule::all_disks_fail(SimTime::ZERO, io_nodes, 0);
+            for io in 0..io_nodes {
+                s.disk_repair(SimTime(1_000_000_000), io);
+            }
+        }
+        // Seeded background flakiness: 24 two-second server stalls scattered
+        // over the whole (healthy) duration of the run.
+        "stalls" => {
+            s = FaultSchedule::scattered_stalls(
+                seed,
+                io_nodes,
+                24,
+                SimDuration(wall),
+                SimDuration::from_secs(2),
+            );
+        }
+        // I/O node 0 crashes a quarter of the way into the run and returns
+        // at the halfway mark: in-flight segments are lost, PFS retries
+        // then fails over to the buddy node, PPFS parks write-behind
+        // segments for replay.
+        "crash" => {
+            s.node_crash(SimTime(wall / 4), 0);
+            s.node_recover(SimTime(wall / 2), 0);
+        }
+        // Write-behind exposure: the node goes down three quarters of the
+        // way in and stays down past the healthy end of the run, so the
+        // close-driven flush tail finds it dead — dirty segments park and
+        // replay on recovery instead of completing in place.
+        "wb-crash" => {
+            s.node_crash(SimTime(wall * 3 / 4), 0);
+            s.node_recover(SimTime(wall * 3 / 2), 0);
+        }
+        other => panic!("unknown fault scenario '{other}'"),
+    }
+    Some(s)
+}
+
+/// Run the fault-injection suite (X4): ESCAT, RENDER, and HTF-pscf on PFS
+/// under every canned scenario, plus ESCAT on PPFS write-behind under a
+/// crash (the dirty-data exposure case).
+pub fn fault_suite(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+) -> Vec<FaultRow> {
+    fault_suite_jobs(machine, escat, render, htf, runner::configured_jobs())
+}
+
+/// [`fault_suite`] with an explicit worker count (one job per cell; rows
+/// come back in canonical order and are worker-count invariant).
+///
+/// Two fan-out phases: the healthy baselines run first (they are the
+/// suite's `healthy` rows *and* supply each workload's wall time), then
+/// every faulted cell runs with its schedule scaled to that wall, so the
+/// crash and stall windows always land inside the run they perturb.
+pub fn fault_suite_jobs(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+    jobs: usize,
+) -> Vec<FaultRow> {
+    const WORKLOADS: [&str; 4] = ["escat", "render", "htf-pscf", "escat-wb"];
+    const PFS_FAULTED: [&str; 4] = ["degraded", "rebuild", "stalls", "crash"];
+
+    let run_cell = |wname: &str, scenario: &str, schedule: Option<&FaultSchedule>| {
+        let (workload, backend) = match wname {
+            "escat" => (escat.workload(), Backend::Pfs),
+            "render" => (render.workload(), Backend::Pfs),
+            "htf-pscf" => (htf.pscf_workload(), Backend::Pfs),
+            "escat-wb" => (escat.workload(), Backend::Ppfs(PolicyConfig::escat_tuned())),
+            other => panic!("unknown fault workload '{other}'"),
+        };
+        let out = run_workload_with_faults(machine, &workload, &backend, schedule);
+        let t = OpTable::from_trace(&out.trace);
+        let pf = out.pfs_faults.unwrap_or_default();
+        let ps = out.ppfs_stats.unwrap_or_default();
+        let row = FaultRow {
+            workload: wname.to_string(),
+            scenario: scenario.to_string(),
+            wall_secs: out.wall_secs(),
+            read_secs: t.secs(IoOp::Read),
+            write_secs: t.secs(IoOp::Write),
+            retries: pf.retries,
+            failovers: pf.failovers,
+            lost_segments: pf.lost_segments,
+            timeouts: pf.timeouts,
+            rebuild_chunks: out.rebuild.0,
+            rebuilt_mb: out.rebuild.1 as f64 / 1e6,
+            degraded_at_end: out.degraded_nodes,
+            dirty_bytes_lost: ps.dirty_bytes_lost,
+            replayed_segments: ps.replayed_segments,
+        };
+        (row, out.report.wall)
+    };
+
+    // Phase 1: healthy baselines.
+    let healthy = runner::par_map_jobs(jobs, WORKLOADS.to_vec(), |_, wname| {
+        run_cell(wname, "healthy", None)
+    });
+    let wall_of =
+        |wname: &str| -> SimTime { healthy[WORKLOADS.iter().position(|w| *w == wname).unwrap()].1 };
+
+    // Phase 2: faulted cells, schedules scaled to the healthy wall.
+    let mut cases: Vec<(&str, &str)> = Vec::new();
+    for w in ["escat", "render", "htf-pscf"] {
+        for s in PFS_FAULTED {
+            cases.push((w, s));
+        }
+    }
+    cases.push(("escat-wb", "crash"));
+    let faulted = runner::par_map_jobs(jobs, cases.clone(), |_, (wname, scenario)| {
+        // The write-behind cell needs the crash to overlap its flush tail.
+        let sname = if wname == "escat-wb" {
+            "wb-crash"
+        } else {
+            scenario
+        };
+        let schedule =
+            fault_scenario_schedule(sname, machine.io_nodes, machine.seed, wall_of(wname));
+        run_cell(wname, scenario, schedule.as_ref()).0
+    });
+
+    // Canonical order: per workload, healthy first, then the faulted
+    // scenarios in schedule order.
+    let mut by_case: std::collections::HashMap<(&str, &str), FaultRow> =
+        cases.iter().copied().zip(faulted).collect();
+    let mut rows = Vec::with_capacity(WORKLOADS.len() + by_case.len());
+    for (i, wname) in WORKLOADS.iter().enumerate() {
+        rows.push(healthy[i].0.clone());
+        let scenarios: &[&str] = if *wname == "escat-wb" {
+            &["crash"]
+        } else {
+            &PFS_FAULTED
+        };
+        for s in scenarios {
+            rows.push(by_case.remove(&(*wname, *s)).expect("cell ran"));
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -962,6 +1163,42 @@ mod tests {
             "two-level {} !< baseline {}",
             rows[1].read_secs,
             rows[0].read_secs
+        );
+    }
+
+    #[test]
+    fn fault_suite_small_is_clean_and_ordered() {
+        let rows = fault_suite(
+            &tiny(),
+            &EscatParams::small(4, 4),
+            &RenderParams::small(4, 2),
+            &HtfParams::small(4),
+        );
+        assert_eq!(rows.len(), 17);
+        let get = |w: &str, s: &str| -> &FaultRow {
+            rows.iter()
+                .find(|r| r.workload == w && r.scenario == s)
+                .expect("row present")
+        };
+        // Healthy rows keep the fault machinery fully dormant.
+        for w in ["escat", "render", "htf-pscf"] {
+            let h = get(w, "healthy");
+            assert_eq!(h.retries + h.failovers + h.lost_segments + h.timeouts, 0);
+            assert_eq!(h.rebuild_chunks, 0);
+            assert_eq!(h.degraded_at_end, 0);
+        }
+        // Degraded arrays slow the read-heavy pipeline phase down.
+        assert!(get("htf-pscf", "degraded").read_secs > get("htf-pscf", "healthy").read_secs);
+        assert_eq!(get("htf-pscf", "degraded").degraded_at_end, 2);
+        // The rebuild scenario actually rebuilds — timed, not instantaneous:
+        // the wall extends to the member-capacity / spindle-rate heal time.
+        let reb = get("escat", "rebuild");
+        assert!(reb.rebuild_chunks > 0);
+        assert_eq!(reb.degraded_at_end, 0);
+        assert!(
+            reb.wall_secs > 500.0,
+            "rebuild tail missing: {}",
+            reb.wall_secs
         );
     }
 

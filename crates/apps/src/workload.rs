@@ -11,11 +11,11 @@
 use paragon_sim::engine::IoService;
 use paragon_sim::mesh::Mesh;
 use paragon_sim::program::{IoRequest, NodeProgram, ScriptOp, ScriptProgram};
-use paragon_sim::{Engine, EngineReport, MachineConfig, NodeId, SimDuration};
+use paragon_sim::{Engine, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sio_core::trace::{Trace, Tracer};
-use sio_pfs::{AccessMode, FileSpec, Pfs};
+use sio_pfs::{AccessMode, FaultStats, FileSpec, Pfs};
 use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
 
 /// Which file system serves the workload.
@@ -50,6 +50,13 @@ pub struct RunOutput {
     pub report: EngineReport,
     /// PPFS statistics when the PPFS backend ran.
     pub ppfs_stats: Option<PpfsStats>,
+    /// PFS fault-machinery counters when the PFS backend ran (all zero on a
+    /// healthy run).
+    pub pfs_faults: Option<FaultStats>,
+    /// RAID rebuild work done across all I/O nodes: (chunks, member bytes).
+    pub rebuild: (u64, u64),
+    /// I/O nodes whose arrays were still degraded at run end.
+    pub degraded_nodes: u32,
 }
 
 impl RunOutput {
@@ -94,22 +101,39 @@ fn run_engine<S: IoService>(
 
 /// Run a workload on a machine with the chosen backend.
 pub fn run_workload(machine: &MachineConfig, workload: &Workload, backend: &Backend) -> RunOutput {
+    run_workload_with_faults(machine, workload, backend, None)
+}
+
+/// Run a workload with an optional injected fault schedule (the X4 fault
+/// suite). `None` (or an empty schedule) is exactly [`run_workload`]: the
+/// fault machinery stays dormant and the run is bit-identical to a healthy
+/// one.
+pub fn run_workload_with_faults(
+    machine: &MachineConfig,
+    workload: &Workload,
+    backend: &Backend,
+    faults: Option<&FaultSchedule>,
+) -> RunOutput {
     let tracer = Tracer::new(&workload.label);
+    let schedule = faults.cloned().unwrap_or_default();
     match backend {
         Backend::Pfs => {
-            let mut fs = Pfs::new(machine, tracer.clone());
+            let mut fs = Pfs::with_faults(machine, tracer.clone(), schedule);
             for f in &workload.files {
                 fs.register(f.clone());
             }
-            let (report, _fs) = run_engine(machine, workload, fs, &tracer);
+            let (report, fs) = run_engine(machine, workload, fs, &tracer);
             RunOutput {
                 trace: tracer.finish(),
                 report,
                 ppfs_stats: None,
+                pfs_faults: Some(fs.fault_stats()),
+                rebuild: (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total()),
+                degraded_nodes: fs.degraded_nodes(),
             }
         }
         Backend::Ppfs(policy) => {
-            let mut fs = Ppfs::new(machine, *policy, tracer.clone());
+            let mut fs = Ppfs::with_faults(machine, *policy, tracer.clone(), schedule);
             for f in &workload.files {
                 fs.register(f.clone());
             }
@@ -118,6 +142,9 @@ pub fn run_workload(machine: &MachineConfig, workload: &Workload, backend: &Back
                 trace: tracer.finish(),
                 report,
                 ppfs_stats: Some(fs.stats()),
+                pfs_faults: None,
+                rebuild: (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total()),
+                degraded_nodes: fs.degraded_nodes(),
             }
         }
     }

@@ -37,6 +37,7 @@ impl IoService for NullService {
                 bytes: req.bytes,
                 queued: SimDuration::ZERO,
                 service: SimDuration(1000),
+                fault: None,
             },
         );
     }

@@ -101,6 +101,51 @@ pub struct IoSwCosts {
     pub pointer_token: SimDuration,
 }
 
+/// Fault-handling and recovery parameters.
+///
+/// Calibration rationale:
+///
+/// * `rebuild_chunk` — 2 MB of the failed *member* per background chunk:
+///   ≈ 0.9 s of spindle time at the 2.2 MB/s media rate, long enough to
+///   amortize the per-request server cost, short enough that foreground
+///   segments queued behind a chunk see sub-second added latency. A full
+///   1.2 GB member rebuilds in ≈ 545 s of idle disk time — the same order
+///   as RAID rebuild times reported for arrays of this vintage.
+/// * `retry_base` / `max_retries` — exponential backoff 50, 100, 200, 400,
+///   800 ms; a crashed node is declared unreachable after ≈ 1.6 s and its
+///   segments fail over, so a long outage costs seconds, not the outage.
+/// * `request_timeout` — hard liveness bound per file-system request; far
+///   above any legitimate queueing delay observed in the paper-scale runs
+///   (worst bursts are tens of seconds), so it only fires when a fault
+///   leaves a request truly stuck.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultParams {
+    /// Member bytes serviced per background rebuild chunk.
+    pub rebuild_chunk: u64,
+    /// First retry delay; attempt `k` waits `retry_base × 2^(k-1)`.
+    pub retry_base: SimDuration,
+    /// Retries against one node before failing over to its buddy.
+    pub max_retries: u32,
+    /// Hard deadline for a file-system request once faults are in play.
+    pub request_timeout: SimDuration,
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        fault_params()
+    }
+}
+
+/// Fault-handling calibration (see the struct docs).
+pub fn fault_params() -> FaultParams {
+    FaultParams {
+        rebuild_chunk: 2 << 20,
+        retry_base: SimDuration::from_millis(50),
+        max_retries: 5,
+        request_timeout: SimDuration::from_secs_f64(600.0),
+    }
+}
+
 /// Software-path calibration (see the table in the struct docs).
 pub fn io_sw_costs() -> IoSwCosts {
     IoSwCosts {

@@ -42,6 +42,13 @@ pub trait IoService {
     /// A timer armed via [`Sched::timer`] fired.
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched);
 
+    /// The run is about to start (time zero, before any node resumes): arm
+    /// any standing timers the service needs — e.g. absolute-time fault
+    /// injection from a [`crate::fault::FaultSchedule`]. Default: nothing.
+    fn on_start(&mut self, sched: &mut Sched) {
+        let _ = sched;
+    }
+
     /// Client-side cost of *issuing* an asynchronous operation. The issuing
     /// node resumes after this long; the operation itself completes whenever
     /// the service says so.
@@ -248,6 +255,9 @@ impl<S: IoService> Engine<S> {
 
     /// Run to completion (event queue drained). Returns run statistics.
     pub fn run(&mut self) -> EngineReport {
+        let mut sched = Sched::default();
+        self.service.on_start(&mut sched);
+        self.drain_sched(sched);
         for node in 0..self.programs.len() as NodeId {
             self.push(SimTime::ZERO, Ev::Resume(node, Resume::Start));
         }
@@ -480,6 +490,7 @@ mod tests {
                     bytes: req.bytes,
                     queued: SimDuration::ZERO,
                     service: self.latency,
+                    fault: None,
                 },
             );
         }

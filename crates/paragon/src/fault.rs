@@ -1,0 +1,243 @@
+//! Deterministic fault-injection schedules.
+//!
+//! The CCSF Paragon's I/O nodes each hosted a RAID-3 array (§3.2), so the
+//! machine tolerated single-disk failures by design — but the paper's
+//! workloads were measured on a healthy machine, and any robustness claim
+//! about the reproduction has to come from *controlled* degradation. A
+//! [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s (disk
+//! failures, timed rebuild starts, I/O-node stalls and crashes) that the
+//! file-system layers inject through the DES timer queue, so a faulted run
+//! is exactly as reproducible as a healthy one: same schedule, same seed,
+//! same trace, bit for bit.
+//!
+//! Ordering contract: events apply in `(time, insertion sequence)` order.
+//! [`FaultSchedule::merge`] preserves that contract across schedules built
+//! independently (stable merge by time; ties resolve in favor of `self`'s
+//! events, then `other`'s, each in their original relative order).
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the target I/O node when a [`FaultEvent`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Fail one member disk (data or parity) of the node's RAID-3 array.
+    /// A second `DiskFail` on the same array marks it data-lost.
+    DiskFail {
+        /// Member index, `0..=data_disks` (the last index is parity).
+        disk: u32,
+    },
+    /// Start a timed rebuild of the failed member: the node generates
+    /// background rebuild traffic that competes with foreground segments
+    /// until the whole member has been re-written.
+    DiskRepair,
+    /// The node stops making progress for `for_dur`: the in-service segment
+    /// (if any) finishes late, and nothing new starts before the stall ends.
+    NodeStall {
+        /// Length of the stall.
+        for_dur: SimDuration,
+    },
+    /// The node crashes: the in-service and queued segments are lost and the
+    /// node rejects submissions until a `NodeRecover` event.
+    NodeCrash,
+    /// The node comes back (empty queues; the array state survives).
+    NodeRecover,
+}
+
+/// One scheduled fault: `kind` applied to `io_node` at absolute time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute simulation time at which the fault fires.
+    pub at: SimTime,
+    /// Target I/O node index.
+    pub io_node: u32,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule (equivalent to a healthy run).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events in application order: sorted by time, ties in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Append an event, keeping the application-order invariant (stable
+    /// insertion: the new event fires after existing events at the same
+    /// time).
+    pub fn push(&mut self, ev: FaultEvent) -> &mut Self {
+        let at = ev.at;
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, ev);
+        self
+    }
+
+    /// Schedule a member-disk failure.
+    pub fn disk_fail(&mut self, at: SimTime, io_node: u32, disk: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node,
+            kind: FaultKind::DiskFail { disk },
+        })
+    }
+
+    /// Schedule the start of a timed rebuild on a degraded array.
+    pub fn disk_repair(&mut self, at: SimTime, io_node: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node,
+            kind: FaultKind::DiskRepair,
+        })
+    }
+
+    /// Schedule a node stall of length `for_dur`.
+    pub fn node_stall(&mut self, at: SimTime, io_node: u32, for_dur: SimDuration) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node,
+            kind: FaultKind::NodeStall { for_dur },
+        })
+    }
+
+    /// Schedule a node crash.
+    pub fn node_crash(&mut self, at: SimTime, io_node: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node,
+            kind: FaultKind::NodeCrash,
+        })
+    }
+
+    /// Schedule a node recovery.
+    pub fn node_recover(&mut self, at: SimTime, io_node: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node,
+            kind: FaultKind::NodeRecover,
+        })
+    }
+
+    /// Stable merge of two schedules: the result applies every event of both
+    /// in time order; at equal times `self`'s events fire first, then
+    /// `other`'s, each group keeping its original relative order.
+    pub fn merge(&self, other: &FaultSchedule) -> FaultSchedule {
+        let mut events = Vec::with_capacity(self.events.len() + other.events.len());
+        let (mut a, mut b) = (
+            self.events.iter().peekable(),
+            other.events.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.at <= y.at {
+                        events.push(*a.next().unwrap());
+                    } else {
+                        events.push(*b.next().unwrap());
+                    }
+                }
+                (Some(_), None) => events.push(*a.next().unwrap()),
+                (None, Some(_)) => events.push(*b.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        FaultSchedule { events }
+    }
+
+    /// Seeded schedule of `count` transient node stalls scattered uniformly
+    /// over `(0, horizon)` across `io_nodes` nodes — a reproducible source of
+    /// "background flakiness" for robustness sweeps. Same seed, same
+    /// schedule.
+    pub fn scattered_stalls(
+        seed: u64,
+        io_nodes: u32,
+        count: usize,
+        horizon: SimDuration,
+        stall: SimDuration,
+    ) -> FaultSchedule {
+        assert!(io_nodes > 0, "need at least one i/o node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = FaultSchedule::new();
+        for _ in 0..count {
+            let at = SimTime(rng.random_range(1..horizon.nanos().max(2)));
+            let node = rng.random_range(0..io_nodes as u64) as u32;
+            s.node_stall(at, node, stall);
+        }
+        s
+    }
+
+    /// The canned single-fault schedule used by the X4 "degraded" scenario:
+    /// fail member `disk` on every node at `at`.
+    pub fn all_disks_fail(at: SimTime, io_nodes: u32, disk: u32) -> FaultSchedule {
+        let mut s = FaultSchedule::new();
+        for io in 0..io_nodes {
+            s.disk_fail(at, io, disk);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order_with_stable_ties() {
+        let mut s = FaultSchedule::new();
+        s.node_crash(SimTime(50), 1);
+        s.disk_fail(SimTime(10), 0, 0);
+        s.node_recover(SimTime(50), 2); // same time as the crash: fires after
+        s.disk_repair(SimTime(30), 0);
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![10, 30, 50, 50]);
+        assert_eq!(s.events()[2].kind, FaultKind::NodeCrash);
+        assert_eq!(s.events()[3].kind, FaultKind::NodeRecover);
+    }
+
+    #[test]
+    fn merge_is_stable_and_complete() {
+        let mut a = FaultSchedule::new();
+        a.disk_fail(SimTime(10), 0, 0).node_crash(SimTime(20), 0);
+        let mut b = FaultSchedule::new();
+        b.node_stall(SimTime(10), 1, SimDuration::from_millis(5))
+            .node_recover(SimTime(40), 0);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 4);
+        let times: Vec<u64> = m.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![10, 10, 20, 40]);
+        // Tie at t=10 resolves in favor of `a`.
+        assert_eq!(m.events()[0].kind, FaultKind::DiskFail { disk: 0 });
+    }
+
+    #[test]
+    fn scattered_stalls_is_seed_deterministic() {
+        let h = SimDuration::from_millis(500);
+        let d = SimDuration::from_millis(3);
+        let a = FaultSchedule::scattered_stalls(9, 4, 16, h, d);
+        let b = FaultSchedule::scattered_stalls(9, 4, 16, h, d);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSchedule::scattered_stalls(10, 4, 16, h, d));
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

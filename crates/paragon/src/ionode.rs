@@ -7,6 +7,20 @@
 //! timer it calls [`IoNodeSim::complete_head`] and re-arms. This exposes the
 //! one machine behavior the paper's time columns hinge on: queueing delay
 //! when 128 synchronized clients burst onto 16 servers.
+//!
+//! Fault semantics (driven by [`crate::fault::FaultSchedule`] through the
+//! file-system layers):
+//! - [`IoNodeSim::submit`] returns a [`SubmitOutcome`] — queue-full and
+//!   node-down rejections are explicit, never silently dropped;
+//! - [`IoNodeSim::stall`] delays the in-service segment and blocks new
+//!   starts for a while (transient server hiccup);
+//! - [`IoNodeSim::crash`] loses the in-service and queued segments and
+//!   rejects submissions until [`IoNodeSim::recover`];
+//! - after [`crate::raid::Raid3::start_rebuild`], the node interleaves
+//!   background rebuild chunks with foreground segments
+//!   ([`IoNodeSim::maybe_start_rebuild`]): foreground has priority, rebuild
+//!   fills idle gaps, and each in-flight chunk delays queued foreground work
+//!   behind it.
 
 use crate::raid::Raid3;
 use crate::time::{SimDuration, SimTime};
@@ -42,6 +56,62 @@ pub struct SegmentReq {
     /// Skip the mechanical seek/rotation component (the segment is known to
     /// continue the previous one — used by aggregated sequential runs).
     pub sequential: bool,
+    /// The segment was failed over from a crashed node and is served here by
+    /// reconstructing from redundancy, at the degraded-read penalty.
+    pub failover: bool,
+}
+
+/// Result of [`IoNodeSim::submit`]. `Started` means the node was idle and
+/// the caller must (re-)arm its completion timer; `Queued` means an armed
+/// timer already covers the in-service work; `Rejected` is explicit
+/// backpressure the caller must handle (requeue, retry, or error) — never
+/// ignore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "rejections are explicit backpressure; handle or propagate them"]
+pub enum SubmitOutcome {
+    /// Accepted and started immediately; arm a timer at
+    /// [`IoNodeSim::next_done`].
+    Started,
+    /// Accepted and queued behind the in-service work.
+    Queued,
+    /// Not accepted; the segment is NOT enqueued.
+    Rejected(RejectReason),
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The node has crashed and not yet recovered.
+    Down,
+    /// The pending queue is at its configured limit.
+    QueueFull,
+}
+
+/// What the node is currently servicing.
+#[derive(Debug, Clone, Copy)]
+enum Served {
+    /// A foreground stripe segment.
+    App(SegmentReq),
+    /// A background rebuild chunk of this many member-disk bytes.
+    Rebuild { bytes: u64 },
+}
+
+/// Result of [`IoNodeSim::complete_head`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A foreground segment finished.
+    App {
+        /// The caller-chosen id from [`SegmentReq::id`].
+        id: u64,
+        /// The array has lost redundancy (second member failure): the data
+        /// for this segment could not actually be reconstructed.
+        data_lost: bool,
+    },
+    /// A background rebuild chunk finished.
+    Rebuild {
+        /// Member bytes still to rebuild (0 = array healthy again).
+        remaining: u64,
+    },
 }
 
 /// An I/O node: a request queue over one RAID-3 array.
@@ -51,8 +121,8 @@ pub struct IoNodeSim {
     discipline: QueueDiscipline,
     /// Server CPU cost charged per segment.
     per_request: SimDuration,
-    /// Currently serviced segment and its completion time.
-    busy: Option<(SimTime, SegmentReq)>,
+    /// Currently serviced work and its completion time.
+    busy: Option<(SimTime, Served)>,
     pending: VecDeque<SegmentReq>,
     /// Completed-segment count (statistics).
     completed: u64,
@@ -60,6 +130,20 @@ pub struct IoNodeSim {
     queued_total: SimDuration,
     /// Arrival times for queued segments, parallel to `pending`.
     arrivals: VecDeque<SimTime>,
+    /// Disk-head position after the most recently started segment.
+    head: u64,
+    /// Max queued segments before [`RejectReason::QueueFull`].
+    queue_limit: usize,
+    /// Max member bytes serviced per background rebuild chunk.
+    rebuild_chunk: u64,
+    /// Crashed and not yet recovered.
+    down: bool,
+    /// No new work starts before this time (transient stall).
+    stalled_until: SimTime,
+    /// Rebuild bytes completed (statistics).
+    rebuilt_bytes: u64,
+    /// Rebuild chunks completed (statistics).
+    rebuild_chunks: u64,
 }
 
 impl IoNodeSim {
@@ -74,6 +158,13 @@ impl IoNodeSim {
             arrivals: VecDeque::new(),
             completed: 0,
             queued_total: SimDuration::ZERO,
+            head: 0,
+            queue_limit: usize::MAX,
+            rebuild_chunk: crate::calibration::fault_params().rebuild_chunk,
+            down: false,
+            stalled_until: SimTime::ZERO,
+            rebuilt_bytes: 0,
+            rebuild_chunks: 0,
         }
     }
 
@@ -82,22 +173,42 @@ impl IoNodeSim {
         &mut self.array
     }
 
-    /// Submit a segment at time `now`. Returns `true` if the node was idle
-    /// and the caller must (re-)arm its completion timer.
-    pub fn submit(&mut self, now: SimTime, req: SegmentReq) -> bool {
+    /// Shared access to the underlying array.
+    pub fn array(&self) -> &Raid3 {
+        &self.array
+    }
+
+    /// Cap the pending queue; further submissions get
+    /// [`RejectReason::QueueFull`].
+    pub fn set_queue_limit(&mut self, limit: usize) {
+        self.queue_limit = limit;
+    }
+
+    /// Set the background rebuild chunk size (member bytes per chunk).
+    pub fn set_rebuild_chunk(&mut self, bytes: u64) {
+        self.rebuild_chunk = bytes.max(1);
+    }
+
+    /// Submit a segment at time `now`.
+    pub fn submit(&mut self, now: SimTime, req: SegmentReq) -> SubmitOutcome {
+        if self.down {
+            return SubmitOutcome::Rejected(RejectReason::Down);
+        }
         if self.busy.is_none() {
             self.start(now, req, now);
-            true
+            SubmitOutcome::Started
+        } else if self.pending.len() >= self.queue_limit {
+            SubmitOutcome::Rejected(RejectReason::QueueFull)
         } else {
             self.pending.push_back(req);
             self.arrivals.push_back(now);
-            false
+            SubmitOutcome::Queued
         }
     }
 
     fn start(&mut self, now: SimTime, req: SegmentReq, arrived: SimTime) {
         self.queued_total += now.since(arrived);
-        let mech = if req.sequential {
+        let mut mech = if req.sequential {
             if req.write {
                 self.array.write_sequential(req.offset, req.bytes)
             } else {
@@ -109,31 +220,121 @@ impl IoNodeSim {
         } else {
             self.array.read(req.offset, req.bytes)
         };
-        let done = now + self.per_request + mech;
-        self.busy = Some((done, req));
+        if req.failover {
+            // Served from redundancy on behalf of a crashed peer: pay the
+            // reconstruction penalty regardless of direction.
+            mech = mech.mul_f64(crate::calibration::raid_params().degraded_read_penalty);
+        }
+        let begin = now.max(self.stalled_until);
+        let done = begin + self.per_request + mech;
+        self.head = req.offset + req.bytes;
+        self.busy = Some((done, Served::App(req)));
     }
 
-    /// Completion time of the in-service segment, if any.
-    pub fn next_done(&self) -> Option<(SimTime, u64)> {
-        self.busy.map(|(t, r)| (t, r.id))
+    /// Completion time of the in-service work (segment or rebuild chunk).
+    pub fn next_done(&self) -> Option<SimTime> {
+        self.busy.map(|(t, _)| t)
     }
 
-    /// Complete the in-service segment (must be called at its `next_done`
-    /// time) and start the next pending segment per the discipline. Returns
-    /// the finished segment id.
+    /// Complete the in-service work (must be called at its `next_done` time)
+    /// and start the next pending segment per the discipline — or, with a
+    /// rebuild armed and no foreground work, the next rebuild chunk.
     ///
     /// # Panics
     /// If the node is idle.
-    pub fn complete_head(&mut self, now: SimTime) -> u64 {
-        let (done, req) = self.busy.take().expect("complete_head on idle i/o node");
+    pub fn complete_head(&mut self, now: SimTime) -> Completion {
+        let (done, served) = self.busy.take().expect("complete_head on idle i/o node");
         debug_assert!(now >= done, "completing before service finished");
-        self.completed += 1;
-        if let Some(idx) = self.pick_next(req.offset + req.bytes) {
+        let completion = match served {
+            Served::App(req) => {
+                self.completed += 1;
+                Completion::App {
+                    id: req.id,
+                    data_lost: self.array.data_lost(),
+                }
+            }
+            Served::Rebuild { bytes } => {
+                self.rebuilt_bytes += bytes;
+                self.rebuild_chunks += 1;
+                self.array.rebuild_chunk_done();
+                Completion::Rebuild {
+                    remaining: self.array.rebuild_remaining(),
+                }
+            }
+        };
+        // Foreground first; rebuild traffic only fills idle gaps.
+        if let Some(idx) = self.pick_next(self.head) {
             let next = self.pending.remove(idx).unwrap();
             let arrived = self.arrivals.remove(idx).unwrap();
             self.start(now, next, arrived);
+        } else {
+            self.start_rebuild_chunk(now);
         }
-        req.id
+        completion
+    }
+
+    /// If the node is idle (and up), start a background rebuild chunk and
+    /// return its completion time so the caller can arm a timer. No-op when
+    /// no rebuild is pending.
+    pub fn maybe_start_rebuild(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.down || self.busy.is_some() {
+            return None;
+        }
+        self.start_rebuild_chunk(now);
+        self.next_done()
+    }
+
+    fn start_rebuild_chunk(&mut self, now: SimTime) {
+        if self.down {
+            return;
+        }
+        if let Some((bytes, mech)) = self.array.rebuild_take_chunk(self.rebuild_chunk) {
+            let begin = now.max(self.stalled_until);
+            let done = begin + self.per_request + mech;
+            self.busy = Some((done, Served::Rebuild { bytes }));
+        }
+    }
+
+    /// Stall the node for `for_dur` starting at `now`: the in-service work
+    /// finishes `for_dur` late and nothing new starts before the stall ends.
+    /// Returns the delayed completion time (so the caller re-arms its timer)
+    /// when work was in service.
+    pub fn stall(&mut self, now: SimTime, for_dur: SimDuration) -> Option<SimTime> {
+        self.stalled_until = self.stalled_until.max(now + for_dur);
+        match &mut self.busy {
+            Some((done, _)) => {
+                *done += for_dur;
+                Some(*done)
+            }
+            None => None,
+        }
+    }
+
+    /// Crash the node: the in-service segment and everything queued are
+    /// lost and returned to the caller (for retry / failover / loss
+    /// accounting); an in-flight rebuild chunk is aborted back to the pool;
+    /// submissions are rejected until [`IoNodeSim::recover`].
+    pub fn crash(&mut self) -> Vec<SegmentReq> {
+        self.down = true;
+        let mut lost = Vec::new();
+        match self.busy.take() {
+            Some((_, Served::App(req))) => lost.push(req),
+            Some((_, Served::Rebuild { bytes })) => self.array.rebuild_abort_chunk(bytes),
+            None => {}
+        }
+        lost.extend(self.pending.drain(..));
+        self.arrivals.clear();
+        lost
+    }
+
+    /// Bring a crashed node back up (empty queues; array state survives).
+    pub fn recover(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the node has crashed and not yet recovered.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     fn pick_next(&self, head_offset: u64) -> Option<usize> {
@@ -170,7 +371,7 @@ impl IoNodeSim {
         self.pending.len()
     }
 
-    /// Whether a segment is in service.
+    /// Whether work is in service.
     pub fn busy(&self) -> bool {
         self.busy.is_some()
     }
@@ -183,6 +384,16 @@ impl IoNodeSim {
     /// Total queueing delay accumulated by started segments.
     pub fn queued_total(&self) -> SimDuration {
         self.queued_total
+    }
+
+    /// Member bytes rebuilt so far (statistics).
+    pub fn rebuilt_bytes(&self) -> u64 {
+        self.rebuilt_bytes
+    }
+
+    /// Rebuild chunks completed so far (statistics).
+    pub fn rebuild_chunks(&self) -> u64 {
+        self.rebuild_chunks
     }
 }
 
@@ -207,28 +418,48 @@ mod tests {
             bytes,
             write: false,
             sequential: false,
+            failover: false,
+        }
+    }
+
+    fn complete_id(n: &mut IoNodeSim, now: SimTime) -> u64 {
+        match n.complete_head(now) {
+            Completion::App { id, .. } => id,
+            other => panic!("expected app completion, got {other:?}"),
         }
     }
 
     #[test]
     fn idle_submit_starts_immediately() {
         let mut n = node(QueueDiscipline::Fifo);
-        assert!(n.submit(SimTime(0), seg(1, 0, 4096)));
+        assert_eq!(
+            n.submit(SimTime(0), seg(1, 0, 4096)),
+            SubmitOutcome::Started
+        );
         assert!(n.busy());
-        let (done, id) = n.next_done().unwrap();
-        assert_eq!(id, 1);
+        let done = n.next_done().unwrap();
         assert!(done > SimTime(0));
+        assert_eq!(complete_id(&mut n, done), 1);
     }
 
     #[test]
     fn fifo_order_preserved() {
         let mut n = node(QueueDiscipline::Fifo);
-        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
-        assert!(!n.submit(SimTime(0), seg(2, 100 << 20, 4096)));
-        assert!(!n.submit(SimTime(0), seg(3, 900 << 20, 4096)));
+        assert_eq!(
+            n.submit(SimTime(0), seg(1, 500 << 20, 4096)),
+            SubmitOutcome::Started
+        );
+        assert_eq!(
+            n.submit(SimTime(0), seg(2, 100 << 20, 4096)),
+            SubmitOutcome::Queued
+        );
+        assert_eq!(
+            n.submit(SimTime(0), seg(3, 900 << 20, 4096)),
+            SubmitOutcome::Queued
+        );
         let mut order = Vec::new();
-        while let Some((t, _)) = n.next_done() {
-            order.push(n.complete_head(t));
+        while let Some(t) = n.next_done() {
+            order.push(complete_id(&mut n, t));
         }
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(n.completed(), 3);
@@ -238,13 +469,13 @@ mod tests {
     #[test]
     fn cscan_orders_by_offset_from_head() {
         let mut n = node(QueueDiscipline::CScan);
-        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
-        n.submit(SimTime(0), seg(2, 100 << 20, 4096));
-        n.submit(SimTime(0), seg(3, 900 << 20, 4096));
-        n.submit(SimTime(0), seg(4, 600 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(1, 500 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(2, 100 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(3, 900 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(4, 600 << 20, 4096));
         let mut order = Vec::new();
-        while let Some((t, _)) = n.next_done() {
-            order.push(n.complete_head(t));
+        while let Some(t) = n.next_done() {
+            order.push(complete_id(&mut n, t));
         }
         // Head ends segment 1 around 500 MB: ascending from there (600, 900),
         // then wrap to 100.
@@ -259,10 +490,10 @@ mod tests {
         let run = |d| {
             let mut n = node(d);
             for (i, &o) in offs.iter().enumerate() {
-                n.submit(SimTime(0), seg(i as u64, o, 65536));
+                let _ = n.submit(SimTime(0), seg(i as u64, o, 65536));
             }
             let mut last = SimTime(0);
-            while let Some((t, _)) = n.next_done() {
+            while let Some(t) = n.next_done() {
                 n.complete_head(t);
                 last = t;
             }
@@ -276,13 +507,13 @@ mod tests {
     #[test]
     fn sstf_picks_nearest_offset() {
         let mut n = node(QueueDiscipline::Sstf);
-        n.submit(SimTime(0), seg(1, 500 << 20, 4096));
-        n.submit(SimTime(0), seg(2, 100 << 20, 4096));
-        n.submit(SimTime(0), seg(3, 490 << 20, 4096));
-        n.submit(SimTime(0), seg(4, 900 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(1, 500 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(2, 100 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(3, 490 << 20, 4096));
+        let _ = n.submit(SimTime(0), seg(4, 900 << 20, 4096));
         let mut order = Vec::new();
-        while let Some((t, _)) = n.next_done() {
-            order.push(n.complete_head(t));
+        while let Some(t) = n.next_done() {
+            order.push(complete_id(&mut n, t));
         }
         // Head ends near 500 MB: nearest is 490, then 900 vs 100 -> 900
         // (410 MB away vs 390... 490->100 is 390, 490->900 is 410): 100 next.
@@ -294,9 +525,9 @@ mod tests {
     #[test]
     fn queueing_delay_accounted() {
         let mut n = node(QueueDiscipline::Fifo);
-        n.submit(SimTime(0), seg(1, 0, 1 << 20));
-        n.submit(SimTime(0), seg(2, 0, 1 << 20));
-        let (t1, _) = n.next_done().unwrap();
+        let _ = n.submit(SimTime(0), seg(1, 0, 1 << 20));
+        let _ = n.submit(SimTime(0), seg(2, 0, 1 << 20));
+        let t1 = n.next_done().unwrap();
         n.complete_head(t1);
         assert_eq!(n.queued_total(), t1.since(SimTime(0)));
     }
@@ -306,5 +537,109 @@ mod tests {
     fn complete_on_idle_panics() {
         let mut n = node(QueueDiscipline::Fifo);
         n.complete_head(SimTime(0));
+    }
+
+    #[test]
+    fn queue_limit_rejections_are_explicit() {
+        let mut n = node(QueueDiscipline::Fifo);
+        n.set_queue_limit(1);
+        assert_eq!(
+            n.submit(SimTime(0), seg(1, 0, 4096)),
+            SubmitOutcome::Started
+        );
+        assert_eq!(n.submit(SimTime(0), seg(2, 0, 4096)), SubmitOutcome::Queued);
+        assert_eq!(
+            n.submit(SimTime(0), seg(3, 0, 4096)),
+            SubmitOutcome::Rejected(RejectReason::QueueFull)
+        );
+        // The rejected segment was not enqueued.
+        assert_eq!(n.queue_depth(), 1);
+    }
+
+    #[test]
+    fn crash_loses_inflight_and_queued_then_recover_accepts() {
+        let mut n = node(QueueDiscipline::Fifo);
+        let _ = n.submit(SimTime(0), seg(1, 0, 4096));
+        let _ = n.submit(SimTime(0), seg(2, 0, 4096));
+        let lost = n.crash();
+        assert_eq!(lost.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(n.is_down());
+        assert!(!n.busy());
+        assert_eq!(n.next_done(), None);
+        assert_eq!(
+            n.submit(SimTime(10), seg(3, 0, 4096)),
+            SubmitOutcome::Rejected(RejectReason::Down)
+        );
+        n.recover();
+        assert_eq!(
+            n.submit(SimTime(20), seg(3, 0, 4096)),
+            SubmitOutcome::Started
+        );
+    }
+
+    #[test]
+    fn stall_delays_completion_and_next_start() {
+        let mut n = node(QueueDiscipline::Fifo);
+        let _ = n.submit(SimTime(0), seg(1, 0, 4096));
+        let before = n.next_done().unwrap();
+        let delay = SimDuration::from_millis(40);
+        let after = n.stall(SimTime(0), delay).unwrap();
+        assert_eq!(after, before + delay);
+        assert_eq!(n.next_done(), Some(after));
+        // A stale timer at the original time must see nothing due.
+        assert!(n.next_done().unwrap() > before);
+        n.complete_head(after);
+        // An idle-node stall blocks the next start until it expires.
+        let mut m = node(QueueDiscipline::Fifo);
+        assert_eq!(m.stall(SimTime(0), delay), None);
+        let _ = m.submit(SimTime(0), seg(9, 0, 4096));
+        assert!(m.next_done().unwrap() >= SimTime(0) + delay);
+    }
+
+    #[test]
+    fn rebuild_fills_idle_gaps_and_yields_to_foreground() {
+        let mut n = node(QueueDiscipline::Fifo);
+        n.set_rebuild_chunk(256 << 20);
+        n.array_mut().fail_disk(0).unwrap();
+        n.array_mut().start_rebuild().unwrap();
+        let t0 = n.maybe_start_rebuild(SimTime(0)).unwrap();
+        assert!(n.busy());
+        // Foreground work queues behind the in-flight chunk...
+        assert_eq!(n.submit(SimTime(0), seg(1, 0, 4096)), SubmitOutcome::Queued);
+        // ...and preempts further rebuild chunks at the next completion.
+        match n.complete_head(t0) {
+            Completion::Rebuild { remaining } => assert!(remaining > 0),
+            other => panic!("expected rebuild completion, got {other:?}"),
+        }
+        let t1 = n.next_done().unwrap();
+        assert_eq!(
+            n.complete_head(t1),
+            Completion::App {
+                id: 1,
+                data_lost: false
+            }
+        );
+        // Idle again: the next completion is rebuild traffic.
+        assert!(n.busy(), "rebuild resumes in the idle gap");
+        let mut chunks = n.rebuild_chunks();
+        while n.array().degraded() {
+            let t = n.next_done().unwrap();
+            n.complete_head(t);
+            chunks += 1;
+        }
+        assert_eq!(n.rebuild_chunks(), chunks);
+        assert_eq!(n.rebuilt_bytes(), DiskParams::default().capacity);
+        assert!(!n.array().degraded(), "rebuild completion heals the array");
+    }
+
+    #[test]
+    fn failover_segments_pay_reconstruction_penalty() {
+        let mut a = node(QueueDiscipline::Fifo);
+        let mut b = node(QueueDiscipline::Fifo);
+        let _ = a.submit(SimTime(0), seg(1, 0, 1 << 20));
+        let mut fo = seg(1, 0, 1 << 20);
+        fo.failover = true;
+        let _ = b.submit(SimTime(0), fo);
+        assert!(b.next_done().unwrap() > a.next_done().unwrap());
     }
 }

@@ -31,6 +31,7 @@
 pub mod calibration;
 pub mod disk;
 pub mod engine;
+pub mod fault;
 pub mod ionode;
 pub mod machine;
 pub mod mesh;
@@ -39,8 +40,9 @@ pub mod raid;
 pub mod time;
 
 pub use engine::{Engine, EngineReport, IoService, Sched};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use machine::MachineConfig;
-pub use program::{GroupId, IoRequest, IoResult, IoVerb, NodeProgram, Resume, Step};
+pub use program::{GroupId, IoFault, IoRequest, IoResult, IoVerb, NodeProgram, Resume, Step};
 pub use time::{SimDuration, SimTime};
 
 /// Node identifier within a machine (compute nodes are `0..compute_nodes`).

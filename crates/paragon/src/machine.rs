@@ -7,7 +7,7 @@
 //! machine (512 compute, 16 I/O nodes); [`MachineConfig::paragon_128`] is
 //! the 128-node partition every experiment in the paper actually ran on.
 
-use crate::calibration::{self, IoSwCosts};
+use crate::calibration::{self, FaultParams, IoSwCosts};
 use crate::disk::DiskParams;
 use crate::ionode::{IoNodeSim, QueueDiscipline};
 use crate::mesh::{CommCosts, Mesh};
@@ -31,6 +31,8 @@ pub struct MachineConfig {
     pub discipline: QueueDiscipline,
     /// File-system software costs.
     pub io_sw: IoSwCosts,
+    /// Fault-handling parameters (retry backoff, failover, rebuild chunking).
+    pub fault: FaultParams,
     /// Base RNG seed; every stochastic component derives its own stream
     /// from this (same seed ⇒ bit-identical run).
     pub seed: u64,
@@ -48,6 +50,7 @@ impl MachineConfig {
             comm: calibration::comm_costs(),
             discipline: QueueDiscipline::Fifo,
             io_sw: calibration::io_sw_costs(),
+            fault: calibration::fault_params(),
             seed: 0x51_0995,
         }
     }
@@ -94,11 +97,13 @@ impl MachineConfig {
     pub fn build_io_nodes(&self) -> Vec<IoNodeSim> {
         (0..self.io_nodes)
             .map(|i| {
-                IoNodeSim::new(
+                let mut node = IoNodeSim::new(
                     Raid3::new(self.disk, self.raid, self.seed.wrapping_add(i as u64 + 1)),
                     self.discipline,
                     self.io_sw.server_per_request,
-                )
+                );
+                node.set_rebuild_chunk(self.fault.rebuild_chunk);
+                node
             })
             .collect()
     }

@@ -152,6 +152,24 @@ pub struct IoResult {
     pub queued: SimDuration,
     /// Time the request spent in service (disk + transfer + software).
     pub service: SimDuration,
+    /// `Some` when the request failed (faulted hardware); `bytes` then
+    /// reflects what was actually moved (usually 0).
+    pub fault: Option<IoFault>,
+}
+
+/// Why an I/O call failed. Programs receive this through
+/// [`Resume::IoDone`] / [`Resume::IoWaited`] instead of a panic, so a
+/// degraded run keeps its deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Redundancy exhausted (e.g. second RAID-3 member failure): the data
+    /// cannot be reconstructed.
+    DataLoss,
+    /// The request exceeded the configured hard deadline
+    /// ([`crate::calibration::FaultParams::request_timeout`]).
+    Timeout,
+    /// No server (primary or failover buddy) would accept the request.
+    Unavailable,
 }
 
 /// Why a node was resumed.

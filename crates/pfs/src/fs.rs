@@ -22,11 +22,13 @@
 use crate::file::{FileSpec, FileState};
 use crate::layout::StripeLayout;
 use crate::mode::AccessMode;
-use paragon_sim::calibration::IoSwCosts;
+use paragon_sim::calibration::{FaultParams, IoSwCosts};
 use paragon_sim::engine::{IoService, Sched};
-use paragon_sim::ionode::{IoNodeSim, SegmentReq};
+use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
+use paragon_sim::ionode::{Completion, IoNodeSim, SegmentReq, SubmitOutcome};
 use paragon_sim::mesh::{CommCosts, Mesh};
-use paragon_sim::program::{IoRequest, IoResult, IoToken, IoVerb};
+use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
+use paragon_sim::raid::RaidError;
 use paragon_sim::time::transfer_time;
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
@@ -105,8 +107,41 @@ struct Pending {
     issued: SimTime,
     node: NodeId,
     segs_left: u32,
+    /// Segment ids issued for this request (cleanup on early failure).
+    seg_ids: Vec<u64>,
+    /// First fault observed on any segment of this request.
+    fault: Option<IoFault>,
     /// Extra completers for M_GLOBAL collectives: (token, node, issued).
     collective: Vec<(IoToken, NodeId, SimTime)>,
+}
+
+/// A rejected or lost segment awaiting re-submission.
+#[derive(Debug, Clone, Copy)]
+struct RetrySeg {
+    /// Target I/O node of the next attempt.
+    io: u32,
+    req: SegmentReq,
+    /// Attempts already made against the current target.
+    attempt: u32,
+}
+
+/// Counters for the fault-handling machinery (all zero on a healthy run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Segment re-submissions scheduled with backoff.
+    pub retries: u64,
+    /// Segments failed over to the buddy node.
+    pub failovers: u64,
+    /// Segments lost to node crashes (in service or queued).
+    pub lost_segments: u64,
+    /// Segments served from an array with exhausted redundancy.
+    pub data_loss_segments: u64,
+    /// Requests failed by the hard deadline.
+    pub timeouts: u64,
+    /// Requests failed because no server would accept them.
+    pub unavailable: u64,
+    /// Second-failure events that exhausted an array's redundancy.
+    pub data_loss_events: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -152,13 +187,38 @@ pub struct Pfs {
     sync_parked: HashMap<u32, BTreeMap<NodeId, ParkedSync>>,
     /// Per-node serial client copy path.
     client: ClientPath,
+    /// Fault-handling calibration (backoff, failover, deadline).
+    fault_params: FaultParams,
+    /// Injected fault schedule; empty on a healthy run.
+    schedule: FaultSchedule,
+    /// Armed fault-event timers (timer id -> event).
+    fault_timers: HashMap<u64, FaultEvent>,
+    /// Armed segment-retry timers (timer id -> retry state).
+    retry_timers: HashMap<u64, RetrySeg>,
+    /// Armed per-request deadline timers (timer id -> request token).
+    timeout_timers: HashMap<u64, IoToken>,
+    fault_stats: FaultStats,
 }
 
 impl Pfs {
     /// Build a PFS over the given machine, tracing into `tracer`.
     pub fn new(machine: &MachineConfig, tracer: Tracer) -> Pfs {
+        Pfs::with_faults(machine, tracer, FaultSchedule::new())
+    }
+
+    /// Build a PFS with an injected fault schedule. An empty schedule is
+    /// exactly [`Pfs::new`]: the fault machinery arms no timers and the run
+    /// is bit-identical to a healthy one.
+    pub fn with_faults(machine: &MachineConfig, tracer: Tracer, schedule: FaultSchedule) -> Pfs {
         let cfg = PfsConfig::from_machine(machine);
         let ionodes = machine.build_io_nodes();
+        assert!(
+            schedule
+                .events()
+                .iter()
+                .all(|e| (e.io_node as usize) < ionodes.len()),
+            "fault schedule targets a nonexistent i/o node"
+        );
         let next_deferred = ionodes.len() as u64;
         Pfs {
             cfg,
@@ -175,7 +235,19 @@ impl Pfs {
             global_waiting: HashMap::new(),
             sync_parked: HashMap::new(),
             client: ClientPath::new(),
+            fault_params: machine.fault,
+            schedule,
+            fault_timers: HashMap::new(),
+            retry_timers: HashMap::new(),
+            timeout_timers: HashMap::new(),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Whether a fault schedule is in play (arms deadlines and lenient
+    /// completion paths; a healthy run keeps the strict invariants).
+    fn faults_enabled(&self) -> bool {
+        !self.schedule.is_empty()
     }
 
     /// Register a file; returns its id (used in [`IoRequest::file`]).
@@ -201,9 +273,31 @@ impl Pfs {
         &self.tracer
     }
 
-    /// Inject a disk failure into one I/O node's array (experiment A4).
-    pub fn fail_disk(&mut self, io_node: u32, disk: u32) {
-        self.ionodes[io_node as usize].array_mut().fail_disk(disk);
+    /// Inject a disk failure into one I/O node's array (experiment A4 and
+    /// the X4 fault suite). A second failure on the same array is a typed
+    /// error, not a panic.
+    pub fn fail_disk(&mut self, io_node: u32, disk: u32) -> Result<(), RaidError> {
+        self.ionodes[io_node as usize].array_mut().fail_disk(disk)
+    }
+
+    /// Fault-machinery counters (all zero on a healthy run).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Rebuild chunks completed across all I/O nodes.
+    pub fn rebuild_chunks_total(&self) -> u64 {
+        self.ionodes.iter().map(|n| n.rebuild_chunks()).sum()
+    }
+
+    /// Member bytes rebuilt across all I/O nodes.
+    pub fn rebuilt_bytes_total(&self) -> u64 {
+        self.ionodes.iter().map(|n| n.rebuilt_bytes()).sum()
+    }
+
+    /// I/O nodes whose arrays are still degraded.
+    pub fn degraded_nodes(&self) -> u32 {
+        self.ionodes.iter().filter(|n| n.array().degraded()).count() as u32
     }
 
     /// Sum of queueing delay accumulated across all I/O nodes.
@@ -274,6 +368,8 @@ impl Pfs {
                     issued,
                     node,
                     segs_left: 0,
+                    seg_ids: Vec::new(),
+                    fault: None,
                     collective,
                 },
                 token,
@@ -284,8 +380,9 @@ impl Pfs {
         }
         let segments = self.cfg.layout.segments(offset, eff_bytes);
         let slot_base = file as u64 * self.cfg.file_slot;
-        let mut segs_submitted = 0u32;
-        for seg in segments {
+        let mut reqs = Vec::with_capacity(segments.len());
+        let mut seg_ids = Vec::with_capacity(segments.len());
+        for seg in &segments {
             let array_offset = slot_base + seg.local_offset;
             assert!(
                 array_offset + seg.bytes <= self.cfg.array_capacity,
@@ -294,23 +391,22 @@ impl Pfs {
             let id = self.next_seg;
             self.next_seg += 1;
             self.seg_owner.insert(id, token);
-            let ion = &mut self.ionodes[seg.io_node as usize];
-            let was_idle = ion.submit(
-                now,
+            seg_ids.push(id);
+            reqs.push((
+                seg.io_node,
                 SegmentReq {
                     id,
                     offset: array_offset,
                     bytes: seg.bytes,
                     write,
                     sequential: false,
+                    failover: false,
                 },
-            );
-            if was_idle {
-                let (t, _) = ion.next_done().expect("just started");
-                sched.timer(t, seg.io_node as u64);
-            }
-            segs_submitted += 1;
+            ));
         }
+        // The request must be pending before any segment is submitted: a
+        // rejection chain (both primary and buddy down) can fail the whole
+        // token mid-loop.
         self.pending.insert(
             token,
             Pending {
@@ -321,10 +417,170 @@ impl Pfs {
                 bytes: eff_bytes,
                 issued,
                 node,
-                segs_left: segs_submitted,
+                segs_left: reqs.len() as u32,
+                seg_ids,
+                fault: None,
                 collective,
             },
         );
+        for (io, req) in reqs {
+            self.submit_seg(now, io, req, 0, sched);
+        }
+        if self.faults_enabled() && self.pending.contains_key(&token) {
+            // Hard per-request deadline: no request hangs forever under a
+            // fault schedule with no recovery.
+            let id = self.next_deferred;
+            self.next_deferred += 1;
+            self.timeout_timers.insert(id, token);
+            sched.timer(now + self.fault_params.request_timeout, id);
+        }
+    }
+
+    /// Submit one segment to an I/O node, handling explicit backpressure:
+    /// rejections (node down or queue full) are retried with exponential
+    /// backoff and, once the attempts against one node are exhausted, failed
+    /// over to the buddy node — never silently dropped.
+    fn submit_seg(
+        &mut self,
+        now: SimTime,
+        io: u32,
+        req: SegmentReq,
+        attempt: u32,
+        sched: &mut Sched,
+    ) {
+        match self.ionodes[io as usize].submit(now, req) {
+            SubmitOutcome::Started => {
+                let t = self.ionodes[io as usize].next_done().expect("just started");
+                sched.timer(t, io as u64);
+            }
+            SubmitOutcome::Queued => {}
+            SubmitOutcome::Rejected(_) => self.handle_rejection(now, io, req, attempt, sched),
+        }
+    }
+
+    /// A segment was rejected (or lost to a crash): back off and retry,
+    /// fail over, or fail the owning request.
+    fn handle_rejection(
+        &mut self,
+        now: SimTime,
+        io: u32,
+        req: SegmentReq,
+        attempt: u32,
+        sched: &mut Sched,
+    ) {
+        let fp = self.fault_params;
+        if attempt < fp.max_retries {
+            self.fault_stats.retries += 1;
+            let delay = fp.retry_base.times(1u64 << attempt.min(16));
+            let id = self.next_deferred;
+            self.next_deferred += 1;
+            self.retry_timers.insert(
+                id,
+                RetrySeg {
+                    io,
+                    req,
+                    attempt: attempt + 1,
+                },
+            );
+            sched.timer(now + delay, id);
+        } else if !req.failover {
+            // This node is unreachable: reconstruct from redundancy on the
+            // buddy node (at the degraded penalty).
+            self.fault_stats.failovers += 1;
+            let buddy = (io + 1) % self.ionodes.len() as u32;
+            let mut r = req;
+            r.failover = true;
+            self.submit_seg(now, buddy, r, 0, sched);
+        } else if let Some(&token) = self.seg_owner.get(&req.id) {
+            // Primary and buddy both refused: the request cannot be served.
+            self.fault_stats.unavailable += 1;
+            self.fail_token(token, IoFault::Unavailable, now, sched);
+        }
+    }
+
+    /// Fail a pending request (and its collective participants) with a typed
+    /// fault instead of data.
+    fn fail_token(&mut self, token: IoToken, fault: IoFault, now: SimTime, sched: &mut Sched) {
+        let Some(p) = self.pending.remove(&token) else {
+            return;
+        };
+        for id in &p.seg_ids {
+            self.seg_owner.remove(id);
+        }
+        let op = match (p.write, p.is_async) {
+            (true, _) => IoOp::Write,
+            (false, false) => IoOp::Read,
+            (false, true) => IoOp::AsyncRead,
+        };
+        let result = IoResult {
+            bytes: 0,
+            queued: SimDuration::ZERO,
+            service: now.since(p.issued),
+            fault: Some(fault),
+        };
+        if !p.is_async {
+            self.record(
+                IoEvent::new(p.node, p.file, op)
+                    .span(p.issued.nanos(), now.nanos())
+                    .extent(p.offset, 0),
+            );
+        }
+        sched.complete_io(token, now, result);
+        for (tok, node, issued) in p.collective {
+            if !p.is_async {
+                self.record(
+                    IoEvent::new(node, p.file, op)
+                        .span(issued.nanos(), now.nanos())
+                        .extent(p.offset, 0),
+                );
+            }
+            sched.complete_io(tok, now, result);
+        }
+    }
+
+    /// Apply one scheduled fault event.
+    fn apply_fault(&mut self, now: SimTime, ev: FaultEvent, sched: &mut Sched) {
+        let io = ev.io_node as usize;
+        match ev.kind {
+            FaultKind::DiskFail { disk } => {
+                match self.ionodes[io].array_mut().fail_disk(disk) {
+                    Ok(()) => {}
+                    Err(RaidError::DoubleFailure { .. }) => {
+                        self.ionodes[io].array_mut().mark_data_lost();
+                        self.fault_stats.data_loss_events += 1;
+                    }
+                    // Malformed event (bad index): reportable no-op.
+                    Err(_) => {}
+                }
+            }
+            FaultKind::DiskRepair => {
+                if self.ionodes[io].array_mut().start_rebuild().is_ok() {
+                    if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
+                        sched.timer(t, io as u64);
+                    }
+                }
+            }
+            FaultKind::NodeStall { for_dur } => {
+                if let Some(t) = self.ionodes[io].stall(now, for_dur) {
+                    sched.timer(t, io as u64);
+                }
+            }
+            FaultKind::NodeCrash => {
+                let lost = self.ionodes[io].crash();
+                self.fault_stats.lost_segments += lost.len() as u64;
+                for req in lost {
+                    if self.seg_owner.contains_key(&req.id) {
+                        self.handle_rejection(now, ev.io_node, req, 0, sched);
+                    }
+                }
+            }
+            FaultKind::NodeRecover => {
+                self.ionodes[io].recover();
+                if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
+                    sched.timer(t, io as u64);
+                }
+            }
+        }
     }
 
     /// Complete a data request: charge the client copy cost, trace, complete
@@ -347,6 +603,7 @@ impl Pfs {
             bytes: p.bytes,
             queued: SimDuration::ZERO,
             service: done.since(p.issued),
+            fault: p.fault,
         };
         // Async issue events are traced at submit; sync ops trace here with
         // their full blocking interval.
@@ -659,6 +916,7 @@ impl IoService for Pfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -675,6 +933,7 @@ impl IoService for Pfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -712,6 +971,7 @@ impl IoService for Pfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -727,6 +987,7 @@ impl IoService for Pfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -743,6 +1004,7 @@ impl IoService for Pfs {
                         bytes: len,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -751,26 +1013,69 @@ impl IoService for Pfs {
         }
     }
 
+    fn on_start(&mut self, sched: &mut Sched) {
+        // Arm one absolute-time timer per scheduled fault event. Empty
+        // schedule (the healthy case): no timers, bit-identical runs.
+        for ev in self.schedule.clone().events() {
+            let id = self.next_deferred;
+            self.next_deferred += 1;
+            self.fault_timers.insert(id, *ev);
+            sched.timer(ev.at, id);
+        }
+    }
+
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
         if (timer as usize) < self.ionodes.len() {
-            // An I/O node finished its in-service segment.
+            // An I/O node finished its in-service work. Stale timers happen
+            // only under faults (a stall postponed the completion, or a
+            // crash voided it): the re-armed timer covers the real time.
             let io = timer as usize;
-            let seg_id = self.ionodes[io].complete_head(now);
-            if let Some((t, _)) = self.ionodes[io].next_done() {
+            let due = matches!(self.ionodes[io].next_done(), Some(t) if t <= now);
+            if !due {
+                debug_assert!(
+                    self.faults_enabled(),
+                    "stale i/o-node timer on a healthy run"
+                );
+                return;
+            }
+            let completion = self.ionodes[io].complete_head(now);
+            if let Some(t) = self.ionodes[io].next_done() {
                 sched.timer(t, timer);
             }
-            let token = self
-                .seg_owner
-                .remove(&seg_id)
-                .expect("segment with no owner");
-            let finished = {
-                let p = self.pending.get_mut(&token).expect("pending missing");
-                p.segs_left -= 1;
-                p.segs_left == 0
+            let (seg_id, data_lost) = match completion {
+                Completion::App { id, data_lost } => (id, data_lost),
+                // Background rebuild traffic: no request to complete.
+                Completion::Rebuild { .. } => return,
             };
-            if finished {
+            let Some(token) = self.seg_owner.remove(&seg_id) else {
+                // The owning request already failed (timeout/unavailable).
+                debug_assert!(self.faults_enabled(), "segment with no owner");
+                return;
+            };
+            let Some(p) = self.pending.get_mut(&token) else {
+                debug_assert!(self.faults_enabled(), "pending missing");
+                return;
+            };
+            if data_lost {
+                self.fault_stats.data_loss_segments += 1;
+                p.fault = Some(IoFault::DataLoss);
+            }
+            p.segs_left -= 1;
+            if p.segs_left == 0 {
                 let p = self.pending.remove(&token).unwrap();
                 self.finish(p, token, now, sched);
+            }
+        } else if let Some(ev) = self.fault_timers.remove(&timer) {
+            self.apply_fault(now, ev, sched);
+        } else if let Some(r) = self.retry_timers.remove(&timer) {
+            // Retry only while the owning request is still alive.
+            if self.seg_owner.contains_key(&r.req.id) {
+                self.submit_seg(now, r.io, r.req, r.attempt, sched);
+            }
+        } else if let Some(token) = self.timeout_timers.remove(&timer) {
+            if self.pending.contains_key(&token) {
+                self.fault_stats.timeouts += 1;
+                self.fail_token(token, IoFault::Timeout, now, sched);
             }
         } else {
             // Deferred dispatch (M_LOG pointer-token acquisition).
@@ -1178,7 +1483,7 @@ mod tests {
             let mut pfs = Pfs::new(&m, tracer.clone());
             pfs.register(FileSpec::input("data", 1 << 20));
             if fail {
-                pfs.fail_disk(0, 0);
+                pfs.fail_disk(0, 0).unwrap();
             }
             let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(script()))];
             let mut engine = Engine::new(Mesh::for_nodes(1, 1), m.comm, programs, pfs);

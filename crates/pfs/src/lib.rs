@@ -28,6 +28,6 @@ pub mod layout;
 pub mod mode;
 
 pub use file::FileSpec;
-pub use fs::{Pfs, PfsConfig};
+pub use fs::{FaultStats, Pfs, PfsConfig};
 pub use layout::StripeLayout;
 pub use mode::AccessMode;

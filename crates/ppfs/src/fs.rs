@@ -23,9 +23,12 @@ use crate::cache::{BlockCache, BlockState};
 use crate::policy::PolicyConfig;
 use crate::prefetch::StreamPrefetcher;
 use crate::write_behind::{DirtyBuffer, Extent};
+use paragon_sim::calibration::FaultParams;
 use paragon_sim::engine::{IoService, Sched};
-use paragon_sim::ionode::{IoNodeSim, SegmentReq};
+use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
+use paragon_sim::ionode::{Completion, IoNodeSim, RejectReason, SegmentReq, SubmitOutcome};
 use paragon_sim::program::{IoRequest, IoResult, IoToken, IoVerb};
+use paragon_sim::raid::RaidError;
 
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
@@ -56,6 +59,23 @@ pub struct PpfsStats {
     pub server_hits: u64,
     /// Blocks that had to go to disk despite the server cache.
     pub server_misses: u64,
+    /// Write-behind bytes that were in flight or queued at an I/O node when
+    /// it crashed (exposure of buffered dirty data to failures).
+    pub dirty_bytes_lost: u64,
+    /// Segments resubmitted after a crashed node recovered (replay-based
+    /// recovery of lost write-behind data).
+    pub replayed_segments: u64,
+    /// Segments completed by an array that had lost redundancy (a second
+    /// member failure): the returned data could not be reconstructed.
+    pub data_loss_segments: u64,
+}
+
+/// A segment awaiting a backoff retry after a queue-full rejection.
+#[derive(Debug)]
+struct RetrySeg {
+    io: u32,
+    req: SegmentReq,
+    attempt: u32,
 }
 
 #[derive(Debug)]
@@ -125,12 +145,42 @@ pub struct Ppfs {
     next_hit_timer: u64,
     /// Per-file policy advice (paper §10: advertised access patterns).
     advice: HashMap<u32, FileAdvice>,
+    /// Fault-handling parameters (retry backoff; rebuild chunking lives in
+    /// the I/O nodes).
+    fault_params: FaultParams,
+    /// Injected fault schedule (empty on healthy runs).
+    schedule: FaultSchedule,
+    /// Armed fault-event timers: timer id -> event.
+    fault_timers: HashMap<u64, FaultEvent>,
+    /// Armed backoff retries: timer id -> segment.
+    retry_timers: HashMap<u64, RetrySeg>,
+    /// Segments parked at a crashed node, resubmitted on recovery.
+    replay: Vec<(u32, SegmentReq)>,
 }
 
 impl Ppfs {
     /// Build a PPFS over the machine with the given policy.
     pub fn new(machine: &MachineConfig, policy: PolicyConfig, tracer: Tracer) -> Ppfs {
+        Ppfs::with_faults(machine, policy, tracer, FaultSchedule::new())
+    }
+
+    /// Build a PPFS with an injected fault schedule. An empty schedule is
+    /// exactly [`Ppfs::new`]: no fault timers are armed and the run is
+    /// bit-identical to a healthy one.
+    pub fn with_faults(
+        machine: &MachineConfig,
+        policy: PolicyConfig,
+        tracer: Tracer,
+        schedule: FaultSchedule,
+    ) -> Ppfs {
         let ionodes = machine.build_io_nodes();
+        assert!(
+            schedule
+                .events()
+                .iter()
+                .all(|e| (e.io_node as usize) < ionodes.len()),
+            "fault schedule targets a nonexistent i/o node"
+        );
         let server_caches: Vec<BlockCache> = if policy.server_cache_blocks > 0 {
             (0..ionodes.len())
                 .map(|i| {
@@ -170,7 +220,18 @@ impl Ppfs {
             fetch_hits: HashMap::new(),
             next_hit_timer,
             advice: HashMap::new(),
+            fault_params: machine.fault,
+            schedule,
+            fault_timers: HashMap::new(),
+            retry_timers: HashMap::new(),
+            replay: Vec::new(),
         }
+    }
+
+    /// Whether a fault schedule is in play (enables lenient completion
+    /// paths; a healthy run keeps the strict invariants).
+    fn faults_enabled(&self) -> bool {
+        !self.schedule.is_empty()
     }
 
     /// Advertise expected access behavior for one file (paper §10). The
@@ -199,6 +260,21 @@ impl Ppfs {
     /// Running statistics.
     pub fn stats(&self) -> PpfsStats {
         self.stats
+    }
+
+    /// Rebuild chunks completed across all I/O nodes.
+    pub fn rebuild_chunks_total(&self) -> u64 {
+        self.ionodes.iter().map(|n| n.rebuild_chunks()).sum()
+    }
+
+    /// Member bytes rebuilt across all I/O nodes.
+    pub fn rebuilt_bytes_total(&self) -> u64 {
+        self.ionodes.iter().map(|n| n.rebuilt_bytes()).sum()
+    }
+
+    /// I/O nodes whose arrays are still degraded.
+    pub fn degraded_nodes(&self) -> u32 {
+        self.ionodes.iter().filter(|n| n.array().degraded()).count() as u32
     }
 
     /// Current length of a file.
@@ -258,25 +334,117 @@ impl Ppfs {
             let id = self.next_seg;
             self.next_seg += 1;
             self.seg_owner.insert(id, tid);
-            let ion = &mut self.ionodes[seg.io_node as usize];
-            let was_idle = ion.submit(
-                now,
-                SegmentReq {
-                    id,
-                    offset: slot_base + seg.local_offset,
-                    bytes: seg.bytes,
-                    write,
-                    sequential: false,
-                },
-            );
-            if was_idle {
-                let (t, _) = ion.next_done().expect("just started");
-                sched.timer(t, seg.io_node as u64);
-            }
+            let req = SegmentReq {
+                id,
+                offset: slot_base + seg.local_offset,
+                bytes: seg.bytes,
+                write,
+                sequential: false,
+                failover: false,
+            };
+            self.submit_seg(now, seg.io_node, req, 0, sched);
             count += 1;
             self.stats.segments += 1;
         }
         count
+    }
+
+    /// Submit one segment to an I/O node, handling explicit backpressure.
+    /// Queue-full rejections back off and retry (unbounded: write-behind
+    /// data has nowhere else to go); node-down rejections park the segment
+    /// for replay when the node recovers. PPFS segments target a fixed
+    /// stripe position, so there is no cross-node failover here — that is
+    /// the PFS path's job.
+    fn submit_seg(
+        &mut self,
+        now: SimTime,
+        io: u32,
+        req: SegmentReq,
+        attempt: u32,
+        sched: &mut Sched,
+    ) {
+        match self.ionodes[io as usize].submit(now, req) {
+            SubmitOutcome::Started => {
+                let t = self.ionodes[io as usize].next_done().expect("just started");
+                sched.timer(t, io as u64);
+            }
+            SubmitOutcome::Queued => {}
+            SubmitOutcome::Rejected(RejectReason::Down) => {
+                self.replay.push((io, req));
+            }
+            SubmitOutcome::Rejected(RejectReason::QueueFull) => {
+                let delay = self.fault_params.retry_base.times(1u64 << attempt.min(4));
+                let id = self.next_hit_timer;
+                self.next_hit_timer += 1;
+                self.retry_timers.insert(
+                    id,
+                    RetrySeg {
+                        io,
+                        req,
+                        attempt: (attempt + 1).min(4),
+                    },
+                );
+                sched.timer(now + delay, id);
+            }
+        }
+    }
+
+    /// Apply one scheduled fault event.
+    fn apply_fault(&mut self, now: SimTime, ev: FaultEvent, sched: &mut Sched) {
+        let io = ev.io_node as usize;
+        match ev.kind {
+            FaultKind::DiskFail { disk } => {
+                match self.ionodes[io].array_mut().fail_disk(disk) {
+                    Ok(()) => {}
+                    Err(RaidError::DoubleFailure { .. }) => {
+                        self.ionodes[io].array_mut().mark_data_lost();
+                    }
+                    // Malformed event (bad index): reportable no-op.
+                    Err(_) => {}
+                }
+            }
+            FaultKind::DiskRepair => {
+                if self.ionodes[io].array_mut().start_rebuild().is_ok() {
+                    if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
+                        sched.timer(t, io as u64);
+                    }
+                }
+            }
+            FaultKind::NodeStall { for_dur } => {
+                if let Some(t) = self.ionodes[io].stall(now, for_dur) {
+                    sched.timer(t, io as u64);
+                }
+            }
+            FaultKind::NodeCrash => {
+                // In-service and queued segments are lost. Flush segments
+                // carry write-behind data whose application writes already
+                // completed — that is the dirty-data exposure the X4 suite
+                // measures. Everything is parked for replay on recovery.
+                let lost = self.ionodes[io].crash();
+                for req in lost {
+                    if let Some(&tid) = self.seg_owner.get(&req.id) {
+                        if matches!(self.transfers.get(&tid), Some(Transfer::Flush { .. })) {
+                            self.stats.dirty_bytes_lost += req.bytes;
+                        }
+                        self.replay.push((ev.io_node, req));
+                    }
+                }
+            }
+            FaultKind::NodeRecover => {
+                self.ionodes[io].recover();
+                if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
+                    sched.timer(t, io as u64);
+                }
+                let mine: Vec<(u32, SegmentReq)>;
+                (mine, self.replay) = std::mem::take(&mut self.replay)
+                    .into_iter()
+                    .partition(|(n, _)| *n == ev.io_node);
+                for (n, req) in mine {
+                    self.stats.replayed_segments += 1;
+                    self.submit_seg(now, n, req, 0, sched);
+                }
+            }
+        }
     }
 
     /// I/O node owning a file block (block start decides for blocks that
@@ -413,6 +581,7 @@ impl Ppfs {
                             bytes: r.bytes,
                             queued: SimDuration::ZERO,
                             service: done.since(r.issued),
+                            fault: None,
                         },
                     );
                 }
@@ -445,12 +614,17 @@ impl Ppfs {
     }
 
     fn flush_all(&mut self, now: SimTime, sched: &mut Sched) {
-        let keys: Vec<(NodeId, u32)> = self
+        // Sorted, not map order: with several dirty buffers the flush order
+        // decides segment submission order, and map order varies per
+        // process (seeded `RandomState`), which would break bit-for-bit
+        // reproducibility.
+        let mut keys: Vec<(NodeId, u32)> = self
             .dirty
             .iter()
             .filter(|(_, b)| !b.is_empty())
             .map(|(k, _)| *k)
             .collect();
+        keys.sort_unstable();
         for (node, file) in keys {
             self.flush_dirty(now, node, file, sched);
         }
@@ -499,6 +673,7 @@ impl Ppfs {
                     bytes: 0,
                     queued: SimDuration::ZERO,
                     service: hit_cost,
+                    fault: None,
                 },
             );
             return;
@@ -535,6 +710,7 @@ impl Ppfs {
                     bytes: eff,
                     queued: SimDuration::ZERO,
                     service: done.since(now),
+                    fault: None,
                 },
             );
         } else {
@@ -634,6 +810,7 @@ impl Ppfs {
                     bytes,
                     queued: SimDuration::ZERO,
                     service: done.since(now),
+                    fault: None,
                 },
             );
             self.dirty
@@ -721,6 +898,7 @@ impl Ppfs {
                         bytes,
                         queued: SimDuration::ZERO,
                         service: done.since(issued),
+                        fault: None,
                     },
                 );
             }
@@ -759,6 +937,7 @@ impl IoService for Ppfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -776,6 +955,7 @@ impl IoService for Ppfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -799,6 +979,7 @@ impl IoService for Ppfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -815,6 +996,7 @@ impl IoService for Ppfs {
                         bytes: 0,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -831,6 +1013,7 @@ impl IoService for Ppfs {
                         bytes: len,
                         queued: SimDuration::ZERO,
                         service: done.since(now),
+                        fault: None,
                     },
                 );
             }
@@ -858,13 +1041,45 @@ impl IoService for Ppfs {
         }
     }
 
+    fn on_start(&mut self, sched: &mut Sched) {
+        // Arm one absolute-time timer per scheduled fault event. Empty
+        // schedule (the healthy case): no timers, bit-identical runs.
+        for ev in self.schedule.clone().events() {
+            let id = self.next_hit_timer;
+            self.next_hit_timer += 1;
+            self.fault_timers.insert(id, *ev);
+            sched.timer(ev.at, id);
+        }
+    }
+
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
         if (timer as usize) < self.ionodes.len() {
+            // An I/O node finished its in-service work. Stale timers happen
+            // only under faults (a stall postponed the completion, or a
+            // crash voided it): the re-armed timer covers the real time.
             let io = timer as usize;
-            let seg_id = self.ionodes[io].complete_head(now);
-            if let Some((t, _)) = self.ionodes[io].next_done() {
+            let due = matches!(self.ionodes[io].next_done(), Some(t) if t <= now);
+            if !due {
+                debug_assert!(
+                    self.faults_enabled(),
+                    "stale i/o-node timer on a healthy run"
+                );
+                return;
+            }
+            let completion = self.ionodes[io].complete_head(now);
+            if let Some(t) = self.ionodes[io].next_done() {
                 sched.timer(t, timer);
             }
+            let seg_id = match completion {
+                Completion::App { id, data_lost } => {
+                    if data_lost {
+                        self.stats.data_loss_segments += 1;
+                    }
+                    id
+                }
+                // Background rebuild traffic: no transfer to advance.
+                Completion::Rebuild { .. } => return,
+            };
             let tid = self
                 .seg_owner
                 .remove(&seg_id)
@@ -877,6 +1092,13 @@ impl IoService for Ppfs {
             // something was flushed or remains buffered).
             if self.dirty.values().any(|b| !b.is_empty()) {
                 self.arm_flush_timer(now, sched);
+            }
+        } else if let Some(ev) = self.fault_timers.remove(&timer) {
+            self.apply_fault(now, ev, sched);
+        } else if let Some(r) = self.retry_timers.remove(&timer) {
+            // Retry only while the owning transfer is still alive.
+            if self.seg_owner.contains_key(&r.req.id) {
+                self.submit_seg(now, r.io, r.req, r.attempt, sched);
             }
         } else if let Some((node, file, blocks)) = self.fetch_hits.remove(&timer) {
             // Server-cache hit delivery: no server install (they came from

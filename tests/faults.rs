@@ -1,0 +1,237 @@
+//! Fault-injection integration tests (the X4 subsystem, whole stack).
+//!
+//! The contract under test, end to end:
+//! * any canned single-fault schedule runs to completion with zero panics —
+//!   failures surface as typed `IoFault` results, never as crashes;
+//! * the fault machinery is fully dormant on healthy runs (`None` and an
+//!   empty schedule are bit-identical to `run_workload`);
+//! * degraded arrays are slower, rebuilds take real simulated time at the
+//!   member spindle rate, and crashes are survived by retry + failover
+//!   (PFS) or replay (PPFS write-behind) — all explicitly accounted.
+
+use sio::apps::workload::{
+    parallel_write_kernel, run_workload, run_workload_with_faults, sequential_read_kernel, Backend,
+};
+use sio::apps::EscatParams;
+use sio::core::sddf;
+use sio::paragon::{FaultSchedule, MachineConfig, SimDuration, SimTime};
+use sio::pfs::AccessMode;
+use sio::ppfs::PolicyConfig;
+
+fn m() -> MachineConfig {
+    MachineConfig::tiny(8, 4)
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime(s * 1_000_000_000)
+}
+
+#[test]
+fn none_and_empty_schedule_are_bit_identical_to_run_workload() {
+    let machine = m();
+    let w = EscatParams::small(8, 6).workload();
+    for backend in [Backend::Pfs, Backend::Ppfs(PolicyConfig::escat_tuned())] {
+        let plain = run_workload(&machine, &w, &backend);
+        let none = run_workload_with_faults(&machine, &w, &backend, None);
+        let empty = FaultSchedule::new();
+        let with_empty = run_workload_with_faults(&machine, &w, &backend, Some(&empty));
+        let fp = |t: &sio::core::Trace| sddf::fingerprint(t);
+        assert_eq!(
+            fp(&plain.trace),
+            fp(&none.trace),
+            "{backend:?}: None diverged"
+        );
+        assert_eq!(
+            fp(&plain.trace),
+            fp(&with_empty.trace),
+            "{backend:?}: empty schedule diverged"
+        );
+        assert_eq!(plain.report.wall, none.report.wall);
+        assert_eq!(plain.report.wall, with_empty.report.wall);
+    }
+}
+
+/// Every canned single-fault schedule (and the double-failure data-loss
+/// case) must complete cleanly: typed results, no panics. PPFS crash
+/// schedules include the recovery event — write-behind replay needs the
+/// node back (PFS instead fails over to the buddy, tested below).
+#[test]
+fn single_fault_schedules_never_panic() {
+    let machine = m();
+    let n = machine.io_nodes;
+    let mut schedules: Vec<(String, FaultSchedule)> = Vec::new();
+    for io in 0..n {
+        let mut s = FaultSchedule::new();
+        s.disk_fail(secs(1), io, 0);
+        schedules.push((format!("disk-fail-{io}"), s));
+
+        let mut s = FaultSchedule::new();
+        s.disk_fail(SimTime::ZERO, io, 0).disk_repair(secs(1), io);
+        schedules.push((format!("disk-repair-{io}"), s));
+
+        let mut s = FaultSchedule::new();
+        s.node_stall(secs(1), io, SimDuration::from_secs(2));
+        schedules.push((format!("stall-{io}"), s));
+
+        let mut s = FaultSchedule::new();
+        s.node_crash(secs(1), io).node_recover(secs(4), io);
+        schedules.push((format!("crash-recover-{io}"), s));
+    }
+    // Second failure on the same array: data loss, reported, not a panic.
+    let mut s = FaultSchedule::new();
+    s.disk_fail(SimTime::ZERO, 0, 0).disk_fail(secs(1), 0, 1);
+    schedules.push(("double-failure".to_string(), s));
+
+    let w = EscatParams::small(8, 6).workload();
+    for (name, schedule) in &schedules {
+        for backend in [Backend::Pfs, Backend::Ppfs(PolicyConfig::escat_tuned())] {
+            let out = run_workload_with_faults(&machine, &w, &backend, Some(schedule));
+            assert!(out.report.clean(), "{name} on {backend:?} did not finish");
+        }
+    }
+}
+
+#[test]
+fn degraded_arrays_slow_reads_end_to_end() {
+    let machine = m();
+    let w = sequential_read_kernel(48, 262_144, AccessMode::MUnix);
+    let healthy = run_workload(&machine, &w, &Backend::Pfs);
+    let degraded_sched = FaultSchedule::all_disks_fail(SimTime::ZERO, machine.io_nodes, 0);
+    let degraded = run_workload_with_faults(&machine, &w, &Backend::Pfs, Some(&degraded_sched));
+    let read_ns = |out: &sio::apps::workload::RunOutput| -> u64 {
+        out.trace
+            .of_op(sio::core::event::IoOp::Read)
+            .map(|e| e.duration())
+            .sum()
+    };
+    assert!(
+        read_ns(&degraded) > read_ns(&healthy),
+        "degraded reads not slower: {} !> {}",
+        read_ns(&degraded),
+        read_ns(&healthy)
+    );
+    assert_eq!(degraded.degraded_nodes, machine.io_nodes);
+}
+
+#[test]
+fn rebuild_takes_member_capacity_over_spindle_rate() {
+    let machine = m();
+    let w = sequential_read_kernel(16, 65_536, AccessMode::MUnix);
+    let mut s = FaultSchedule::all_disks_fail(SimTime::ZERO, machine.io_nodes, 0);
+    for io in 0..machine.io_nodes {
+        s.disk_repair(secs(1), io);
+    }
+    let out = run_workload_with_faults(&machine, &w, &Backend::Pfs, Some(&s));
+    assert!(out.report.clean());
+    // Every array healed, and actually moved the member's data.
+    assert_eq!(out.degraded_nodes, 0);
+    let (chunks, bytes) = out.rebuild;
+    assert!(chunks > 0, "no rebuild chunks serviced");
+    assert_eq!(bytes, machine.io_nodes as u64 * machine.disk.capacity);
+    // Timed, not instantaneous: the machine stays busy until roughly
+    // member capacity / spindle rate (~545 s for the calibrated disk).
+    let heal_floor = machine.disk.capacity as f64 / machine.disk.transfer_rate;
+    assert!(
+        out.wall_secs() > heal_floor,
+        "rebuild finished impossibly fast: {:.0}s < {:.0}s",
+        out.wall_secs(),
+        heal_floor
+    );
+}
+
+/// A crashed node's segments are retried with backoff and then failed over
+/// to the buddy node — explicit backpressure, no silent drops, and the
+/// application still gets all of its data.
+#[test]
+fn pfs_crash_without_recovery_fails_over_and_serves_all_data() {
+    let machine = m();
+    let reads = 32u32;
+    let w = sequential_read_kernel(reads, 262_144, AccessMode::MUnix);
+    let mut s = FaultSchedule::new();
+    s.node_crash(SimTime::ZERO, 0);
+    let out = run_workload_with_faults(&machine, &w, &Backend::Pfs, Some(&s));
+    assert!(out.report.clean());
+    let pf = out.pfs_faults.expect("pfs fault stats");
+    assert!(pf.retries > 0, "rejections were not retried");
+    assert!(pf.failovers > 0, "no failover happened");
+    assert_eq!(pf.unavailable, 0);
+    // Every read completed and returned its bytes (no faulted results).
+    let read_events = out
+        .trace
+        .of_op(sio::core::event::IoOp::Read)
+        .collect::<Vec<_>>();
+    assert_eq!(read_events.len(), reads as usize);
+    assert!(read_events.iter().all(|e| e.bytes == 262_144));
+}
+
+/// With every node down, requests fail with a typed `Unavailable` result
+/// (zero bytes) instead of hanging or panicking.
+#[test]
+fn all_nodes_down_yields_typed_unavailable_results() {
+    let machine = MachineConfig::tiny(4, 2);
+    let w = sequential_read_kernel(4, 65_536, AccessMode::MUnix);
+    let mut s = FaultSchedule::new();
+    for io in 0..machine.io_nodes {
+        s.node_crash(SimTime::ZERO, io);
+    }
+    let out = run_workload_with_faults(&machine, &w, &Backend::Pfs, Some(&s));
+    assert!(
+        out.report.clean(),
+        "typed failure must not deadlock the app"
+    );
+    let pf = out.pfs_faults.expect("pfs fault stats");
+    assert!(pf.unavailable > 0, "no unavailable results recorded");
+    assert!(out
+        .trace
+        .of_op(sio::core::event::IoOp::Read)
+        .all(|e| e.bytes == 0));
+}
+
+/// A stall longer than the request deadline trips the per-request timeout.
+#[test]
+fn long_stall_trips_request_timeout() {
+    let machine = MachineConfig::tiny(4, 2);
+    let w = sequential_read_kernel(2, 65_536, AccessMode::MUnix);
+    let mut s = FaultSchedule::new();
+    for io in 0..machine.io_nodes {
+        s.node_stall(SimTime::ZERO, io, SimDuration::from_secs(700));
+    }
+    let out = run_workload_with_faults(&machine, &w, &Backend::Pfs, Some(&s));
+    assert!(out.report.clean());
+    let pf = out.pfs_faults.expect("pfs fault stats");
+    assert!(pf.timeouts > 0, "deadline did not fire under a 700s stall");
+}
+
+/// PPFS write-behind under a crash: dirty flush segments at the crashed
+/// node are lost (accounted) and replayed after recovery; the run still
+/// drains every buffered byte.
+#[test]
+fn ppfs_crash_loses_then_replays_write_behind_data() {
+    let machine = m();
+    let w = parallel_write_kernel(8, 48, 65_536, AccessMode::MUnix);
+    // Land the crash while close-time flush traffic is in flight: 3/4 of
+    // the way through the healthy run, with recovery after it would have
+    // ended. Self-calibrating, so service-time retuning won't miss the
+    // window.
+    let healthy = run_workload(&machine, &w, &Backend::Ppfs(PolicyConfig::escat_tuned()));
+    let wall = healthy.report.wall.nanos();
+    let mut s = FaultSchedule::new();
+    s.node_crash(SimTime(wall * 3 / 4), 0)
+        .node_recover(SimTime(wall * 2), 0);
+    let out = run_workload_with_faults(
+        &machine,
+        &w,
+        &Backend::Ppfs(PolicyConfig::escat_tuned()),
+        Some(&s),
+    );
+    assert!(out.report.clean());
+    let stats = out.ppfs_stats.expect("ppfs stats");
+    assert!(
+        stats.dirty_bytes_lost > 0,
+        "crash caught no in-flight write-behind data"
+    );
+    assert!(
+        stats.replayed_segments > 0,
+        "lost segments were not replayed on recovery"
+    );
+}

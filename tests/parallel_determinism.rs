@@ -75,6 +75,20 @@ fn workload_mix_is_worker_count_invariant() {
     });
 }
 
+/// The X4 fault suite fans its 17 scenario cells out through the same
+/// executor; injected faults (timed rebuilds, stalls, crash replay) must
+/// not introduce any worker-count dependence.
+#[test]
+fn fault_suite_is_worker_count_invariant() {
+    let machine = m();
+    let ep = EscatParams::small(4, 4);
+    let rp = RenderParams::small(4, 2);
+    let hp = HtfParams::small(4);
+    assert_jobs_invariant("fault_suite", |jobs| {
+        experiments::fault_suite_jobs(&machine, &ep, &rp, &hp, jobs)
+    });
+}
+
 /// Interleave many concurrent `run_workload` calls for *different*
 /// configurations and require each to match its isolated serial run —
 /// concurrent runs must never leak events into each other's trace buffers.

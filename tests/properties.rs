@@ -385,3 +385,91 @@ fn quiet_panics() -> impl Drop {
     std::panic::set_hook(Box::new(|_| {}));
     Restore(Some(guard))
 }
+
+// ---------------- fault schedules (X4) ----------------
+
+proptest! {
+    /// `push` keeps the schedule time-ordered with stable ties for any
+    /// insertion order: among equal-time events, earlier insertions fire
+    /// first. (The io_node field is used as an insertion-order tag here.)
+    #[test]
+    fn fault_schedule_push_is_time_ordered_with_stable_ties(
+        times in vec(0u64..40, 0..64),
+    ) {
+        use sio::paragon::{FaultSchedule, SimTime};
+        let mut s = FaultSchedule::new();
+        for (tag, t) in times.iter().enumerate() {
+            s.node_crash(SimTime(*t), tag as u32);
+        }
+        let evs = s.events();
+        prop_assert_eq!(evs.len(), times.len());
+        for w in evs.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "out of order: {:?} then {:?}", w[0], w[1]);
+            if w[0].at == w[1].at {
+                prop_assert!(
+                    w[0].io_node < w[1].io_node,
+                    "tie broke insertion order: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    /// `merge` is a stable, complete interleave: every event of both inputs
+    /// appears exactly once, in time order, with `self` winning ties and
+    /// each input keeping its own relative order.
+    #[test]
+    fn fault_schedule_merge_is_stable_and_complete(
+        a_times in vec(0u64..40, 0..32),
+        b_times in vec(0u64..40, 0..32),
+    ) {
+        use sio::paragon::{FaultSchedule, SimTime};
+        let build = |ts: &[u64], node: u32| {
+            let mut s = FaultSchedule::new();
+            for t in ts {
+                s.node_crash(SimTime(*t), node);
+            }
+            s
+        };
+        let a = build(&a_times, 0);
+        let b = build(&b_times, 1);
+        let m = a.merge(&b);
+        prop_assert_eq!(m.len(), a.len() + b.len());
+        for w in m.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+            if w[0].at == w[1].at {
+                // Ties resolve a-before-b, never b-before-a.
+                prop_assert!(w[0].io_node <= w[1].io_node);
+            }
+        }
+        // Each side survives as an exact subsequence.
+        let side = |n: u32| -> Vec<_> {
+            m.events().iter().filter(|e| e.io_node == n).copied().collect()
+        };
+        prop_assert_eq!(side(0), a.events().to_vec());
+        prop_assert_eq!(side(1), b.events().to_vec());
+    }
+
+    /// `scattered_stalls` is a pure function of its seed: reproducible,
+    /// correctly sized, in range, and time-ordered.
+    #[test]
+    fn scattered_stalls_is_seeded_and_in_range(
+        seed in any::<u64>(),
+        io_nodes in 1u32..16,
+        count in 0usize..64,
+    ) {
+        use sio::paragon::{FaultSchedule, SimDuration};
+        let horizon = SimDuration::from_secs(120);
+        let stall = SimDuration::from_secs(2);
+        let s1 = FaultSchedule::scattered_stalls(seed, io_nodes, count, horizon, stall);
+        let s2 = FaultSchedule::scattered_stalls(seed, io_nodes, count, horizon, stall);
+        prop_assert_eq!(&s1, &s2, "same seed must give the same schedule");
+        prop_assert_eq!(s1.len(), count);
+        for e in s1.events() {
+            prop_assert!(e.io_node < io_nodes);
+            prop_assert!(e.at.0 > 0 && e.at.0 < horizon.nanos());
+        }
+        for w in s1.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+}
