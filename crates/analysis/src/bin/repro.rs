@@ -18,52 +18,121 @@ use paragon_sim::MachineConfig;
 use sio_analysis::characterize::Characterization;
 use sio_analysis::experiments;
 use sio_analysis::figures;
+use sio_analysis::recovery;
 use sio_analysis::report;
 use sio_analysis::runner;
 use sio_apps::{EscatParams, HtfParams, RenderParams};
 use std::path::PathBuf;
 
+/// Every experiment name `repro` accepts.
+const EXPERIMENTS: [&str; 10] = [
+    "escat",
+    "render",
+    "htf",
+    "ppfs-ablation",
+    "crossover",
+    "ablations",
+    "scaling",
+    "faults",
+    "recover",
+    "all",
+];
+
+const USAGE: &str = "usage: repro [--fast] [--jobs N] [--out DIR] [--crash-frac F] \
+     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|all]...";
+
+#[derive(Debug, PartialEq)]
 struct Cli {
     fast: bool,
+    help: bool,
     out: PathBuf,
+    jobs: Option<usize>,
+    /// Custom crash fraction for the `recover` suite (replaces the canned
+    /// scenarios with a single `crash@F` cell per workload × interval).
+    crash_frac: Option<f64>,
     what: Vec<String>,
 }
 
-fn parse_args() -> Cli {
-    let mut fast = false;
-    let mut out = PathBuf::from("results");
-    let mut what = Vec::new();
-    let mut args = std::env::args().skip(1);
+/// Parse and validate an argument list. Every rejection names the bad
+/// argument and what would be accepted, so the caller can print it and
+/// exit non-zero.
+fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        fast: false,
+        help: false,
+        out: PathBuf::from("results"),
+        jobs: None,
+        crash_frac: None,
+        what: Vec::new(),
+    };
+    let mut args = argv.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--fast" => fast = true,
-            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n > 0 => runner::set_jobs(n),
-                _ => {
-                    eprintln!("error: --jobs requires a positive integer argument");
-                    std::process::exit(2);
+            "--fast" => cli.fast = true,
+            "-h" | "--help" => cli.help = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a positive integer")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cli.jobs = Some(n),
+                    _ => return Err(format!("--jobs requires a positive integer, got '{v}'")),
                 }
-            },
-            "--out" => match args.next() {
-                Some(dir) => out = PathBuf::from(dir),
-                None => {
-                    eprintln!("error: --out requires a directory argument");
-                    std::process::exit(2);
-                }
-            },
-            "-h" | "--help" => {
-                eprintln!(
-                    "usage: repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]..."
-                );
-                std::process::exit(0);
             }
-            other => what.push(other.to_string()),
+            "--out" => {
+                let dir = args.next().ok_or("--out requires a directory argument")?;
+                cli.out = PathBuf::from(dir);
+            }
+            "--crash-frac" => {
+                let v = args
+                    .next()
+                    .ok_or("--crash-frac requires a fraction in (0, 1)")?;
+                match v.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f < 1.0 => cli.crash_frac = Some(f),
+                    _ => {
+                        return Err(format!(
+                            "--crash-frac requires a fraction strictly between 0 and 1, got '{v}'"
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'"));
+            }
+            other => {
+                if !EXPERIMENTS.contains(&other) {
+                    return Err(format!(
+                        "unknown experiment '{}' (expected one of: {})",
+                        other,
+                        EXPERIMENTS.join(", ")
+                    ));
+                }
+                cli.what.push(other.to_string());
+            }
         }
     }
-    if what.is_empty() {
-        what.push("all".to_string());
+    if cli.what.is_empty() {
+        cli.what.push("all".to_string());
     }
-    Cli { fast, out, what }
+    Ok(cli)
+}
+
+fn parse_args() -> Cli {
+    match parse_args_from(std::env::args().skip(1)) {
+        Ok(cli) => {
+            if cli.help {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            if let Some(n) = cli.jobs {
+                runner::set_jobs(n);
+            }
+            cli
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn machine(fast: bool) -> MachineConfig {
@@ -512,6 +581,105 @@ fn run_faults(cli: &Cli) {
     println!("{body}");
 }
 
+fn run_recover(cli: &Cli) {
+    let m = machine(cli.fast);
+    let (ep, rp, hp) = if cli.fast {
+        (
+            EscatParams::small(8, 8),
+            RenderParams::small(8, 4),
+            HtfParams::small(8),
+        )
+    } else {
+        (
+            EscatParams::paper(),
+            RenderParams::paper(),
+            HtfParams::paper(),
+        )
+    };
+    let scenarios: Vec<String> = match cli.crash_frac {
+        Some(f) => vec![format!("crash@{f}")],
+        None => ["crash30", "crash70", "crash50-ionode"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    eprintln!("[repro] recovery suite (X5: checkpoint interval x crash scenario)...");
+    let rows = recovery::recover_suite_scenarios_jobs(
+        &m,
+        &ep,
+        &rp,
+        &hp,
+        &scenarios,
+        runner::configured_jobs(),
+    );
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    let mut b = String::new();
+    b.push_str(
+        "workload    iv scenario        epoch  ckpt(s)  ovh(%)  crash(s)  recov(s)  ttr(s)  rerun(s)  saved(s)  lost(MB)  torn  dirty_ck(KB)\n",
+    );
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<11} {:>2} {:<14} {:>2}/{:<2} {:>8.1} {:>7.2} {:>9.1} {:>9.1} {:>7.1} {:>9.1} {:>9.1} {:>9.3} {:>5} {:>13.1}\n",
+            r.workload,
+            r.interval,
+            r.scenario,
+            r.durable_epoch,
+            r.epochs,
+            r.ckpt_wall_secs,
+            r.overhead_pct,
+            r.crash_secs,
+            r.recovery_secs,
+            r.total_secs,
+            r.rerun_secs,
+            r.saved_secs,
+            r.lost_work_mb,
+            r.commits_torn,
+            r.dirty_lost_ckpt as f64 / 1024.0,
+        ));
+    }
+    body.push_str(&report::section(
+        "X5 — crash/recovery suite (checkpoint commit protocol, restart from last durable epoch)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.workload,
+                r.interval,
+                r.scenario,
+                r.durable_epoch,
+                r.epochs,
+                r.commits_valid,
+                r.commits_torn,
+                r.ckpt_wall_secs,
+                r.overhead_pct,
+                r.crash_secs,
+                r.recovery_secs,
+                r.total_secs,
+                r.rerun_secs,
+                r.saved_secs,
+                r.lost_work_mb
+            )
+        })
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "recover",
+        "workload,interval,scenario,durable_epoch,epochs,commits_valid,commits_torn,ckpt_wall_secs,overhead_pct,crash_secs,recovery_secs,total_secs,rerun_secs,saved_secs,lost_work_mb",
+        &csv,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "recover", &body).expect("write report");
+    println!("{body}");
+}
+
 fn run_ablations(cli: &Cli) {
     let m = machine(cli.fast);
     eprintln!("[repro] ablations (A1 modes, A2 policies, A3 queue, A4 raid)...");
@@ -622,6 +790,7 @@ fn main() {
             "ablations" => run_ablations(&cli),
             "scaling" => run_scaling(&cli),
             "faults" => run_faults(&cli),
+            "recover" => run_recover(&cli),
             "all" => {
                 // Independent experiments fan out over the sweep runner;
                 // each simulation is single-threaded and deterministic, so
@@ -636,14 +805,94 @@ fn main() {
                     Box::new(move || run_ablations(cli)),
                     Box::new(move || run_scaling(cli)),
                     Box::new(move || run_faults(cli)),
+                    Box::new(move || run_recover(cli)),
                 ];
                 runner::par_run(runner::configured_jobs(), tasks);
             }
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                std::process::exit(2);
-            }
+            other => unreachable!("experiment '{other}' validated in parse_args"),
         }
     }
     eprintln!("[repro] artifacts written to {}", cli.out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all_experiments() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.what, vec!["all"]);
+        assert!(!cli.fast);
+        assert_eq!(cli.out, PathBuf::from("results"));
+        assert_eq!(cli.jobs, None);
+        assert_eq!(cli.crash_frac, None);
+    }
+
+    #[test]
+    fn accepts_known_experiments_and_flags() {
+        let cli = parse(&[
+            "--fast",
+            "--jobs",
+            "4",
+            "--out",
+            "tmp",
+            "--crash-frac",
+            "0.4",
+            "recover",
+            "faults",
+        ])
+        .unwrap();
+        assert!(cli.fast);
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.out, PathBuf::from("tmp"));
+        assert_eq!(cli.crash_frac, Some(0.4));
+        assert_eq!(cli.what, vec!["recover", "faults"]);
+    }
+
+    #[test]
+    fn rejects_unknown_experiment_with_suggestions() {
+        let err = parse(&["recoverr"]).unwrap_err();
+        assert!(err.contains("unknown experiment 'recoverr'"), "{err}");
+        assert!(err.contains("recover"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        let err = parse(&["--job", "4"]).unwrap_err();
+        assert!(err.contains("unknown option '--job'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_jobs_values() {
+        for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("--jobs"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_crash_frac() {
+        for bad in [
+            &["--crash-frac"][..],
+            &["--crash-frac", "0"],
+            &["--crash-frac", "1"],
+            &["--crash-frac", "1.5"],
+            &["--crash-frac", "-0.2"],
+            &["--crash-frac", "half"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("--crash-frac"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_out_dir() {
+        let err = parse(&["--out"]).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+    }
 }

@@ -25,6 +25,7 @@ pub mod compare;
 pub mod experiments;
 pub mod figures;
 pub mod optable;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod sizetable;

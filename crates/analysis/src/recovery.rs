@@ -1,0 +1,511 @@
+//! X5: crash/recovery orchestration — restart a crashed application from
+//! its last durable checkpoint inside the same deterministic simulation.
+//!
+//! The orchestrator runs a checkpointed workload, kills it at a chosen
+//! instant (`Engine::run_until`), derives the **durable epoch** from the
+//! crashed run's trace by replaying every checkpoint commit through
+//! `CheckpointStore::try_commit` (a commit whose `sync` had not completed
+//! leaves a torn slot whose prefix fails validation), builds the resumed
+//! workload from that epoch, and runs it to completion. Reported per cell:
+//! time-to-recovery vs rerunning from scratch, lost-work bytes, and the
+//! checkpoint overhead against the uncheckpointed wall.
+//!
+//! Everything is a pure function of the configuration: the suite is
+//! worker-count invariant and golden-digested (`results/golden_recover.txt`).
+
+use crate::runner;
+use paragon_sim::{FaultSchedule, MachineConfig, SimTime};
+use sio_apps::checkpoint::CheckpointPlan;
+use sio_apps::workload::{run_workload, run_workload_crashable, Backend};
+use sio_apps::{CheckpointedWorkload, EscatParams, HtfParams, RenderParams};
+use sio_core::checkpoint::CheckpointStore;
+use sio_core::event::NS_PER_SEC;
+use sio_core::{IoEvent, IoOp, Trace};
+use sio_ppfs::PolicyConfig;
+
+/// What the post-crash analysis recovered from the checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableCut {
+    /// Last epoch boundary durable on every participating writer (0 = no
+    /// usable checkpoint; the resumed run starts from scratch).
+    pub epoch: u32,
+    /// Commits that validated and advanced a slot.
+    pub commits_valid: u32,
+    /// Torn commits rejected by checksum/length validation.
+    pub commits_torn: u32,
+}
+
+/// Checkpoint commits of one writer, in commit order: the `j`-th completed
+/// checkpoint-file write pairs with the `j`-th completed checkpoint-file
+/// sync. A write past the sync count was still unsynced at the crash.
+fn commit_events<'a>(
+    trace: &'a Trace,
+    plan: &CheckpointPlan,
+    node: u32,
+) -> (Vec<&'a IoEvent>, Vec<&'a IoEvent>) {
+    let mut writes: Vec<&IoEvent> = trace
+        .events()
+        .iter()
+        .filter(|e| e.file == plan.file && e.node == node && e.op == IoOp::Write)
+        .collect();
+    writes.sort_by_key(|e| (e.start, e.offset));
+    let mut syncs: Vec<&IoEvent> = trace
+        .events()
+        .iter()
+        .filter(|e| e.file == plan.file && e.node == node && e.op == IoOp::Flush)
+        .collect();
+    syncs.sort_by_key(|e| e.start);
+    (writes, syncs)
+}
+
+/// Final boundary epoch of a writer with `units` work units: the writer
+/// stops checkpointing once its own work is covered, so a fully-committed
+/// short writer never caps the global cut.
+fn final_boundary(units: u32, interval: u32) -> u32 {
+    units.div_ceil(interval)
+}
+
+/// Derive the durable epoch from a crashed run's trace.
+///
+/// Per writer, each completed checkpoint-file write is reconstructed
+/// (`plan.image(..).encode()`) and fed through [`CheckpointStore`]: synced
+/// commits arrive whole and advance the slot; a commit whose sync was still
+/// outstanding at `crash` leaves a torn slot — its on-media prefix is
+/// modeled as the elapsed fraction of a nominal persistence window of twice
+/// the write's span, and validation rejects it. The global cut is the
+/// minimum committed epoch across writers, with writers that committed
+/// their own final boundary treated as complete.
+pub fn durable_cut(
+    trace: &Trace,
+    plan: &CheckpointPlan,
+    units: &[u32],
+    crash: SimTime,
+) -> DurableCut {
+    assert_eq!(
+        units.len(),
+        plan.nodes as usize,
+        "one unit count per writer"
+    );
+    let mut store = CheckpointStore::new();
+    let slots = plan.slot_names();
+    let (mut valid, mut torn) = (0u32, 0u32);
+    let mut committed = vec![0u32; plan.nodes as usize];
+    for n in 0..plan.nodes {
+        let (writes, syncs) = commit_events(trace, plan, n);
+        for (j, w) in writes.iter().enumerate() {
+            let slot_idx = w.offset / plan.record_bytes;
+            let epoch = ((slot_idx - n as u64) / plan.nodes as u64) as u32 + 1;
+            let full = plan.image(n, epoch).encode();
+            let bytes = if j < syncs.len() {
+                full.clone()
+            } else {
+                // Unsynced: the write-behind path may have persisted only a
+                // prefix by the crash instant.
+                let span = (w.end - w.start).max(1);
+                let elapsed = crash.nanos().saturating_sub(w.start);
+                let len = ((full.len() as u64).saturating_mul(elapsed) / (2 * span))
+                    .min(full.len() as u64 - 1) as usize;
+                full[..len].to_vec()
+            };
+            match store.try_commit(&slots[n as usize], &bytes) {
+                Ok(e) => {
+                    committed[n as usize] = e;
+                    valid += 1;
+                }
+                Err(_) => torn += 1,
+            }
+        }
+    }
+    let epoch = (0..plan.nodes as usize)
+        .map(|n| {
+            if committed[n] >= final_boundary(units[n], plan.interval) {
+                plan.epochs
+            } else {
+                committed[n]
+            }
+        })
+        .min()
+        .unwrap_or(0);
+    DurableCut {
+        epoch,
+        commits_valid: valid,
+        commits_torn: torn,
+    }
+}
+
+/// Bytes of covered-file writes that landed after the durable cut: work
+/// the resumed run has to redo. Counted per writer from the instant its
+/// own cut-boundary sync completed (completed writes only — data still in
+/// flight at the crash never reached the trace, so this is a lower bound).
+pub fn lost_work_bytes(trace: &Trace, plan: &CheckpointPlan, units: &[u32], cut: u32) -> u64 {
+    let mut lost = 0u64;
+    for n in 0..plan.nodes {
+        let (_, syncs) = commit_events(trace, plan, n);
+        let eff = cut.min(final_boundary(units[n as usize], plan.interval));
+        let t_n = if eff == 0 {
+            0
+        } else {
+            syncs.get(eff as usize - 1).map(|s| s.end).unwrap_or(0)
+        };
+        lost += trace
+            .events()
+            .iter()
+            .filter(|e| {
+                e.node == n
+                    && e.op == IoOp::Write
+                    && plan.covered.contains(&e.file)
+                    && e.start >= t_n
+            })
+            .map(|e| e.bytes)
+            .sum::<u64>();
+    }
+    lost
+}
+
+/// One cell of the X5 recovery suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverRow {
+    /// Workload label (`escat`, `htf-pargos`, `render`).
+    pub workload: String,
+    /// Checkpoint interval, work units per epoch.
+    pub interval: u32,
+    /// Crash scenario (`crash30`, `crash70`, `crash50-ionode`).
+    pub scenario: String,
+    /// Durable epoch recovered from the crashed run's checkpoint file.
+    pub durable_epoch: u32,
+    /// Epoch boundaries in a full run.
+    pub epochs: u32,
+    /// Commits that validated in the post-crash replay.
+    pub commits_valid: u32,
+    /// Torn commits rejected by validation.
+    pub commits_torn: u32,
+    /// Healthy wall of the checkpointed run, seconds.
+    pub ckpt_wall_secs: f64,
+    /// Checkpoint overhead vs the uncheckpointed healthy wall, percent.
+    pub overhead_pct: f64,
+    /// Crash instant, seconds into the run.
+    pub crash_secs: f64,
+    /// Wall of the resumed run, seconds.
+    pub recovery_secs: f64,
+    /// Time-to-recovery: crash instant + resumed wall, seconds.
+    pub total_secs: f64,
+    /// Restart-from-scratch baseline: crash instant + full checkpointed
+    /// wall, seconds.
+    pub rerun_secs: f64,
+    /// `rerun_secs - total_secs`: what the checkpoints bought, seconds.
+    pub saved_secs: f64,
+    /// Covered-file bytes written after the durable cut (redone work), MB.
+    pub lost_work_mb: f64,
+    /// Write-behind bytes lost to an I/O-node crash that checkpoints had
+    /// already made redundant (PPFS cells only).
+    pub dirty_lost_ckpt: u64,
+}
+
+const WORKLOADS: [&str; 3] = ["escat", "htf-pargos", "render"];
+const SCENARIOS: [&str; 3] = ["crash30", "crash70", "crash50-ionode"];
+
+/// Crash fraction and optional I/O-node fault schedule for a scenario.
+/// Times are relative to the healthy checkpointed wall so the windows land
+/// inside the run at any scale. `crash@F` (0 < F < 1) crashes at a custom
+/// fraction with healthy I/O nodes.
+pub fn recover_scenario(name: &str, ckpt_wall: SimTime) -> (f64, Option<FaultSchedule>) {
+    let wall = ckpt_wall.nanos().max(1);
+    match name {
+        "crash30" => (0.30, None),
+        "crash70" => (0.70, None),
+        // I/O node 0 dies at 35 % and comes back at 45 %; the application
+        // itself crashes at 50 %. Write-behind data caught in flight is
+        // lost — the dirty-loss accounting splits it into "covered by a
+        // checkpoint" vs genuinely lost work.
+        "crash50-ionode" => {
+            let mut s = FaultSchedule::new();
+            s.node_crash(SimTime(wall * 35 / 100), 0);
+            s.node_recover(SimTime(wall * 45 / 100), 0);
+            (0.50, Some(s))
+        }
+        other => {
+            if let Some(f) = other
+                .strip_prefix("crash@")
+                .and_then(|s| s.parse::<f64>().ok())
+            {
+                if f > 0.0 && f < 1.0 {
+                    return (f, None);
+                }
+            }
+            panic!("unknown recover scenario '{other}'")
+        }
+    }
+}
+
+/// Checkpoint intervals swept per workload, derived from the work-unit
+/// count so the suite keeps a sensible epoch count at any scale.
+fn intervals_for(units: u32, wname: &str) -> Vec<u32> {
+    if wname == "render" {
+        vec![units.div_ceil(4).max(1)]
+    } else {
+        vec![units.div_ceil(6).max(1), units.div_ceil(3).max(1)]
+    }
+}
+
+/// Run the X5 recovery suite with [`runner::configured_jobs`] workers.
+pub fn recover_suite(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+) -> Vec<RecoverRow> {
+    recover_suite_jobs(machine, escat, render, htf, runner::configured_jobs())
+}
+
+/// [`recover_suite`] with an explicit worker count and the canned scenario
+/// set.
+pub fn recover_suite_jobs(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+    jobs: usize,
+) -> Vec<RecoverRow> {
+    let scenarios: Vec<String> = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    recover_suite_scenarios_jobs(machine, escat, render, htf, &scenarios, jobs)
+}
+
+/// The full suite driver. Three fan-out phases: plain healthy walls (the
+/// overhead baseline), checkpointed healthy walls (the crash-fraction
+/// basis and rerun baseline), then every crash-and-resume cell. Rows come
+/// back in canonical order — workload × interval × scenario — and are
+/// worker-count invariant.
+pub fn recover_suite_scenarios_jobs(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+    scenarios: &[String],
+    jobs: usize,
+) -> Vec<RecoverRow> {
+    let build = |wname: &str, interval: u32, epoch: u32| -> CheckpointedWorkload {
+        match wname {
+            "escat" => escat.workload_checkpointed(interval, epoch),
+            "htf-pargos" => htf.pargos_workload_checkpointed(interval, epoch),
+            "render" => render.workload_checkpointed(interval, epoch),
+            other => panic!("unknown recover workload '{other}'"),
+        }
+    };
+    let backend_of = |wname: &str| -> Backend {
+        match wname {
+            "htf-pargos" => Backend::Ppfs(PolicyConfig::pargos_tuned()),
+            _ => Backend::Pfs,
+        }
+    };
+    let units_of = |wname: &str| -> Vec<u32> {
+        match wname {
+            "escat" => vec![escat.iters; escat.nodes as usize],
+            "htf-pargos" => (0..htf.nodes).map(|n| htf.records_of(n)).collect(),
+            "render" => vec![render.frames],
+            other => panic!("unknown recover workload '{other}'"),
+        }
+    };
+    let plain_of = |wname: &str| match wname {
+        "escat" => escat.workload(),
+        "htf-pargos" => htf.pargos_workload(),
+        "render" => render.workload(),
+        other => panic!("unknown recover workload '{other}'"),
+    };
+
+    let mut cells: Vec<(&str, u32)> = Vec::new();
+    for w in WORKLOADS {
+        let units = units_of(w)[0];
+        for iv in intervals_for(units, w) {
+            cells.push((w, iv));
+        }
+    }
+
+    // Phase 1: uncheckpointed healthy walls (overhead baseline).
+    let plain_walls = runner::par_map_jobs(jobs, WORKLOADS.to_vec(), |_, wname| {
+        run_workload(machine, &plain_of(wname), &backend_of(wname)).wall_secs()
+    });
+    let plain_wall = |wname: &str| plain_walls[WORKLOADS.iter().position(|w| *w == wname).unwrap()];
+
+    // Phase 2: checkpointed healthy walls per (workload, interval) cell.
+    let ckpt_walls = runner::par_map_jobs(jobs, cells.clone(), |_, (wname, iv)| {
+        let cw = build(wname, iv, 0);
+        let out = run_workload_crashable(
+            machine,
+            &cw.workload,
+            &backend_of(wname),
+            None,
+            None,
+            &cw.plan.covered,
+        );
+        out.report.wall
+    });
+    let ckpt_wall = |wname: &str, iv: u32| -> SimTime {
+        ckpt_walls[cells.iter().position(|c| *c == (wname, iv)).unwrap()]
+    };
+
+    // Phase 3: crash, derive the durable cut, resume.
+    let mut cases: Vec<((&str, u32), String)> = Vec::new();
+    for &(w, iv) in &cells {
+        for s in scenarios {
+            cases.push(((w, iv), s.clone()));
+        }
+    }
+    runner::par_map_jobs(jobs, cases, |_, ((wname, iv), scenario)| {
+        let backend = backend_of(wname);
+        let units = units_of(wname);
+        let wall = ckpt_wall(wname, iv);
+        let (frac, io_faults) = recover_scenario(&scenario, wall);
+        let t_crash = SimTime((wall.nanos() as f64 * frac) as u64);
+
+        let cw = build(wname, iv, 0);
+        let crashed = run_workload_crashable(
+            machine,
+            &cw.workload,
+            &backend,
+            io_faults.as_ref(),
+            Some(t_crash),
+            &cw.plan.covered,
+        );
+        let cut = durable_cut(&crashed.trace, &cw.plan, &units, t_crash);
+        let lost = lost_work_bytes(&crashed.trace, &cw.plan, &units, cut.epoch);
+
+        let resumed = build(wname, iv, cut.epoch);
+        let out = run_workload_crashable(
+            machine,
+            &resumed.workload,
+            &backend,
+            None,
+            None,
+            &resumed.plan.covered,
+        );
+
+        let ckpt_secs = wall.nanos() as f64 / NS_PER_SEC;
+        let crash_secs = t_crash.nanos() as f64 / NS_PER_SEC;
+        let recovery_secs = out.report.wall.nanos() as f64 / NS_PER_SEC;
+        let plain = plain_wall(wname);
+        RecoverRow {
+            workload: wname.to_string(),
+            interval: iv,
+            scenario,
+            durable_epoch: cut.epoch,
+            epochs: cw.plan.epochs,
+            commits_valid: cut.commits_valid,
+            commits_torn: cut.commits_torn,
+            ckpt_wall_secs: ckpt_secs,
+            overhead_pct: (ckpt_secs - plain) / plain.max(f64::EPSILON) * 100.0,
+            crash_secs,
+            recovery_secs,
+            total_secs: crash_secs + recovery_secs,
+            rerun_secs: crash_secs + ckpt_secs,
+            saved_secs: ckpt_secs - recovery_secs,
+            lost_work_mb: lost as f64 / 1e6,
+            dirty_lost_ckpt: crashed
+                .ppfs_stats
+                .map(|s| s.dirty_bytes_lost_checkpointed)
+                .unwrap_or(0),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_sim::MachineConfig;
+
+    #[test]
+    fn durable_cut_of_healthy_full_run_is_final_epoch() {
+        let p = EscatParams::small(4, 6);
+        let cw = p.workload_checkpointed(2, 0);
+        let out = run_workload_crashable(
+            &MachineConfig::tiny(4, 2),
+            &cw.workload,
+            &Backend::Pfs,
+            None,
+            None,
+            &cw.plan.covered,
+        );
+        let units = vec![p.iters; p.nodes as usize];
+        let cut = durable_cut(&out.trace, &cw.plan, &units, out.report.wall);
+        assert_eq!(cut.epoch, cw.plan.epochs);
+        assert_eq!(cut.commits_torn, 0);
+        assert_eq!(cut.commits_valid, cw.plan.epochs * p.nodes);
+        assert_eq!(lost_work_bytes(&out.trace, &cw.plan, &units, cut.epoch), 0);
+    }
+
+    #[test]
+    fn crash_before_first_commit_recovers_nothing() {
+        let p = EscatParams::small(4, 6);
+        let cw = p.workload_checkpointed(3, 0);
+        let t = SimTime(1_000_000); // 1 ms: inside phase 1
+        let out = run_workload_crashable(
+            &MachineConfig::tiny(4, 2),
+            &cw.workload,
+            &Backend::Pfs,
+            None,
+            Some(t),
+            &cw.plan.covered,
+        );
+        let units = vec![p.iters; p.nodes as usize];
+        let cut = durable_cut(&out.trace, &cw.plan, &units, t);
+        assert_eq!(cut.epoch, 0);
+        assert_eq!(cut.commits_valid, 0);
+    }
+
+    #[test]
+    fn ragged_writers_do_not_cap_the_cut() {
+        // 4 writers: units 10,10,10,3, interval 4. The short writer's final
+        // boundary is epoch 1; once it commits that, epoch 2 can still be
+        // globally durable.
+        let plan = {
+            let mut p = CheckpointPlan::new(9, 5, 4, 4, 10);
+            p.covered = vec![1];
+            p
+        };
+        let units = [10u32, 10, 10, 3];
+        let tracer = sio_core::Tracer::new("synthetic");
+        let mut t = 0u64;
+        let commit = |node: u32, epoch: u32, now: &mut u64| {
+            let off = plan.slot_offset(epoch, node);
+            tracer.record(
+                IoEvent::new(node, plan.file, IoOp::Write)
+                    .extent(off, plan.record_bytes)
+                    .span(*now, *now + 10),
+            );
+            tracer.record(IoEvent::new(node, plan.file, IoOp::Flush).span(*now + 10, *now + 20));
+            *now += 30;
+        };
+        for node in 0..4u32 {
+            commit(node, 1, &mut t);
+        }
+        for node in 0..3u32 {
+            commit(node, 2, &mut t);
+        }
+        let tr = tracer.finish();
+        let cut = durable_cut(&tr, &plan, &units, SimTime(t));
+        assert_eq!(cut.epoch, 2);
+    }
+
+    #[test]
+    fn unsynced_commit_is_torn_and_rejected() {
+        let plan = CheckpointPlan::new(9, 5, 1, 4, 8);
+        let units = [8u32];
+        let tracer = sio_core::Tracer::new("synthetic");
+        // Epoch 1: write + sync. Epoch 2: write completed, sync never did.
+        tracer.record(
+            IoEvent::new(0, 9, IoOp::Write)
+                .extent(plan.slot_offset(1, 0), plan.record_bytes)
+                .span(0, 10),
+        );
+        tracer.record(IoEvent::new(0, 9, IoOp::Flush).span(10, 20));
+        tracer.record(
+            IoEvent::new(0, 9, IoOp::Write)
+                .extent(plan.slot_offset(2, 0), plan.record_bytes)
+                .span(100, 110),
+        );
+        let tr = tracer.finish();
+        let cut = durable_cut(&tr, &plan, &units, SimTime(112));
+        assert_eq!(cut.epoch, 1);
+        assert_eq!(cut.commits_valid, 1);
+        assert_eq!(cut.commits_torn, 1);
+    }
+}

@@ -19,6 +19,7 @@
 //! `HtfParams::paper()` reproduces the per-phase rows of Tables 5–6,
 //! including the seek *distance* volume of pscf (3.495 GB of rewinds).
 
+use crate::checkpoint::{CheckpointPlan, CheckpointedWorkload};
 use crate::workload::{op_compute, op_open, Workload};
 use paragon_sim::program::{IoRequest, ScriptOp};
 use rand::rngs::StdRng;
@@ -302,6 +303,142 @@ impl HtfParams {
             files,
             scripts,
             groups: Vec::new(),
+        }
+    }
+
+    /// File id of the pargos checkpoint file (first id past the integral
+    /// files).
+    pub fn pargos_checkpoint_file(&self) -> u32 {
+        2 + self.nodes
+    }
+
+    /// Per-(node, record) compute jitters, drawn in exactly the order
+    /// `pargos_workload` draws them so a resumed run replays the *same*
+    /// compute times for the records it still has to do.
+    fn pargos_jitters(&self) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(0x4854_4601);
+        (0..self.nodes)
+            .map(|node| {
+                (0..self.records_of(node))
+                    .map(|_| rng.random_range(0.8..1.2))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Build the checkpointed pargos workload: every `interval` integral
+    /// records a node syncs its integral file (forcing PPFS write-behind
+    /// buffers to disk), writes its checkpoint record, and syncs the
+    /// checkpoint file. Nodes have ragged record counts, so a node stops
+    /// checkpointing once its own records are covered. With
+    /// `resume_epoch > 0` the integral files pre-exist holding the
+    /// recovered records and each node appends from its resume point.
+    pub fn pargos_workload_checkpointed(
+        &self,
+        interval: u32,
+        resume_epoch: u32,
+    ) -> CheckpointedWorkload {
+        let ck = self.pargos_checkpoint_file();
+        let mut plan = CheckpointPlan::new(ck, 3, self.nodes, interval, self.records_of(0))
+            .resumed(resume_epoch);
+        plan.covered = (0..self.nodes).map(|n| self.integral_file(n)).collect();
+
+        let mut files = vec![
+            FileSpec::input(
+                "htf-setup-out",
+                self.pargos_small_reads as u64 * self.pargos_small_read_bytes
+                    + self.pargos_medium_reads as u64 * self.pargos_medium_read_bytes
+                    + 4096,
+            ),
+            if resume_epoch == 0 {
+                FileSpec::output("htf-pargos-aux")
+            } else {
+                FileSpec::input("htf-pargos-aux", 50_000)
+            },
+        ];
+        for n in 0..self.nodes {
+            let skip_n = plan.units_at(resume_epoch, self.records_of(n));
+            files.push(if skip_n > 0 {
+                FileSpec::input(
+                    &format!("integrals-{n:03}"),
+                    skip_n as u64 * self.integral_bytes,
+                )
+            } else {
+                FileSpec::output(&format!("integrals-{n:03}"))
+            });
+        }
+        files.push(plan.file_spec("htf-pargos-ckpt"));
+
+        let jitters = self.pargos_jitters();
+        let mut scripts: Vec<Vec<ScriptOp>> = Vec::with_capacity(self.nodes as usize);
+        for node in 0..self.nodes {
+            let records = self.records_of(node);
+            let skip = plan.units_at(resume_epoch, records);
+            let mut ops: Vec<ScriptOp> = Vec::new();
+            if node == 0 {
+                ops.push(op_open(0, AccessMode::MUnix));
+                for _ in 0..self.pargos_small_reads {
+                    ops.push(ScriptOp::Io(IoRequest::read(
+                        0,
+                        self.pargos_small_read_bytes,
+                    )));
+                }
+                for _ in 0..self.pargos_medium_reads {
+                    ops.push(ScriptOp::Io(IoRequest::read(
+                        0,
+                        self.pargos_medium_read_bytes,
+                    )));
+                }
+                ops.push(ScriptOp::Io(IoRequest::seek(0, 0)));
+                ops.push(ScriptOp::Io(IoRequest::close(0)));
+                ops.push(op_open(1, AccessMode::MUnix));
+                ops.push(ScriptOp::Io(IoRequest::seek(1, 0)));
+                ops.push(ScriptOp::Io(IoRequest::write(1, 1_000)));
+                ops.push(ScriptOp::Io(IoRequest::write(1, 1_000)));
+                ops.push(ScriptOp::Io(IoRequest::write(1, 48_000)));
+            }
+            ops.push(ScriptOp::Broadcast {
+                root: 0,
+                bytes: 34_400,
+                group: 0,
+            });
+            let f = self.integral_file(node);
+            ops.push(op_open(f, AccessMode::MUnix));
+            ops.push(ScriptOp::Io(IoRequest::seek(
+                f,
+                skip as u64 * self.integral_bytes,
+            )));
+            ops.push(op_open(ck, AccessMode::MUnix));
+            for r in skip..records {
+                let jitter = jitters[node as usize][r as usize];
+                ops.push(op_compute(self.integral_compute * jitter));
+                ops.push(ScriptOp::Io(IoRequest::write(f, self.integral_bytes)));
+                ops.push(ScriptOp::Io(IoRequest::flush(f)));
+                let done = r + 1;
+                if done % interval == 0 || done == records {
+                    ops.extend(plan.commit_ops(node, done.div_ceil(interval), &[f]));
+                }
+            }
+            ops.push(ScriptOp::Io(IoRequest::close(ck)));
+            ops.push(ScriptOp::Io(IoRequest::flush(f)));
+            ops.push(ScriptOp::Io(IoRequest::lsize(f)));
+            ops.push(ScriptOp::Io(IoRequest::close(f)));
+            scripts.push(ops);
+        }
+
+        let label = if resume_epoch == 0 {
+            "htf-pargos-ckpt".to_string()
+        } else {
+            format!("htf-pargos-ckpt-resume{resume_epoch}")
+        };
+        CheckpointedWorkload {
+            workload: Workload {
+                label,
+                files,
+                scripts,
+                groups: Vec::new(),
+            },
+            plan,
         }
     }
 

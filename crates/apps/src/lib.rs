@@ -28,6 +28,7 @@
 //! byte volumes of the paper's Tables 1–6 (see `sio-analysis` for the
 //! side-by-side comparison).
 
+pub mod checkpoint;
 pub mod escat;
 pub mod htf;
 pub mod mix;
@@ -35,6 +36,7 @@ pub mod render;
 pub mod replay;
 pub mod workload;
 
+pub use checkpoint::{CheckpointPlan, CheckpointedWorkload};
 pub use escat::EscatParams;
 pub use htf::HtfParams;
 pub use render::RenderParams;

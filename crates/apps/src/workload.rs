@@ -11,7 +11,9 @@
 use paragon_sim::engine::IoService;
 use paragon_sim::mesh::Mesh;
 use paragon_sim::program::{IoRequest, NodeProgram, ScriptOp, ScriptProgram};
-use paragon_sim::{Engine, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration};
+use paragon_sim::{
+    Engine, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sio_core::trace::{Trace, Tracer};
@@ -71,6 +73,7 @@ fn run_engine<S: IoService>(
     workload: &Workload,
     service: S,
     tracer: &Tracer,
+    stop_at: Option<SimTime>,
 ) -> (EngineReport, S) {
     assert!(
         workload.scripts.len() as u32 <= machine.compute_nodes,
@@ -88,13 +91,20 @@ fn run_engine<S: IoService>(
     for g in &workload.groups {
         engine.add_group(g.clone());
     }
-    let report = engine.run();
-    assert!(
-        report.clean(),
-        "workload '{}' deadlocked; blocked nodes: {:?}",
-        workload.label,
-        report.blocked
-    );
+    let report = match stop_at {
+        // A crashed run legitimately ends with blocked nodes: they died.
+        Some(t) => engine.run_until(t),
+        None => {
+            let report = engine.run();
+            assert!(
+                report.clean(),
+                "workload '{}' deadlocked; blocked nodes: {:?}",
+                workload.label,
+                report.blocked
+            );
+            report
+        }
+    };
     tracer.set_run_info(workload.scripts.len() as u32, report.wall.nanos());
     (report, engine.into_service())
 }
@@ -114,6 +124,26 @@ pub fn run_workload_with_faults(
     backend: &Backend,
     faults: Option<&FaultSchedule>,
 ) -> RunOutput {
+    run_workload_crashable(machine, workload, backend, faults, None, &[])
+}
+
+/// Run a workload that may be cut short by an application crash.
+///
+/// `stop_at` halts the simulation at that instant without requiring a clean
+/// finish — the surviving state (trace, wall, filesystem counters) is exactly
+/// what a post-mortem would see. `covered` lists file ids whose write-behind
+/// dirty data is protected by application checkpoints, so PPFS can split
+/// crash losses into "lost but checkpointed" vs "lost work". With
+/// `stop_at = None` and empty `covered` this is bit-identical to
+/// [`run_workload_with_faults`].
+pub fn run_workload_crashable(
+    machine: &MachineConfig,
+    workload: &Workload,
+    backend: &Backend,
+    faults: Option<&FaultSchedule>,
+    stop_at: Option<SimTime>,
+    covered: &[u32],
+) -> RunOutput {
     let tracer = Tracer::new(&workload.label);
     let schedule = faults.cloned().unwrap_or_default();
     match backend {
@@ -122,7 +152,7 @@ pub fn run_workload_with_faults(
             for f in &workload.files {
                 fs.register(f.clone());
             }
-            let (report, fs) = run_engine(machine, workload, fs, &tracer);
+            let (report, fs) = run_engine(machine, workload, fs, &tracer, stop_at);
             RunOutput {
                 trace: tracer.finish(),
                 report,
@@ -137,7 +167,10 @@ pub fn run_workload_with_faults(
             for f in &workload.files {
                 fs.register(f.clone());
             }
-            let (report, fs) = run_engine(machine, workload, fs, &tracer);
+            for &file in covered {
+                fs.mark_checkpoint_covered(file);
+            }
+            let (report, fs) = run_engine(machine, workload, fs, &tracer, stop_at);
             RunOutput {
                 trace: tracer.finish(),
                 report,

@@ -1,0 +1,376 @@
+//! Checkpoint image format and atomic commit protocol.
+//!
+//! A checkpoint image is a self-validating record: a fixed little-endian
+//! header (magic, format version, application/node/epoch identity, payload
+//! length) followed by the payload, with an FNV-1a checksum over everything
+//! that precedes it. [`CheckpointImage::decode`] accepts a byte buffer only
+//! when every field checks out — a truncated, bit-flipped, or
+//! wrong-version image yields a typed [`CheckpointError`], never a
+//! half-valid epoch.
+//!
+//! [`CheckpointStore`] layers the commit protocol on top:
+//! write-temp / validate / rename. A staged buffer replaces the committed
+//! slot only after it fully validates *and* its epoch advances; on any
+//! failure the slot keeps the previous epoch untouched. This is the
+//! in-simulation analog of writing `ckpt.tmp`, fsyncing, verifying, and
+//! `rename(2)`-ing over `ckpt` — a crash at any byte boundary leaves either
+//! the old epoch or nothing, never a torn image that reads as valid.
+
+use crate::sddf::fingerprint_bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Image magic ("SIOC" little-endian).
+pub const MAGIC: u32 = 0x434F_4953;
+/// Current image format version.
+pub const VERSION: u32 = 1;
+/// Fixed header size: magic, version, app, node, epoch, payload length
+/// (u32 each) + u64 checksum.
+pub const HEADER_LEN: usize = 32;
+
+/// Why a byte buffer failed to validate as a checkpoint image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer shorter than the header + declared payload.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// First word is not [`MAGIC`].
+    BadMagic {
+        /// The word found.
+        found: u32,
+    },
+    /// Unsupported format version.
+    BadVersion {
+        /// The version found.
+        found: u32,
+    },
+    /// Checksum mismatch: the image was torn or corrupted.
+    BadChecksum {
+        /// Checksum the header claims.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// Commit refused: the staged epoch does not advance the committed one.
+    StaleEpoch {
+        /// Epoch already committed.
+        committed: u32,
+        /// Epoch of the staged image.
+        staged: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated { need, got } => {
+                write!(
+                    f,
+                    "truncated checkpoint image: need {need} bytes, got {got}"
+                )
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic {found:#010x}")
+            }
+            CheckpointError::BadVersion { found } => {
+                write!(f, "unsupported checkpoint version {found}")
+            }
+            CheckpointError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: header says {expected:#018x}, bytes hash to {found:#018x}"
+                )
+            }
+            CheckpointError::StaleEpoch { committed, staged } => {
+                write!(
+                    f,
+                    "stale checkpoint epoch {staged} (epoch {committed} already committed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One versioned, checksummed checkpoint record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointImage {
+    /// Application identity (distinguishes programs sharing a store).
+    pub app_id: u32,
+    /// Compute node that wrote the record.
+    pub node: u32,
+    /// Epoch the record commits (1-based count of completed boundaries).
+    pub epoch: u32,
+    /// Opaque application progress snapshot.
+    pub payload: Vec<u8>,
+}
+
+impl CheckpointImage {
+    /// Total encoded size for a payload of `payload_len` bytes.
+    pub fn encoded_len(payload_len: usize) -> usize {
+        HEADER_LEN + payload_len
+    }
+
+    /// Serialize: header + payload, checksum last-written field.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_len(self.payload.len()));
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.app_id.to_le_bytes());
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        // Checksum covers the header prefix and the payload; splice it in
+        // between so decode can hash exactly what encode hashed.
+        let checksum = checksum_of(&out[..24], &self.payload);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Validate and deserialize a buffer. Every failure mode is typed; a
+    /// prefix of a valid image never decodes.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointImage, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated {
+                need: HEADER_LEN,
+                got: bytes.len(),
+            });
+        }
+        let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
+        let magic = word(0);
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let version = word(4);
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion { found: version });
+        }
+        let payload_len = word(20) as usize;
+        let need = Self::encoded_len(payload_len);
+        if bytes.len() < need {
+            return Err(CheckpointError::Truncated {
+                need,
+                got: bytes.len(),
+            });
+        }
+        let expected = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let payload = &bytes[HEADER_LEN..need];
+        let found = checksum_of(&bytes[..24], payload);
+        if expected != found {
+            return Err(CheckpointError::BadChecksum { expected, found });
+        }
+        Ok(CheckpointImage {
+            app_id: word(8),
+            node: word(12),
+            epoch: word(16),
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// FNV-1a over the header prefix (through `payload_len`) and the payload.
+fn checksum_of(header_prefix: &[u8], payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(header_prefix.len() + payload.len());
+    buf.extend_from_slice(header_prefix);
+    buf.extend_from_slice(payload);
+    fingerprint_bytes(&buf)
+}
+
+/// Deterministic progress payload for a checkpoint record: a fixed-length
+/// byte stream derived from the record's identity, so every run of a
+/// workload stages bit-identical images (and torn prefixes are
+/// reproducible).
+pub fn progress_payload(app_id: u32, node: u32, epoch: u32, len: usize) -> Vec<u8> {
+    let mut x =
+        ((app_id as u64) << 40) ^ ((node as u64) << 20) ^ (epoch as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+/// The commit side of the protocol: named slots, each holding the newest
+/// fully-validated image. `try_commit` is the rename step — all or
+/// nothing, epoch monotone.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    slots: BTreeMap<String, CheckpointImage>,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Attempt to commit a staged buffer into `slot`. The buffer must
+    /// decode as a valid image whose epoch strictly advances the slot's
+    /// committed epoch; otherwise the slot is left exactly as it was and
+    /// the failure is returned. On success the committed epoch is returned.
+    pub fn try_commit(&mut self, slot: &str, staged: &[u8]) -> Result<u32, CheckpointError> {
+        let img = CheckpointImage::decode(staged)?;
+        if let Some(prev) = self.slots.get(slot) {
+            if img.epoch <= prev.epoch {
+                return Err(CheckpointError::StaleEpoch {
+                    committed: prev.epoch,
+                    staged: img.epoch,
+                });
+            }
+        }
+        let epoch = img.epoch;
+        self.slots.insert(slot.to_string(), img);
+        Ok(epoch)
+    }
+
+    /// The committed image in `slot`, if any.
+    pub fn latest(&self, slot: &str) -> Option<&CheckpointImage> {
+        self.slots.get(slot)
+    }
+
+    /// The committed epoch in `slot`, if any.
+    pub fn latest_epoch(&self, slot: &str) -> Option<u32> {
+        self.slots.get(slot).map(|img| img.epoch)
+    }
+
+    /// Smallest committed epoch across `slots` — the newest globally
+    /// consistent epoch when every participant must reach a boundary
+    /// before it counts. `None` if any slot has no commit at all.
+    pub fn consistent_epoch(&self, slots: &[String]) -> Option<u32> {
+        slots
+            .iter()
+            .map(|s| self.latest_epoch(s))
+            .collect::<Option<Vec<u32>>>()
+            .map(|es| es.into_iter().min().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(epoch: u32, len: usize) -> CheckpointImage {
+        CheckpointImage {
+            app_id: 7,
+            node: 3,
+            epoch,
+            payload: progress_payload(7, 3, epoch, len),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for len in [0usize, 1, 31, 32, 1000] {
+            let i = img(5, len);
+            let bytes = i.encode();
+            assert_eq!(bytes.len(), CheckpointImage::encoded_len(len));
+            assert_eq!(CheckpointImage::decode(&bytes).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_fails_validation() {
+        let bytes = img(2, 100).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CheckpointImage::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded as valid"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_fails_validation() {
+        let bytes = img(1, 64).encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                CheckpointImage::decode(&corrupt).is_err(),
+                "flip at byte {i} decoded as valid"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let mut bytes = img(1, 8).encode();
+        bytes[0] ^= 1;
+        assert!(matches!(
+            CheckpointImage::decode(&bytes),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        let mut bytes = img(1, 8).encode();
+        bytes[4] = 9;
+        // Re-checksum so the version field is the only defect.
+        let payload = bytes[HEADER_LEN..].to_vec();
+        let c = checksum_of(&bytes[..24], &payload);
+        bytes[24..32].copy_from_slice(&c.to_le_bytes());
+        assert!(matches!(
+            CheckpointImage::decode(&bytes),
+            Err(CheckpointError::BadVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn store_commits_are_atomic_and_monotone() {
+        let mut store = CheckpointStore::new();
+        assert_eq!(store.latest("node0"), None);
+        let e1 = img(1, 50).encode();
+        assert_eq!(store.try_commit("node0", &e1), Ok(1));
+
+        // A torn epoch-2 image leaves epoch 1 committed.
+        let e2 = img(2, 50).encode();
+        for cut in [0, HEADER_LEN - 1, HEADER_LEN + 10, e2.len() - 1] {
+            assert!(store.try_commit("node0", &e2[..cut]).is_err());
+            assert_eq!(store.latest_epoch("node0"), Some(1));
+        }
+
+        // The full image commits; replaying an old epoch is refused.
+        assert_eq!(store.try_commit("node0", &e2), Ok(2));
+        assert!(matches!(
+            store.try_commit("node0", &e1),
+            Err(CheckpointError::StaleEpoch {
+                committed: 2,
+                staged: 1
+            })
+        ));
+        assert_eq!(store.latest_epoch("node0"), Some(2));
+    }
+
+    #[test]
+    fn consistent_epoch_is_min_across_slots() {
+        let mut store = CheckpointStore::new();
+        let slots: Vec<String> = (0..3).map(|n| format!("n{n}")).collect();
+        assert_eq!(store.consistent_epoch(&slots), None);
+        for (n, slot) in slots.iter().enumerate() {
+            for e in 1..=(n as u32 + 1) {
+                let i = CheckpointImage {
+                    app_id: 1,
+                    node: n as u32,
+                    epoch: e,
+                    payload: vec![0xAB; 16],
+                };
+                store.try_commit(slot, &i.encode()).unwrap();
+            }
+        }
+        // Slots hold epochs 1, 2, 3 — the consistent cut is 1.
+        assert_eq!(store.consistent_epoch(&slots), Some(1));
+    }
+
+    #[test]
+    fn progress_payload_is_deterministic_and_identity_sensitive() {
+        assert_eq!(progress_payload(1, 2, 3, 64), progress_payload(1, 2, 3, 64));
+        assert_ne!(progress_payload(1, 2, 3, 64), progress_payload(1, 2, 4, 64));
+        assert_ne!(progress_payload(1, 2, 3, 64), progress_payload(1, 3, 3, 64));
+    }
+}

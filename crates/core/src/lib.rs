@@ -42,6 +42,7 @@
 //! assert_eq!(summary.bytes_read, 4096);
 //! ```
 
+pub mod checkpoint;
 pub mod classify;
 pub mod event;
 pub mod instrument;

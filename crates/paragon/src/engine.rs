@@ -255,6 +255,16 @@ impl<S: IoService> Engine<S> {
 
     /// Run to completion (event queue drained). Returns run statistics.
     pub fn run(&mut self) -> EngineReport {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until the event queue drains or simulated time would pass
+    /// `stop`: events at `t <= stop` are processed, everything later is
+    /// abandoned in the queue. This models a hard application crash at
+    /// `stop` — in-flight work simply never completes, and the report's
+    /// `blocked` list names the nodes that died mid-program. A `stop` of
+    /// `SimTime(u64::MAX)` is an ordinary full run.
+    pub fn run_until(&mut self, stop: SimTime) -> EngineReport {
         let mut sched = Sched::default();
         self.service.on_start(&mut sched);
         self.drain_sched(sched);
@@ -265,7 +275,11 @@ impl<S: IoService> Engine<S> {
         // periodic flush firing long after the programs finished with
         // nothing left to flush).
         let mut wall = SimTime::ZERO;
-        while let Some(Reverse((t, seq, _))) = self.heap.pop() {
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            if t > stop {
+                break;
+            }
+            let Reverse((t, seq, _)) = self.heap.pop().expect("peeked event vanished");
             let ev = self.payloads.remove(&seq).expect("payload missing");
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;

@@ -262,11 +262,26 @@ impl IoNodeSim {
                 }
             }
         };
-        // Foreground first; rebuild traffic only fills idle gaps.
+        // Foreground first; rebuild traffic only fills idle gaps. The
+        // discipline's pick must name a slot present in both parallel
+        // queues; if they ever desynchronize, drop the poisoned queue
+        // state and fall back to background work rather than panicking a
+        // whole sweep worker mid-run.
         if let Some(idx) = self.pick_next(self.head) {
-            let next = self.pending.remove(idx).unwrap();
-            let arrived = self.arrivals.remove(idx).unwrap();
-            self.start(now, next, arrived);
+            match (self.pending.remove(idx), self.arrivals.remove(idx)) {
+                (Some(next), Some(arrived)) => self.start(now, next, arrived),
+                (next, arrived) => {
+                    debug_assert!(
+                        false,
+                        "queue desync at slot {idx}: pending={} arrivals={}",
+                        next.is_some(),
+                        arrived.is_some()
+                    );
+                    self.pending.clear();
+                    self.arrivals.clear();
+                    self.start_rebuild_chunk(now);
+                }
+            }
         } else {
             self.start_rebuild_chunk(now);
         }

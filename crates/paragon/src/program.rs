@@ -45,6 +45,11 @@ pub enum IoVerb {
     Flush,
     /// Query file size (`lsize`).
     Lsize,
+    /// Commit: make the file's data durable. Unlike `Flush`, a `Sync`
+    /// acknowledges only once every outstanding write for the file has
+    /// reached a healthy disk array — the primitive checkpoint commits
+    /// are built on.
+    Sync,
 }
 
 /// One file-system call.
@@ -125,6 +130,18 @@ impl IoRequest {
         IoRequest {
             file,
             verb: IoVerb::Flush,
+            offset: None,
+            bytes: 0,
+            hint: 0,
+        }
+    }
+
+    /// Commit `file` to durable storage (wait out in-flight writes and
+    /// write-behind buffers).
+    pub fn sync(file: u32) -> IoRequest {
+        IoRequest {
+            file,
+            verb: IoVerb::Sync,
             offset: None,
             bytes: 0,
             hint: 0,

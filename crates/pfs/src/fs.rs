@@ -165,6 +165,15 @@ struct ParkedSync {
     is_async: bool,
 }
 
+/// A `Sync` commit waiting for the file's outstanding writes to land.
+#[derive(Debug, Clone, Copy)]
+struct SyncWaiter {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    issued: SimTime,
+}
+
 /// The Intel PFS model.
 pub struct Pfs {
     cfg: PfsConfig,
@@ -185,6 +194,8 @@ pub struct Pfs {
     global_waiting: HashMap<u32, Vec<(IoToken, NodeId, SimTime, bool, u64)>>,
     /// M_SYNC parking: file -> node -> parked request.
     sync_parked: HashMap<u32, BTreeMap<NodeId, ParkedSync>>,
+    /// `Sync` commits parked until their file has no in-flight writes.
+    sync_waiters: Vec<SyncWaiter>,
     /// Per-node serial client copy path.
     client: ClientPath,
     /// Fault-handling calibration (backoff, failover, deadline).
@@ -234,6 +245,7 @@ impl Pfs {
             next_deferred,
             global_waiting: HashMap::new(),
             sync_parked: HashMap::new(),
+            sync_waiters: Vec::new(),
             client: ClientPath::new(),
             fault_params: machine.fault,
             schedule,
@@ -498,12 +510,70 @@ impl Pfs {
         }
     }
 
+    /// Whether `file` still has in-flight (dispatched or deferred) writes —
+    /// the data a `Sync` commit must wait out. PFS is write-through, so
+    /// once these land the bytes are on the arrays.
+    fn has_outstanding_writes(&self, file: u32) -> bool {
+        self.pending.values().any(|p| p.file == file && p.write)
+            || self.deferred.values().any(|d| d.file == file && d.write)
+    }
+
+    /// Acknowledge a commit: the software flush cost, plus a typed
+    /// `DataLoss` fault if any array holding the file's stripes has
+    /// exhausted its redundancy (durable ≠ healthy).
+    fn complete_sync(
+        &mut self,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        now: SimTime,
+        issued: SimTime,
+        sched: &mut Sched,
+    ) {
+        let done = now + self.cfg.io_sw.flush;
+        let fault = if self.ionodes.iter().any(|n| n.array().data_lost()) {
+            Some(IoFault::DataLoss)
+        } else {
+            None
+        };
+        self.record(IoEvent::new(node, file, IoOp::Flush).span(issued.nanos(), done.nanos()));
+        sched.complete_io(
+            token,
+            done,
+            IoResult {
+                bytes: 0,
+                queued: SimDuration::ZERO,
+                service: done.since(issued),
+                fault,
+            },
+        );
+    }
+
+    /// Release every `Sync` waiter on `file` once its last in-flight write
+    /// has finished (or failed — a typed write fault still unblocks the
+    /// commit; the caller sees the failure on the write itself).
+    fn drain_sync_waiters(&mut self, file: u32, now: SimTime, sched: &mut Sched) {
+        if self.sync_waiters.is_empty() || self.has_outstanding_writes(file) {
+            return;
+        }
+        let mut i = 0;
+        while i < self.sync_waiters.len() {
+            if self.sync_waiters[i].file == file {
+                let w = self.sync_waiters.remove(i);
+                self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Fail a pending request (and its collective participants) with a typed
     /// fault instead of data.
     fn fail_token(&mut self, token: IoToken, fault: IoFault, now: SimTime, sched: &mut Sched) {
         let Some(p) = self.pending.remove(&token) else {
             return;
         };
+        let failed_file = p.file;
         for id in &p.seg_ids {
             self.seg_owner.remove(id);
         }
@@ -536,6 +606,7 @@ impl Pfs {
             }
             sched.complete_io(tok, now, result);
         }
+        self.drain_sync_waiters(failed_file, now, sched);
     }
 
     /// Apply one scheduled fault event.
@@ -586,6 +657,7 @@ impl Pfs {
     /// Complete a data request: charge the client copy cost, trace, complete
     /// every participating token.
     fn finish(&mut self, p: Pending, token: IoToken, now: SimTime, sched: &mut Sched) {
+        let finished_file = p.file;
         let rate = self.cfg.io_sw.client_byte_rate;
         let mut done = self.client.copy_done(p.node, now, p.bytes, rate);
         if !p.collective.is_empty() {
@@ -625,6 +697,7 @@ impl Pfs {
             }
             sched.complete_io(tok, done, result);
         }
+        self.drain_sync_waiters(finished_file, now, sched);
     }
 
     /// Resolve and dispatch a data operation according to the file's mode.
@@ -815,7 +888,25 @@ impl Pfs {
                 let waiting = self.global_waiting.entry(file).or_default();
                 waiting.push((token, node, now, is_async, req.bytes));
                 if waiting.len() == n {
-                    let group = std::mem::take(self.global_waiting.get_mut(&file).unwrap());
+                    // `waiting` came from this entry two statements ago; if
+                    // the map has lost it, the collective state is corrupt —
+                    // fail the op as unavailable rather than panic the run.
+                    let Some(slot) = self.global_waiting.get_mut(&file) else {
+                        debug_assert!(false, "M_GLOBAL wait group vanished for file {file}");
+                        self.fault_stats.unavailable += 1;
+                        sched.complete_io(
+                            token,
+                            now,
+                            IoResult {
+                                bytes: 0,
+                                queued: SimDuration::ZERO,
+                                service: SimDuration::ZERO,
+                                fault: Some(IoFault::Unavailable),
+                            },
+                        );
+                        return;
+                    };
+                    let group = std::mem::take(slot);
                     let bytes = group[0].4;
                     debug_assert!(group.iter().all(|g| g.4 == bytes));
                     let st = self.state(file);
@@ -1008,6 +1099,24 @@ impl IoService for Pfs {
                     },
                 );
             }
+            IoVerb::Sync => {
+                // Commit: acknowledge only after every in-flight write on
+                // the file has reached the arrays. PFS is write-through, so
+                // "no outstanding writes" is the durable point; the commit
+                // still reports `DataLoss` if redundancy is exhausted.
+                // Traced as Forflush — the paper's vocabulary has no
+                // separate commit row.
+                if self.has_outstanding_writes(req.file) {
+                    self.sync_waiters.push(SyncWaiter {
+                        token,
+                        node,
+                        file: req.file,
+                        issued: now,
+                    });
+                } else {
+                    self.complete_sync(token, node, req.file, now, now, sched);
+                }
+            }
             IoVerb::Read => self.data_op(now, token, node, req, false, is_async, sched),
             IoVerb::Write => self.data_op(now, token, node, req, true, is_async, sched),
         }
@@ -1062,7 +1171,14 @@ impl IoService for Pfs {
             }
             p.segs_left -= 1;
             if p.segs_left == 0 {
-                let p = self.pending.remove(&token).unwrap();
+                // `get_mut` above proved the entry exists; a failed remove
+                // means the pending map is corrupt. Degrade to a typed
+                // fault on the token instead of panicking the worker.
+                let Some(p) = self.pending.remove(&token) else {
+                    debug_assert!(false, "pending entry vanished for token {token}");
+                    self.fail_token(token, IoFault::Unavailable, now, sched);
+                    return;
+                };
                 self.finish(p, token, now, sched);
             }
         } else if let Some(ev) = self.fault_timers.remove(&timer) {

@@ -27,7 +27,7 @@ use paragon_sim::calibration::FaultParams;
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use paragon_sim::ionode::{Completion, IoNodeSim, RejectReason, SegmentReq, SubmitOutcome};
-use paragon_sim::program::{IoRequest, IoResult, IoToken, IoVerb};
+use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
 use paragon_sim::raid::RaidError;
 
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
@@ -36,7 +36,7 @@ use sio_core::trace::Tracer;
 use sio_pfs::file::{FileSpec, FileState};
 use sio_pfs::fs::PfsConfig;
 use sio_pfs::mode::AccessMode;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Running statistics of a PPFS instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,6 +68,11 @@ pub struct PpfsStats {
     /// Segments completed by an array that had lost redundancy (a second
     /// member failure): the returned data could not be reconstructed.
     pub data_loss_segments: u64,
+    /// The subset of `dirty_bytes_lost` on files covered by a durable
+    /// checkpoint ([`Ppfs::mark_checkpoint_covered`]): data the application
+    /// can regenerate by restarting from its last committed epoch, as
+    /// opposed to genuinely lost work.
+    pub dirty_bytes_lost_checkpointed: u64,
 }
 
 /// A segment awaiting a backoff retry after a queue-full rejection.
@@ -98,7 +103,16 @@ enum Transfer {
         segs_left: u32,
     },
     /// Background write-back of dirty extents.
-    Flush { segs_left: u32 },
+    Flush { file: u32, segs_left: u32 },
+}
+
+/// A `Sync` commit waiting for the file's write-back traffic to land.
+#[derive(Debug, Clone, Copy)]
+struct SyncWaiter {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    issued: SimTime,
 }
 
 #[derive(Debug)]
@@ -156,6 +170,11 @@ pub struct Ppfs {
     retry_timers: HashMap<u64, RetrySeg>,
     /// Segments parked at a crashed node, resubmitted on recovery.
     replay: Vec<(u32, SegmentReq)>,
+    /// `Sync` commits parked until their file's write-back traffic lands.
+    sync_waiters: Vec<SyncWaiter>,
+    /// Files whose contents are reconstructible from a durable checkpoint
+    /// (splits the dirty-loss accounting into checkpointed vs lost work).
+    checkpoint_covered: HashSet<u32>,
 }
 
 impl Ppfs {
@@ -225,7 +244,17 @@ impl Ppfs {
             fault_timers: HashMap::new(),
             retry_timers: HashMap::new(),
             replay: Vec::new(),
+            sync_waiters: Vec::new(),
+            checkpoint_covered: HashSet::new(),
         }
+    }
+
+    /// Declare `file` reconstructible from a durable checkpoint: dirty
+    /// write-behind bytes of this file lost to a node crash are counted in
+    /// `dirty_bytes_lost_checkpointed` as well as the `dirty_bytes_lost`
+    /// total.
+    pub fn mark_checkpoint_covered(&mut self, file: u32) {
+        self.checkpoint_covered.insert(file);
     }
 
     /// Whether a fault schedule is in play (enables lenient completion
@@ -423,8 +452,11 @@ impl Ppfs {
                 let lost = self.ionodes[io].crash();
                 for req in lost {
                     if let Some(&tid) = self.seg_owner.get(&req.id) {
-                        if matches!(self.transfers.get(&tid), Some(Transfer::Flush { .. })) {
+                        if let Some(Transfer::Flush { file, .. }) = self.transfers.get(&tid) {
                             self.stats.dirty_bytes_lost += req.bytes;
+                            if self.checkpoint_covered.contains(file) {
+                                self.stats.dirty_bytes_lost_checkpointed += req.bytes;
+                            }
                         }
                         self.replay.push((ev.io_node, req));
                     }
@@ -606,8 +638,13 @@ impl Ppfs {
             let tid = self.next_transfer;
             self.next_transfer += 1;
             let segs = self.submit_extent(now, tid, file, offset, bytes, true, sched);
-            self.transfers
-                .insert(tid, Transfer::Flush { segs_left: segs });
+            self.transfers.insert(
+                tid,
+                Transfer::Flush {
+                    file,
+                    segs_left: segs,
+                },
+            );
             self.stats.flush_extents += 1;
             self.stats.flushed_bytes += bytes;
         }
@@ -861,7 +898,7 @@ impl Ppfs {
             let left = match t {
                 Transfer::Fetch { segs_left, .. }
                 | Transfer::AppWrite { segs_left, .. }
-                | Transfer::Flush { segs_left } => segs_left,
+                | Transfer::Flush { segs_left, .. } => segs_left,
             };
             *left -= 1;
             *left == 0
@@ -901,8 +938,71 @@ impl Ppfs {
                         fault: None,
                     },
                 );
+                self.drain_sync_waiters(file, now, sched);
             }
-            Transfer::Flush { .. } => {}
+            Transfer::Flush { file, .. } => {
+                self.drain_sync_waiters(file, now, sched);
+            }
+        }
+    }
+
+    /// Whether `file` still has write-back traffic in flight: flush
+    /// transfers (including segments parked at a crashed node awaiting
+    /// replay — parked dirty data is *not* durable) or write-through
+    /// application writes.
+    fn has_outstanding_writes(&self, file: u32) -> bool {
+        self.transfers.values().any(|t| {
+            matches!(t,
+                Transfer::Flush { file: f, .. } | Transfer::AppWrite { file: f, .. }
+                    if *f == file)
+        })
+    }
+
+    /// Acknowledge a commit: the software flush cost, plus a typed
+    /// `DataLoss` fault if any array holding the file's stripes has
+    /// exhausted its redundancy.
+    fn complete_sync(
+        &mut self,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        now: SimTime,
+        issued: SimTime,
+        sched: &mut Sched,
+    ) {
+        let done = now + self.cfg.io_sw.flush;
+        let fault = if self.ionodes.iter().any(|n| n.array().data_lost()) {
+            Some(IoFault::DataLoss)
+        } else {
+            None
+        };
+        self.record(IoEvent::new(node, file, IoOp::Flush).span(issued.nanos(), done.nanos()));
+        sched.complete_io(
+            token,
+            done,
+            IoResult {
+                bytes: 0,
+                queued: SimDuration::ZERO,
+                service: done.since(issued),
+                fault,
+            },
+        );
+    }
+
+    /// Release every `Sync` waiter on `file` once its last write-back
+    /// transfer has landed on the arrays.
+    fn drain_sync_waiters(&mut self, file: u32, now: SimTime, sched: &mut Sched) {
+        if self.sync_waiters.is_empty() || self.has_outstanding_writes(file) {
+            return;
+        }
+        let mut i = 0;
+        while i < self.sync_waiters.len() {
+            if self.sync_waiters[i].file == file {
+                let w = self.sync_waiters.remove(i);
+                self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -999,6 +1099,36 @@ impl IoService for Ppfs {
                         fault: None,
                     },
                 );
+            }
+            IoVerb::Sync => {
+                // Commit: push every node's dirty write-behind data for
+                // this file to the I/O nodes, then acknowledge only once
+                // all of the file's write-back traffic (flushes and
+                // write-through writes, including crash-parked segments
+                // awaiting replay) has landed on the arrays. This is the
+                // durability gap `Flush` leaves open — a flush returns at
+                // software cost while its extents are still in flight.
+                // Traced as Forflush (the paper has no separate commit row).
+                let mut keys: Vec<(NodeId, u32)> = self
+                    .dirty
+                    .iter()
+                    .filter(|((_, f), b)| *f == req.file && !b.is_empty())
+                    .map(|(k, _)| *k)
+                    .collect();
+                keys.sort_unstable();
+                for (n, f) in keys {
+                    self.flush_dirty(now, n, f, sched);
+                }
+                if self.has_outstanding_writes(req.file) {
+                    self.sync_waiters.push(SyncWaiter {
+                        token,
+                        node,
+                        file: req.file,
+                        issued: now,
+                    });
+                } else {
+                    self.complete_sync(token, node, req.file, now, now, sched);
+                }
             }
             IoVerb::Lsize => {
                 let done = self.meta_op(now, self.cfg.io_sw.lsize);

@@ -122,6 +122,19 @@ impl PolicyConfig {
         }
     }
 
+    /// Write-behind tuned for HTF pargos' flush-per-record pattern: the
+    /// application forces durability with an explicit `forflush` after
+    /// every integral record, so dirty regions drain promptly and the
+    /// aging timer stays at the short default instead of `escat_tuned`'s
+    /// burst-spanning hour.
+    pub fn pargos_tuned() -> PolicyConfig {
+        PolicyConfig {
+            write_behind: true,
+            aggregation: true,
+            ..PolicyConfig::write_through()
+        }
+    }
+
     /// Sequential-read tuning: deep readahead.
     pub fn readahead(depth: u32) -> PolicyConfig {
         PolicyConfig {

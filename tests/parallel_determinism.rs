@@ -3,7 +3,7 @@
 //! `run_workload` calls never cross-contaminate each other's traces (each
 //! run owns its own `Tracer`; the shared-buffer `Mutex` is per-run).
 
-use sio::analysis::{experiments, runner};
+use sio::analysis::{experiments, recovery, runner};
 use sio::apps::workload::{run_workload, Backend, Workload};
 use sio::apps::{EscatParams, HtfParams, RenderParams};
 use sio::core::sddf;
@@ -86,6 +86,20 @@ fn fault_suite_is_worker_count_invariant() {
     let hp = HtfParams::small(4);
     assert_jobs_invariant("fault_suite", |jobs| {
         experiments::fault_suite_jobs(&machine, &ep, &rp, &hp, jobs)
+    });
+}
+
+/// The X5 recovery suite layers crash/resume pairs and a derived durable
+/// cut on top of the executor; the three fan-out phases must stay
+/// worker-count invariant end to end.
+#[test]
+fn recover_suite_is_worker_count_invariant() {
+    let machine = m();
+    let ep = EscatParams::small(4, 4);
+    let rp = RenderParams::small(4, 2);
+    let hp = HtfParams::small(4);
+    assert_jobs_invariant("recover_suite", |jobs| {
+        recovery::recover_suite_jobs(&machine, &ep, &rp, &hp, jobs)
     });
 }
 
