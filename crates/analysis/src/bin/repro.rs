@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--fast] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]
+//! repro [--fast] [--perf] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]
 //! ```
 //!
 //! Paper-scale runs (`escat`, `render`, `htf`) use the 128-node Caltech
@@ -13,6 +13,13 @@
 //! pool every sweep fans out over; the default is the host's available
 //! parallelism. Each simulation is deterministic, so the worker count only
 //! changes wall time, never output.
+//!
+//! `--perf` enables the process-wide performance counters
+//! (`sio_core::perf`) and appends a `== perf counters ==` block after the
+//! experiments finish: engine events, heap/channel peaks, trace volume, and
+//! per-experiment wall times. The counters aggregate with sums and maxima
+//! only, so they are identical for any `--jobs` value; the phase wall times
+//! measure the host and are the one non-deterministic line.
 
 use paragon_sim::MachineConfig;
 use sio_analysis::characterize::Characterization;
@@ -38,12 +45,14 @@ const EXPERIMENTS: [&str; 10] = [
     "all",
 ];
 
-const USAGE: &str = "usage: repro [--fast] [--jobs N] [--out DIR] [--crash-frac F] \
+const USAGE: &str = "usage: repro [--fast] [--perf] [--jobs N] [--out DIR] [--crash-frac F] \
      [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|all]...";
 
 #[derive(Debug, PartialEq)]
 struct Cli {
     fast: bool,
+    /// Collect and print `sio_core::perf` counters.
+    perf: bool,
     help: bool,
     out: PathBuf,
     jobs: Option<usize>,
@@ -59,6 +68,7 @@ struct Cli {
 fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         fast: false,
+        perf: false,
         help: false,
         out: PathBuf::from("results"),
         jobs: None,
@@ -69,6 +79,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, String
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => cli.fast = true,
+            "--perf" => cli.perf = true,
             "-h" | "--help" => cli.help = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a positive integer")?;
@@ -125,6 +136,9 @@ fn parse_args() -> Cli {
             if let Some(n) = cli.jobs {
                 runner::set_jobs(n);
             }
+            if cli.perf {
+                sio_core::perf::enable();
+            }
             cli
         }
         Err(msg) => {
@@ -144,6 +158,7 @@ fn machine(fast: bool) -> MachineConfig {
 }
 
 fn run_escat(cli: &Cli) {
+    let _phase = sio_core::perf::phase("escat");
     let params = if cli.fast {
         EscatParams::small(8, 8)
     } else {
@@ -200,6 +215,7 @@ fn run_escat(cli: &Cli) {
 }
 
 fn run_render(cli: &Cli) {
+    let _phase = sio_core::perf::phase("render");
     let params = if cli.fast {
         RenderParams::small(8, 4)
     } else {
@@ -253,6 +269,7 @@ fn run_render(cli: &Cli) {
 }
 
 fn run_htf(cli: &Cli) {
+    let _phase = sio_core::perf::phase("htf");
     let params = if cli.fast {
         HtfParams::small(8)
     } else {
@@ -330,6 +347,7 @@ fn run_htf(cli: &Cli) {
 }
 
 fn run_ppfs_ablation(cli: &Cli) {
+    let _phase = sio_core::perf::phase("ppfs-ablation");
     let params = if cli.fast {
         EscatParams::small(8, 8)
     } else {
@@ -363,6 +381,7 @@ fn run_ppfs_ablation(cli: &Cli) {
 }
 
 fn run_crossover(cli: &Cli) {
+    let _phase = sio_core::perf::phase("crossover");
     eprintln!("[repro] htf read-vs-recompute crossover...");
     let rows = experiments::htf_crossover_paper();
     let mut b = String::new();
@@ -398,6 +417,7 @@ fn run_crossover(cli: &Cli) {
 }
 
 fn run_scaling(cli: &Cli) {
+    let _phase = sio_core::perf::phase("scaling");
     eprintln!("[repro] scaling studies (S1 weak scaling, S2 data growth)...");
     let mut body = String::new();
     if cli.fast {
@@ -501,6 +521,7 @@ fn run_scaling(cli: &Cli) {
 }
 
 fn run_faults(cli: &Cli) {
+    let _phase = sio_core::perf::phase("faults");
     let m = machine(cli.fast);
     let (ep, rp, hp) = if cli.fast {
         (
@@ -582,6 +603,7 @@ fn run_faults(cli: &Cli) {
 }
 
 fn run_recover(cli: &Cli) {
+    let _phase = sio_core::perf::phase("recover");
     let m = machine(cli.fast);
     let (ep, rp, hp) = if cli.fast {
         (
@@ -681,6 +703,7 @@ fn run_recover(cli: &Cli) {
 }
 
 fn run_ablations(cli: &Cli) {
+    let _phase = sio_core::perf::phase("ablations");
     let m = machine(cli.fast);
     eprintln!("[repro] ablations (A1 modes, A2 policies, A3 queue, A4 raid)...");
     let mut body = String::new();
@@ -812,6 +835,9 @@ fn main() {
             other => unreachable!("experiment '{other}' validated in parse_args"),
         }
     }
+    if cli.perf {
+        print!("{}", sio_core::perf::snapshot().render());
+    }
     eprintln!("[repro] artifacts written to {}", cli.out.display());
 }
 
@@ -828,6 +854,7 @@ mod tests {
         let cli = parse(&[]).unwrap();
         assert_eq!(cli.what, vec!["all"]);
         assert!(!cli.fast);
+        assert!(!cli.perf);
         assert_eq!(cli.out, PathBuf::from("results"));
         assert_eq!(cli.jobs, None);
         assert_eq!(cli.crash_frac, None);
@@ -837,6 +864,7 @@ mod tests {
     fn accepts_known_experiments_and_flags() {
         let cli = parse(&[
             "--fast",
+            "--perf",
             "--jobs",
             "4",
             "--out",
@@ -848,6 +876,7 @@ mod tests {
         ])
         .unwrap();
         assert!(cli.fast);
+        assert!(cli.perf);
         assert_eq!(cli.jobs, Some(4));
         assert_eq!(cli.out, PathBuf::from("tmp"));
         assert_eq!(cli.crash_frac, Some(0.4));

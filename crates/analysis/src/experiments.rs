@@ -774,13 +774,12 @@ pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> 
     use paragon_sim::mesh::Mesh;
     use paragon_sim::program::{NodeProgram, ScriptProgram};
     use paragon_sim::Engine;
-    use sio_core::trace::Tracer;
+    use sio_core::trace::TraceSink;
     use sio_pfs::Pfs;
 
     runner::par_map_jobs(jobs, vec![false, true], |_, degraded| {
         let w = sequential_read_kernel(64, 262_144, AccessMode::MUnix);
-        let tracer = Tracer::new("raid");
-        let mut fs = Pfs::new(machine, tracer.clone());
+        let mut fs = Pfs::new(machine, TraceSink::new("raid"));
         for f in &w.files {
             fs.register(f.clone());
         }
@@ -803,7 +802,7 @@ pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> 
         );
         let report = engine.run();
         assert!(report.clean());
-        let trace = tracer.finish();
+        let trace = engine.into_service().finish_trace();
         let read_ns: u64 = trace.of_op(IoOp::Read).map(|e| e.duration()).sum();
         RaidRow {
             degraded,

@@ -12,11 +12,12 @@ use paragon_sim::engine::IoService;
 use paragon_sim::mesh::Mesh;
 use paragon_sim::program::{IoRequest, NodeProgram, ScriptOp, ScriptProgram};
 use paragon_sim::{
-    Engine, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime,
+    Engine, EnginePerf, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sio_core::trace::{Trace, Tracer};
+use sio_core::perf;
+use sio_core::trace::{Trace, TraceSink};
 use sio_pfs::{AccessMode, FaultStats, FileSpec, Pfs};
 use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
 
@@ -72,9 +73,8 @@ fn run_engine<S: IoService>(
     machine: &MachineConfig,
     workload: &Workload,
     service: S,
-    tracer: &Tracer,
     stop_at: Option<SimTime>,
-) -> (EngineReport, S) {
+) -> (EngineReport, S, EnginePerf) {
     assert!(
         workload.scripts.len() as u32 <= machine.compute_nodes,
         "workload needs {} nodes, machine has {}",
@@ -105,8 +105,20 @@ fn run_engine<S: IoService>(
             report
         }
     };
-    tracer.set_run_info(workload.scripts.len() as u32, report.wall.nanos());
-    (report, engine.into_service())
+    let engine_perf = engine.perf();
+    (report, engine.into_service(), engine_perf)
+}
+
+/// Publish one run's hot-path totals to the global perf aggregate (a no-op
+/// unless collection was enabled, e.g. by `repro --perf`).
+fn submit_perf(engine_perf: EnginePerf, sink: &TraceSink) {
+    perf::submit(perf::RunPerf {
+        events: engine_perf.events,
+        heap_peak: engine_perf.heap_peak,
+        channel_peak: engine_perf.channel_peak,
+        trace_events: sink.len() as u64,
+        trace_bytes: sink.buffered_bytes(),
+    });
 }
 
 /// Run a workload on a machine with the chosen backend.
@@ -144,40 +156,51 @@ pub fn run_workload_crashable(
     stop_at: Option<SimTime>,
     covered: &[u32],
 ) -> RunOutput {
-    let tracer = Tracer::new(&workload.label);
     let schedule = faults.cloned().unwrap_or_default();
+    let nodes = workload.scripts.len() as u32;
     match backend {
         Backend::Pfs => {
-            let mut fs = Pfs::with_faults(machine, tracer.clone(), schedule);
+            let mut fs = Pfs::with_faults(machine, TraceSink::new(&workload.label), schedule);
             for f in &workload.files {
                 fs.register(f.clone());
             }
-            let (report, fs) = run_engine(machine, workload, fs, &tracer, stop_at);
+            let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
+            fs.sink_mut().set_run_info(nodes, report.wall.nanos());
+            submit_perf(engine_perf, fs.sink_mut());
+            let pfs_faults = Some(fs.fault_stats());
+            let rebuild = (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total());
+            let degraded_nodes = fs.degraded_nodes();
             RunOutput {
-                trace: tracer.finish(),
+                trace: fs.finish_trace(),
                 report,
                 ppfs_stats: None,
-                pfs_faults: Some(fs.fault_stats()),
-                rebuild: (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total()),
-                degraded_nodes: fs.degraded_nodes(),
+                pfs_faults,
+                rebuild,
+                degraded_nodes,
             }
         }
         Backend::Ppfs(policy) => {
-            let mut fs = Ppfs::with_faults(machine, *policy, tracer.clone(), schedule);
+            let mut fs =
+                Ppfs::with_faults(machine, *policy, TraceSink::new(&workload.label), schedule);
             for f in &workload.files {
                 fs.register(f.clone());
             }
             for &file in covered {
                 fs.mark_checkpoint_covered(file);
             }
-            let (report, fs) = run_engine(machine, workload, fs, &tracer, stop_at);
+            let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
+            fs.sink_mut().set_run_info(nodes, report.wall.nanos());
+            submit_perf(engine_perf, fs.sink_mut());
+            let ppfs_stats = Some(fs.stats());
+            let rebuild = (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total());
+            let degraded_nodes = fs.degraded_nodes();
             RunOutput {
-                trace: tracer.finish(),
+                trace: fs.finish_trace(),
                 report,
-                ppfs_stats: Some(fs.stats()),
+                ppfs_stats,
                 pfs_faults: None,
-                rebuild: (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total()),
-                degraded_nodes: fs.degraded_nodes(),
+                rebuild,
+                degraded_nodes,
             }
         }
     }

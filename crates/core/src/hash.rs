@@ -1,0 +1,130 @@
+//! Fast, non-cryptographic hashing for hot simulation maps.
+//!
+//! The simulators key their hot maps by small integers (tokens, segment ids,
+//! `(node, file)` pairs). SipHash — `std`'s DoS-resistant default — costs
+//! more than the map operation itself at these key sizes. [`FastHasher`] is a
+//! multiply-rotate word hasher in the fxhash family: one multiply per word,
+//! no finalizer, quality more than adequate for trusted integer keys.
+//!
+//! Determinism note: the hash is fixed (no per-process seed), so iteration
+//! order of a [`FastMap`] is stable across processes for the same inserts.
+//! Result-affecting code must still never depend on map iteration order —
+//! the golden-digest tests enforce that — but stability here removes one
+//! source of accidental nondeterminism that `RandomState` would add.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the fast word hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` with the fast word hasher.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// 64-bit multiply-rotate hasher for small trusted keys.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// Odd multiplier derived from the golden ratio (2^64 / phi), the usual
+/// constant for Fibonacci hashing.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one<T: std::hash::Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+        // Byte-slice path, including a non-multiple-of-8 tail.
+        assert_eq!(hash_one(&b"hello world"[..]), hash_one(&b"hello world"[..]));
+        assert_ne!(hash_one(&b"hello worlc"[..]), hash_one(&b"hello world"[..]));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(13, 91)), Some(&13));
+        let mut s: FastSet<u64> = FastSet::default();
+        s.insert(5);
+        assert!(s.contains(&5));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // Sequential integers must not collapse into few buckets: check the
+        // low bits (bucket index) take many distinct values.
+        let mut low: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            low.insert(hash_one(i) & 0xff);
+        }
+        assert!(low.len() > 128, "only {} distinct low bytes", low.len());
+    }
+}

@@ -24,14 +24,14 @@
 //!
 //! ```
 //! use sio_core::event::{IoEvent, IoOp};
-//! use sio_core::trace::Tracer;
+//! use sio_core::trace::TraceSink;
 //! use sio_core::reduce::lifetime::LifetimeReducer;
 //! use sio_core::reduce::Reducer;
 //!
-//! let tracer = Tracer::new("demo");
-//! tracer.record(IoEvent::new(0, 7, IoOp::Write).span(1_000, 5_000).extent(0, 2048));
-//! tracer.record(IoEvent::new(0, 7, IoOp::Read).span(6_000, 9_000).extent(2048, 4096));
-//! let trace = tracer.finish();
+//! let mut sink = TraceSink::new("demo");
+//! sink.record(IoEvent::new(0, 7, IoOp::Write).span(1_000, 5_000).extent(0, 2048));
+//! sink.record(IoEvent::new(0, 7, IoOp::Read).span(6_000, 9_000).extent(2048, 4096));
+//! let trace = sink.finish();
 //!
 //! let mut lifetimes = LifetimeReducer::new();
 //! for ev in trace.events() {
@@ -45,7 +45,9 @@
 pub mod checkpoint;
 pub mod classify;
 pub mod event;
+pub mod hash;
 pub mod instrument;
+pub mod perf;
 pub mod predict;
 pub mod reduce;
 pub mod sddf;
@@ -55,7 +57,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use event::{FileId, IoEvent, IoOp, NodeId, Ns};
-pub use trace::{Trace, TraceMeta, Tracer};
+pub use trace::{Trace, TraceMeta, TraceSink, Tracer};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

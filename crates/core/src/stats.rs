@@ -224,8 +224,15 @@ impl Quantiles {
             return None;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // `total_cmp` is a total order, so a stray NaN cannot scramble
+            // the sort the way `partial_cmp(..).unwrap_or(Equal)` could
+            // (NaNs sort to the ends instead of corrupting their
+            // neighborhood). Observations are expected to be finite.
+            debug_assert!(
+                self.values.iter().all(|v| v.is_finite()),
+                "non-finite quantile observation"
+            );
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
@@ -411,6 +418,28 @@ mod tests {
         assert_eq!(q.quantile(1.0), Some(5.0));
         assert_eq!(q.quantile(0.2), Some(1.0));
         assert_eq!(Quantiles::new().median(), None);
+    }
+
+    #[test]
+    fn quantiles_total_order_handles_signed_zero_and_negatives() {
+        // total_cmp orders -0.0 < +0.0 and negatives correctly — the cases a
+        // partial_cmp fallback could silently misorder.
+        let mut q = Quantiles::new();
+        for v in [0.0, -1.5, -0.0, 7.0, -3.0] {
+            q.push(v);
+        }
+        assert_eq!(q.quantile(0.0), Some(-3.0));
+        assert_eq!(q.median(), Some(-0.0));
+        assert_eq!(q.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite quantile observation")]
+    #[cfg(debug_assertions)]
+    fn quantiles_reject_nan_in_debug() {
+        let mut q = Quantiles::new();
+        q.push(f64::NAN);
+        let _ = q.median();
     }
 
     #[test]

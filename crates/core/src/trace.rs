@@ -1,10 +1,15 @@
 //! Trace capture.
 //!
-//! [`Tracer`] is the capture-side handle: the instrumented file-system layer
-//! clones it into every client and records one [`IoEvent`] per call. Capture
-//! is append-only and thread-safe (the Paragon simulator is single-threaded,
-//! but the bench harness runs independent experiments concurrently and a
-//! `std::fs` shim would be multi-threaded).
+//! [`TraceSink`] is the capture-side buffer for the simulated file systems:
+//! the service owns it outright and records one [`IoEvent`] per call into a
+//! per-node append buffer — no lock, no shared handle. Each record is stamped
+//! with a global sequence number, and [`TraceSink::finish`] merges the
+//! per-node buffers back into exact capture order, so the frozen trace is
+//! byte-identical to what the old single-buffer capture produced.
+//!
+//! [`Tracer`] is the legacy shared handle, kept for genuinely multi-threaded
+//! capture (the `std::fs` instrumentation shim): it is cheap to clone and
+//! every clone feeds one locked buffer.
 //!
 //! [`Trace`] is the frozen, analysis-side product: an ordered event list plus
 //! metadata. All reductions, tables, and figures are computed from a `Trace`.
@@ -125,6 +130,102 @@ impl Trace {
     }
 }
 
+/// Owned, lock-free capture buffer for single-threaded (simulated) runs.
+///
+/// Events append to a per-node lane; a global sequence number preserves the
+/// exact interleaving across lanes. The hot path is one `Vec::push` — no
+/// lock, no refcount — and the drain path moves the buffers out instead of
+/// cloning them.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    meta: TraceMeta,
+    /// Per-node append buffers of (global capture seq, event).
+    lanes: Vec<Vec<(u64, IoEvent)>>,
+    next_seq: u64,
+    /// Per-event capture cost the traced program should absorb (models
+    /// Pablo's capture perturbation; 0 = ideal).
+    overhead_ns: Ns,
+}
+
+impl TraceSink {
+    /// New sink with perturbation-free capture.
+    pub fn new(label: &str) -> TraceSink {
+        TraceSink {
+            meta: TraceMeta {
+                label: label.to_string(),
+                ..TraceMeta::default()
+            },
+            ..TraceSink::default()
+        }
+    }
+
+    /// New sink charging `overhead_ns` of instrumentation cost per event.
+    pub fn with_overhead(label: &str, overhead_ns: Ns) -> TraceSink {
+        let mut s = TraceSink::new(label);
+        s.overhead_ns = overhead_ns;
+        s
+    }
+
+    /// Per-event capture cost the instrumented program should absorb.
+    pub fn overhead(&self) -> Ns {
+        self.overhead_ns
+    }
+
+    /// Record one event into its node's lane.
+    pub fn record(&mut self, event: IoEvent) {
+        let lane = event.node as usize;
+        if lane >= self.lanes.len() {
+            self.lanes.resize_with(lane + 1, Vec::new);
+        }
+        self.lanes[lane].push((self.next_seq, event));
+        self.next_seq += 1;
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.next_seq as usize
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_seq == 0
+    }
+
+    /// Approximate in-memory size of the captured events, in bytes.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.next_seq * std::mem::size_of::<(u64, IoEvent)>() as u64
+    }
+
+    /// Set run-level metadata (node count, wall time).
+    pub fn set_run_info(&mut self, nodes: u32, wall_ns: Ns) {
+        self.meta.nodes = nodes;
+        self.meta.wall_ns = wall_ns;
+    }
+
+    /// Freeze into an analyzable [`Trace`], merging the per-node lanes back
+    /// into capture order. Every sequence number in `0..next_seq` was issued
+    /// exactly once, so the merge is a linear scatter by sequence number —
+    /// deterministic regardless of how events spread across lanes.
+    pub fn finish(self) -> Trace {
+        let total = self.next_seq as usize;
+        let mut slots: Vec<Option<IoEvent>> = vec![None; total];
+        for lane in self.lanes {
+            for (seq, ev) in lane {
+                debug_assert!(slots[seq as usize].is_none(), "duplicate capture seq");
+                slots[seq as usize] = Some(ev);
+            }
+        }
+        let events = slots
+            .into_iter()
+            .map(|s| s.expect("capture seq gap"))
+            .collect();
+        Trace {
+            meta: self.meta,
+            events,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct TraceInner {
     meta: TraceMeta,
@@ -228,6 +329,59 @@ mod tests {
         assert_eq!(trace.node_time(), 30);
         assert_eq!(trace.first_start(), Some(0));
         assert_eq!(trace.last_end(), Some(30));
+    }
+
+    #[test]
+    fn sink_preserves_capture_order_across_lanes() {
+        // Interleave records from several nodes; the frozen trace must come
+        // back in exact capture order, not lane order.
+        let mut s = TraceSink::new("s");
+        let mut expect = Vec::new();
+        for i in 0..20u64 {
+            let node = (i * 7 % 5) as u32;
+            let e = IoEvent::new(node, 1, IoOp::Read)
+                .span(i, i + 1)
+                .extent(0, i);
+            s.record(e);
+            expect.push(e);
+        }
+        s.set_run_info(5, 21);
+        assert_eq!(s.len(), 20);
+        assert!(s.buffered_bytes() > 0);
+        let trace = s.finish();
+        assert_eq!(trace.meta().nodes, 5);
+        assert_eq!(trace.events(), expect.as_slice());
+    }
+
+    #[test]
+    fn sink_matches_tracer_output() {
+        // The sink is a drop-in replacement for the locked tracer: same
+        // records in, identical frozen trace out.
+        let events: Vec<IoEvent> = (0..10)
+            .map(|i| {
+                IoEvent::new(i % 3, 2, IoOp::Write)
+                    .span(i as Ns, i as Ns + 5)
+                    .extent(i as u64 * 8, 8)
+            })
+            .collect();
+        let t = Tracer::new("same");
+        let mut s = TraceSink::new("same");
+        for e in &events {
+            t.record(*e);
+            s.record(*e);
+        }
+        t.set_run_info(3, 15);
+        s.set_run_info(3, 15);
+        assert_eq!(t.finish(), s.finish());
+    }
+
+    #[test]
+    fn sink_empty_and_overhead() {
+        let s = TraceSink::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.overhead(), 0);
+        assert!(s.finish().is_empty());
+        assert_eq!(TraceSink::with_overhead("o", 250).overhead(), 250);
     }
 
     #[test]

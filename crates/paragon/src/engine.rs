@@ -17,8 +17,8 @@ use crate::program::{GroupId, IoRequest, IoResult, IoToken, NodeProgram, Resume,
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 use std::cmp::Reverse;
-use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// The file-system side of the simulation.
 ///
@@ -122,6 +122,56 @@ struct BroadcastState {
     bytes: u64,
 }
 
+/// One eager-message channel: messages from one sender to one receiver under
+/// one tag. Channels live in a per-receiver table, located through a keyed
+/// slot index ([`ChanIndex`]) — many-to-one patterns (gateways, collectives)
+/// give busy receivers hundreds of channels, so a linear scan would be
+/// quadratic in traffic.
+#[derive(Debug, Default)]
+struct Channel {
+    /// FIFO of in-flight messages: (arrival time, bytes).
+    queue: VecDeque<(SimTime, u64)>,
+    /// Receiver blocked on this channel (at most one: receives are issued by
+    /// the receiving node itself).
+    waiting: bool,
+}
+
+/// Single-word mixer for the channel slot index: `(from, tag)` packs into
+/// one `u64`, hashed with a multiply + xor-shift. Fixed seed, so fully
+/// deterministic (the index is only ever probed by key, never iterated).
+#[derive(Default)]
+struct ChanHash(u64);
+
+impl Hasher for ChanHash {
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("channel keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-receiver map from packed `(from, tag)` to slot in the channel table.
+type ChanIndex = HashMap<u64, u32, BuildHasherDefault<ChanHash>>;
+
+/// Hot-path counters the engine maintains for free (plain integer updates on
+/// state it already touches); read out once per run via [`Engine::perf`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Total events processed.
+    pub events: u64,
+    /// Peak size of the event heap.
+    pub heap_peak: u64,
+    /// Peak number of buffered (sent, not yet received) eager messages.
+    pub channel_peak: u64,
+}
+
 /// Final run statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
@@ -147,27 +197,43 @@ impl EngineReport {
 const MAX_EVENTS: u64 = 2_000_000_000;
 
 /// The discrete-event engine.
+///
+/// All hot-path state is dense and index-addressed: event payloads live in a
+/// slab whose slot index rides along in the heap entry, eager messages in
+/// per-receiver channel tables, barrier/broadcast state in vectors indexed by
+/// group id, and I/O token state in a sliding window keyed by the token's
+/// offset from the oldest live token. The only ordering authority is the
+/// `(time, seq)` pair in the heap, so none of this affects event order.
 pub struct Engine<S: IoService> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<(SimTime, u64, u8)>>,
-    payloads: HashMap<u64, Ev>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Event payload slab; the heap entry carries the slot index.
+    slab: Vec<Ev>,
+    free: Vec<u32>,
     programs: Vec<Box<dyn NodeProgram>>,
     done: Vec<bool>,
     service: S,
     mesh: Mesh,
     comm: CommCosts,
     groups: Vec<Vec<NodeId>>,
-    barriers: HashMap<GroupId, BarrierState>,
-    broadcasts: HashMap<GroupId, BroadcastState>,
-    /// In-flight eager messages: (from, to, tag) -> FIFO of (arrival, bytes).
-    mailbox: HashMap<(NodeId, NodeId, u32), VecDeque<(SimTime, u64)>>,
-    /// Blocked receivers: (from, to, tag) -> receiver node (one at a time:
-    /// receives are issued by `to` itself).
-    recv_waiting: HashMap<(NodeId, NodeId, u32), NodeId>,
-    tokens: HashMap<IoToken, TokenState>,
+    /// Barrier/broadcast rendezvous state, indexed by `GroupId`.
+    barriers: Vec<BarrierState>,
+    broadcasts: Vec<BroadcastState>,
+    /// Eager-message channels, indexed by receiving node.
+    channels: Vec<Vec<Channel>>,
+    /// Per-receiver `(from, tag)` → channel-slot index.
+    chan_slots: Vec<ChanIndex>,
+    /// Live token states in a sliding window: `tokens[t - token_base]` is the
+    /// state of token `t`. Tokens are issued sequentially and retired roughly
+    /// in order, so the window stays small.
+    tokens: VecDeque<Option<TokenState>>,
+    token_base: IoToken,
     next_token: IoToken,
     events_processed: u64,
+    heap_peak: usize,
+    channel_buffered: u64,
+    channel_peak: u64,
 }
 
 impl<S: IoService> Engine<S> {
@@ -187,24 +253,37 @@ impl<S: IoService> Engine<S> {
         let n = programs.len();
         let all: Vec<NodeId> = (0..n as NodeId).collect();
         let done = vec![false; n];
+        // In steady state each node has at most a few events in flight
+        // (resume + an async completion or message); pre-size the heap and
+        // slab so neither reallocates mid-run.
+        let cap = 4 * n + 16;
+        let mut channels = Vec::with_capacity(n);
+        channels.resize_with(n, Vec::new);
+        let mut chan_slots = Vec::with_capacity(n);
+        chan_slots.resize_with(n, ChanIndex::default);
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
-            payloads: HashMap::new(),
+            heap: BinaryHeap::with_capacity(cap),
+            slab: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
             programs,
             done,
             service,
             mesh,
             comm,
             groups: vec![all],
-            barriers: HashMap::new(),
-            broadcasts: HashMap::new(),
-            mailbox: HashMap::new(),
-            recv_waiting: HashMap::new(),
-            tokens: HashMap::new(),
+            barriers: vec![BarrierState::default()],
+            broadcasts: vec![BroadcastState::default()],
+            channels,
+            chan_slots,
+            tokens: VecDeque::new(),
+            token_base: 1,
             next_token: 1,
             events_processed: 0,
+            heap_peak: 0,
+            channel_buffered: 0,
+            channel_peak: 0,
         }
     }
 
@@ -212,7 +291,18 @@ impl<S: IoService> Engine<S> {
     pub fn add_group(&mut self, nodes: Vec<NodeId>) -> GroupId {
         assert!(!nodes.is_empty(), "empty group");
         self.groups.push(nodes);
+        self.barriers.push(BarrierState::default());
+        self.broadcasts.push(BroadcastState::default());
         (self.groups.len() - 1) as GroupId
+    }
+
+    /// Hot-path counters for this run so far.
+    pub fn perf(&self) -> EnginePerf {
+        EnginePerf {
+            events: self.events_processed,
+            heap_peak: self.heap_peak as u64,
+            channel_peak: self.channel_peak,
+        }
     }
 
     /// Access the service (e.g. to extract its tracer after the run).
@@ -235,8 +325,56 @@ impl<S: IoService> Engine<S> {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.payloads.insert(seq, ev);
-        self.heap.push(Reverse((at, seq, 0)));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = ev;
+                slot
+            }
+            None => {
+                let slot = self.slab.len() as u32;
+                self.slab.push(ev);
+                slot
+            }
+        };
+        // The slot index never breaks a tie: `seq` is globally unique.
+        self.heap.push(Reverse((at, seq, slot)));
+        self.heap_peak = self.heap_peak.max(self.heap.len());
+    }
+
+    /// Find (or create) the channel carrying messages `from -> to` under
+    /// `tag`; returns its index in `to`'s channel table.
+    fn channel_index(&mut self, to: NodeId, from: NodeId, tag: u32) -> usize {
+        let table = &mut self.channels[to as usize];
+        let slot = self.chan_slots[to as usize]
+            .entry((from as u64) << 32 | tag as u64)
+            .or_insert_with(|| {
+                table.push(Channel::default());
+                (table.len() - 1) as u32
+            });
+        *slot as usize
+    }
+
+    fn token_index(&self, token: IoToken) -> Option<usize> {
+        if token < self.token_base {
+            return None;
+        }
+        let i = (token - self.token_base) as usize;
+        (i < self.tokens.len()).then_some(i)
+    }
+
+    fn token_insert(&mut self, state: TokenState) -> IoToken {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.tokens.push_back(Some(state));
+        token
+    }
+
+    /// Drop retired tokens off the front so the window tracks the live range.
+    fn compact_tokens(&mut self) {
+        while matches!(self.tokens.front(), Some(None)) {
+            self.tokens.pop_front();
+            self.token_base += 1;
+        }
     }
 
     /// Drain buffered scheduling into the heap; returns whether anything
@@ -279,8 +417,9 @@ impl<S: IoService> Engine<S> {
             if t > stop {
                 break;
             }
-            let Reverse((t, seq, _)) = self.heap.pop().expect("peeked event vanished");
-            let ev = self.payloads.remove(&seq).expect("payload missing");
+            let Reverse((t, _seq, slot)) = self.heap.pop().expect("peeked event vanished");
+            let ev = self.slab[slot as usize];
+            self.free.push(slot);
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
@@ -329,19 +468,14 @@ impl<S: IoService> Engine<S> {
                 self.push(at, Ev::Resume(node, Resume::Computed));
             }
             Step::Io(req) => {
-                let token = self.next_token;
-                self.next_token += 1;
-                self.tokens.insert(token, TokenState::Sync(node, req.file));
+                let token = self.token_insert(TokenState::Sync(node, req.file));
                 let mut sched = Sched::default();
                 self.service
                     .submit(node, self.now, req, token, false, &mut sched);
                 let _ = self.drain_sched(sched);
             }
             Step::IoAsync(req) => {
-                let token = self.next_token;
-                self.next_token += 1;
-                self.tokens
-                    .insert(token, TokenState::AsyncPending(node, req.file));
+                let token = self.token_insert(TokenState::AsyncPending(node, req.file));
                 let issue = self.service.issue_cost(node, &req);
                 let mut sched = Sched::default();
                 self.service
@@ -350,29 +484,33 @@ impl<S: IoService> Engine<S> {
                 let at = self.now + issue;
                 self.push(at, Ev::Resume(node, Resume::IoIssued(token)));
             }
-            Step::IoWait(token) => match self.tokens.entry(token) {
-                Entry::Occupied(mut e) => match *e.get() {
-                    TokenState::AsyncDone(result, file) => {
-                        e.remove();
+            Step::IoWait(token) => {
+                let i = self
+                    .token_index(token)
+                    .unwrap_or_else(|| panic!("IoWait on unknown token {token}"));
+                match self.tokens[i] {
+                    Some(TokenState::AsyncDone(result, file)) => {
+                        self.tokens[i] = None;
+                        self.compact_tokens();
                         self.service.on_iowait(node, file, self.now, self.now);
                         let at = self.now;
                         self.push(at, Ev::Resume(node, Resume::IoWaited(result)));
                     }
-                    TokenState::AsyncPending(owner, file) => {
+                    Some(TokenState::AsyncPending(owner, file)) => {
                         debug_assert_eq!(owner, node, "waiting on another node's token");
-                        e.insert(TokenState::AsyncWaited(node, file, self.now));
+                        self.tokens[i] = Some(TokenState::AsyncWaited(node, file, self.now));
                     }
-                    other => panic!("IoWait on non-async token {token}: {other:?}"),
-                },
-                Entry::Vacant(_) => panic!("IoWait on unknown token {token}"),
-            },
+                    Some(other) => panic!("IoWait on non-async token {token}: {other:?}"),
+                    None => panic!("IoWait on unknown token {token}"),
+                }
+            }
             Step::Barrier(group) => {
                 let size = self.group(group).len();
                 debug_assert!(
                     self.group(group).contains(&node),
                     "node {node} not in group {group}"
                 );
-                let state = self.barriers.entry(group).or_default();
+                let state = &mut self.barriers[group as usize];
                 state.arrived.push(node);
                 if state.arrived.len() == size {
                     let members = std::mem::take(&mut state.arrived);
@@ -385,29 +523,30 @@ impl<S: IoService> Engine<S> {
             Step::Send { to, bytes, tag } => {
                 let hops = self.mesh.compute_hops(node, to);
                 let arrival = self.now + self.mesh.msg_time(&self.comm, hops, bytes);
-                let key = (node, to, tag);
-                if let Some(receiver) = self.recv_waiting.remove(&key) {
-                    self.push(arrival, Ev::Resume(receiver, Resume::Received(bytes)));
+                let i = self.channel_index(to, node, tag);
+                let ch = &mut self.channels[to as usize][i];
+                if ch.waiting {
+                    ch.waiting = false;
+                    self.push(arrival, Ev::Resume(to, Resume::Received(bytes)));
                 } else {
-                    self.mailbox
-                        .entry(key)
-                        .or_default()
-                        .push_back((arrival, bytes));
+                    ch.queue.push_back((arrival, bytes));
+                    self.channel_buffered += 1;
+                    self.channel_peak = self.channel_peak.max(self.channel_buffered);
                 }
                 let resumed = self.now + self.comm.sw_overhead;
                 self.push(resumed, Ev::Resume(node, Resume::Sent));
             }
             Step::Recv { from, tag } => {
-                let key = (from, node, tag);
-                if let Some(queue) = self.mailbox.get_mut(&key) {
-                    if let Some((arrival, bytes)) = queue.pop_front() {
-                        let at = arrival.max(self.now);
-                        self.push(at, Ev::Resume(node, Resume::Received(bytes)));
-                        return;
-                    }
+                let i = self.channel_index(node, from, tag);
+                let ch = &mut self.channels[node as usize][i];
+                if let Some((arrival, bytes)) = ch.queue.pop_front() {
+                    self.channel_buffered -= 1;
+                    let at = arrival.max(self.now);
+                    self.push(at, Ev::Resume(node, Resume::Received(bytes)));
+                } else {
+                    debug_assert!(!ch.waiting, "double recv on ({from}, {node}, {tag})");
+                    ch.waiting = true;
                 }
-                let prev = self.recv_waiting.insert(key, node);
-                debug_assert!(prev.is_none(), "double recv on {key:?}");
             }
             Step::Broadcast { root, bytes, group } => {
                 let size = self.group(group).len();
@@ -415,7 +554,7 @@ impl<S: IoService> Engine<S> {
                     self.group(group).contains(&node),
                     "node {node} not in group {group}"
                 );
-                let state = self.broadcasts.entry(group).or_default();
+                let state = &mut self.broadcasts[group as usize];
                 state.arrived.push(node);
                 if node == root {
                     state.bytes = bytes;
@@ -438,17 +577,20 @@ impl<S: IoService> Engine<S> {
     }
 
     fn io_complete(&mut self, token: IoToken, result: IoResult) {
-        match self.tokens.remove(&token) {
+        let state = self.token_index(token).and_then(|i| self.tokens[i].take());
+        match state {
             Some(TokenState::Sync(node, _file)) => {
+                self.compact_tokens();
                 let at = self.now;
                 self.push(at, Ev::Resume(node, Resume::IoDone(result)));
             }
             Some(TokenState::AsyncPending(_node, file)) => {
-                // Completed before anyone waited: park the result.
-                self.tokens
-                    .insert(token, TokenState::AsyncDone(result, file));
+                // Completed before anyone waited: park the result in place.
+                let i = self.token_index(token).expect("token window moved");
+                self.tokens[i] = Some(TokenState::AsyncDone(result, file));
             }
             Some(TokenState::AsyncWaited(node, file, wait_start)) => {
+                self.compact_tokens();
                 self.service.on_iowait(node, file, wait_start, self.now);
                 let at = self.now;
                 self.push(at, Ev::Resume(node, Resume::IoWaited(result)));

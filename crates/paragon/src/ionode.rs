@@ -123,13 +123,12 @@ pub struct IoNodeSim {
     per_request: SimDuration,
     /// Currently serviced work and its completion time.
     busy: Option<(SimTime, Served)>,
-    pending: VecDeque<SegmentReq>,
+    /// Queued segments with their arrival times.
+    pending: VecDeque<(SegmentReq, SimTime)>,
     /// Completed-segment count (statistics).
     completed: u64,
     /// Sum of queueing delays (statistics).
     queued_total: SimDuration,
-    /// Arrival times for queued segments, parallel to `pending`.
-    arrivals: VecDeque<SimTime>,
     /// Disk-head position after the most recently started segment.
     head: u64,
     /// Max queued segments before [`RejectReason::QueueFull`].
@@ -155,7 +154,6 @@ impl IoNodeSim {
             per_request,
             busy: None,
             pending: VecDeque::new(),
-            arrivals: VecDeque::new(),
             completed: 0,
             queued_total: SimDuration::ZERO,
             head: 0,
@@ -200,8 +198,7 @@ impl IoNodeSim {
         } else if self.pending.len() >= self.queue_limit {
             SubmitOutcome::Rejected(RejectReason::QueueFull)
         } else {
-            self.pending.push_back(req);
-            self.arrivals.push_back(now);
+            self.pending.push_back((req, now));
             SubmitOutcome::Queued
         }
     }
@@ -262,28 +259,13 @@ impl IoNodeSim {
                 }
             }
         };
-        // Foreground first; rebuild traffic only fills idle gaps. The
-        // discipline's pick must name a slot present in both parallel
-        // queues; if they ever desynchronize, drop the poisoned queue
-        // state and fall back to background work rather than panicking a
-        // whole sweep worker mid-run.
-        if let Some(idx) = self.pick_next(self.head) {
-            match (self.pending.remove(idx), self.arrivals.remove(idx)) {
-                (Some(next), Some(arrived)) => self.start(now, next, arrived),
-                (next, arrived) => {
-                    debug_assert!(
-                        false,
-                        "queue desync at slot {idx}: pending={} arrivals={}",
-                        next.is_some(),
-                        arrived.is_some()
-                    );
-                    self.pending.clear();
-                    self.arrivals.clear();
-                    self.start_rebuild_chunk(now);
-                }
-            }
-        } else {
-            self.start_rebuild_chunk(now);
+        // Foreground first; rebuild traffic only fills idle gaps.
+        match self
+            .pick_next(self.head)
+            .and_then(|i| self.pending.remove(i))
+        {
+            Some((next, arrived)) => self.start(now, next, arrived),
+            None => self.start_rebuild_chunk(now),
         }
         completion
     }
@@ -337,8 +319,7 @@ impl IoNodeSim {
             Some((_, Served::Rebuild { bytes })) => self.array.rebuild_abort_chunk(bytes),
             None => {}
         }
-        lost.extend(self.pending.drain(..));
-        self.arrivals.clear();
+        lost.extend(self.pending.drain(..).map(|(r, _)| r));
         lost
     }
 
@@ -362,7 +343,7 @@ impl IoNodeSim {
                 // Smallest offset >= head, else wrap to smallest overall.
                 let mut best_ge: Option<(u64, usize)> = None;
                 let mut best_any: Option<(u64, usize)> = None;
-                for (i, r) in self.pending.iter().enumerate() {
+                for (i, (r, _)) in self.pending.iter().enumerate() {
                     if best_any.is_none_or(|(o, _)| r.offset < o) {
                         best_any = Some((r.offset, i));
                     }
@@ -376,7 +357,7 @@ impl IoNodeSim {
                 .pending
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, r)| r.offset.abs_diff(head_offset))
+                .min_by_key(|(_, (r, _))| r.offset.abs_diff(head_offset))
                 .map(|(i, _)| i),
         }
     }

@@ -39,7 +39,7 @@ pub mod program;
 pub mod raid;
 pub mod time;
 
-pub use engine::{Engine, EngineReport, IoService, Sched};
+pub use engine::{Engine, EnginePerf, EngineReport, IoService, Sched};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use machine::MachineConfig;
 pub use program::{GroupId, IoFault, IoRequest, IoResult, IoVerb, NodeProgram, Resume, Step};

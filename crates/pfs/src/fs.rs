@@ -20,7 +20,7 @@
 //!   un-overlapped wait, exactly the two rows RENDER's Table 3 reports.
 
 use crate::file::{FileSpec, FileState};
-use crate::layout::StripeLayout;
+use crate::layout::{Segment, StripeLayout};
 use crate::mode::AccessMode;
 use paragon_sim::calibration::{FaultParams, IoSwCosts};
 use paragon_sim::engine::{IoService, Sched};
@@ -32,8 +32,9 @@ use paragon_sim::raid::RaidError;
 use paragon_sim::time::transfer_time;
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
-use sio_core::trace::Tracer;
-use std::collections::{BTreeMap, HashMap};
+use sio_core::hash::FastMap;
+use sio_core::trace::{Trace, TraceSink};
+use std::collections::BTreeMap;
 
 /// Per-I/O-node bytes reserved for each registered file (a fixed-slot
 /// allocator: file `f`'s node-local space starts at `f × file_slot`).
@@ -77,7 +78,9 @@ impl PfsConfig {
 /// aggregate array rate.
 #[derive(Debug, Default)]
 pub struct ClientPath {
-    free: HashMap<NodeId, SimTime>,
+    /// Next-free time per node, indexed by `NodeId` (dense: node ids are
+    /// small and this is touched once per data completion).
+    free: Vec<SimTime>,
 }
 
 impl ClientPath {
@@ -89,10 +92,13 @@ impl ClientPath {
     /// Serialize a `bytes`-sized copy on `node`'s client CPU, starting no
     /// earlier than `ready`; returns the completion time.
     pub fn copy_done(&mut self, node: NodeId, ready: SimTime, bytes: u64, rate: f64) -> SimTime {
-        let free = self.free.entry(node).or_insert(SimTime::ZERO);
-        let start = (*free).max(ready);
+        let slot = node as usize;
+        if slot >= self.free.len() {
+            self.free.resize(slot + 1, SimTime::ZERO);
+        }
+        let start = self.free[slot].max(ready);
         let done = start + transfer_time(bytes, rate);
-        *free = done;
+        self.free[slot] = done;
         done
     }
 }
@@ -179,21 +185,24 @@ pub struct Pfs {
     cfg: PfsConfig,
     ionodes: Vec<IoNodeSim>,
     files: Vec<FileState>,
-    tracer: Tracer,
+    sink: TraceSink,
     /// Global metadata server: next-free time.
     meta_free: SimTime,
     /// Per-file metadata-owner queues for shared-file seeks.
     seek_free: Vec<SimTime>,
-    pending: HashMap<IoToken, Pending>,
-    seg_owner: HashMap<u64, IoToken>,
+    pending: FastMap<IoToken, Pending>,
+    seg_owner: FastMap<u64, IoToken>,
     next_seg: u64,
-    deferred: HashMap<u64, Deferred>,
+    /// Reused stripe-decomposition buffer (hot path: one per request
+    /// otherwise).
+    seg_scratch: Vec<Segment>,
+    deferred: FastMap<u64, Deferred>,
     next_deferred: u64,
     /// M_GLOBAL coalescing: file -> waiting participants.
     #[allow(clippy::type_complexity)]
-    global_waiting: HashMap<u32, Vec<(IoToken, NodeId, SimTime, bool, u64)>>,
+    global_waiting: FastMap<u32, Vec<(IoToken, NodeId, SimTime, bool, u64)>>,
     /// M_SYNC parking: file -> node -> parked request.
-    sync_parked: HashMap<u32, BTreeMap<NodeId, ParkedSync>>,
+    sync_parked: FastMap<u32, BTreeMap<NodeId, ParkedSync>>,
     /// `Sync` commits parked until their file has no in-flight writes.
     sync_waiters: Vec<SyncWaiter>,
     /// Per-node serial client copy path.
@@ -203,24 +212,25 @@ pub struct Pfs {
     /// Injected fault schedule; empty on a healthy run.
     schedule: FaultSchedule,
     /// Armed fault-event timers (timer id -> event).
-    fault_timers: HashMap<u64, FaultEvent>,
+    fault_timers: FastMap<u64, FaultEvent>,
     /// Armed segment-retry timers (timer id -> retry state).
-    retry_timers: HashMap<u64, RetrySeg>,
+    retry_timers: FastMap<u64, RetrySeg>,
     /// Armed per-request deadline timers (timer id -> request token).
-    timeout_timers: HashMap<u64, IoToken>,
+    timeout_timers: FastMap<u64, IoToken>,
     fault_stats: FaultStats,
 }
 
 impl Pfs {
-    /// Build a PFS over the given machine, tracing into `tracer`.
-    pub fn new(machine: &MachineConfig, tracer: Tracer) -> Pfs {
-        Pfs::with_faults(machine, tracer, FaultSchedule::new())
+    /// Build a PFS over the given machine, tracing into `sink` (owned; take
+    /// the frozen trace back with [`Pfs::finish_trace`] after the run).
+    pub fn new(machine: &MachineConfig, sink: TraceSink) -> Pfs {
+        Pfs::with_faults(machine, sink, FaultSchedule::new())
     }
 
     /// Build a PFS with an injected fault schedule. An empty schedule is
     /// exactly [`Pfs::new`]: the fault machinery arms no timers and the run
     /// is bit-identical to a healthy one.
-    pub fn with_faults(machine: &MachineConfig, tracer: Tracer, schedule: FaultSchedule) -> Pfs {
+    pub fn with_faults(machine: &MachineConfig, sink: TraceSink, schedule: FaultSchedule) -> Pfs {
         let cfg = PfsConfig::from_machine(machine);
         let ionodes = machine.build_io_nodes();
         assert!(
@@ -235,23 +245,24 @@ impl Pfs {
             cfg,
             ionodes,
             files: Vec::new(),
-            tracer,
+            sink,
             meta_free: SimTime::ZERO,
             seek_free: Vec::new(),
-            pending: HashMap::new(),
-            seg_owner: HashMap::new(),
+            pending: FastMap::default(),
+            seg_owner: FastMap::default(),
             next_seg: 0,
-            deferred: HashMap::new(),
+            seg_scratch: Vec::new(),
+            deferred: FastMap::default(),
             next_deferred,
-            global_waiting: HashMap::new(),
-            sync_parked: HashMap::new(),
+            global_waiting: FastMap::default(),
+            sync_parked: FastMap::default(),
             sync_waiters: Vec::new(),
             client: ClientPath::new(),
             fault_params: machine.fault,
             schedule,
-            fault_timers: HashMap::new(),
-            retry_timers: HashMap::new(),
-            timeout_timers: HashMap::new(),
+            fault_timers: FastMap::default(),
+            retry_timers: FastMap::default(),
+            timeout_timers: FastMap::default(),
             fault_stats: FaultStats::default(),
         }
     }
@@ -280,9 +291,14 @@ impl Pfs {
         self.files[file as usize].len
     }
 
-    /// The tracer (clone to keep after the run).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+    /// Mutable access to the trace sink (e.g. to set run metadata).
+    pub fn sink_mut(&mut self) -> &mut TraceSink {
+        &mut self.sink
+    }
+
+    /// Consume the file system, freezing its captured trace.
+    pub fn finish_trace(self) -> Trace {
+        self.sink.finish()
     }
 
     /// Inject a disk failure into one I/O node's array (experiment A4 and
@@ -329,8 +345,8 @@ impl Pfs {
         &mut self.files[file as usize]
     }
 
-    fn record(&self, ev: IoEvent) {
-        self.tracer.record(ev);
+    fn record(&mut self, ev: IoEvent) {
+        self.sink.record(ev);
     }
 
     /// Serialize a metadata operation on the global server; returns its
@@ -390,7 +406,11 @@ impl Pfs {
             );
             return;
         }
-        let segments = self.cfg.layout.segments(offset, eff_bytes);
+        let mut segments = std::mem::take(&mut self.seg_scratch);
+        segments.clear();
+        self.cfg
+            .layout
+            .segments_into(offset, eff_bytes, &mut segments);
         let slot_base = file as u64 * self.cfg.file_slot;
         let mut reqs = Vec::with_capacity(segments.len());
         let mut seg_ids = Vec::with_capacity(segments.len());
@@ -416,6 +436,7 @@ impl Pfs {
                 },
             ));
         }
+        self.seg_scratch = segments;
         // The request must be pending before any segment is submitted: a
         // rejection chain (both primary and buddy down) can fail the whole
         // token mid-loop.
@@ -1236,8 +1257,7 @@ mod tests {
         files: Vec<FileSpec>,
         scripts: Vec<Vec<ScriptOp>>,
     ) -> (Trace, paragon_sim::EngineReport) {
-        let tracer = Tracer::new("test");
-        let mut pfs = Pfs::new(machine, tracer.clone());
+        let mut pfs = Pfs::new(machine, TraceSink::new("test"));
         for f in files {
             pfs.register(f);
         }
@@ -1249,8 +1269,10 @@ mod tests {
         let mut engine = Engine::new(mesh, machine.comm, programs, pfs);
         let report = engine.run();
         assert!(report.clean(), "blocked nodes: {:?}", report.blocked);
-        tracer.set_run_info(machine.compute_nodes, report.wall.nanos());
-        (tracer.finish(), report)
+        let mut pfs = engine.into_service();
+        pfs.sink_mut()
+            .set_run_info(machine.compute_nodes, report.wall.nanos());
+        (pfs.finish_trace(), report)
     }
 
     fn machine() -> MachineConfig {
@@ -1441,8 +1463,7 @@ mod tests {
             ]
         };
         let m = MachineConfig::tiny(4, 2);
-        let tracer = Tracer::new("g");
-        let mut pfs = Pfs::new(&m, tracer.clone());
+        let mut pfs = Pfs::new(&m, TraceSink::new("g"));
         pfs.register(FileSpec::input("shared", 1 << 20));
         let programs: Vec<Box<dyn NodeProgram>> = (0..4)
             .map(|_| Box::new(ScriptProgram::new(mk())) as Box<dyn NodeProgram>)
@@ -1452,7 +1473,8 @@ mod tests {
         let report = engine.run();
         assert!(report.clean());
         // All four nodes see both reads traced...
-        let trace = tracer.finish();
+        let segments = engine.service().segments_completed();
+        let trace = engine.into_service().finish_trace();
         assert_eq!(trace.of_op(IoOp::Read).count(), 8);
         // ...at exactly two distinct offsets (shared pointer advanced twice).
         let mut offs: Vec<u64> = trace.of_op(IoOp::Read).map(|e| e.offset).collect();
@@ -1461,7 +1483,7 @@ mod tests {
         assert_eq!(offs, vec![0, 8192]);
         // ...but the disks served only one request's worth of segments per
         // coalesced read: 8192 B fits one 64 KB unit = 1 segment, × 2 reads.
-        assert_eq!(engine.service().segments_completed(), 2);
+        assert_eq!(segments, 2);
     }
 
     #[test]
@@ -1595,8 +1617,7 @@ mod tests {
         };
         let m = MachineConfig::tiny(1, 1);
         let run = |fail: bool| {
-            let tracer = Tracer::new("d");
-            let mut pfs = Pfs::new(&m, tracer.clone());
+            let mut pfs = Pfs::new(&m, TraceSink::new("d"));
             pfs.register(FileSpec::input("data", 1 << 20));
             if fail {
                 pfs.fail_disk(0, 0).unwrap();
@@ -1604,7 +1625,7 @@ mod tests {
             let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(script()))];
             let mut engine = Engine::new(Mesh::for_nodes(1, 1), m.comm, programs, pfs);
             engine.run();
-            let trace = tracer.finish();
+            let trace = engine.into_service().finish_trace();
             let dur = trace.of_op(IoOp::Read).next().unwrap().duration();
             dur
         };

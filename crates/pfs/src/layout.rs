@@ -60,35 +60,43 @@ impl StripeLayout {
     /// merging node-locally contiguous units. Segments are returned in
     /// ascending file-offset order of their first byte.
     pub fn segments(&self, offset: u64, bytes: u64) -> Vec<Segment> {
-        if bytes == 0 {
-            return Vec::new();
-        }
-        let mut segs: Vec<Segment> = Vec::new();
-        let mut pos = offset;
-        let end = offset + bytes;
-        while pos < end {
-            let unit_end = (pos / self.unit + 1) * self.unit;
-            let chunk_end = unit_end.min(end);
-            let io_node = self.io_node_of(pos);
-            let local = self.local_offset_of(pos);
-            let len = chunk_end - pos;
-            // Merge with the previous segment for this I/O node when
-            // node-locally contiguous.
-            if let Some(prev) = segs.iter_mut().rev().find(|s| s.io_node == io_node) {
-                if prev.local_offset + prev.bytes == local {
-                    prev.bytes += len;
-                    pos = chunk_end;
-                    continue;
-                }
-            }
-            segs.push(Segment {
-                io_node,
-                local_offset: local,
-                bytes: len,
-            });
-            pos = chunk_end;
-        }
+        let mut segs = Vec::new();
+        self.segments_into(offset, bytes, &mut segs);
         segs
+    }
+
+    /// [`StripeLayout::segments`], appending into a caller-owned buffer —
+    /// the hot-path form, letting the file systems reuse one scratch
+    /// vector across requests instead of allocating per request.
+    ///
+    /// A request covers its stripe units without gaps, and units `u` and
+    /// `u + io_nodes` are always node-locally contiguous, so every unit a
+    /// node owns merges into a single segment: exactly one segment per
+    /// touched node, in order of the node's first unit.
+    pub fn segments_into(&self, offset: u64, bytes: u64, segs: &mut Vec<Segment>) {
+        if bytes == 0 {
+            return;
+        }
+        let n = self.io_nodes as u64;
+        let end = offset + bytes;
+        let first_unit = offset / self.unit;
+        let last_unit = (end - 1) / self.unit;
+        let touched = (last_unit - first_unit + 1).min(n);
+        segs.reserve(touched as usize);
+        for k in 0..touched {
+            let u = first_unit + k;
+            let start = offset.max(u * self.unit);
+            // The node's last unit inside the request, and the request's
+            // end within it.
+            let ul = u + ((last_unit - u) / n) * n;
+            let stop = end.min((ul + 1) * self.unit);
+            let local = self.local_offset_of(start);
+            segs.push(Segment {
+                io_node: (u % n) as u32,
+                local_offset: local,
+                bytes: self.local_offset_of(stop - 1) + 1 - local,
+            });
+        }
     }
 
     /// Round `bytes` up to a whole number of stripe units — the padding
@@ -212,6 +220,48 @@ mod tests {
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].local_offset, 100);
         assert_eq!(segs[0].bytes, 1 << 20);
+    }
+
+    /// The closed-form decomposition must match a brute-force chunk walk
+    /// (the obviously-correct reference) for a spread of geometries.
+    #[test]
+    fn segments_match_chunk_walk_reference() {
+        fn reference(l: &StripeLayout, offset: u64, bytes: u64) -> Vec<Segment> {
+            let mut segs: Vec<Segment> = Vec::new();
+            let mut pos = offset;
+            let end = offset + bytes;
+            while pos < end {
+                let chunk_end = ((pos / l.unit + 1) * l.unit).min(end);
+                let io_node = l.io_node_of(pos);
+                let local = l.local_offset_of(pos);
+                let len = chunk_end - pos;
+                match segs
+                    .iter_mut()
+                    .find(|s| s.io_node == io_node && s.local_offset + s.bytes == local)
+                {
+                    Some(prev) => prev.bytes += len,
+                    None => segs.push(Segment {
+                        io_node,
+                        local_offset: local,
+                        bytes: len,
+                    }),
+                }
+                pos = chunk_end;
+            }
+            segs
+        }
+        for (unit, nodes) in [(1000, 3), (4096, 1), (64 * 1024, 16), (512, 7)] {
+            let l = StripeLayout::new(unit, nodes);
+            for offset in [0, 1, unit - 1, unit, 3 * unit + 17, 10 * unit] {
+                for bytes in [1, unit, unit + 1, 5 * unit - 3, 40 * unit, 41 * unit + 9] {
+                    assert_eq!(
+                        l.segments(offset, bytes),
+                        reference(&l, offset, bytes),
+                        "unit={unit} nodes={nodes} offset={offset} bytes={bytes}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

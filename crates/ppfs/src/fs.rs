@@ -32,11 +32,12 @@ use paragon_sim::raid::RaidError;
 
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
-use sio_core::trace::Tracer;
+use sio_core::hash::{FastMap, FastSet};
+use sio_core::trace::{Trace, TraceSink};
 use sio_pfs::file::{FileSpec, FileState};
 use sio_pfs::fs::PfsConfig;
+use sio_pfs::layout::Segment;
 use sio_pfs::mode::AccessMode;
-use std::collections::{HashMap, HashSet};
 
 /// Running statistics of a PPFS instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -133,20 +134,23 @@ pub struct Ppfs {
     policy: PolicyConfig,
     ionodes: Vec<IoNodeSim>,
     files: Vec<FileState>,
-    tracer: Tracer,
+    sink: TraceSink,
     meta_free: SimTime,
     seed: u64,
-    caches: HashMap<NodeId, BlockCache>,
-    prefetchers: HashMap<(NodeId, u32), StreamPrefetcher>,
-    dirty: HashMap<(NodeId, u32), DirtyBuffer>,
-    transfers: HashMap<u64, Transfer>,
+    caches: FastMap<NodeId, BlockCache>,
+    prefetchers: FastMap<(NodeId, u32), StreamPrefetcher>,
+    dirty: FastMap<(NodeId, u32), DirtyBuffer>,
+    transfers: FastMap<u64, Transfer>,
     next_transfer: u64,
-    seg_owner: HashMap<u64, u64>,
+    seg_owner: FastMap<u64, u64>,
     next_seg: u64,
-    reads: HashMap<u64, ReadPending>,
+    /// Reused stripe-decomposition buffer (hot path: one per extent
+    /// otherwise).
+    seg_scratch: Vec<Segment>,
+    reads: FastMap<u64, ReadPending>,
     next_read: u64,
     /// (node, file, block) -> read ids waiting for the block.
-    block_waiters: HashMap<(NodeId, u32, u64), Vec<u64>>,
+    block_waiters: FastMap<(NodeId, u32, u64), Vec<u64>>,
     flush_timer_armed: bool,
     stats: PpfsStats,
     /// Per-node serial client copy path (shared model with PFS).
@@ -154,33 +158,35 @@ pub struct Ppfs {
     /// Per-I/O-node server caches (empty when disabled).
     server_caches: Vec<BlockCache>,
     /// Pending server-cache hit deliveries: timer id -> (node, file, blocks).
-    fetch_hits: HashMap<u64, (NodeId, u32, Vec<u64>)>,
+    fetch_hits: FastMap<u64, (NodeId, u32, Vec<u64>)>,
     /// Next server-hit timer id (above the ionode and flush timer ids).
     next_hit_timer: u64,
     /// Per-file policy advice (paper §10: advertised access patterns).
-    advice: HashMap<u32, FileAdvice>,
+    advice: FastMap<u32, FileAdvice>,
     /// Fault-handling parameters (retry backoff; rebuild chunking lives in
     /// the I/O nodes).
     fault_params: FaultParams,
     /// Injected fault schedule (empty on healthy runs).
     schedule: FaultSchedule,
     /// Armed fault-event timers: timer id -> event.
-    fault_timers: HashMap<u64, FaultEvent>,
+    fault_timers: FastMap<u64, FaultEvent>,
     /// Armed backoff retries: timer id -> segment.
-    retry_timers: HashMap<u64, RetrySeg>,
+    retry_timers: FastMap<u64, RetrySeg>,
     /// Segments parked at a crashed node, resubmitted on recovery.
     replay: Vec<(u32, SegmentReq)>,
     /// `Sync` commits parked until their file's write-back traffic lands.
     sync_waiters: Vec<SyncWaiter>,
     /// Files whose contents are reconstructible from a durable checkpoint
     /// (splits the dirty-loss accounting into checkpointed vs lost work).
-    checkpoint_covered: HashSet<u32>,
+    checkpoint_covered: FastSet<u32>,
 }
 
 impl Ppfs {
-    /// Build a PPFS over the machine with the given policy.
-    pub fn new(machine: &MachineConfig, policy: PolicyConfig, tracer: Tracer) -> Ppfs {
-        Ppfs::with_faults(machine, policy, tracer, FaultSchedule::new())
+    /// Build a PPFS over the machine with the given policy, tracing into
+    /// `sink` (owned; take the frozen trace back with [`Ppfs::finish_trace`]
+    /// after the run).
+    pub fn new(machine: &MachineConfig, policy: PolicyConfig, sink: TraceSink) -> Ppfs {
+        Ppfs::with_faults(machine, policy, sink, FaultSchedule::new())
     }
 
     /// Build a PPFS with an injected fault schedule. An empty schedule is
@@ -189,7 +195,7 @@ impl Ppfs {
     pub fn with_faults(
         machine: &MachineConfig,
         policy: PolicyConfig,
-        tracer: Tracer,
+        sink: TraceSink,
         schedule: FaultSchedule,
     ) -> Ppfs {
         let ionodes = machine.build_io_nodes();
@@ -219,33 +225,34 @@ impl Ppfs {
             policy,
             ionodes,
             files: Vec::new(),
-            tracer,
+            sink,
             meta_free: SimTime::ZERO,
             seed: machine.seed,
-            caches: HashMap::new(),
-            prefetchers: HashMap::new(),
-            dirty: HashMap::new(),
-            transfers: HashMap::new(),
+            caches: FastMap::default(),
+            prefetchers: FastMap::default(),
+            dirty: FastMap::default(),
+            transfers: FastMap::default(),
             next_transfer: 0,
-            seg_owner: HashMap::new(),
+            seg_owner: FastMap::default(),
             next_seg: 0,
-            reads: HashMap::new(),
+            seg_scratch: Vec::new(),
+            reads: FastMap::default(),
             next_read: 0,
-            block_waiters: HashMap::new(),
+            block_waiters: FastMap::default(),
             flush_timer_armed: false,
             stats: PpfsStats::default(),
             client: sio_pfs::fs::ClientPath::new(),
             server_caches,
-            fetch_hits: HashMap::new(),
+            fetch_hits: FastMap::default(),
             next_hit_timer,
-            advice: HashMap::new(),
+            advice: FastMap::default(),
             fault_params: machine.fault,
             schedule,
-            fault_timers: HashMap::new(),
-            retry_timers: HashMap::new(),
+            fault_timers: FastMap::default(),
+            retry_timers: FastMap::default(),
             replay: Vec::new(),
             sync_waiters: Vec::new(),
-            checkpoint_covered: HashSet::new(),
+            checkpoint_covered: FastSet::default(),
         }
     }
 
@@ -325,8 +332,18 @@ impl Ppfs {
         self.ionodes.len() as u64
     }
 
-    fn record(&self, ev: IoEvent) {
-        self.tracer.record(ev);
+    fn record(&mut self, ev: IoEvent) {
+        self.sink.record(ev);
+    }
+
+    /// Mutable access to the trace sink (e.g. to set run metadata).
+    pub fn sink_mut(&mut self) -> &mut TraceSink {
+        &mut self.sink
+    }
+
+    /// Consume the file system, freezing its captured trace.
+    pub fn finish_trace(self) -> Trace {
+        self.sink.finish()
     }
 
     fn meta_op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
@@ -359,7 +376,10 @@ impl Ppfs {
     ) -> u32 {
         let slot_base = file as u64 * self.cfg.file_slot;
         let mut count = 0;
-        for seg in self.cfg.layout.segments(offset, bytes) {
+        let mut segs = std::mem::take(&mut self.seg_scratch);
+        segs.clear();
+        self.cfg.layout.segments_into(offset, bytes, &mut segs);
+        for &seg in &segs {
             let id = self.next_seg;
             self.next_seg += 1;
             self.seg_owner.insert(id, tid);
@@ -375,6 +395,7 @@ impl Ppfs {
             count += 1;
             self.stats.segments += 1;
         }
+        self.seg_scratch = segs;
         count
     }
 
@@ -1251,8 +1272,11 @@ impl IoService for Ppfs {
 
     fn on_run_end(&mut self, _now: SimTime) {
         // Account (but no longer time) any data still buffered: it would
-        // reach disk during program teardown.
-        let remaining: Vec<(NodeId, u32)> = self.dirty.keys().copied().collect();
+        // reach disk during program teardown. Today this only accumulates
+        // sums (order-independent), but drain in sorted order anyway so a
+        // future per-extent effect cannot inherit map iteration order.
+        let mut remaining: Vec<(NodeId, u32)> = self.dirty.keys().copied().collect();
+        remaining.sort_unstable();
         for key in remaining {
             let aggregation = self.policy_for(key.1).aggregation;
             let block_size = self.policy.block_size;
@@ -1292,8 +1316,7 @@ mod tests {
         files: Vec<FileSpec>,
         scripts: Vec<Vec<ScriptOp>>,
     ) -> (Trace, PpfsStats) {
-        let tracer = Tracer::new("ppfs-test");
-        let mut fs = Ppfs::new(m, policy, tracer.clone());
+        let mut fs = Ppfs::new(m, policy, TraceSink::new("ppfs-test"));
         for f in files {
             fs.register(f);
         }
@@ -1309,9 +1332,11 @@ mod tests {
         );
         let report = engine.run();
         assert!(report.clean(), "blocked: {:?}", report.blocked);
-        let stats = engine.service().stats();
-        tracer.set_run_info(m.compute_nodes, report.wall.nanos());
-        (tracer.finish(), stats)
+        let mut fs = engine.into_service();
+        let stats = fs.stats();
+        fs.sink_mut()
+            .set_run_info(m.compute_nodes, report.wall.nanos());
+        (fs.finish_trace(), stats)
     }
 
     #[test]
@@ -1549,8 +1574,7 @@ mod tests {
     #[test]
     fn inferred_pattern_exposed() {
         let m = machine();
-        let tracer = Tracer::new("p");
-        let mut fs = Ppfs::new(&m, PolicyConfig::adaptive(2), tracer.clone());
+        let mut fs = Ppfs::new(&m, PolicyConfig::adaptive(2), TraceSink::new("p"));
         fs.register(FileSpec::input("in", 4 << 20));
         let mut ops = vec![open(0)];
         for _ in 0..8 {
@@ -1637,8 +1661,7 @@ mod tests {
         // Global policy: write-through. File 0 advised as staging
         // (write-behind + aggregation); file 1 inherits write-through.
         let m = machine();
-        let tracer = Tracer::new("advice");
-        let mut fs = Ppfs::new(&m, PolicyConfig::write_through(), tracer.clone());
+        let mut fs = Ppfs::new(&m, PolicyConfig::write_through(), TraceSink::new("advice"));
         fs.register(FileSpec::output("staging"));
         fs.register(FileSpec::output("plain"));
         fs.advise(0, crate::advice::FileAdvice::staging());
@@ -1656,7 +1679,7 @@ mod tests {
         let stats = engine.service().stats();
         // Only the advised file's writes were buffered.
         assert_eq!(stats.writes_buffered, 8);
-        let trace = tracer.finish();
+        let trace = engine.into_service().finish_trace();
         let wtime = |file: u32| -> u64 {
             trace
                 .of_op(IoOp::Write)
@@ -1675,11 +1698,10 @@ mod tests {
     #[test]
     fn run_end_accounts_unflushed_data() {
         let m = machine();
-        let tracer = Tracer::new("e");
         let mut policy = PolicyConfig::escat_tuned();
         policy.high_water_bytes = u64::MAX;
         policy.flush_interval_secs = 1e9; // never fires
-        let mut fs = Ppfs::new(&m, policy, tracer.clone());
+        let mut fs = Ppfs::new(&m, policy, TraceSink::new("e"));
         fs.register(FileSpec::output("f"));
         let ops = vec![open(0), ScriptOp::Io(IoRequest::write(0, 2048))];
         let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];

@@ -1,8 +1,10 @@
 //! Determinism: the same configuration must yield bit-identical traces —
 //! the property every reproduced table and figure rests on.
 
+use sio::analysis::experiments;
 use sio::apps::workload::{run_workload, Backend};
 use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::sddf;
 use sio::paragon::MachineConfig;
 use sio::ppfs::PolicyConfig;
 
@@ -37,6 +39,34 @@ fn htf_pipeline_is_deterministic() {
         let b = run_workload(&m(), &w, &Backend::Pfs);
         assert_eq!(a.trace.events(), b.trace.events(), "{}", w.label);
     }
+}
+
+/// Guard against hash-map iteration order leaking into results: run the
+/// same sweep twice in one process — every map is a fresh instance on the
+/// second pass, so any order-dependent drain would show up as a row or
+/// digest difference. The fault suite is the widest net: it crosses PFS,
+/// PPFS (including the crash-path dirty-extent drain), and every fault
+/// scenario.
+#[test]
+fn repeated_sweeps_yield_identical_rows_and_digests() {
+    let machine = m();
+    let ep = EscatParams::small(4, 4);
+    let rp = RenderParams::small(4, 2);
+    let hp = HtfParams::small(4);
+    let first = experiments::fault_suite_jobs(&machine, &ep, &rp, &hp, 2);
+    let second = experiments::fault_suite_jobs(&machine, &ep, &rp, &hp, 2);
+    assert_eq!(first, second, "fault suite rows changed between passes");
+
+    let backend = Backend::Ppfs(PolicyConfig::escat_tuned());
+    let digest = |_| {
+        let out = run_workload(&machine, &ep.workload(), &backend);
+        (sddf::fingerprint(&out.trace), out.trace.len())
+    };
+    assert_eq!(
+        digest(()),
+        digest(()),
+        "ppfs trace digest changed between passes"
+    );
 }
 
 #[test]

@@ -1,0 +1,70 @@
+//! Perf-counter contract (`sio::core::perf`): counters must be invisible
+//! when disabled, must not perturb simulation output when enabled, and must
+//! aggregate to identical totals whatever the sweep worker count.
+//!
+//! The counters are process-global atomics, so every assertion lives in one
+//! `#[test]` — the default parallel test runner would otherwise interleave
+//! submissions from concurrently running tests. This file is its own test
+//! binary, so no other harness shares the process.
+
+use sio::analysis::experiments;
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::{perf, sddf};
+use sio::paragon::MachineConfig;
+
+#[test]
+fn counters_are_silent_when_disabled_inert_when_enabled_and_jobs_invariant() {
+    let machine = MachineConfig::tiny(8, 4);
+    let ep = EscatParams::small(4, 4);
+    let rp = RenderParams::small(4, 2);
+    let hp = HtfParams::small(4);
+    let sweep = |jobs| experiments::fault_suite_jobs(&machine, &ep, &rp, &hp, jobs);
+
+    // Disabled (the default): runs submit nothing.
+    perf::reset();
+    assert!(!perf::enabled());
+    let rows_off = sweep(2);
+    assert_eq!(
+        perf::snapshot(),
+        perf::PerfSnapshot::default(),
+        "disabled counters must record nothing"
+    );
+
+    // Enabled: simulation output is byte-identical — capture must not
+    // perturb the thing measured.
+    perf::enable();
+    let rows_on = sweep(2);
+    assert_eq!(rows_off, rows_on, "enabling counters changed sweep results");
+    let out_off = {
+        perf::disable();
+        run_workload(&machine, &ep.workload(), &Backend::Pfs)
+    };
+    let out_on = {
+        perf::enable();
+        run_workload(&machine, &ep.workload(), &Backend::Pfs)
+    };
+    assert_eq!(
+        sddf::fingerprint(&out_off.trace),
+        sddf::fingerprint(&out_on.trace),
+        "enabling counters changed the trace"
+    );
+    assert_eq!(out_off.report, out_on.report);
+
+    // Worker-count invariance: sums and maxima commute, so a 1-worker and
+    // an 8-worker sweep of the same cells must agree on every counter.
+    perf::reset();
+    sweep(1);
+    let serial = perf::snapshot().counters();
+    perf::reset();
+    sweep(8);
+    let parallel = perf::snapshot().counters();
+    assert_eq!(serial, parallel, "counters diverged across SIO_JOBS");
+    let (runs, events, heap_peak, ..) = serial;
+    assert!(runs > 0, "sweep submitted no runs");
+    assert!(events > 0, "engine counted no events");
+    assert!(heap_peak > 0, "heap peak never observed");
+
+    perf::disable();
+    perf::reset();
+}

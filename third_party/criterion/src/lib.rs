@@ -71,6 +71,7 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
 pub struct Criterion {
     sample_size: usize,
     budget: Duration,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -78,15 +79,28 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             budget: Duration::from_secs(5),
+            filter: None,
         }
     }
 }
 
 impl Criterion {
+    /// Adopt the first non-flag CLI argument as a substring filter on bench
+    /// names (the `cargo bench -- <filter>` convention); flags cargo adds,
+    /// like `--bench`, are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
     /// Set the per-bench iteration target.
     pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
         self.sample_size = n.max(1);
         self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
     /// Run one named benchmark.
@@ -95,6 +109,9 @@ impl Criterion {
         name: &str,
         mut f: F,
     ) -> &mut Criterion {
+        if !self.matches(name) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             budget: self.budget,
@@ -139,17 +156,17 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        if !self.parent.matches(&full) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             budget: self.parent.budget,
             max_samples: self.sample_size.unwrap_or(self.parent.sample_size),
         };
         f(&mut b);
-        report(
-            &format!("{}/{name}", self.name),
-            &b.samples,
-            self.throughput,
-        );
+        report(&full, &b.samples, self.throughput);
         self
     }
 
@@ -162,7 +179,7 @@ impl BenchmarkGroup<'_> {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -187,6 +204,30 @@ mod tests {
         let mut c = Criterion::default();
         c.sample_size(3)
             .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut c = Criterion {
+            filter: Some("engine".to_string()),
+            ..Criterion::default()
+        };
+        let mut ran = Vec::new();
+        c.bench_function("engine_dispatch", |b| {
+            ran.push("engine_dispatch");
+            b.iter(|| 1)
+        });
+        c.bench_function("sddf_codec", |b| {
+            ran.push("sddf_codec");
+            b.iter(|| 1)
+        });
+        let mut g = c.benchmark_group("engine");
+        g.bench_function("inner", |b| {
+            ran.push("engine/inner");
+            b.iter(|| 1)
+        });
+        g.finish();
+        assert_eq!(ran, ["engine_dispatch", "engine/inner"]);
     }
 
     #[test]
