@@ -1,0 +1,304 @@
+//! Pluggable file-system backends: the [`FsBackend`] trait every backend
+//! implements, the [`BackendSpec`] naming/factory enum, and the
+//! [`BackendRegistry`] that maps backend names to builders.
+//!
+//! The workload runner ([`crate::workload::run_workload`] and friends) is
+//! generic over `Box<dyn FsBackend>`: it registers files, runs the engine,
+//! stamps the trace, and harvests counters without knowing which file system
+//! served the run. Adding a backend means implementing [`FsBackend`] (on top
+//! of the `sio-fskit` substrate) and registering a builder — the runner,
+//! analysis experiments, and `repro` pick it up unchanged.
+
+use paragon_sim::engine::{IoService, Sched};
+use paragon_sim::program::{IoRequest, IoToken};
+use paragon_sim::{FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime};
+use sio_core::trace::{Trace, TraceSink};
+use sio_pfs::fs::FaultStats;
+use sio_pfs::{FileSpec, Pfs};
+use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
+
+/// What the workload runner needs from a file-system backend beyond the
+/// engine's [`IoService`] hooks: file registration, trace plumbing, and the
+/// counters the experiment suites harvest after a run.
+///
+/// The stats getters default to `None` so a backend only surfaces the
+/// counter families it actually keeps.
+pub trait FsBackend: IoService {
+    /// Register a file; returns its id (registration order = file id).
+    fn register_file(&mut self, spec: FileSpec) -> u32;
+
+    /// Declare a file's contents reconstructible from a durable checkpoint
+    /// (crash-loss accounting). Default: no-op for backends without
+    /// write-behind exposure.
+    fn mark_checkpoint_covered(&mut self, file: u32) {
+        let _ = file;
+    }
+
+    /// Mutable access to the trace sink (run-info stamping, perf events).
+    fn sink_mut(&mut self) -> &mut TraceSink;
+
+    /// Consume the backend, freezing its captured trace.
+    fn finish_trace(self: Box<Self>) -> Trace;
+
+    /// RAID rebuild work done across all I/O nodes: (chunks, member bytes).
+    fn rebuild_totals(&self) -> (u64, u64);
+
+    /// I/O nodes whose arrays are still degraded.
+    fn degraded_nodes(&self) -> u32;
+
+    /// PPFS policy counters, when this backend keeps them.
+    fn ppfs_stats(&self) -> Option<PpfsStats> {
+        None
+    }
+
+    /// PFS fault-machinery counters, when this backend keeps them.
+    fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
+}
+
+/// A boxed backend is itself an [`IoService`], so the engine can run any
+/// registered backend without monomorphizing per concrete type.
+impl IoService for Box<dyn FsBackend> {
+    fn submit(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        req: IoRequest,
+        token: IoToken,
+        is_async: bool,
+        sched: &mut Sched,
+    ) {
+        (**self).submit(node, now, req, token, is_async, sched)
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
+        (**self).on_timer(now, timer, sched)
+    }
+
+    fn on_start(&mut self, sched: &mut Sched) {
+        (**self).on_start(sched)
+    }
+
+    fn issue_cost(&self, node: NodeId, req: &IoRequest) -> SimDuration {
+        (**self).issue_cost(node, req)
+    }
+
+    fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
+        (**self).on_iowait(node, file, wait_start, wait_end)
+    }
+
+    fn on_run_end(&mut self, now: SimTime) {
+        (**self).on_run_end(now)
+    }
+}
+
+impl FsBackend for Pfs {
+    fn register_file(&mut self, spec: FileSpec) -> u32 {
+        self.register(spec)
+    }
+
+    fn sink_mut(&mut self) -> &mut TraceSink {
+        Pfs::sink_mut(self)
+    }
+
+    fn finish_trace(self: Box<Self>) -> Trace {
+        Pfs::finish_trace(*self)
+    }
+
+    fn rebuild_totals(&self) -> (u64, u64) {
+        (self.rebuild_chunks_total(), self.rebuilt_bytes_total())
+    }
+
+    fn degraded_nodes(&self) -> u32 {
+        Pfs::degraded_nodes(self)
+    }
+
+    fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        Some(self.fault_stats())
+    }
+}
+
+impl FsBackend for Ppfs {
+    fn register_file(&mut self, spec: FileSpec) -> u32 {
+        self.register(spec)
+    }
+
+    fn mark_checkpoint_covered(&mut self, file: u32) {
+        Ppfs::mark_checkpoint_covered(self, file)
+    }
+
+    fn sink_mut(&mut self) -> &mut TraceSink {
+        Ppfs::sink_mut(self)
+    }
+
+    fn finish_trace(self: Box<Self>) -> Trace {
+        Ppfs::finish_trace(*self)
+    }
+
+    fn rebuild_totals(&self) -> (u64, u64) {
+        (self.rebuild_chunks_total(), self.rebuilt_bytes_total())
+    }
+
+    fn degraded_nodes(&self) -> u32 {
+        Ppfs::degraded_nodes(self)
+    }
+
+    fn ppfs_stats(&self) -> Option<PpfsStats> {
+        Some(self.stats())
+    }
+}
+
+/// Which file system serves a workload. This is the *specification* — a
+/// cheap, comparable value; [`BackendSpec::build`] turns it into a live
+/// [`FsBackend`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSpec {
+    /// The Intel PFS model (`sio-pfs`).
+    Pfs,
+    /// The PPFS policy engine with the given configuration (`sio-ppfs`).
+    Ppfs(PolicyConfig),
+}
+
+/// The historical name of [`BackendSpec`]; existing call sites construct
+/// `Backend::Pfs` / `Backend::Ppfs(policy)` through this alias.
+pub type Backend = BackendSpec;
+
+impl BackendSpec {
+    /// Parse a backend name — the one place backend names are interpreted.
+    /// `ppfs` defaults to the ESCAT-tuned policy; suffixed variants pick the
+    /// other calibrated policies.
+    pub fn parse(name: &str) -> Option<BackendSpec> {
+        match name {
+            "pfs" => Some(BackendSpec::Pfs),
+            "ppfs" | "ppfs-escat" => Some(BackendSpec::Ppfs(PolicyConfig::escat_tuned())),
+            "ppfs-pargos" => Some(BackendSpec::Ppfs(PolicyConfig::pargos_tuned())),
+            "ppfs-wt" => Some(BackendSpec::Ppfs(PolicyConfig::write_through())),
+            _ => None,
+        }
+    }
+
+    /// The backend family name (inverse of [`BackendSpec::parse`] up to
+    /// policy details).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Pfs => "pfs",
+            BackendSpec::Ppfs(_) => "ppfs",
+        }
+    }
+
+    /// Build a live backend over `machine`, tracing into `sink`, with an
+    /// injected fault schedule (empty = healthy run).
+    pub fn build(
+        &self,
+        machine: &MachineConfig,
+        sink: TraceSink,
+        schedule: FaultSchedule,
+    ) -> Box<dyn FsBackend> {
+        match self {
+            BackendSpec::Pfs => Box::new(Pfs::with_faults(machine, sink, schedule)),
+            BackendSpec::Ppfs(policy) => {
+                Box::new(Ppfs::with_faults(machine, *policy, sink, schedule))
+            }
+        }
+    }
+}
+
+/// A named backend builder.
+pub type BackendFactory =
+    Box<dyn Fn(&MachineConfig, TraceSink, FaultSchedule) -> Box<dyn FsBackend>>;
+
+/// Name → builder registry. [`BackendRegistry::builtin`] knows the two
+/// shipped backends (and the tuned PPFS variants); tools and tests that
+/// enumerate backends iterate [`BackendRegistry::names`] instead of
+/// hard-coding the list.
+pub struct BackendRegistry {
+    entries: Vec<(&'static str, BackendFactory)>,
+}
+
+impl BackendRegistry {
+    /// Empty registry.
+    pub fn new() -> BackendRegistry {
+        BackendRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of shipped backends. The name → policy mapping lives in
+    /// [`BackendSpec::parse`]; each factory resolves its name through it.
+    pub fn builtin() -> BackendRegistry {
+        let mut r = BackendRegistry::new();
+        for name in ["pfs", "ppfs", "ppfs-escat", "ppfs-pargos", "ppfs-wt"] {
+            let spec = BackendSpec::parse(name).expect("builtin name parses");
+            r.register(name, Box::new(move |m, s, f| spec.build(m, s, f)));
+        }
+        r
+    }
+
+    /// Add (or shadow) a named backend.
+    pub fn register(&mut self, name: &'static str, factory: BackendFactory) {
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, factory));
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Build the named backend, or `None` for an unknown name.
+    pub fn build(
+        &self,
+        name: &str,
+        machine: &MachineConfig,
+        sink: TraceSink,
+        schedule: FaultSchedule,
+    ) -> Option<Box<dyn FsBackend>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f(machine, sink, schedule))
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        BackendRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_knows_every_builtin_name() {
+        let reg = BackendRegistry::builtin();
+        for name in reg.names() {
+            assert!(BackendSpec::parse(name).is_some(), "unparsed: {name}");
+        }
+        assert_eq!(BackendSpec::parse("pfs"), Some(BackendSpec::Pfs));
+        assert_eq!(BackendSpec::parse("nfs"), None);
+        assert_eq!(BackendSpec::Pfs.name(), "pfs");
+        assert_eq!(
+            BackendSpec::Ppfs(PolicyConfig::escat_tuned()).name(),
+            "ppfs"
+        );
+    }
+
+    #[test]
+    fn registry_builds_each_backend() {
+        let reg = BackendRegistry::builtin();
+        let m = MachineConfig::tiny(2, 2);
+        for name in reg.names() {
+            let fs = reg
+                .build(name, &m, TraceSink::new("t"), FaultSchedule::new())
+                .unwrap_or_else(|| panic!("no builder for {name}"));
+            // Every backend reports healthy arrays at birth.
+            assert_eq!(fs.degraded_nodes(), 0, "{name}");
+        }
+        assert!(reg
+            .build("nfs", &m, TraceSink::new("t"), FaultSchedule::new())
+            .is_none());
+    }
+}

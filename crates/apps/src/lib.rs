@@ -20,14 +20,18 @@
 //! * [`htf`] — Hartree-Fock: a three-program pipeline (`psetup`, `pargos`,
 //!   `pscf`) with per-node integral files, write-intensive integral
 //!   calculation and read-intensive repeated-pass SCF solve.
-//! * [`workload`] — the shared runner (PFS or PPFS backend) plus synthetic
+//! * [`workload`] — the shared backend-generic runner plus synthetic
 //!   kernels (sequential / strided / random) for the mode and policy
 //!   ablations.
+//! * [`backend`] — the pluggable-backend layer: the [`FsBackend`] trait,
+//!   the [`BackendSpec`] naming/factory enum, and the [`BackendRegistry`]
+//!   of shipped backends.
 //!
 //! Every `*Params::paper()` constructor reproduces the operation counts and
 //! byte volumes of the paper's Tables 1–6 (see `sio-analysis` for the
 //! side-by-side comparison).
 
+pub mod backend;
 pub mod checkpoint;
 pub mod escat;
 pub mod htf;
@@ -36,6 +40,7 @@ pub mod render;
 pub mod replay;
 pub mod workload;
 
+pub use backend::{BackendRegistry, BackendSpec, FsBackend};
 pub use checkpoint::{CheckpointPlan, CheckpointedWorkload};
 pub use escat::EscatParams;
 pub use htf::HtfParams;

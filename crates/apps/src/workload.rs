@@ -18,17 +18,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sio_core::perf;
 use sio_core::trace::{Trace, TraceSink};
-use sio_pfs::{AccessMode, FaultStats, FileSpec, Pfs};
-use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
+use sio_pfs::{AccessMode, FaultStats, FileSpec};
+use sio_ppfs::PpfsStats;
 
-/// Which file system serves the workload.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Backend {
-    /// The Intel PFS model (`sio-pfs`).
-    Pfs,
-    /// The PPFS policy engine with the given configuration (`sio-ppfs`).
-    Ppfs(PolicyConfig),
-}
+pub use crate::backend::{Backend, BackendSpec, FsBackend};
 
 /// A complete, backend-independent workload description.
 #[derive(Debug, Clone)]
@@ -158,51 +151,27 @@ pub fn run_workload_crashable(
 ) -> RunOutput {
     let schedule = faults.cloned().unwrap_or_default();
     let nodes = workload.scripts.len() as u32;
-    match backend {
-        Backend::Pfs => {
-            let mut fs = Pfs::with_faults(machine, TraceSink::new(&workload.label), schedule);
-            for f in &workload.files {
-                fs.register(f.clone());
-            }
-            let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
-            fs.sink_mut().set_run_info(nodes, report.wall.nanos());
-            submit_perf(engine_perf, fs.sink_mut());
-            let pfs_faults = Some(fs.fault_stats());
-            let rebuild = (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total());
-            let degraded_nodes = fs.degraded_nodes();
-            RunOutput {
-                trace: fs.finish_trace(),
-                report,
-                ppfs_stats: None,
-                pfs_faults,
-                rebuild,
-                degraded_nodes,
-            }
-        }
-        Backend::Ppfs(policy) => {
-            let mut fs =
-                Ppfs::with_faults(machine, *policy, TraceSink::new(&workload.label), schedule);
-            for f in &workload.files {
-                fs.register(f.clone());
-            }
-            for &file in covered {
-                fs.mark_checkpoint_covered(file);
-            }
-            let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
-            fs.sink_mut().set_run_info(nodes, report.wall.nanos());
-            submit_perf(engine_perf, fs.sink_mut());
-            let ppfs_stats = Some(fs.stats());
-            let rebuild = (fs.rebuild_chunks_total(), fs.rebuilt_bytes_total());
-            let degraded_nodes = fs.degraded_nodes();
-            RunOutput {
-                trace: fs.finish_trace(),
-                report,
-                ppfs_stats,
-                pfs_faults: None,
-                rebuild,
-                degraded_nodes,
-            }
-        }
+    let mut fs = backend.build(machine, TraceSink::new(&workload.label), schedule);
+    for f in &workload.files {
+        fs.register_file(f.clone());
+    }
+    for &file in covered {
+        fs.mark_checkpoint_covered(file);
+    }
+    let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
+    fs.sink_mut().set_run_info(nodes, report.wall.nanos());
+    submit_perf(engine_perf, fs.sink_mut());
+    let ppfs_stats = fs.ppfs_stats();
+    let pfs_faults = fs.pfs_fault_stats();
+    let rebuild = fs.rebuild_totals();
+    let degraded_nodes = fs.degraded_nodes();
+    RunOutput {
+        trace: fs.finish_trace(),
+        report,
+        ppfs_stats,
+        pfs_faults,
+        rebuild,
+        degraded_nodes,
     }
 }
 
@@ -317,6 +286,7 @@ pub fn cyclic_read_kernel(passes: u32, reads_per_pass: u32, bytes: u64) -> Workl
 mod tests {
     use super::*;
     use sio_core::event::IoOp;
+    use sio_ppfs::PolicyConfig;
 
     fn tiny() -> MachineConfig {
         MachineConfig::tiny(4, 2)

@@ -1,0 +1,57 @@
+//! Timer-based delivery of a [`FaultSchedule`].
+
+use paragon_sim::engine::Sched;
+use paragon_sim::fault::{FaultEvent, FaultSchedule};
+use sio_core::hash::FastMap;
+
+/// Delivers a deterministic [`FaultSchedule`] to a backend: each event is
+/// armed as one absolute-time timer at run start, and [`FaultRouter::take`]
+/// claims a fired timer back into its event. An empty schedule arms nothing,
+/// so a healthy run is bit-identical to one built without fault support.
+#[derive(Debug)]
+pub struct FaultRouter {
+    schedule: FaultSchedule,
+    /// Armed events: timer id → event.
+    timers: FastMap<u64, FaultEvent>,
+}
+
+impl FaultRouter {
+    /// New router over a schedule. Panics if any event targets an I/O node
+    /// the machine does not have — a malformed schedule is a caller bug, not
+    /// a simulated fault.
+    pub fn new(schedule: FaultSchedule, io_nodes: usize) -> FaultRouter {
+        assert!(
+            schedule
+                .events()
+                .iter()
+                .all(|e| (e.io_node as usize) < io_nodes),
+            "fault schedule targets a nonexistent i/o node"
+        );
+        FaultRouter {
+            schedule,
+            timers: FastMap::default(),
+        }
+    }
+
+    /// Whether a fault schedule is in play (backends arm deadlines and use
+    /// lenient owner checks only when it is).
+    pub fn enabled(&self) -> bool {
+        !self.schedule.is_empty()
+    }
+
+    /// Arm one timer per scheduled event, allocating ids from the backend's
+    /// counter in schedule order.
+    pub fn arm_all(&mut self, ids: &mut u64, sched: &mut Sched) {
+        for ev in self.schedule.clone().events() {
+            let id = *ids;
+            *ids += 1;
+            self.timers.insert(id, *ev);
+            sched.timer(ev.at, id);
+        }
+    }
+
+    /// Claim a fault timer, if `timer` is one.
+    pub fn take(&mut self, timer: u64) -> Option<FaultEvent> {
+        self.timers.remove(&timer)
+    }
+}

@@ -1,0 +1,140 @@
+//! File registry with the fixed-slot allocator, and the metadata server.
+
+use crate::file::{FileSpec, FileState};
+use paragon_sim::program::IoFault;
+use paragon_sim::{SimDuration, SimTime};
+
+/// The file registry both backends share: specs, runtime state, and the
+/// fixed-slot per-I/O-node allocator (file `f`'s node-local space starts at
+/// `f × file_slot`, bounded by the array capacity).
+#[derive(Debug)]
+pub struct FileTable {
+    files: Vec<FileState>,
+    file_slot: u64,
+    array_capacity: u64,
+}
+
+impl FileTable {
+    /// New table over the given allocator geometry.
+    pub fn new(file_slot: u64, array_capacity: u64) -> FileTable {
+        assert!(file_slot > 0, "file slot must be nonzero");
+        FileTable {
+            files: Vec::new(),
+            file_slot,
+            array_capacity,
+        }
+    }
+
+    /// Slots the allocator can hand out before exhausting the arrays.
+    pub fn max_slots(&self) -> u64 {
+        self.array_capacity / self.file_slot
+    }
+
+    /// Register a file, returning its id, or a typed
+    /// [`IoFault::Unavailable`] when the fixed-slot allocator is exhausted —
+    /// capacity exhaustion is an explicit failure, not a debug assertion.
+    pub fn try_register(&mut self, spec: FileSpec) -> Result<u32, IoFault> {
+        let id = self.files.len() as u32;
+        if (id as u64) >= self.max_slots() {
+            return Err(IoFault::Unavailable);
+        }
+        self.files.push(FileState::new(spec));
+        Ok(id)
+    }
+
+    /// [`FileTable::try_register`], panicking on allocator exhaustion (the
+    /// pre-run registration path, where exhaustion is a workload bug).
+    pub fn register(&mut self, spec: FileSpec) -> u32 {
+        let slots = self.max_slots();
+        self.try_register(spec)
+            .unwrap_or_else(|_| panic!("file slot allocator exhausted ({slots} slots)"))
+    }
+
+    /// Node-local base offset of a file's allocator slot.
+    pub fn slot_base(&self, file: u32) -> u64 {
+        file as u64 * self.file_slot
+    }
+
+    /// Current length of a registered file.
+    pub fn len_of(&self, file: u32) -> u64 {
+        self.files[file as usize].len
+    }
+
+    /// Number of registered files.
+    pub fn count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Mutable runtime state of one file.
+    pub fn state(&mut self, file: u32) -> &mut FileState {
+        &mut self.files[file as usize]
+    }
+
+    /// Shared runtime state of one file.
+    pub fn get(&self, file: u32) -> &FileState {
+        &self.files[file as usize]
+    }
+}
+
+/// The single serialized metadata server: opens, creates, closes, and
+/// `lsize` queue through one next-free time.
+#[derive(Debug, Default)]
+pub struct MetaServer {
+    free: SimTime,
+}
+
+impl MetaServer {
+    /// New, idle server.
+    pub fn new() -> MetaServer {
+        MetaServer::default()
+    }
+
+    /// Serialize a metadata operation; returns its completion time.
+    pub fn op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = self.free.max(now);
+        let done = start + cost;
+        self.free = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_returns_unavailable_on_slot_exhaustion() {
+        // 4096-byte arrays with 1024-byte slots: exactly 4 slots.
+        let mut t = FileTable::new(1024, 4096);
+        for i in 0..4 {
+            assert_eq!(t.try_register(FileSpec::output(&format!("f{i}"))), Ok(i));
+        }
+        assert_eq!(
+            t.try_register(FileSpec::output("overflow")),
+            Err(IoFault::Unavailable)
+        );
+        // The failed registration did not corrupt the table.
+        assert_eq!(t.count(), 4);
+        assert_eq!(t.slot_base(3), 3 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot allocator exhausted")]
+    fn panicking_register_reports_slots() {
+        let mut t = FileTable::new(1024, 1024);
+        t.register(FileSpec::output("a"));
+        t.register(FileSpec::output("b"));
+    }
+
+    #[test]
+    fn meta_server_serializes() {
+        let mut m = MetaServer::new();
+        let c = SimDuration::from_millis(10);
+        let d1 = m.op(SimTime::ZERO, c);
+        let d2 = m.op(SimTime::ZERO, c);
+        assert_eq!(d2, d1 + c);
+        // An op arriving after the queue drains starts immediately.
+        let later = d2 + SimDuration::from_millis(5);
+        assert_eq!(m.op(later, c), later + c);
+    }
+}

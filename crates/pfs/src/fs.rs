@@ -3,105 +3,44 @@
 //! `Pfs` interprets every [`IoVerb`] with the semantics of §3.2:
 //!
 //! * **metadata path** — opens, creates, closes, and `lsize` serialize
-//!   through one metadata server (`meta_free`); *seeks on shared files*
+//!   through one metadata server ([`MetaServer`]); *seeks on shared files*
 //!   serialize at the file's metadata owner (per-file `seek_free`), which is
 //!   what makes ESCAT's 128-node synchronized seeks so expensive (Table 1);
 //!   seeks on single-opener files are a cheap local pointer update (HTF
 //!   `pscf`, Table 5);
 //! * **data path** — the access mode resolves the request's offset
 //!   (per-node pointer, shared pointer with token serialization, record
-//!   interleaving, or collective coalescing), the stripe layout splits it
-//!   into per-I/O-node segments, the segments queue at the
-//!   [`paragon_sim::ionode::IoNodeSim`]s, and the request completes when its
-//!   last segment does plus the client copy cost;
-//! * **tracing** — every application-visible call is recorded in a
-//!   [`sio_core::Tracer`] with its simulated interval; asynchronous reads
-//!   record their issue cost, and the engine's `on_iowait` hook records the
-//!   un-overlapped wait, exactly the two rows RENDER's Table 3 reports.
+//!   interleaving, or collective coalescing), then the request is staged and
+//!   pushed through the shared [`SegmentPump`] under the buddy-failover
+//!   policy, and completes when its last segment does plus the client copy
+//!   cost;
+//! * **tracing** — every application-visible call is recorded through the
+//!   shared [`TraceRecorder`]; asynchronous reads record their issue cost,
+//!   and the engine's `on_iowait` hook records the un-overlapped wait,
+//!   exactly the two rows RENDER's Table 3 reports.
+//!
+//! Everything mode-agnostic — file table, stripe layout, segment pump,
+//! fault routing, sync parking, trace recording — lives in `sio-fskit`;
+//! this module is the PFS *policy* over that substrate.
 
-use crate::file::{FileSpec, FileState};
-use crate::layout::{Segment, StripeLayout};
-use crate::mode::AccessMode;
-use paragon_sim::calibration::{FaultParams, IoSwCosts};
+use paragon_sim::calibration::FaultParams;
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
-use paragon_sim::ionode::{Completion, IoNodeSim, SegmentReq, SubmitOutcome};
-use paragon_sim::mesh::{CommCosts, Mesh};
+use paragon_sim::ionode::{RejectReason, SegmentReq};
 use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
 use paragon_sim::raid::RaidError;
-use paragon_sim::time::transfer_time;
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
 use sio_core::hash::FastMap;
 use sio_core::trace::{Trace, TraceSink};
+use sio_fskit::file::{FileSpec, FileState};
+use sio_fskit::mode::AccessMode;
+use sio_fskit::pump::{FailoverPolicy, NodeTick, SegmentPump};
+use sio_fskit::{FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TraceRecorder};
 use std::collections::BTreeMap;
 
-/// Per-I/O-node bytes reserved for each registered file (a fixed-slot
-/// allocator: file `f`'s node-local space starts at `f × file_slot`).
-const DEFAULT_FILE_SLOT: u64 = 32 << 20;
-
-/// PFS configuration, derived from a [`MachineConfig`].
-#[derive(Debug, Clone)]
-pub struct PfsConfig {
-    /// Stripe map.
-    pub layout: StripeLayout,
-    /// Software-path costs.
-    pub io_sw: IoSwCosts,
-    /// Mesh geometry (M_GLOBAL broadcast costs).
-    pub mesh: Mesh,
-    /// Interconnect costs.
-    pub comm: CommCosts,
-    /// Per-I/O-node slot size of the file allocator.
-    pub file_slot: u64,
-    /// Array capacity per I/O node (slot allocator bound).
-    pub array_capacity: u64,
-}
-
-impl PfsConfig {
-    /// Derive from a machine configuration (64 KB PFS striping).
-    pub fn from_machine(m: &MachineConfig) -> PfsConfig {
-        PfsConfig {
-            layout: StripeLayout::pfs(m.io_nodes),
-            io_sw: m.io_sw,
-            mesh: m.mesh(),
-            comm: m.comm,
-            file_slot: DEFAULT_FILE_SLOT,
-            array_capacity: m.disk.capacity * m.raid.data_disks as u64,
-        }
-    }
-}
-
-/// The per-node client copy path: one CPU per node moves data between the
-/// application and the message system, so concurrent completions on the same
-/// node serialize through it. This is the effect behind §6.2's observation
-/// that the RENDER gateway sustains only ~9.5 MB/s against a ~140 MB/s
-/// aggregate array rate.
-#[derive(Debug, Default)]
-pub struct ClientPath {
-    /// Next-free time per node, indexed by `NodeId` (dense: node ids are
-    /// small and this is touched once per data completion).
-    free: Vec<SimTime>,
-}
-
-impl ClientPath {
-    /// New, idle client path.
-    pub fn new() -> ClientPath {
-        ClientPath::default()
-    }
-
-    /// Serialize a `bytes`-sized copy on `node`'s client CPU, starting no
-    /// earlier than `ready`; returns the completion time.
-    pub fn copy_done(&mut self, node: NodeId, ready: SimTime, bytes: u64, rate: f64) -> SimTime {
-        let slot = node as usize;
-        if slot >= self.free.len() {
-            self.free.resize(slot + 1, SimTime::ZERO);
-        }
-        let start = self.free[slot].max(ready);
-        let done = start + transfer_time(bytes, rate);
-        self.free[slot] = done;
-        done
-    }
-}
+pub use sio_fskit::client::ClientPath;
+pub use sio_fskit::config::{FsConfig as PfsConfig, DEFAULT_FILE_SLOT};
 
 #[derive(Debug)]
 struct Pending {
@@ -119,16 +58,6 @@ struct Pending {
     fault: Option<IoFault>,
     /// Extra completers for M_GLOBAL collectives: (token, node, issued).
     collective: Vec<(IoToken, NodeId, SimTime)>,
-}
-
-/// A rejected or lost segment awaiting re-submission.
-#[derive(Debug, Clone, Copy)]
-struct RetrySeg {
-    /// Target I/O node of the next attempt.
-    io: u32,
-    req: SegmentReq,
-    /// Attempts already made against the current target.
-    attempt: u32,
 }
 
 /// Counters for the fault-handling machinery (all zero on a healthy run).
@@ -171,31 +100,18 @@ struct ParkedSync {
     is_async: bool,
 }
 
-/// A `Sync` commit waiting for the file's outstanding writes to land.
-#[derive(Debug, Clone, Copy)]
-struct SyncWaiter {
-    token: IoToken,
-    node: NodeId,
-    file: u32,
-    issued: SimTime,
-}
-
 /// The Intel PFS model.
 pub struct Pfs {
     cfg: PfsConfig,
-    ionodes: Vec<IoNodeSim>,
-    files: Vec<FileState>,
-    sink: TraceSink,
-    /// Global metadata server: next-free time.
-    meta_free: SimTime,
+    /// Segment pump over the I/O nodes (buddy-failover policy).
+    pump: SegmentPump,
+    files: FileTable,
+    recorder: TraceRecorder,
+    /// Global metadata server.
+    meta: MetaServer,
     /// Per-file metadata-owner queues for shared-file seeks.
     seek_free: Vec<SimTime>,
     pending: FastMap<IoToken, Pending>,
-    seg_owner: FastMap<u64, IoToken>,
-    next_seg: u64,
-    /// Reused stripe-decomposition buffer (hot path: one per request
-    /// otherwise).
-    seg_scratch: Vec<Segment>,
     deferred: FastMap<u64, Deferred>,
     next_deferred: u64,
     /// M_GLOBAL coalescing: file -> waiting participants.
@@ -204,19 +120,16 @@ pub struct Pfs {
     /// M_SYNC parking: file -> node -> parked request.
     sync_parked: FastMap<u32, BTreeMap<NodeId, ParkedSync>>,
     /// `Sync` commits parked until their file has no in-flight writes.
-    sync_waiters: Vec<SyncWaiter>,
+    syncs: SyncLedger,
     /// Per-node serial client copy path.
     client: ClientPath,
     /// Fault-handling calibration (backoff, failover, deadline).
     fault_params: FaultParams,
-    /// Injected fault schedule; empty on a healthy run.
-    schedule: FaultSchedule,
-    /// Armed fault-event timers (timer id -> event).
-    fault_timers: FastMap<u64, FaultEvent>,
-    /// Armed segment-retry timers (timer id -> retry state).
-    retry_timers: FastMap<u64, RetrySeg>,
+    /// Scheduled fault delivery; inert on a healthy run.
+    faults: FaultRouter,
     /// Armed per-request deadline timers (timer id -> request token).
     timeout_timers: FastMap<u64, IoToken>,
+    /// Backend-local counters; pump counters merge in at the getter.
     fault_stats: FaultStats,
 }
 
@@ -233,35 +146,32 @@ impl Pfs {
     pub fn with_faults(machine: &MachineConfig, sink: TraceSink, schedule: FaultSchedule) -> Pfs {
         let cfg = PfsConfig::from_machine(machine);
         let ionodes = machine.build_io_nodes();
-        assert!(
-            schedule
-                .events()
-                .iter()
-                .all(|e| (e.io_node as usize) < ionodes.len()),
-            "fault schedule targets a nonexistent i/o node"
-        );
+        let faults = FaultRouter::new(schedule, ionodes.len());
         let next_deferred = ionodes.len() as u64;
+        let pump = SegmentPump::new(
+            ionodes,
+            FailoverPolicy::Buddy {
+                max_retries: machine.fault.max_retries,
+            },
+            machine.fault.retry_base,
+        );
+        let files = FileTable::new(cfg.file_slot, cfg.array_capacity);
         Pfs {
             cfg,
-            ionodes,
-            files: Vec::new(),
-            sink,
-            meta_free: SimTime::ZERO,
+            pump,
+            files,
+            recorder: TraceRecorder::new(sink),
+            meta: MetaServer::new(),
             seek_free: Vec::new(),
             pending: FastMap::default(),
-            seg_owner: FastMap::default(),
-            next_seg: 0,
-            seg_scratch: Vec::new(),
             deferred: FastMap::default(),
             next_deferred,
             global_waiting: FastMap::default(),
             sync_parked: FastMap::default(),
-            sync_waiters: Vec::new(),
+            syncs: SyncLedger::new(),
             client: ClientPath::new(),
             fault_params: machine.fault,
-            schedule,
-            fault_timers: FastMap::default(),
-            retry_timers: FastMap::default(),
+            faults,
             timeout_timers: FastMap::default(),
             fault_stats: FaultStats::default(),
         }
@@ -270,92 +180,88 @@ impl Pfs {
     /// Whether a fault schedule is in play (arms deadlines and lenient
     /// completion paths; a healthy run keeps the strict invariants).
     fn faults_enabled(&self) -> bool {
-        !self.schedule.is_empty()
+        self.faults.enabled()
     }
 
     /// Register a file; returns its id (used in [`IoRequest::file`]).
+    /// Panics when the fixed-slot allocator is exhausted — use
+    /// [`Pfs::try_register`] for a typed error.
     pub fn register(&mut self, spec: FileSpec) -> u32 {
-        let id = self.files.len() as u32;
-        let max_slots = self.cfg.array_capacity / self.cfg.file_slot;
-        assert!(
-            (id as u64) < max_slots,
-            "file slot allocator exhausted ({max_slots} slots)"
-        );
-        self.files.push(FileState::new(spec));
+        let id = self.files.register(spec);
         self.seek_free.push(SimTime::ZERO);
         id
     }
 
+    /// Register a file, returning [`IoFault::Unavailable`] when the
+    /// fixed-slot allocator is exhausted.
+    pub fn try_register(&mut self, spec: FileSpec) -> Result<u32, IoFault> {
+        let id = self.files.try_register(spec)?;
+        self.seek_free.push(SimTime::ZERO);
+        Ok(id)
+    }
+
     /// Current length of a registered file.
     pub fn file_len(&self, file: u32) -> u64 {
-        self.files[file as usize].len
+        self.files.len_of(file)
     }
 
     /// Mutable access to the trace sink (e.g. to set run metadata).
     pub fn sink_mut(&mut self) -> &mut TraceSink {
-        &mut self.sink
+        self.recorder.sink_mut()
     }
 
     /// Consume the file system, freezing its captured trace.
     pub fn finish_trace(self) -> Trace {
-        self.sink.finish()
+        self.recorder.finish()
     }
 
     /// Inject a disk failure into one I/O node's array (experiment A4 and
     /// the X4 fault suite). A second failure on the same array is a typed
     /// error, not a panic.
     pub fn fail_disk(&mut self, io_node: u32, disk: u32) -> Result<(), RaidError> {
-        self.ionodes[io_node as usize].array_mut().fail_disk(disk)
+        self.pump.node_mut(io_node).array_mut().fail_disk(disk)
     }
 
     /// Fault-machinery counters (all zero on a healthy run).
     pub fn fault_stats(&self) -> FaultStats {
-        self.fault_stats
+        let mut s = self.fault_stats;
+        let p = self.pump.stats();
+        s.retries += p.retries;
+        s.failovers += p.failovers;
+        s
     }
 
     /// Rebuild chunks completed across all I/O nodes.
     pub fn rebuild_chunks_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuild_chunks()).sum()
+        self.pump.rebuild_chunks_total()
     }
 
     /// Member bytes rebuilt across all I/O nodes.
     pub fn rebuilt_bytes_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuilt_bytes()).sum()
+        self.pump.rebuilt_bytes_total()
     }
 
     /// I/O nodes whose arrays are still degraded.
     pub fn degraded_nodes(&self) -> u32 {
-        self.ionodes.iter().filter(|n| n.array().degraded()).count() as u32
+        self.pump.degraded_nodes()
     }
 
     /// Sum of queueing delay accumulated across all I/O nodes.
     pub fn total_queueing(&self) -> SimDuration {
-        self.ionodes
-            .iter()
-            .map(|n| n.queued_total())
-            .fold(SimDuration::ZERO, |a, b| a + b)
+        self.pump.total_queueing()
     }
 
     /// Total stripe segments completed across all I/O nodes.
     pub fn segments_completed(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.completed()).sum()
+        self.pump.segments_completed()
     }
 
     fn state(&mut self, file: u32) -> &mut FileState {
-        &mut self.files[file as usize]
+        self.files.state(file)
     }
 
     fn record(&mut self, ev: IoEvent) {
-        self.sink.record(ev);
-    }
-
-    /// Serialize a metadata operation on the global server; returns its
-    /// completion time.
-    fn meta_op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        let start = self.meta_free.max(now);
-        let done = start + cost;
-        self.meta_free = done;
-        done
+        self.recorder.record(ev);
     }
 
     /// Dispatch a resolved data operation to the I/O nodes.
@@ -406,37 +312,42 @@ impl Pfs {
             );
             return;
         }
-        let mut segments = std::mem::take(&mut self.seg_scratch);
-        segments.clear();
-        self.cfg
-            .layout
-            .segments_into(offset, eff_bytes, &mut segments);
-        let slot_base = file as u64 * self.cfg.file_slot;
-        let mut reqs = Vec::with_capacity(segments.len());
-        let mut seg_ids = Vec::with_capacity(segments.len());
-        for seg in &segments {
-            let array_offset = slot_base + seg.local_offset;
-            assert!(
-                array_offset + seg.bytes <= self.cfg.array_capacity,
-                "file {file} overflows its allocator slot"
-            );
-            let id = self.next_seg;
-            self.next_seg += 1;
-            self.seg_owner.insert(id, token);
-            seg_ids.push(id);
-            reqs.push((
-                seg.io_node,
-                SegmentReq {
-                    id,
-                    offset: array_offset,
-                    bytes: seg.bytes,
-                    write,
-                    sequential: false,
-                    failover: false,
-                },
-            ));
-        }
-        self.seg_scratch = segments;
+        let slot_base = self.files.slot_base(file);
+        let staged = self.pump.stage_extent(
+            &self.cfg.layout,
+            slot_base,
+            self.cfg.array_capacity,
+            offset,
+            eff_bytes,
+            write,
+            token,
+        );
+        let (reqs, seg_ids) = match staged {
+            Ok(v) => v,
+            Err(fault) => {
+                // The request overflows its allocator slot: a typed
+                // data-path failure on this request, not a crash of the run.
+                self.pending.insert(
+                    token,
+                    Pending {
+                        file,
+                        write,
+                        is_async,
+                        offset,
+                        bytes: eff_bytes,
+                        issued,
+                        node,
+                        segs_left: 0,
+                        seg_ids: Vec::new(),
+                        fault: None,
+                        collective,
+                    },
+                );
+                self.fault_stats.unavailable += 1;
+                self.fail_token(token, fault, now, sched);
+                return;
+            }
+        };
         // The request must be pending before any segment is submitted: a
         // rejection chain (both primary and buddy down) can fail the whole
         // token mid-loop.
@@ -457,7 +368,7 @@ impl Pfs {
             },
         );
         for (io, req) in reqs {
-            self.submit_seg(now, io, req, 0, sched);
+            self.submit_or_fail(now, io, req, 0, sched);
         }
         if self.faults_enabled() && self.pending.contains_key(&token) {
             // Hard per-request deadline: no request hangs forever under a
@@ -469,11 +380,9 @@ impl Pfs {
         }
     }
 
-    /// Submit one segment to an I/O node, handling explicit backpressure:
-    /// rejections (node down or queue full) are retried with exponential
-    /// backoff and, once the attempts against one node are exhausted, failed
-    /// over to the buddy node — never silently dropped.
-    fn submit_seg(
+    /// Push one segment through the pump; when both the primary and its
+    /// buddy refuse it, fail the owning request as unavailable.
+    fn submit_or_fail(
         &mut self,
         now: SimTime,
         io: u32,
@@ -481,51 +390,10 @@ impl Pfs {
         attempt: u32,
         sched: &mut Sched,
     ) {
-        match self.ionodes[io as usize].submit(now, req) {
-            SubmitOutcome::Started => {
-                let t = self.ionodes[io as usize].next_done().expect("just started");
-                sched.timer(t, io as u64);
-            }
-            SubmitOutcome::Queued => {}
-            SubmitOutcome::Rejected(_) => self.handle_rejection(now, io, req, attempt, sched),
-        }
-    }
-
-    /// A segment was rejected (or lost to a crash): back off and retry,
-    /// fail over, or fail the owning request.
-    fn handle_rejection(
-        &mut self,
-        now: SimTime,
-        io: u32,
-        req: SegmentReq,
-        attempt: u32,
-        sched: &mut Sched,
-    ) {
-        let fp = self.fault_params;
-        if attempt < fp.max_retries {
-            self.fault_stats.retries += 1;
-            let delay = fp.retry_base.times(1u64 << attempt.min(16));
-            let id = self.next_deferred;
-            self.next_deferred += 1;
-            self.retry_timers.insert(
-                id,
-                RetrySeg {
-                    io,
-                    req,
-                    attempt: attempt + 1,
-                },
-            );
-            sched.timer(now + delay, id);
-        } else if !req.failover {
-            // This node is unreachable: reconstruct from redundancy on the
-            // buddy node (at the degraded penalty).
-            self.fault_stats.failovers += 1;
-            let buddy = (io + 1) % self.ionodes.len() as u32;
-            let mut r = req;
-            r.failover = true;
-            self.submit_seg(now, buddy, r, 0, sched);
-        } else if let Some(&token) = self.seg_owner.get(&req.id) {
-            // Primary and buddy both refused: the request cannot be served.
+        if let Some(token) =
+            self.pump
+                .submit_seg(now, io, req, attempt, &mut self.next_deferred, sched)
+        {
             self.fault_stats.unavailable += 1;
             self.fail_token(token, IoFault::Unavailable, now, sched);
         }
@@ -551,22 +419,20 @@ impl Pfs {
         issued: SimTime,
         sched: &mut Sched,
     ) {
-        let done = now + self.cfg.io_sw.flush;
-        let fault = if self.ionodes.iter().any(|n| n.array().data_lost()) {
+        let fault = if self.pump.any_data_lost() {
             Some(IoFault::DataLoss)
         } else {
             None
         };
-        self.record(IoEvent::new(node, file, IoOp::Flush).span(issued.nanos(), done.nanos()));
-        sched.complete_io(
+        self.recorder.complete_commit(
+            sched,
             token,
-            done,
-            IoResult {
-                bytes: 0,
-                queued: SimDuration::ZERO,
-                service: done.since(issued),
-                fault,
-            },
+            node,
+            file,
+            issued,
+            now,
+            self.cfg.io_sw.flush,
+            fault,
         );
     }
 
@@ -574,17 +440,11 @@ impl Pfs {
     /// has finished (or failed — a typed write fault still unblocks the
     /// commit; the caller sees the failure on the write itself).
     fn drain_sync_waiters(&mut self, file: u32, now: SimTime, sched: &mut Sched) {
-        if self.sync_waiters.is_empty() || self.has_outstanding_writes(file) {
+        if self.syncs.is_empty() || self.has_outstanding_writes(file) {
             return;
         }
-        let mut i = 0;
-        while i < self.sync_waiters.len() {
-            if self.sync_waiters[i].file == file {
-                let w = self.sync_waiters.remove(i);
-                self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
-            } else {
-                i += 1;
-            }
+        for w in self.syncs.take_for(file) {
+            self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
         }
     }
 
@@ -596,7 +456,7 @@ impl Pfs {
         };
         let failed_file = p.file;
         for id in &p.seg_ids {
-            self.seg_owner.remove(id);
+            self.pump.forget(*id);
         }
         let op = match (p.write, p.is_async) {
             (true, _) => IoOp::Write,
@@ -632,46 +492,37 @@ impl Pfs {
 
     /// Apply one scheduled fault event.
     fn apply_fault(&mut self, now: SimTime, ev: FaultEvent, sched: &mut Sched) {
-        let io = ev.io_node as usize;
         match ev.kind {
             FaultKind::DiskFail { disk } => {
-                match self.ionodes[io].array_mut().fail_disk(disk) {
-                    Ok(()) => {}
-                    Err(RaidError::DoubleFailure { .. }) => {
-                        self.ionodes[io].array_mut().mark_data_lost();
-                        self.fault_stats.data_loss_events += 1;
-                    }
-                    // Malformed event (bad index): reportable no-op.
-                    Err(_) => {}
+                if self.pump.apply_disk_fail(ev.io_node, disk) {
+                    self.fault_stats.data_loss_events += 1;
                 }
             }
-            FaultKind::DiskRepair => {
-                if self.ionodes[io].array_mut().start_rebuild().is_ok() {
-                    if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
-                        sched.timer(t, io as u64);
-                    }
-                }
-            }
+            FaultKind::DiskRepair => self.pump.apply_disk_repair(now, ev.io_node, sched),
             FaultKind::NodeStall { for_dur } => {
-                if let Some(t) = self.ionodes[io].stall(now, for_dur) {
-                    sched.timer(t, io as u64);
-                }
+                self.pump.apply_stall(now, ev.io_node, for_dur, sched)
             }
             FaultKind::NodeCrash => {
-                let lost = self.ionodes[io].crash();
+                let lost = self.pump.crash(ev.io_node);
                 self.fault_stats.lost_segments += lost.len() as u64;
                 for req in lost {
-                    if self.seg_owner.contains_key(&req.id) {
-                        self.handle_rejection(now, ev.io_node, req, 0, sched);
+                    if self.pump.owns(req.id) {
+                        if let Some(token) = self.pump.handle_rejection(
+                            now,
+                            ev.io_node,
+                            req,
+                            0,
+                            RejectReason::Down,
+                            &mut self.next_deferred,
+                            sched,
+                        ) {
+                            self.fault_stats.unavailable += 1;
+                            self.fail_token(token, IoFault::Unavailable, now, sched);
+                        }
                     }
                 }
             }
-            FaultKind::NodeRecover => {
-                self.ionodes[io].recover();
-                if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
-                    sched.timer(t, io as u64);
-                }
-            }
+            FaultKind::NodeRecover => self.pump.recover(now, ev.io_node, sched),
         }
     }
 
@@ -737,22 +588,18 @@ impl Pfs {
         let mode = self.state(file).mode.unwrap_or_else(|| {
             panic!(
                 "data op on closed file {} by node {node}",
-                self.files[file as usize].spec.name
+                self.files.get(file).spec.name
             )
         });
         // Trace the async issue itself (the paper's "AsynchRead" row), with
         // the offset the request will resolve to under the file's mode.
         if is_async {
             let resolved = match mode {
-                AccessMode::MUnix | AccessMode::MAsync => req.offset.unwrap_or_else(|| {
-                    self.files[file as usize]
-                        .pos
-                        .get(&node)
-                        .copied()
-                        .unwrap_or(0)
-                }),
+                AccessMode::MUnix | AccessMode::MAsync => req
+                    .offset
+                    .unwrap_or_else(|| self.files.get(file).pos.get(&node).copied().unwrap_or(0)),
                 AccessMode::MLog | AccessMode::MSync | AccessMode::MGlobal => {
-                    self.files[file as usize].shared_pos
+                    self.files.get(file).shared_pos
                 }
                 AccessMode::MRecord => {
                     let st = self.state(file);
@@ -1017,36 +864,32 @@ impl IoService for Pfs {
                 } else {
                     self.cfg.io_sw.open
                 };
-                let done = self.meta_op(now, cost);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Open).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                let done = self.meta.op(now, cost);
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Open,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Close => {
                 self.state(req.file).close(node);
-                let done = self.meta_op(now, self.cfg.io_sw.close);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Close).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                let done = self.meta.op(now, self.cfg.io_sw.close);
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Close,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Seek => {
@@ -1071,53 +914,45 @@ impl IoService for Pfs {
                     *pos = target;
                     (now + self.cfg.io_sw.seek_local, distance)
                 };
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Seek)
-                        .span(now.nanos(), done.nanos())
-                        .extent(target, distance),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Seek,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    Some((target, distance)),
+                    0,
                 );
             }
             IoVerb::Flush => {
                 let done = now + self.cfg.io_sw.flush;
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Flush).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Flush,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Lsize => {
-                let done = self.meta_op(now, self.cfg.io_sw.lsize);
+                let done = self.meta.op(now, self.cfg.io_sw.lsize);
                 let len = self.file_len(req.file);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Lsize).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Lsize,
+                    now,
                     done,
-                    IoResult {
-                        bytes: len,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    len,
                 );
             }
             IoVerb::Sync => {
@@ -1128,7 +963,7 @@ impl IoService for Pfs {
                 // Traced as Forflush — the paper's vocabulary has no
                 // separate commit row.
                 if self.has_outstanding_writes(req.file) {
-                    self.sync_waiters.push(SyncWaiter {
+                    self.syncs.park(SyncWaiter {
                         token,
                         node,
                         file: req.file,
@@ -1146,68 +981,58 @@ impl IoService for Pfs {
     fn on_start(&mut self, sched: &mut Sched) {
         // Arm one absolute-time timer per scheduled fault event. Empty
         // schedule (the healthy case): no timers, bit-identical runs.
-        for ev in self.schedule.clone().events() {
-            let id = self.next_deferred;
-            self.next_deferred += 1;
-            self.fault_timers.insert(id, *ev);
-            sched.timer(ev.at, id);
-        }
+        self.faults.arm_all(&mut self.next_deferred, sched);
     }
 
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
-        if (timer as usize) < self.ionodes.len() {
+        if (timer as usize) < self.pump.len() {
             // An I/O node finished its in-service work. Stale timers happen
             // only under faults (a stall postponed the completion, or a
-            // crash voided it): the re-armed timer covers the real time.
-            let io = timer as usize;
-            let due = matches!(self.ionodes[io].next_done(), Some(t) if t <= now);
-            if !due {
-                debug_assert!(
+            // crash voided it); orphaned segments mean the owning request
+            // already failed (timeout/unavailable).
+            match self.pump.node_tick(now, timer, sched) {
+                NodeTick::Stale => debug_assert!(
                     self.faults_enabled(),
                     "stale i/o-node timer on a healthy run"
-                );
-                return;
-            }
-            let completion = self.ionodes[io].complete_head(now);
-            if let Some(t) = self.ionodes[io].next_done() {
-                sched.timer(t, timer);
-            }
-            let (seg_id, data_lost) = match completion {
-                Completion::App { id, data_lost } => (id, data_lost),
+                ),
                 // Background rebuild traffic: no request to complete.
-                Completion::Rebuild { .. } => return,
-            };
-            let Some(token) = self.seg_owner.remove(&seg_id) else {
-                // The owning request already failed (timeout/unavailable).
-                debug_assert!(self.faults_enabled(), "segment with no owner");
-                return;
-            };
-            let Some(p) = self.pending.get_mut(&token) else {
-                debug_assert!(self.faults_enabled(), "pending missing");
-                return;
-            };
-            if data_lost {
-                self.fault_stats.data_loss_segments += 1;
-                p.fault = Some(IoFault::DataLoss);
+                NodeTick::Rebuild => {}
+                NodeTick::Orphan => {
+                    debug_assert!(self.faults_enabled(), "segment with no owner")
+                }
+                NodeTick::Seg {
+                    owner: token,
+                    data_lost,
+                } => {
+                    let Some(p) = self.pending.get_mut(&token) else {
+                        debug_assert!(self.faults.enabled(), "pending missing");
+                        return;
+                    };
+                    if data_lost {
+                        self.fault_stats.data_loss_segments += 1;
+                        p.fault = Some(IoFault::DataLoss);
+                    }
+                    p.segs_left -= 1;
+                    if p.segs_left == 0 {
+                        // `get_mut` above proved the entry exists; a failed
+                        // remove means the pending map is corrupt. Degrade
+                        // to a typed fault on the token instead of panicking
+                        // the worker.
+                        let Some(p) = self.pending.remove(&token) else {
+                            debug_assert!(false, "pending entry vanished for token {token}");
+                            self.fail_token(token, IoFault::Unavailable, now, sched);
+                            return;
+                        };
+                        self.finish(p, token, now, sched);
+                    }
+                }
             }
-            p.segs_left -= 1;
-            if p.segs_left == 0 {
-                // `get_mut` above proved the entry exists; a failed remove
-                // means the pending map is corrupt. Degrade to a typed
-                // fault on the token instead of panicking the worker.
-                let Some(p) = self.pending.remove(&token) else {
-                    debug_assert!(false, "pending entry vanished for token {token}");
-                    self.fail_token(token, IoFault::Unavailable, now, sched);
-                    return;
-                };
-                self.finish(p, token, now, sched);
-            }
-        } else if let Some(ev) = self.fault_timers.remove(&timer) {
+        } else if let Some(ev) = self.faults.take(timer) {
             self.apply_fault(now, ev, sched);
-        } else if let Some(r) = self.retry_timers.remove(&timer) {
+        } else if let Some(r) = self.pump.take_retry(timer) {
             // Retry only while the owning request is still alive.
-            if self.seg_owner.contains_key(&r.req.id) {
-                self.submit_seg(now, r.io, r.req, r.attempt, sched);
+            if self.pump.owns(r.req.id) {
+                self.submit_or_fail(now, r.io, r.req, r.attempt, sched);
             }
         } else if let Some(token) = self.timeout_timers.remove(&timer) {
             if self.pending.contains_key(&token) {
@@ -1238,12 +1063,9 @@ impl IoService for Pfs {
     }
 
     fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
-        self.record(
-            IoEvent::new(node, file, IoOp::IoWait).span(wait_start.nanos(), wait_end.nanos()),
-        );
+        self.recorder.iowait(node, file, wait_start, wait_end);
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,30 +2,29 @@
 //!
 //! PFS "stripes files across the I/O nodes in units of 64 KB, with standard
 //! RAID-3 striping on each disk array" and offers six parallel access modes
-//! (§3.2 of the paper). This crate models that file system over the
-//! `paragon-sim` machine:
+//! (§3.2 of the paper). This crate is the PFS *policy* over the shared
+//! `sio-fskit` substrate:
 //!
-//! * [`layout`] — the 64 KB round-robin stripe map from file offsets to
-//!   (I/O node, array offset) segments, with per-I/O-node merging of
-//!   contiguous units;
-//! * [`mode`] — the six access modes (`M_UNIX`, `M_LOG`, `M_SYNC`,
-//!   `M_RECORD`, `M_GLOBAL`, `M_ASYNC`) and their pointer/coordination
-//!   semantics;
-//! * [`file`](mod@file) — file registration and runtime state (length, openers,
-//!   pointers, record bookkeeping);
+//! * [`layout`] (re-exported from `sio-fskit`) — the 64 KB round-robin
+//!   stripe map from file offsets to (I/O node, array offset) segments,
+//!   with per-I/O-node merging of contiguous units;
+//! * [`mode`] (re-exported from `sio-fskit`) — the six access modes
+//!   (`M_UNIX`, `M_LOG`, `M_SYNC`, `M_RECORD`, `M_GLOBAL`, `M_ASYNC`) and
+//!   their pointer/coordination semantics;
+//! * [`file`](mod@file) (re-exported from `sio-fskit`) — file registration
+//!   and runtime state (length, openers, pointers, record bookkeeping);
 //! * [`fs`] — [`fs::Pfs`], the [`paragon_sim::IoService`] implementation:
 //!   metadata-server queueing for opens/closes/shared seeks, per-mode data
-//!   dispatch, stripe-segment submission to the I/O-node queues, and Pablo
-//!   tracing of every call.
+//!   dispatch through the shared segment pump with buddy-node failover,
+//!   and Pablo tracing of every call.
 //!
 //! Every application-visible operation is recorded through a
 //! [`sio_core::Tracer`], producing the traces the analysis crate turns into
 //! the paper's tables and figures.
 
-pub mod file;
+pub use sio_fskit::{file, layout, mode};
+
 pub mod fs;
-pub mod layout;
-pub mod mode;
 
 pub use file::FileSpec;
 pub use fs::{FaultStats, Pfs, PfsConfig};

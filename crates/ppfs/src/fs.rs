@@ -14,6 +14,11 @@
 //!   that drains in the background as few large sequential requests (§5.2's
 //!   policy pair).
 //!
+//! The shared mechanics — file registry, stripe segment pump with
+//! stripe-pinned retry/replay, fault delivery, `Sync` parking, and interval
+//! tracing — live in `sio-fskit`; this module is the PPFS policy layer
+//! (caching, prefetch, write-behind, transfer routing) on top.
+//!
 //! Tracing matches PFS: the application-visible interval of every call is
 //! recorded, so the paper's tables can be regenerated for either file
 //! system and compared (DESIGN.md experiment X1).
@@ -23,21 +28,23 @@ use crate::cache::{BlockCache, BlockState};
 use crate::policy::PolicyConfig;
 use crate::prefetch::StreamPrefetcher;
 use crate::write_behind::{DirtyBuffer, Extent};
-use paragon_sim::calibration::FaultParams;
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
-use paragon_sim::ionode::{Completion, IoNodeSim, RejectReason, SegmentReq, SubmitOutcome};
 use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
-use paragon_sim::raid::RaidError;
 
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
 use sio_core::hash::{FastMap, FastSet};
 use sio_core::trace::{Trace, TraceSink};
-use sio_pfs::file::{FileSpec, FileState};
-use sio_pfs::fs::PfsConfig;
-use sio_pfs::layout::Segment;
-use sio_pfs::mode::AccessMode;
+use sio_fskit::client::ClientPath;
+use sio_fskit::config::FsConfig;
+use sio_fskit::fault::FaultRouter;
+use sio_fskit::file::FileSpec;
+use sio_fskit::mode::AccessMode;
+use sio_fskit::pump::{FailoverPolicy, NodeTick, SegmentPump};
+use sio_fskit::recorder::TraceRecorder;
+use sio_fskit::sync::{SyncLedger, SyncWaiter};
+use sio_fskit::table::{FileTable, MetaServer};
 
 /// Running statistics of a PPFS instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,14 +83,6 @@ pub struct PpfsStats {
     pub dirty_bytes_lost_checkpointed: u64,
 }
 
-/// A segment awaiting a backoff retry after a queue-full rejection.
-#[derive(Debug)]
-struct RetrySeg {
-    io: u32,
-    req: SegmentReq,
-    attempt: u32,
-}
-
 #[derive(Debug)]
 enum Transfer {
     /// Block fetch into `node`'s cache (demand or prefetch).
@@ -107,15 +106,6 @@ enum Transfer {
     Flush { file: u32, segs_left: u32 },
 }
 
-/// A `Sync` commit waiting for the file's write-back traffic to land.
-#[derive(Debug, Clone, Copy)]
-struct SyncWaiter {
-    token: IoToken,
-    node: NodeId,
-    file: u32,
-    issued: SimTime,
-}
-
 #[derive(Debug)]
 struct ReadPending {
     token: IoToken,
@@ -130,23 +120,20 @@ struct ReadPending {
 
 /// The PPFS file system.
 pub struct Ppfs {
-    cfg: PfsConfig,
+    cfg: FsConfig,
     policy: PolicyConfig,
-    ionodes: Vec<IoNodeSim>,
-    files: Vec<FileState>,
-    sink: TraceSink,
-    meta_free: SimTime,
+    /// Shared segment pump, stripe-pinned: a down node parks segments for
+    /// replay, a full queue retries forever with capped backoff.
+    pump: SegmentPump,
+    files: FileTable,
+    recorder: TraceRecorder,
+    meta: MetaServer,
     seed: u64,
     caches: FastMap<NodeId, BlockCache>,
     prefetchers: FastMap<(NodeId, u32), StreamPrefetcher>,
     dirty: FastMap<(NodeId, u32), DirtyBuffer>,
     transfers: FastMap<u64, Transfer>,
     next_transfer: u64,
-    seg_owner: FastMap<u64, u64>,
-    next_seg: u64,
-    /// Reused stripe-decomposition buffer (hot path: one per extent
-    /// otherwise).
-    seg_scratch: Vec<Segment>,
     reads: FastMap<u64, ReadPending>,
     next_read: u64,
     /// (node, file, block) -> read ids waiting for the block.
@@ -154,28 +141,20 @@ pub struct Ppfs {
     flush_timer_armed: bool,
     stats: PpfsStats,
     /// Per-node serial client copy path (shared model with PFS).
-    client: sio_pfs::fs::ClientPath,
+    client: ClientPath,
     /// Per-I/O-node server caches (empty when disabled).
     server_caches: Vec<BlockCache>,
     /// Pending server-cache hit deliveries: timer id -> (node, file, blocks).
     fetch_hits: FastMap<u64, (NodeId, u32, Vec<u64>)>,
-    /// Next server-hit timer id (above the ionode and flush timer ids).
+    /// Next server-hit timer id (above the ionode and flush timer ids); also
+    /// allocates fault-event and backoff-retry timer ids.
     next_hit_timer: u64,
     /// Per-file policy advice (paper §10: advertised access patterns).
     advice: FastMap<u32, FileAdvice>,
-    /// Fault-handling parameters (retry backoff; rebuild chunking lives in
-    /// the I/O nodes).
-    fault_params: FaultParams,
-    /// Injected fault schedule (empty on healthy runs).
-    schedule: FaultSchedule,
-    /// Armed fault-event timers: timer id -> event.
-    fault_timers: FastMap<u64, FaultEvent>,
-    /// Armed backoff retries: timer id -> segment.
-    retry_timers: FastMap<u64, RetrySeg>,
-    /// Segments parked at a crashed node, resubmitted on recovery.
-    replay: Vec<(u32, SegmentReq)>,
+    /// Scheduled fault delivery (armed at run start; empty on healthy runs).
+    faults: FaultRouter,
     /// `Sync` commits parked until their file's write-back traffic lands.
-    sync_waiters: Vec<SyncWaiter>,
+    syncs: SyncLedger,
     /// Files whose contents are reconstructible from a durable checkpoint
     /// (splits the dirty-loss accounting into checkpointed vs lost work).
     checkpoint_covered: FastSet<u32>,
@@ -199,13 +178,7 @@ impl Ppfs {
         schedule: FaultSchedule,
     ) -> Ppfs {
         let ionodes = machine.build_io_nodes();
-        assert!(
-            schedule
-                .events()
-                .iter()
-                .all(|e| (e.io_node as usize) < ionodes.len()),
-            "fault schedule targets a nonexistent i/o node"
-        );
+        let faults = FaultRouter::new(schedule, ionodes.len());
         let server_caches: Vec<BlockCache> = if policy.server_cache_blocks > 0 {
             (0..ionodes.len())
                 .map(|i| {
@@ -220,39 +193,37 @@ impl Ppfs {
             Vec::new()
         };
         let next_hit_timer = ionodes.len() as u64 + 1;
+        let cfg = FsConfig::from_machine(machine);
         Ppfs {
-            cfg: PfsConfig::from_machine(machine),
             policy,
-            ionodes,
-            files: Vec::new(),
-            sink,
-            meta_free: SimTime::ZERO,
+            pump: SegmentPump::new(
+                ionodes,
+                FailoverPolicy::StripePinned,
+                machine.fault.retry_base,
+            ),
+            files: FileTable::new(cfg.file_slot, cfg.array_capacity),
+            recorder: TraceRecorder::new(sink),
+            meta: MetaServer::new(),
             seed: machine.seed,
             caches: FastMap::default(),
             prefetchers: FastMap::default(),
             dirty: FastMap::default(),
             transfers: FastMap::default(),
             next_transfer: 0,
-            seg_owner: FastMap::default(),
-            next_seg: 0,
-            seg_scratch: Vec::new(),
             reads: FastMap::default(),
             next_read: 0,
             block_waiters: FastMap::default(),
             flush_timer_armed: false,
             stats: PpfsStats::default(),
-            client: sio_pfs::fs::ClientPath::new(),
+            client: ClientPath::new(),
             server_caches,
             fetch_hits: FastMap::default(),
             next_hit_timer,
             advice: FastMap::default(),
-            fault_params: machine.fault,
-            schedule,
-            fault_timers: FastMap::default(),
-            retry_timers: FastMap::default(),
-            replay: Vec::new(),
-            sync_waiters: Vec::new(),
+            faults,
+            syncs: SyncLedger::new(),
             checkpoint_covered: FastSet::default(),
+            cfg,
         }
     }
 
@@ -262,12 +233,6 @@ impl Ppfs {
     /// total.
     pub fn mark_checkpoint_covered(&mut self, file: u32) {
         self.checkpoint_covered.insert(file);
-    }
-
-    /// Whether a fault schedule is in play (enables lenient completion
-    /// paths; a healthy run keeps the strict invariants).
-    fn faults_enabled(&self) -> bool {
-        !self.schedule.is_empty()
     }
 
     /// Advertise expected access behavior for one file (paper §10). The
@@ -288,34 +253,42 @@ impl Ppfs {
 
     /// Register a file; returns its id.
     pub fn register(&mut self, spec: FileSpec) -> u32 {
-        let id = self.files.len() as u32;
-        self.files.push(FileState::new(spec));
-        id
+        self.files.register(spec)
     }
 
-    /// Running statistics.
+    /// Register a file, returning a typed [`IoFault::Unavailable`] when the
+    /// fixed-slot allocator is exhausted.
+    pub fn try_register(&mut self, spec: FileSpec) -> Result<u32, IoFault> {
+        self.files.try_register(spec)
+    }
+
+    /// Running statistics (backend counters merged with the shared pump's).
     pub fn stats(&self) -> PpfsStats {
-        self.stats
+        let mut s = self.stats;
+        let p = self.pump.stats();
+        s.segments += p.segments;
+        s.replayed_segments += p.replayed;
+        s
     }
 
     /// Rebuild chunks completed across all I/O nodes.
     pub fn rebuild_chunks_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuild_chunks()).sum()
+        self.pump.rebuild_chunks_total()
     }
 
     /// Member bytes rebuilt across all I/O nodes.
     pub fn rebuilt_bytes_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuilt_bytes()).sum()
+        self.pump.rebuilt_bytes_total()
     }
 
     /// I/O nodes whose arrays are still degraded.
     pub fn degraded_nodes(&self) -> u32 {
-        self.ionodes.iter().filter(|n| n.array().degraded()).count() as u32
+        self.pump.degraded_nodes()
     }
 
     /// Current length of a file.
     pub fn file_len(&self, file: u32) -> u64 {
-        self.files[file as usize].len
+        self.files.len_of(file)
     }
 
     /// The pattern the adaptive prefetcher has inferred for a stream, if the
@@ -329,28 +302,21 @@ impl Ppfs {
     }
 
     fn timer_flush_id(&self) -> u64 {
-        self.ionodes.len() as u64
+        self.pump.len() as u64
     }
 
     fn record(&mut self, ev: IoEvent) {
-        self.sink.record(ev);
+        self.recorder.record(ev);
     }
 
     /// Mutable access to the trace sink (e.g. to set run metadata).
     pub fn sink_mut(&mut self) -> &mut TraceSink {
-        &mut self.sink
+        self.recorder.sink_mut()
     }
 
     /// Consume the file system, freezing its captured trace.
     pub fn finish_trace(self) -> Trace {
-        self.sink.finish()
-    }
-
-    fn meta_op(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        let start = self.meta_free.max(now);
-        let done = start + cost;
-        self.meta_free = done;
-        done
+        self.recorder.finish()
     }
 
     fn cache_for(&mut self, node: NodeId) -> &mut BlockCache {
@@ -374,128 +340,50 @@ impl Ppfs {
         write: bool,
         sched: &mut Sched,
     ) -> u32 {
-        let slot_base = file as u64 * self.cfg.file_slot;
-        let mut count = 0;
-        let mut segs = std::mem::take(&mut self.seg_scratch);
-        segs.clear();
-        self.cfg.layout.segments_into(offset, bytes, &mut segs);
-        for &seg in &segs {
-            let id = self.next_seg;
-            self.next_seg += 1;
-            self.seg_owner.insert(id, tid);
-            let req = SegmentReq {
-                id,
-                offset: slot_base + seg.local_offset,
-                bytes: seg.bytes,
-                write,
-                sequential: false,
-                failover: false,
-            };
-            self.submit_seg(now, seg.io_node, req, 0, sched);
-            count += 1;
-            self.stats.segments += 1;
-        }
-        self.seg_scratch = segs;
-        count
-    }
-
-    /// Submit one segment to an I/O node, handling explicit backpressure.
-    /// Queue-full rejections back off and retry (unbounded: write-behind
-    /// data has nowhere else to go); node-down rejections park the segment
-    /// for replay when the node recovers. PPFS segments target a fixed
-    /// stripe position, so there is no cross-node failover here — that is
-    /// the PFS path's job.
-    fn submit_seg(
-        &mut self,
-        now: SimTime,
-        io: u32,
-        req: SegmentReq,
-        attempt: u32,
-        sched: &mut Sched,
-    ) {
-        match self.ionodes[io as usize].submit(now, req) {
-            SubmitOutcome::Started => {
-                let t = self.ionodes[io as usize].next_done().expect("just started");
-                sched.timer(t, io as u64);
-            }
-            SubmitOutcome::Queued => {}
-            SubmitOutcome::Rejected(RejectReason::Down) => {
-                self.replay.push((io, req));
-            }
-            SubmitOutcome::Rejected(RejectReason::QueueFull) => {
-                let delay = self.fault_params.retry_base.times(1u64 << attempt.min(4));
-                let id = self.next_hit_timer;
-                self.next_hit_timer += 1;
-                self.retry_timers.insert(
-                    id,
-                    RetrySeg {
-                        io,
-                        req,
-                        attempt: (attempt + 1).min(4),
-                    },
-                );
-                sched.timer(now + delay, id);
-            }
-        }
+        self.pump.submit_extent(
+            now,
+            &self.cfg.layout,
+            self.files.slot_base(file),
+            offset,
+            bytes,
+            write,
+            tid,
+            &mut self.next_hit_timer,
+            sched,
+        )
     }
 
     /// Apply one scheduled fault event.
     fn apply_fault(&mut self, now: SimTime, ev: FaultEvent, sched: &mut Sched) {
-        let io = ev.io_node as usize;
         match ev.kind {
             FaultKind::DiskFail { disk } => {
-                match self.ionodes[io].array_mut().fail_disk(disk) {
-                    Ok(()) => {}
-                    Err(RaidError::DoubleFailure { .. }) => {
-                        self.ionodes[io].array_mut().mark_data_lost();
-                    }
-                    // Malformed event (bad index): reportable no-op.
-                    Err(_) => {}
-                }
+                self.pump.apply_disk_fail(ev.io_node, disk);
             }
-            FaultKind::DiskRepair => {
-                if self.ionodes[io].array_mut().start_rebuild().is_ok() {
-                    if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
-                        sched.timer(t, io as u64);
-                    }
-                }
-            }
+            FaultKind::DiskRepair => self.pump.apply_disk_repair(now, ev.io_node, sched),
             FaultKind::NodeStall { for_dur } => {
-                if let Some(t) = self.ionodes[io].stall(now, for_dur) {
-                    sched.timer(t, io as u64);
-                }
+                self.pump.apply_stall(now, ev.io_node, for_dur, sched)
             }
             FaultKind::NodeCrash => {
                 // In-service and queued segments are lost. Flush segments
                 // carry write-behind data whose application writes already
                 // completed — that is the dirty-data exposure the X4 suite
                 // measures. Everything is parked for replay on recovery.
-                let lost = self.ionodes[io].crash();
-                for req in lost {
-                    if let Some(&tid) = self.seg_owner.get(&req.id) {
+                for req in self.pump.crash(ev.io_node) {
+                    if let Some(tid) = self.pump.owner_of(req.id) {
                         if let Some(Transfer::Flush { file, .. }) = self.transfers.get(&tid) {
                             self.stats.dirty_bytes_lost += req.bytes;
                             if self.checkpoint_covered.contains(file) {
                                 self.stats.dirty_bytes_lost_checkpointed += req.bytes;
                             }
                         }
-                        self.replay.push((ev.io_node, req));
+                        self.pump.park_replay(ev.io_node, req);
                     }
                 }
             }
             FaultKind::NodeRecover => {
-                self.ionodes[io].recover();
-                if let Some(t) = self.ionodes[io].maybe_start_rebuild(now) {
-                    sched.timer(t, io as u64);
-                }
-                let mine: Vec<(u32, SegmentReq)>;
-                (mine, self.replay) = std::mem::take(&mut self.replay)
-                    .into_iter()
-                    .partition(|(n, _)| *n == ev.io_node);
-                for (n, req) in mine {
-                    self.stats.replayed_segments += 1;
-                    self.submit_seg(now, n, req, 0, sched);
-                }
+                self.pump.recover(now, ev.io_node, sched);
+                self.pump
+                    .resubmit_replays(now, ev.io_node, &mut self.next_hit_timer, sched);
             }
         }
     }
@@ -709,10 +597,7 @@ impl Ppfs {
         is_async: bool,
         sched: &mut Sched,
     ) {
-        let eff = {
-            let st = &self.files[file as usize];
-            bytes.min(st.len.saturating_sub(offset))
-        };
+        let eff = bytes.min(self.files.len_of(file).saturating_sub(offset));
         let hit_cost = SimDuration::from_secs_f64(self.policy.hit_cost_secs);
         let rate = self.cfg.io_sw.client_byte_rate;
         if eff == 0 {
@@ -815,7 +700,7 @@ impl Ppfs {
                 .or_insert_with(|| StreamPrefetcher::new(policy, bs));
             pf.on_access(offset, eff)
         };
-        let file_len = self.files[file as usize].len;
+        let file_len = self.files.len_of(file);
         for ext in suggestions {
             if ext.offset >= file_len {
                 continue;
@@ -850,7 +735,7 @@ impl Ppfs {
         bytes: u64,
         sched: &mut Sched,
     ) {
-        self.files[file as usize].extend_to(offset + bytes);
+        self.files.state(file).extend_to(offset + bytes);
         let rate = self.cfg.io_sw.client_byte_rate;
         if self.policy_for(file).write_behind {
             // Complete into the dirty buffer at copy cost.
@@ -991,39 +876,31 @@ impl Ppfs {
         issued: SimTime,
         sched: &mut Sched,
     ) {
-        let done = now + self.cfg.io_sw.flush;
-        let fault = if self.ionodes.iter().any(|n| n.array().data_lost()) {
+        let fault = if self.pump.any_data_lost() {
             Some(IoFault::DataLoss)
         } else {
             None
         };
-        self.record(IoEvent::new(node, file, IoOp::Flush).span(issued.nanos(), done.nanos()));
-        sched.complete_io(
+        self.recorder.complete_commit(
+            sched,
             token,
-            done,
-            IoResult {
-                bytes: 0,
-                queued: SimDuration::ZERO,
-                service: done.since(issued),
-                fault,
-            },
+            node,
+            file,
+            issued,
+            now,
+            self.cfg.io_sw.flush,
+            fault,
         );
     }
 
     /// Release every `Sync` waiter on `file` once its last write-back
     /// transfer has landed on the arrays.
     fn drain_sync_waiters(&mut self, file: u32, now: SimTime, sched: &mut Sched) {
-        if self.sync_waiters.is_empty() || self.has_outstanding_writes(file) {
+        if self.syncs.is_empty() || self.has_outstanding_writes(file) {
             return;
         }
-        let mut i = 0;
-        while i < self.sync_waiters.len() {
-            if self.sync_waiters[i].file == file {
-                let w = self.sync_waiters.remove(i);
-                self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
-            } else {
-                i += 1;
-            }
+        for w in self.syncs.take_for(file) {
+            self.complete_sync(w.token, w.node, w.file, now, w.issued, sched);
         }
     }
 }
@@ -1041,84 +918,73 @@ impl IoService for Ppfs {
         match req.verb {
             IoVerb::Open => {
                 let mode = AccessMode::from_code(req.hint).unwrap_or(AccessMode::MUnix);
-                let create = self.files[req.file as usize].open(node, mode);
+                let create = self.files.state(req.file).open(node, mode);
                 let cost = if create {
                     self.cfg.io_sw.create
                 } else {
                     self.cfg.io_sw.open
                 };
-                let done = self.meta_op(now, cost);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Open).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                let done = self.meta.op(now, cost);
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Open,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Close => {
                 self.flush_dirty(now, node, req.file, sched);
-                self.files[req.file as usize].close(node);
-                let done = self.meta_op(now, self.cfg.io_sw.close);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Close).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                self.files.state(req.file).close(node);
+                let done = self.meta.op(now, self.cfg.io_sw.close);
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Close,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Seek => {
                 // Client-managed pointers: always local, always cheap.
                 let target = req.offset.expect("seek needs an offset");
-                let st = &mut self.files[req.file as usize];
-                let pos = st.pos.entry(node).or_insert(0);
+                let pos = self.files.state(req.file).pos.entry(node).or_insert(0);
                 let distance = pos.abs_diff(target);
                 *pos = target;
                 let done = now + SimDuration::from_micros(200);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Seek)
-                        .span(now.nanos(), done.nanos())
-                        .extent(target, distance),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Seek,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    Some((target, distance)),
+                    0,
                 );
             }
             IoVerb::Flush => {
                 self.flush_dirty(now, node, req.file, sched);
                 let done = now + self.cfg.io_sw.flush;
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Flush).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Flush,
+                    now,
                     done,
-                    IoResult {
-                        bytes: 0,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    0,
                 );
             }
             IoVerb::Sync => {
@@ -1141,7 +1007,7 @@ impl IoService for Ppfs {
                     self.flush_dirty(now, n, f, sched);
                 }
                 if self.has_outstanding_writes(req.file) {
-                    self.sync_waiters.push(SyncWaiter {
+                    self.syncs.park(SyncWaiter {
                         token,
                         node,
                         file: req.file,
@@ -1152,25 +1018,22 @@ impl IoService for Ppfs {
                 }
             }
             IoVerb::Lsize => {
-                let done = self.meta_op(now, self.cfg.io_sw.lsize);
+                let done = self.meta.op(now, self.cfg.io_sw.lsize);
                 let len = self.file_len(req.file);
-                self.record(
-                    IoEvent::new(node, req.file, IoOp::Lsize).span(now.nanos(), done.nanos()),
-                );
-                sched.complete_io(
+                self.recorder.complete_op(
+                    sched,
                     token,
+                    node,
+                    req.file,
+                    IoOp::Lsize,
+                    now,
                     done,
-                    IoResult {
-                        bytes: len,
-                        queued: SimDuration::ZERO,
-                        service: done.since(now),
-                        fault: None,
-                    },
+                    None,
+                    len,
                 );
             }
             IoVerb::Read | IoVerb::Write => {
-                let st = &mut self.files[req.file as usize];
-                let pos = st.pos.entry(node).or_insert(0);
+                let pos = self.files.state(req.file).pos.entry(node).or_insert(0);
                 let offset = req.offset.unwrap_or(*pos);
                 *pos = offset + req.bytes;
                 if is_async {
@@ -1195,47 +1058,34 @@ impl IoService for Ppfs {
     fn on_start(&mut self, sched: &mut Sched) {
         // Arm one absolute-time timer per scheduled fault event. Empty
         // schedule (the healthy case): no timers, bit-identical runs.
-        for ev in self.schedule.clone().events() {
-            let id = self.next_hit_timer;
-            self.next_hit_timer += 1;
-            self.fault_timers.insert(id, *ev);
-            sched.timer(ev.at, id);
-        }
+        self.faults.arm_all(&mut self.next_hit_timer, sched);
     }
 
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
-        if (timer as usize) < self.ionodes.len() {
+        if (timer as usize) < self.pump.len() {
             // An I/O node finished its in-service work. Stale timers happen
             // only under faults (a stall postponed the completion, or a
             // crash voided it): the re-armed timer covers the real time.
-            let io = timer as usize;
-            let due = matches!(self.ionodes[io].next_done(), Some(t) if t <= now);
-            if !due {
-                debug_assert!(
-                    self.faults_enabled(),
-                    "stale i/o-node timer on a healthy run"
-                );
-                return;
-            }
-            let completion = self.ionodes[io].complete_head(now);
-            if let Some(t) = self.ionodes[io].next_done() {
-                sched.timer(t, timer);
-            }
-            let seg_id = match completion {
-                Completion::App { id, data_lost } => {
+            match self.pump.node_tick(now, timer, sched) {
+                NodeTick::Stale => {
+                    debug_assert!(
+                        self.faults.enabled(),
+                        "stale i/o-node timer on a healthy run"
+                    );
+                }
+                // Background rebuild traffic: no transfer to advance.
+                NodeTick::Rebuild => {}
+                NodeTick::Orphan => panic!("segment with no owner"),
+                NodeTick::Seg {
+                    owner: tid,
+                    data_lost,
+                } => {
                     if data_lost {
                         self.stats.data_loss_segments += 1;
                     }
-                    id
+                    self.transfer_done(now, tid, sched);
                 }
-                // Background rebuild traffic: no transfer to advance.
-                Completion::Rebuild { .. } => return,
-            };
-            let tid = self
-                .seg_owner
-                .remove(&seg_id)
-                .expect("segment with no owner");
-            self.transfer_done(now, tid, sched);
+            }
         } else if timer == self.timer_flush_id() {
             self.flush_timer_armed = false;
             self.flush_all(now, sched);
@@ -1244,12 +1094,20 @@ impl IoService for Ppfs {
             if self.dirty.values().any(|b| !b.is_empty()) {
                 self.arm_flush_timer(now, sched);
             }
-        } else if let Some(ev) = self.fault_timers.remove(&timer) {
+        } else if let Some(ev) = self.faults.take(timer) {
             self.apply_fault(now, ev, sched);
-        } else if let Some(r) = self.retry_timers.remove(&timer) {
+        } else if let Some(r) = self.pump.take_retry(timer) {
             // Retry only while the owning transfer is still alive.
-            if self.seg_owner.contains_key(&r.req.id) {
-                self.submit_seg(now, r.io, r.req, r.attempt, sched);
+            if self.pump.owns(r.req.id) {
+                let gave_up = self.pump.submit_seg(
+                    now,
+                    r.io,
+                    r.req,
+                    r.attempt,
+                    &mut self.next_hit_timer,
+                    sched,
+                );
+                debug_assert!(gave_up.is_none(), "stripe-pinned retry cannot give up");
             }
         } else if let Some((node, file, blocks)) = self.fetch_hits.remove(&timer) {
             // Server-cache hit delivery: no server install (they came from
@@ -1265,9 +1123,7 @@ impl IoService for Ppfs {
     }
 
     fn on_iowait(&mut self, node: NodeId, file: u32, wait_start: SimTime, wait_end: SimTime) {
-        self.record(
-            IoEvent::new(node, file, IoOp::IoWait).span(wait_start.nanos(), wait_end.nanos()),
-        );
+        self.recorder.iowait(node, file, wait_start, wait_end);
     }
 
     fn on_run_end(&mut self, _now: SimTime) {

@@ -1,0 +1,192 @@
+//! Backend conformance: every pluggable file-system backend, driven through
+//! the same `IoService` runner, must honor the same *contract* on shared
+//! scenarios — metadata verbs are traced once per call, `Sync` commits are
+//! traced as a durability interval, scheduled faults reach the arrays, and a
+//! crash/recover cycle drains by retry (PFS buddy failover) or replay (PPFS
+//! stripe-pinned resubmission) to a clean finish.
+//!
+//! Timing may differ per backend; the traced *shape* may not. New backends
+//! registered in `sio::apps::BackendRegistry` get this suite for free by
+//! extending `conformance_backends`.
+
+use sio::apps::workload::{run_workload, run_workload_with_faults, Backend, Workload};
+use sio::apps::BackendSpec;
+use sio::core::event::IoOp;
+use sio::paragon::program::{IoRequest, ScriptOp};
+use sio::paragon::{FaultSchedule, MachineConfig, SimTime};
+use sio::pfs::{AccessMode, FileSpec};
+
+fn m() -> MachineConfig {
+    MachineConfig::tiny(4, 2)
+}
+
+/// The backends every conformance scenario runs against: one spec per
+/// shipped backend family, parsed through the single naming entry point.
+fn conformance_backends() -> Vec<(&'static str, Backend)> {
+    ["pfs", "ppfs-wt"]
+        .into_iter()
+        .map(|name| {
+            (
+                name,
+                BackendSpec::parse(name).expect("conformance backend name parses"),
+            )
+        })
+        .collect()
+}
+
+fn op_counts(trace: &sio::core::Trace) -> Vec<(IoOp, usize)> {
+    IoOp::ALL
+        .into_iter()
+        .map(|op| (op, trace.of_op(op).count()))
+        .collect()
+}
+
+/// Open, probe the size, seek, write, re-probe, close — the metadata verbs
+/// every backend must trace exactly once per call.
+fn meta_workload() -> Workload {
+    let ops = vec![
+        ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+        ScriptOp::Io(IoRequest::lsize(0)),
+        ScriptOp::Io(IoRequest::seek(0, 128 * 1024)),
+        ScriptOp::Io(IoRequest::write(0, 64 * 1024)),
+        ScriptOp::Io(IoRequest::lsize(0)),
+        ScriptOp::Io(IoRequest::close(0)),
+    ];
+    Workload {
+        label: "conformance-meta".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    }
+}
+
+#[test]
+fn metadata_verbs_trace_identically_across_backends() {
+    let w = meta_workload();
+    let runs: Vec<_> = conformance_backends()
+        .into_iter()
+        .map(|(name, b)| (name, run_workload(&m(), &w, &b)))
+        .collect();
+    for (name, out) in &runs {
+        assert_eq!(out.trace.of_op(IoOp::Open).count(), 1, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Seek).count(), 1, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Lsize).count(), 2, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Write).count(), 1, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Close).count(), 1, "{name}");
+        // The write landed at the seeked extent on every backend.
+        let ev = out.trace.of_op(IoOp::Write).next().unwrap();
+        assert_eq!((ev.offset, ev.bytes), (128 * 1024, 64 * 1024), "{name}");
+    }
+    // Identical logical shape: every backend traces the same op counts.
+    let (first_name, first) = &runs[0];
+    for (name, out) in &runs[1..] {
+        assert_eq!(
+            op_counts(&first.trace),
+            op_counts(&out.trace),
+            "{first_name} vs {name}"
+        );
+    }
+}
+
+/// A `Sync` commit must be traced as a Flush interval spanning issue →
+/// durability, after the file's write traffic has drained.
+#[test]
+fn sync_commits_trace_a_durability_interval() {
+    let ops = vec![
+        ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+        ScriptOp::Io(IoRequest::write(0, 256 * 1024)),
+        ScriptOp::Io(IoRequest::sync(0)),
+        ScriptOp::Io(IoRequest::close(0)),
+    ];
+    let w = Workload {
+        label: "conformance-sync".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    };
+    for (name, b) in conformance_backends() {
+        let out = run_workload(&m(), &w, &b);
+        assert!(out.report.clean(), "{name} did not finish");
+        // Exactly one commit: the Sync (write-through backends flush
+        // nothing extra on close; the commit is the only Flush interval).
+        let flushes: Vec<_> = out.trace.of_op(IoOp::Flush).collect();
+        assert_eq!(flushes.len(), 1, "{name}: {flushes:?}");
+        assert!(flushes[0].duration() > 0, "{name}: zero-width commit");
+    }
+}
+
+/// A scheduled disk failure must reach the backend's arrays: the run ends
+/// with a degraded I/O node, whichever backend served it.
+#[test]
+fn fault_delivery_degrades_the_array_on_every_backend() {
+    let mut schedule = FaultSchedule::new();
+    schedule.disk_fail(SimTime::ZERO, 0, 0);
+    let ops = vec![
+        ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+        ScriptOp::Io(IoRequest::read(0, 512 * 1024)),
+        ScriptOp::Io(IoRequest::close(0)),
+    ];
+    let w = Workload {
+        label: "conformance-fault".to_string(),
+        files: vec![FileSpec::input("in", 1 << 20)],
+        scripts: vec![ops],
+        groups: Vec::new(),
+    };
+    for (name, b) in conformance_backends() {
+        let out = run_workload_with_faults(&m(), &w, &b, Some(&schedule));
+        assert!(out.report.clean(), "{name} did not finish");
+        assert!(out.degraded_nodes >= 1, "{name}: fault never delivered");
+    }
+}
+
+/// A crash/recover cycle must drain to a clean finish on every backend, via
+/// that backend's own failover policy: PFS retries with backoff (then buddy
+/// failover), PPFS parks stripe-pinned segments and replays them on
+/// recovery. Nothing may be silently dropped.
+#[test]
+fn crash_recover_drains_by_retry_or_replay() {
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .node_crash(SimTime::ZERO, 0)
+        .node_recover(SimTime(2_000_000_000), 0);
+    let scripts = (0..2u64)
+        .map(|node| {
+            let mut ops = vec![ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code()))];
+            for k in 0..4u64 {
+                ops.push(ScriptOp::Io(IoRequest::seek(
+                    0,
+                    (node * 4 + k) * 256 * 1024,
+                )));
+                ops.push(ScriptOp::Io(IoRequest::write(0, 256 * 1024)));
+            }
+            ops.push(ScriptOp::Io(IoRequest::close(0)));
+            ops
+        })
+        .collect();
+    let w = Workload {
+        label: "conformance-crash".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts,
+        groups: Vec::new(),
+    };
+    for (name, b) in conformance_backends() {
+        let out = run_workload_with_faults(&m(), &w, &b, Some(&schedule));
+        assert!(out.report.clean(), "{name} did not drain after recovery");
+        // All 8 writes completed and are traced despite the crash window.
+        assert_eq!(out.trace.of_op(IoOp::Write).count(), 8, "{name}");
+        match name {
+            "pfs" => {
+                let f = out.pfs_faults.expect("pfs reports fault counters");
+                assert!(f.retries > 0, "pfs never retried into the crash window");
+            }
+            "ppfs-wt" => {
+                let s = out.ppfs_stats.expect("ppfs reports policy counters");
+                assert!(
+                    s.replayed_segments > 0,
+                    "ppfs never replayed parked segments"
+                );
+            }
+            other => panic!("no drain signal defined for backend {other}"),
+        }
+    }
+}

@@ -263,7 +263,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`
     /// (half-open, like upstream's size ranges).
     pub trait IntoSizeRange {
         /// (min_len, max_len) inclusive.
