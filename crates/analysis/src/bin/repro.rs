@@ -32,7 +32,7 @@ use sio_apps::{EscatParams, HtfParams, RenderParams};
 use std::path::PathBuf;
 
 /// Every experiment name `repro` accepts.
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "escat",
     "render",
     "htf",
@@ -42,11 +42,12 @@ const EXPERIMENTS: [&str; 10] = [
     "scaling",
     "faults",
     "recover",
+    "cio",
     "all",
 ];
 
 const USAGE: &str = "usage: repro [--fast] [--perf] [--jobs N] [--out DIR] [--crash-frac F] \
-     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|all]...";
+     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|all]...";
 
 #[derive(Debug, PartialEq)]
 struct Cli {
@@ -602,6 +603,84 @@ fn run_faults(cli: &Cli) {
     println!("{body}");
 }
 
+fn run_cio(cli: &Cli) {
+    let _phase = sio_core::perf::phase("cio");
+    let m = machine(cli.fast);
+    let (ep, rp, hp, scales) = if cli.fast {
+        (
+            EscatParams::small(8, 8),
+            RenderParams::small(8, 4),
+            HtfParams::small(8),
+            vec![4u32, 8],
+        )
+    } else {
+        (
+            EscatParams::paper(),
+            RenderParams::paper(),
+            HtfParams::paper(),
+            vec![64u32, 128],
+        )
+    };
+    eprintln!("[repro] collective I/O suite (X6: PFS vs PPFS vs CIO)...");
+    let rows = experiments::cio_suite(&m, &ep, &rp, &hp, &scales);
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    let mut b = String::new();
+    b.push_str(
+        "workload         backend  nodes   wall(s)  wreq/io  wmean(KB)  rreq/io  rmean(KB)  exch(s)  collectives\n",
+    );
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<16} {:<8} {:>5} {:>9.1} {:>8.1} {:>10.2} {:>8.1} {:>10.2} {:>8.3} {:>12}\n",
+            r.workload,
+            r.backend,
+            r.nodes,
+            r.wall_secs,
+            r.write_reqs_per_io,
+            r.mean_write_kb,
+            r.read_reqs_per_io,
+            r.mean_read_kb,
+            r.exchange_secs,
+            r.collectives,
+        ));
+    }
+    body.push_str(&report::section(
+        "X6 — collective two-phase I/O (request shape per I/O node, exchange cost)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{}",
+                r.workload,
+                r.backend,
+                r.nodes,
+                r.wall_secs,
+                r.write_reqs_per_io,
+                r.mean_write_kb,
+                r.read_reqs_per_io,
+                r.mean_read_kb,
+                r.exchange_secs,
+                r.collectives
+            )
+        })
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "cio",
+        "workload,backend,nodes,wall_secs,write_reqs_per_io,mean_write_kb,read_reqs_per_io,mean_read_kb,exchange_secs,collectives",
+        &csv,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "cio", &body).expect("write report");
+    println!("{body}");
+}
+
 fn run_recover(cli: &Cli) {
     let _phase = sio_core::perf::phase("recover");
     let m = machine(cli.fast);
@@ -814,6 +893,7 @@ fn main() {
             "scaling" => run_scaling(&cli),
             "faults" => run_faults(&cli),
             "recover" => run_recover(&cli),
+            "cio" => run_cio(&cli),
             "all" => {
                 // Independent experiments fan out over the sweep runner;
                 // each simulation is single-threaded and deterministic, so
@@ -829,6 +909,7 @@ fn main() {
                     Box::new(move || run_scaling(cli)),
                     Box::new(move || run_faults(cli)),
                     Box::new(move || run_recover(cli)),
+                    Box::new(move || run_cio(cli)),
                 ];
                 runner::par_run(runner::configured_jobs(), tasks);
             }

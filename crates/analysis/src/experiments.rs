@@ -1011,6 +1011,128 @@ pub fn fault_suite_jobs(
     rows
 }
 
+/// X6: one cell of the collective-I/O comparison (workload × scale ×
+/// backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CioRow {
+    /// Workload label (`escat`, `render`, `htf-pint`).
+    pub workload: String,
+    /// Backend name (`pfs`, `ppfs`, `cio`).
+    pub backend: String,
+    /// Compute nodes the workload ran on.
+    pub nodes: u32,
+    /// Simulated end-to-end wall seconds.
+    pub wall_secs: f64,
+    /// Mean accepted write requests per I/O node.
+    pub write_reqs_per_io: f64,
+    /// Mean accepted write-request size, KB.
+    pub mean_write_kb: f64,
+    /// Mean accepted read requests per I/O node.
+    pub read_reqs_per_io: f64,
+    /// Mean accepted read-request size, KB.
+    pub mean_read_kb: f64,
+    /// Summed extent-exchange delay, seconds (CIO only; 0 elsewhere).
+    pub exchange_secs: f64,
+    /// Multi-member collectives dispatched (CIO only; 0 elsewhere).
+    pub collectives: u64,
+}
+
+/// The X6 cell grid: workloads × scales × backends, in canonical order.
+fn cio_cases(scales: &[u32]) -> Vec<(&'static str, u32, &'static str)> {
+    let mut cases = Vec::new();
+    for w in ["escat", "render", "htf-pint"] {
+        for &n in scales {
+            for b in ["pfs", "ppfs", "cio"] {
+                cases.push((w, n, b));
+            }
+        }
+    }
+    cases
+}
+
+/// Run the collective-I/O comparison (X6): ESCAT, RENDER, and the HTF
+/// shared-integrals phase on PFS, PPFS, and CIO at each node scale,
+/// reporting per-I/O-node request counts, mean accepted request sizes, and
+/// end-to-end time. The interleaved shared-file write phases (ESCAT
+/// staging, HTF pint) are where two-phase aggregation pays; RENDER's
+/// gateway-funneled I/O is the control — its singleton collectives buy
+/// nothing.
+pub fn cio_suite(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+    scales: &[u32],
+) -> Vec<CioRow> {
+    cio_suite_jobs(
+        machine,
+        escat,
+        render,
+        htf,
+        scales,
+        runner::configured_jobs(),
+    )
+}
+
+/// [`cio_suite`] with an explicit worker count (one job per cell; rows come
+/// back in canonical order and are worker-count invariant). Each scale
+/// reuses the given params with the node count overridden, so the per-node
+/// work shape stays fixed while membership grows.
+pub fn cio_suite_jobs(
+    machine: &MachineConfig,
+    escat: &EscatParams,
+    render: &RenderParams,
+    htf: &HtfParams,
+    scales: &[u32],
+    jobs: usize,
+) -> Vec<CioRow> {
+    let cases = cio_cases(scales);
+    runner::par_map_jobs(jobs, cases, |_, (wname, nodes, bname)| {
+        let workload = match wname {
+            "escat" => EscatParams {
+                nodes,
+                ..escat.clone()
+            }
+            .interleaved_workload(),
+            "render" => RenderParams {
+                nodes,
+                ..render.clone()
+            }
+            .workload(),
+            "htf-pint" => HtfParams {
+                nodes,
+                ..htf.clone()
+            }
+            .pint_workload(),
+            other => panic!("unknown cio workload '{other}'"),
+        };
+        let backend = Backend::parse(bname).expect("known backend");
+        let out = run_workload(machine, &workload, &backend);
+        let io_nodes = out.node_loads.len().max(1) as f64;
+        let (wr, wb, rr, rb) = out.node_loads.iter().fold((0, 0, 0, 0), |acc, l| {
+            (
+                acc.0 + l.write_reqs,
+                acc.1 + l.write_bytes,
+                acc.2 + l.read_reqs,
+                acc.3 + l.read_bytes,
+            )
+        });
+        let cs = out.cio.unwrap_or_default();
+        CioRow {
+            workload: wname.to_string(),
+            backend: bname.to_string(),
+            nodes,
+            wall_secs: out.wall_secs(),
+            write_reqs_per_io: wr as f64 / io_nodes,
+            mean_write_kb: wb as f64 / wr.max(1) as f64 / 1024.0,
+            read_reqs_per_io: rr as f64 / io_nodes,
+            mean_read_kb: rb as f64 / rr.max(1) as f64 / 1024.0,
+            exchange_secs: cs.exchange.as_secs_f64(),
+            collectives: cs.collectives,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1205,5 +1327,57 @@ mod tests {
     fn raid_degraded_costs_more() {
         let rows = raid_degraded(&tiny());
         assert!(rows[1].read_secs > rows[0].read_secs);
+    }
+
+    #[test]
+    fn cio_suite_small_shows_aggregation_on_interleaved_writes() {
+        let m = MachineConfig::tiny(8, 4);
+        let rows = cio_suite(
+            &m,
+            &EscatParams::small(8, 4),
+            &RenderParams::small(8, 2),
+            &HtfParams::small(8),
+            &[4, 8],
+        );
+        // 3 workloads x 2 scales x 3 backends, canonical order.
+        assert_eq!(rows.len(), 18);
+        let get = |w: &str, n: u32, b: &str| -> &CioRow {
+            rows.iter()
+                .find(|r| r.workload == w && r.nodes == n && r.backend == b)
+                .expect("row present")
+        };
+        assert_eq!(
+            (
+                rows[0].workload.as_str(),
+                rows[0].nodes,
+                rows[0].backend.as_str()
+            ),
+            ("escat", 4, "pfs")
+        );
+        // Two-phase aggregation pays on the interleaved shared-file write
+        // phases: fewer, larger accepted requests per I/O node.
+        for w in ["escat", "htf-pint"] {
+            let pfs = get(w, 8, "pfs");
+            let cio = get(w, 8, "cio");
+            assert!(
+                cio.mean_write_kb >= 4.0 * pfs.mean_write_kb,
+                "{w}: cio {} KB vs pfs {} KB",
+                cio.mean_write_kb,
+                pfs.mean_write_kb
+            );
+            assert!(cio.write_reqs_per_io < pfs.write_reqs_per_io);
+            assert!(cio.exchange_secs > 0.0);
+            assert!(cio.collectives > 0);
+        }
+        // RENDER funnels I/O through gateways, so its collectives are all
+        // singletons: no exchange delay, request shape unchanged vs PFS.
+        let rc = get("render", 8, "cio");
+        assert_eq!(rc.collectives, 0);
+        assert_eq!(rc.exchange_secs, 0.0);
+        // Non-CIO backends report no collective machinery at all.
+        for r in rows.iter().filter(|r| r.backend != "cio") {
+            assert_eq!(r.collectives, 0);
+            assert_eq!(r.exchange_secs, 0.0);
+        }
     }
 }

@@ -12,7 +12,9 @@
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::program::{IoRequest, IoToken};
 use paragon_sim::{FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime};
+use sio_cio::{Cio, CioStats};
 use sio_core::trace::{Trace, TraceSink};
+use sio_fskit::NodeLoad;
 use sio_pfs::fs::FaultStats;
 use sio_pfs::{FileSpec, Pfs};
 use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
@@ -53,6 +55,18 @@ pub trait FsBackend: IoService {
 
     /// PFS fault-machinery counters, when this backend keeps them.
     fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
+
+    /// Accepted-request accounting per I/O node (request counts and byte
+    /// volumes, split by direction). Empty for backends that don't ride the
+    /// shared segment pump.
+    fn node_loads(&self) -> Vec<NodeLoad> {
+        Vec::new()
+    }
+
+    /// Collective-I/O machinery counters, when this backend keeps them.
+    fn cio_stats(&self) -> Option<CioStats> {
         None
     }
 }
@@ -117,6 +131,10 @@ impl FsBackend for Pfs {
     fn pfs_fault_stats(&self) -> Option<FaultStats> {
         Some(self.fault_stats())
     }
+
+    fn node_loads(&self) -> Vec<NodeLoad> {
+        Pfs::node_loads(self).to_vec()
+    }
 }
 
 impl FsBackend for Ppfs {
@@ -147,6 +165,56 @@ impl FsBackend for Ppfs {
     fn ppfs_stats(&self) -> Option<PpfsStats> {
         Some(self.stats())
     }
+
+    fn node_loads(&self) -> Vec<NodeLoad> {
+        Ppfs::node_loads(self).to_vec()
+    }
+}
+
+impl FsBackend for Cio {
+    fn register_file(&mut self, spec: FileSpec) -> u32 {
+        self.register(spec)
+    }
+
+    fn sink_mut(&mut self) -> &mut TraceSink {
+        Cio::sink_mut(self)
+    }
+
+    fn finish_trace(self: Box<Self>) -> Trace {
+        Cio::finish_trace(*self)
+    }
+
+    fn rebuild_totals(&self) -> (u64, u64) {
+        (self.rebuild_chunks_total(), self.rebuilt_bytes_total())
+    }
+
+    fn degraded_nodes(&self) -> u32 {
+        Cio::degraded_nodes(self)
+    }
+
+    /// CIO's fault machinery is the same shape as PFS's (both ride the
+    /// buddy-failover pump), so its counters surface through the same getter
+    /// and every fault/recovery harness reads them unchanged.
+    fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        let s = self.fault_stats();
+        Some(FaultStats {
+            retries: s.retries,
+            failovers: s.failovers,
+            lost_segments: s.lost_segments,
+            data_loss_segments: s.data_loss_segments,
+            timeouts: s.timeouts,
+            unavailable: s.unavailable,
+            data_loss_events: s.data_loss_events,
+        })
+    }
+
+    fn node_loads(&self) -> Vec<NodeLoad> {
+        Cio::node_loads(self).to_vec()
+    }
+
+    fn cio_stats(&self) -> Option<CioStats> {
+        Some(Cio::cio_stats(self))
+    }
 }
 
 /// Which file system serves a workload. This is the *specification* — a
@@ -158,6 +226,8 @@ pub enum BackendSpec {
     Pfs,
     /// The PPFS policy engine with the given configuration (`sio-ppfs`).
     Ppfs(PolicyConfig),
+    /// The collective two-phase I/O backend (`sio-cio`).
+    Cio,
 }
 
 /// The historical name of [`BackendSpec`]; existing call sites construct
@@ -174,6 +244,7 @@ impl BackendSpec {
             "ppfs" | "ppfs-escat" => Some(BackendSpec::Ppfs(PolicyConfig::escat_tuned())),
             "ppfs-pargos" => Some(BackendSpec::Ppfs(PolicyConfig::pargos_tuned())),
             "ppfs-wt" => Some(BackendSpec::Ppfs(PolicyConfig::write_through())),
+            "cio" => Some(BackendSpec::Cio),
             _ => None,
         }
     }
@@ -184,6 +255,7 @@ impl BackendSpec {
         match self {
             BackendSpec::Pfs => "pfs",
             BackendSpec::Ppfs(_) => "ppfs",
+            BackendSpec::Cio => "cio",
         }
     }
 
@@ -200,6 +272,7 @@ impl BackendSpec {
             BackendSpec::Ppfs(policy) => {
                 Box::new(Ppfs::with_faults(machine, *policy, sink, schedule))
             }
+            BackendSpec::Cio => Box::new(Cio::with_faults(machine, sink, schedule)),
         }
     }
 }
@@ -228,7 +301,7 @@ impl BackendRegistry {
     /// [`BackendSpec::parse`]; each factory resolves its name through it.
     pub fn builtin() -> BackendRegistry {
         let mut r = BackendRegistry::new();
-        for name in ["pfs", "ppfs", "ppfs-escat", "ppfs-pargos", "ppfs-wt"] {
+        for name in ["pfs", "ppfs", "ppfs-escat", "ppfs-pargos", "ppfs-wt", "cio"] {
             let spec = BackendSpec::parse(name).expect("builtin name parses");
             r.register(name, Box::new(move |m, s, f| spec.build(m, s, f)));
         }

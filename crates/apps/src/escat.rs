@@ -149,6 +149,21 @@ impl EscatParams {
 
     /// Build the runnable workload.
     pub fn workload(&self) -> Workload {
+        self.build_workload(false)
+    }
+
+    /// The staging phase with a record-cyclic layout instead of contiguous
+    /// per-node regions: staging files open in `M_RECORD` mode, so
+    /// iteration `j`'s quadrature records from all nodes land adjacent in
+    /// the file (`(j*nodes + rank) * quad_bytes`). The energy-phase reload
+    /// reads the records back one at a time through the same mode. This is
+    /// the layout where collective two-phase I/O pays: each round's writes
+    /// coalesce into one contiguous run per I/O node.
+    pub fn interleaved_workload(&self) -> Workload {
+        self.build_workload(true)
+    }
+
+    fn build_workload(&self, interleaved: bool) -> Workload {
         let mut specs: Vec<FileSpec> = Vec::new();
         for id in 0..12u32 {
             let spec = if files::INPUT.contains(&id) {
@@ -200,15 +215,20 @@ impl EscatParams {
             });
 
             // --- Phase 2: quadrature compute/seek/write cycles ---
+            let stage_mode = if interleaved {
+                AccessMode::MRecord
+            } else {
+                AccessMode::MUnix
+            };
             for f in files::STAGING {
-                ops.push(op_open(f, AccessMode::MUnix));
+                ops.push(op_open(f, stage_mode));
             }
             let base = self.region_base(node);
             for j in 0..self.iters {
                 ops.push(op_compute(self.iter_compute(j)));
                 ops.push(ScriptOp::Barrier(0));
                 for f in files::STAGING {
-                    if j < self.seek_iters {
+                    if !interleaved && j < self.seek_iters {
                         ops.push(ScriptOp::Io(IoRequest::seek(
                             f,
                             base + j as u64 * self.quad_bytes,
@@ -221,12 +241,35 @@ impl EscatParams {
             // --- Phase 3: energy-dependent calculation + reload ---
             ops.push(op_compute(self.energy_compute));
             ops.push(ScriptOp::Barrier(0));
-            for f in files::STAGING {
-                // One large contiguous read of exactly the region this node
-                // wrote (M_RECORD-equivalent fixed records in node order).
-                let mut req = IoRequest::read(f, self.region_stride());
-                req.offset = Some(base);
-                ops.push(ScriptOp::Io(req));
+            if interleaved {
+                // Record mode's cursor is already past the written data, so
+                // the reload reopens the staging files in plain M_UNIX mode
+                // and reads this node's own records back by explicit offset,
+                // one read per quadrature record.
+                for f in files::STAGING {
+                    ops.push(ScriptOp::Io(IoRequest::close(f)));
+                }
+                for f in files::STAGING {
+                    ops.push(op_open(f, AccessMode::MUnix));
+                }
+                ops.push(ScriptOp::Barrier(0));
+                for f in files::STAGING {
+                    for j in 0..self.iters {
+                        let mut req = IoRequest::read(f, self.quad_bytes);
+                        req.offset =
+                            Some((j as u64 * self.nodes as u64 + node as u64) * self.quad_bytes);
+                        ops.push(ScriptOp::Io(req));
+                    }
+                }
+            } else {
+                for f in files::STAGING {
+                    // One large contiguous read of exactly the region this
+                    // node wrote (M_RECORD-equivalent fixed records in node
+                    // order).
+                    let mut req = IoRequest::read(f, self.region_stride());
+                    req.offset = Some(base);
+                    ops.push(ScriptOp::Io(req));
+                }
             }
             for f in files::STAGING {
                 ops.push(ScriptOp::Io(IoRequest::close(f)));
@@ -265,7 +308,11 @@ impl EscatParams {
         }
 
         Workload {
-            label: "escat".to_string(),
+            label: if interleaved {
+                "escat-interleaved".to_string()
+            } else {
+                "escat".to_string()
+            },
             files: specs,
             scripts,
             groups: Vec::new(),

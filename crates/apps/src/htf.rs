@@ -312,6 +312,49 @@ impl HtfParams {
         2 + self.nodes
     }
 
+    /// Synchronized integral rounds every node completes in the shared-file
+    /// variant (the ragged remainder is dropped so membership stays full).
+    pub fn pint_rounds(&self) -> u32 {
+        self.integral_records / self.nodes
+    }
+
+    /// Build the shared-file integral-calculation variant ("pint"): instead
+    /// of 128 private integral files, every node writes its ~82 KB records
+    /// *record-interleaved into one shared file* — node `n`'s round-`r`
+    /// record at `(r × nodes + n) × integral_bytes`. Each I/O node then sees
+    /// the file as small seek-separated slices under PFS, while a collective
+    /// backend can aggregate every round into one large sequential transfer
+    /// per I/O node: the X6 shared-write phase for HTF.
+    ///
+    /// Rounds self-synchronize after the initial barrier: jittered compute
+    /// staggers the writers within a round, but no node can issue round
+    /// `r + 1` before its round-`r` write completes.
+    pub fn pint_workload(&self) -> Workload {
+        let rounds = self.pint_rounds();
+        let files = vec![FileSpec::output("integrals-shared")];
+        let mut rng = StdRng::seed_from_u64(0x4854_4602);
+        let mut scripts: Vec<Vec<ScriptOp>> = Vec::with_capacity(self.nodes as usize);
+        for node in 0..self.nodes {
+            let mut ops: Vec<ScriptOp> = vec![op_open(0, AccessMode::MUnix)];
+            ops.push(ScriptOp::Barrier(0));
+            for r in 0..rounds as u64 {
+                let jitter = rng.random_range(0.8..1.2);
+                ops.push(op_compute(self.integral_compute * jitter));
+                let mut req = IoRequest::write(0, self.integral_bytes);
+                req.offset = Some((r * self.nodes as u64 + node as u64) * self.integral_bytes);
+                ops.push(ScriptOp::Io(req));
+            }
+            ops.push(ScriptOp::Io(IoRequest::close(0)));
+            scripts.push(ops);
+        }
+        Workload {
+            label: "htf-pint".to_string(),
+            files,
+            scripts,
+            groups: Vec::new(),
+        }
+    }
+
     /// Per-(node, record) compute jitters, drawn in exactly the order
     /// `pargos_workload` draws them so a resumed run replays the *same*
     /// compute times for the records it still has to do.
@@ -719,6 +762,46 @@ mod tests {
                 assert_eq!(ev.file, p.integral_file(ev.node));
             }
         }
+    }
+
+    #[test]
+    fn pint_interleaves_one_shared_file_and_cio_aggregates_it() {
+        let p = HtfParams::small(8);
+        let m = MachineConfig::tiny(8, 4);
+        let w = p.pint_workload();
+        let rounds = p.pint_rounds() as u64;
+        assert!(rounds >= 2);
+
+        let pfs = run_workload(&m, &w, &Backend::Pfs);
+        let cio = run_workload(&m, &w, &Backend::Cio);
+        for out in [&pfs, &cio] {
+            assert_eq!(out.trace.of_op(IoOp::Write).count() as u64, rounds * 8);
+            // Every record lands at its interleaved slot of the one file.
+            for ev in out.trace.of_op(IoOp::Write) {
+                assert_eq!(ev.file, 0);
+                assert_eq!(ev.offset % p.integral_bytes, 0);
+                assert_eq!(ev.bytes, p.integral_bytes);
+            }
+        }
+
+        // One collective per synchronized round, every node a member.
+        let stats = cio.cio.expect("cio stats");
+        assert_eq!(stats.collectives, rounds);
+        assert_eq!(stats.members, rounds * 8);
+        assert!(stats.exchange > paragon_sim::SimDuration::ZERO);
+
+        // The aggregation headline: CIO's mean per-I/O-node write request is
+        // at least 4× PFS's on the same interleaved workload.
+        let mean = |loads: &[sio_fskit::NodeLoad]| {
+            let reqs: u64 = loads.iter().map(|l| l.write_reqs).sum();
+            let bytes: u64 = loads.iter().map(|l| l.write_bytes).sum();
+            bytes as f64 / reqs.max(1) as f64
+        };
+        let (mp, mc) = (mean(&pfs.node_loads), mean(&cio.node_loads));
+        assert!(
+            mc >= 4.0 * mp,
+            "cio mean {mc:.0} B !>= 4x pfs mean {mp:.0} B"
+        );
     }
 
     #[test]

@@ -16,8 +16,10 @@ use paragon_sim::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sio_cio::CioStats;
 use sio_core::perf;
 use sio_core::trace::{Trace, TraceSink};
+use sio_fskit::NodeLoad;
 use sio_pfs::{AccessMode, FaultStats, FileSpec};
 use sio_ppfs::PpfsStats;
 
@@ -53,6 +55,12 @@ pub struct RunOutput {
     pub rebuild: (u64, u64),
     /// I/O nodes whose arrays were still degraded at run end.
     pub degraded_nodes: u32,
+    /// Accepted-request accounting per I/O node (Fig. 4 / X6: request counts
+    /// and byte volumes by direction). Empty for backends off the shared
+    /// segment pump.
+    pub node_loads: Vec<NodeLoad>,
+    /// Collective-I/O machinery counters when the CIO backend ran.
+    pub cio: Option<CioStats>,
 }
 
 impl RunOutput {
@@ -165,6 +173,8 @@ pub fn run_workload_crashable(
     let pfs_faults = fs.pfs_fault_stats();
     let rebuild = fs.rebuild_totals();
     let degraded_nodes = fs.degraded_nodes();
+    let node_loads = fs.node_loads();
+    let cio = fs.cio_stats();
     RunOutput {
         trace: fs.finish_trace(),
         report,
@@ -172,6 +182,8 @@ pub fn run_workload_crashable(
         pfs_faults,
         rebuild,
         degraded_nodes,
+        node_loads,
+        cio,
     }
 }
 

@@ -1,0 +1,323 @@
+//! Phase-1 arithmetic: the conforming partition of a collective request.
+//!
+//! Participating nodes contribute byte extents; the partition merges them
+//! into their disjoint union and decomposes that union along the stripe
+//! grid into *file domains* — per-I/O-node aggregates, each a maximal run
+//! of stripe pieces that is contiguous in the owning node's local array
+//! space, so the aggregator can move it in one large sequential transfer.
+//!
+//! Everything here is pure arithmetic over sorted extents: the result
+//! depends only on the *set* of input extents, never on the order the
+//! extent descriptors arrived in (the property tests pin this down).
+
+use sio_fskit::layout::StripeLayout;
+
+/// A half-open byte extent `[offset, offset + bytes)` of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Extent {
+    /// First byte.
+    pub offset: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl Extent {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+}
+
+/// One aggregated file domain: a maximal run of stripe pieces owned by one
+/// I/O node and contiguous in that node's local array space — the unit of
+/// phase-2 transfer (one [`SegmentReq`] each).
+///
+/// [`SegmentReq`]: paragon_sim::ionode::SegmentReq
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Owning I/O node.
+    pub io_node: u32,
+    /// First byte of the run in the file's node-local array space.
+    pub local_offset: u64,
+    /// Run length in bytes (sum of the pieces).
+    pub bytes: u64,
+    /// File-space pieces composing the run, ascending; each piece lies
+    /// within a single stripe unit of the owning node, and its boundaries
+    /// sit on stripe-unit multiples or union-extent edges.
+    pub pieces: Vec<Extent>,
+}
+
+impl Domain {
+    /// Bytes of `e` covered by this domain's file-space pieces (the data a
+    /// member contributes to — or receives from — this aggregator).
+    pub fn overlap(&self, e: Extent) -> u64 {
+        self.pieces
+            .iter()
+            .map(|p| p.end().min(e.end()).saturating_sub(p.offset.max(e.offset)))
+            .sum()
+    }
+}
+
+/// Merge extents into their sorted disjoint union (zero-length inputs
+/// vanish; adjacent extents coalesce).
+pub fn union(extents: &[Extent]) -> Vec<Extent> {
+    let mut v: Vec<Extent> = extents.iter().copied().filter(|e| e.bytes > 0).collect();
+    v.sort_unstable();
+    let mut out: Vec<Extent> = Vec::new();
+    for e in v {
+        match out.last_mut() {
+            Some(last) if e.offset <= last.end() => {
+                let end = last.end().max(e.end());
+                last.bytes = end - last.offset;
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Decompose a disjoint sorted union (from [`union`]) into aggregated
+/// [`Domain`]s: walk each union extent along the stripe grid, then merge
+/// the per-node pieces that land contiguously in node-local array space.
+/// Domains come out ascending by `(io_node, local_offset)`.
+pub fn domains(layout: &StripeLayout, union_extents: &[Extent]) -> Vec<Domain> {
+    let mut pieces: Vec<(u32, u64, Extent)> = Vec::new();
+    for e in union_extents {
+        let mut pos = e.offset;
+        while pos < e.end() {
+            let stop = ((pos / layout.unit + 1) * layout.unit).min(e.end());
+            pieces.push((
+                layout.io_node_of(pos),
+                layout.local_offset_of(pos),
+                Extent {
+                    offset: pos,
+                    bytes: stop - pos,
+                },
+            ));
+            pos = stop;
+        }
+    }
+    pieces.sort_by_key(|&(io, local, _)| (io, local));
+    let mut out: Vec<Domain> = Vec::new();
+    for (io, local, pc) in pieces {
+        match out.last_mut() {
+            Some(d) if d.io_node == io && d.local_offset + d.bytes == local => {
+                d.bytes += pc.bytes;
+                d.pieces.push(pc);
+            }
+            _ => out.push(Domain {
+                io_node: io,
+                local_offset: local,
+                bytes: pc.bytes,
+                pieces: vec![pc],
+            }),
+        }
+    }
+    out
+}
+
+/// [`union`] + [`domains`] in one call: the full conforming partition of a
+/// set of member extents.
+pub fn partition(layout: &StripeLayout, extents: &[Extent]) -> Vec<Domain> {
+    domains(layout, &union(extents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn union_merges_overlap_and_adjacency() {
+        let u = union(&[
+            Extent {
+                offset: 10,
+                bytes: 10,
+            },
+            Extent {
+                offset: 0,
+                bytes: 5,
+            },
+            Extent {
+                offset: 5,
+                bytes: 5,
+            },
+            Extent {
+                offset: 15,
+                bytes: 10,
+            },
+            Extent {
+                offset: 40,
+                bytes: 0,
+            },
+            Extent {
+                offset: 50,
+                bytes: 1,
+            },
+        ]);
+        assert_eq!(
+            u,
+            vec![
+                Extent {
+                    offset: 0,
+                    bytes: 25
+                },
+                Extent {
+                    offset: 50,
+                    bytes: 1
+                }
+            ]
+        );
+    }
+
+    /// The paper's interleaved-writer shape: N nodes each writing one
+    /// region-strided record per iteration aggregates to exactly one
+    /// domain per I/O node, each a single contiguous local run.
+    #[test]
+    fn interleaved_full_cover_aggregates_to_one_domain_per_node() {
+        let l = StripeLayout::new(64 * 1024, 4);
+        // 8 writers × 4 units each, covering [0, 2 MB) exactly.
+        let extents: Vec<Extent> = (0..8u64)
+            .map(|n| Extent {
+                offset: n * 256 * 1024,
+                bytes: 256 * 1024,
+            })
+            .collect();
+        let doms = partition(&l, &extents);
+        assert_eq!(doms.len(), 4);
+        for (i, d) in doms.iter().enumerate() {
+            assert_eq!(d.io_node as usize, i);
+            assert_eq!(d.local_offset, 0);
+            assert_eq!(d.bytes, 512 * 1024); // 8 units of 64 KB per node
+        }
+    }
+
+    #[test]
+    fn overlap_counts_member_bytes_inside_the_domain() {
+        let l = StripeLayout::new(1000, 2);
+        let doms = partition(
+            &l,
+            &[Extent {
+                offset: 500,
+                bytes: 2000,
+            }],
+        );
+        // Units 0 and 2 belong to node 0; unit 1 to node 1.
+        let total: u64 = doms
+            .iter()
+            .map(|d| {
+                d.overlap(Extent {
+                    offset: 500,
+                    bytes: 2000,
+                })
+            })
+            .sum();
+        assert_eq!(total, 2000);
+        let d0 = doms.iter().find(|d| d.io_node == 0).unwrap();
+        assert_eq!(
+            d0.overlap(Extent {
+                offset: 0,
+                bytes: 1000
+            }),
+            500
+        );
+    }
+
+    fn to_extents(raw: &[(u64, u64)]) -> Vec<Extent> {
+        raw.iter()
+            .map(|&(offset, bytes)| Extent { offset, bytes })
+            .collect()
+    }
+
+    fn byte_set(extents: &[Extent]) -> BTreeSet<u64> {
+        extents.iter().flat_map(|e| e.offset..e.end()).collect()
+    }
+
+    proptest! {
+        /// The union is sorted, disjoint, non-adjacent, and covers exactly
+        /// the bytes of the inputs.
+        #[test]
+        fn union_is_the_exact_disjoint_cover(raw in vec((0u64..6_000, 0u64..1_500), 1..24)) {
+            let extents = to_extents(&raw);
+            let u = union(&extents);
+            for w in u.windows(2) {
+                prop_assert!(w[0].end() < w[1].offset, "not disjoint/sorted: {:?}", w);
+            }
+            prop_assert!(u.iter().all(|e| e.bytes > 0));
+            prop_assert_eq!(byte_set(&u), byte_set(&extents));
+        }
+
+        /// The computed file domains exactly cover the union with no
+        /// overlap, and every piece is stripe-conforming: it lies within a
+        /// single stripe unit of its domain's I/O node, breaks only at
+        /// stripe-unit multiples or union edges, and runs contiguously in
+        /// node-local array space.
+        #[test]
+        fn domains_exactly_cover_and_conform(
+            raw in vec((0u64..6_000, 0u64..1_500), 1..24),
+            unit in 1u64..700,
+            io_nodes in 1u32..7,
+        ) {
+            let extents = to_extents(&raw);
+            let l = StripeLayout::new(unit, io_nodes);
+            let u = union(&extents);
+            let doms = domains(&l, &u);
+            let union_edges: BTreeSet<u64> =
+                u.iter().flat_map(|e| [e.offset, e.end()]).collect();
+
+            let mut covered: BTreeSet<u64> = BTreeSet::new();
+            for d in &doms {
+                let mut local = d.local_offset;
+                let mut run_bytes = 0;
+                for p in &d.pieces {
+                    prop_assert!(p.bytes > 0);
+                    // Within one stripe unit, owned by the domain's node.
+                    prop_assert_eq!(p.offset / unit, (p.end() - 1) / unit);
+                    prop_assert_eq!(l.io_node_of(p.offset), d.io_node);
+                    // Boundaries on the stripe grid or at union edges.
+                    prop_assert!(
+                        p.offset % unit == 0 || union_edges.contains(&p.offset),
+                        "piece start {} off-grid", p.offset
+                    );
+                    prop_assert!(
+                        p.end() % unit == 0 || union_edges.contains(&p.end()),
+                        "piece end {} off-grid", p.end()
+                    );
+                    // Contiguous in node-local array space.
+                    prop_assert_eq!(l.local_offset_of(p.offset), local);
+                    local += p.bytes;
+                    run_bytes += p.bytes;
+                    for b in p.offset..p.end() {
+                        prop_assert!(covered.insert(b), "byte {} covered twice", b);
+                    }
+                }
+                prop_assert_eq!(run_bytes, d.bytes);
+            }
+            prop_assert_eq!(covered, byte_set(&u));
+        }
+
+        /// The partition is independent of extent-exchange arrival order:
+        /// any permutation of the inputs yields identical domains.
+        #[test]
+        fn partition_is_arrival_order_independent(
+            raw in vec((0u64..6_000, 0u64..1_500), 1..24),
+            seed in any::<u64>(),
+            unit in 1u64..700,
+            io_nodes in 1u32..7,
+        ) {
+            let extents = to_extents(&raw);
+            let l = StripeLayout::new(unit, io_nodes);
+            let baseline = partition(&l, &extents);
+            // Deterministic pseudo-shuffle of the arrival order.
+            let mut shuffled = extents.clone();
+            let mut s = seed | 1;
+            for i in (1..shuffled.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            prop_assert_eq!(partition(&l, &shuffled), baseline);
+        }
+    }
+}

@@ -54,7 +54,7 @@ pub use fault::FaultRouter;
 pub use file::{FileSpec, FileState};
 pub use layout::{Segment, StripeLayout};
 pub use mode::AccessMode;
-pub use pump::{FailoverPolicy, NodeTick, PumpStats, RetrySeg, SegmentPump};
+pub use pump::{FailoverPolicy, NodeLoad, NodeTick, PumpStats, RetrySeg, SegmentPump};
 pub use recorder::TraceRecorder;
 pub use sync::{SyncLedger, SyncWaiter};
 pub use table::{FileTable, MetaServer};

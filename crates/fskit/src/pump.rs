@@ -48,6 +48,23 @@ pub enum FailoverPolicy {
     StripePinned,
 }
 
+/// Per-I/O-node request accounting, counted when a segment is *accepted*
+/// (started or queued) by the node: the request counts and mean request
+/// sizes the paper's Fig. 4 analysis — and X6's backend comparison — are
+/// about. Rejections don't count; a segment accepted after backoff counts
+/// once, at acceptance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Read requests accepted.
+    pub read_reqs: u64,
+    /// Read bytes accepted.
+    pub read_bytes: u64,
+    /// Write requests accepted.
+    pub write_reqs: u64,
+    /// Write bytes accepted.
+    pub write_bytes: u64,
+}
+
 /// Pump counters (all zero on a healthy run except `segments`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PumpStats {
@@ -113,6 +130,8 @@ pub struct SegmentPump {
     /// Segments parked at a crashed node, resubmitted on recovery.
     replay: Vec<(u32, SegmentReq)>,
     stats: PumpStats,
+    /// Accepted-request accounting, indexed by I/O node.
+    loads: Vec<NodeLoad>,
 }
 
 impl SegmentPump {
@@ -122,6 +141,7 @@ impl SegmentPump {
         policy: FailoverPolicy,
         retry_base: SimDuration,
     ) -> SegmentPump {
+        let loads = vec![NodeLoad::default(); ionodes.len()];
         SegmentPump {
             ionodes,
             policy,
@@ -132,6 +152,7 @@ impl SegmentPump {
             retry_timers: FastMap::default(),
             replay: Vec::new(),
             stats: PumpStats::default(),
+            loads,
         }
     }
 
@@ -158,6 +179,22 @@ impl SegmentPump {
     /// Pump counters.
     pub fn stats(&self) -> PumpStats {
         self.stats
+    }
+
+    /// Accepted-request accounting per I/O node.
+    pub fn node_loads(&self) -> &[NodeLoad] {
+        &self.loads
+    }
+
+    fn note_load(&mut self, io: u32, req: &SegmentReq) {
+        let l = &mut self.loads[io as usize];
+        if req.write {
+            l.write_reqs += 1;
+            l.write_bytes += req.bytes;
+        } else {
+            l.read_reqs += 1;
+            l.read_bytes += req.bytes;
+        }
     }
 
     /// Stage an extent for two-phase dispatch: decompose into stripe
@@ -213,6 +250,25 @@ impl SegmentPump {
         }
         self.seg_scratch = segments;
         Ok((reqs, seg_ids))
+    }
+
+    /// Stage one pre-aggregated segment (the two-phase collective shape:
+    /// the caller already merged member extents into a single per-I/O-node
+    /// array run): allocate its id, register `owner`, count it — without
+    /// submitting. Aggregated transfers stream sequentially on the array.
+    pub fn stage_seg(&mut self, offset: u64, bytes: u64, write: bool, owner: u64) -> SegmentReq {
+        let id = self.next_seg;
+        self.next_seg += 1;
+        self.seg_owner.insert(id, owner);
+        self.stats.segments += 1;
+        SegmentReq {
+            id,
+            offset,
+            bytes,
+            write,
+            sequential: true,
+            failover: false,
+        }
     }
 
     /// One-phase dispatch: decompose, allocate, and submit each segment of
@@ -275,9 +331,13 @@ impl SegmentPump {
             SubmitOutcome::Started => {
                 let t = self.ionodes[io as usize].next_done().expect("just started");
                 sched.timer(t, io as u64);
+                self.note_load(io, &req);
                 None
             }
-            SubmitOutcome::Queued => None,
+            SubmitOutcome::Queued => {
+                self.note_load(io, &req);
+                None
+            }
             SubmitOutcome::Rejected(reason) => {
                 self.handle_rejection(now, io, req, attempt, reason, ids, sched)
             }
@@ -299,24 +359,37 @@ impl SegmentPump {
         sched: &mut Sched,
     ) -> Option<u64> {
         match self.policy {
-            FailoverPolicy::Buddy { max_retries } => {
-                if attempt < max_retries {
-                    self.arm_retry(now, io, req, attempt, attempt + 1, ids, sched);
+            FailoverPolicy::Buddy { max_retries } => match reason {
+                // A full queue is congestion, not failure: a large
+                // aggregated segment from a single submitter can keep a
+                // healthy node's queue at its limit, and burning the
+                // bounded failover budget on it ends in a spurious
+                // give-up against two healthy-but-busy nodes. Retry
+                // forever with capped backoff; the backlog drains.
+                RejectReason::QueueFull => {
+                    self.arm_retry(now, io, req, attempt, (attempt + 1).min(4), ids, sched);
                     None
-                } else if !req.failover {
-                    // This node is unreachable: reconstruct from redundancy
-                    // on the buddy node (at the degraded penalty).
-                    self.stats.failovers += 1;
-                    let buddy = (io + 1) % self.ionodes.len() as u32;
-                    let mut r = req;
-                    r.failover = true;
-                    self.submit_seg(now, buddy, r, 0, ids, sched)
-                } else {
-                    // Primary and buddy both refused: the request cannot be
-                    // served.
-                    self.seg_owner.get(&req.id).copied()
                 }
-            }
+                RejectReason::Down => {
+                    if attempt < max_retries {
+                        self.arm_retry(now, io, req, attempt, attempt + 1, ids, sched);
+                        None
+                    } else if !req.failover {
+                        // This node is unreachable: reconstruct from
+                        // redundancy on the buddy node (at the degraded
+                        // penalty).
+                        self.stats.failovers += 1;
+                        let buddy = (io + 1) % self.ionodes.len() as u32;
+                        let mut r = req;
+                        r.failover = true;
+                        self.submit_seg(now, buddy, r, 0, ids, sched)
+                    } else {
+                        // Primary and buddy both refused: the request
+                        // cannot be served.
+                        self.seg_owner.get(&req.id).copied()
+                    }
+                }
+            },
             FailoverPolicy::StripePinned => {
                 match reason {
                     RejectReason::Down => self.replay.push((io, req)),
@@ -530,5 +603,69 @@ mod tests {
         // attempt counts (the stripe-pinned policy retries forever).
         let base = SimDuration::from_millis(1);
         assert_eq!(backoff_delay(base, 1000), base.times(16));
+    }
+
+    /// The CIO shape: one submitter, maximum-slot-size aggregated segments,
+    /// a capacity-limited queue. Queue-full backpressure under the buddy
+    /// policy must never burn the failover budget (the node is busy, not
+    /// broken): every rejection re-arms a capped-backoff retry, the attempt
+    /// counter stays ≤ 4, and the segment goes through once the node drains.
+    #[test]
+    fn buddy_queue_full_backs_off_without_burning_failover_budget() {
+        use crate::config::DEFAULT_FILE_SLOT;
+        use paragon_sim::MachineConfig;
+
+        let m = MachineConfig::tiny(2, 2);
+        let mut ionodes = m.build_io_nodes();
+        for n in &mut ionodes {
+            n.set_queue_limit(0); // busy node rejects everything
+        }
+        let base = SimDuration::from_millis(50);
+        let mut pump = SegmentPump::new(ionodes, FailoverPolicy::Buddy { max_retries: 2 }, base);
+        let mut ids = pump.len() as u64;
+        let mut sched = Sched::default();
+
+        // A max-slot-size aggregated segment occupies node 0...
+        let big = DEFAULT_FILE_SLOT;
+        let first = pump.stage_seg(0, big, true, 1);
+        assert!(pump
+            .submit_seg(SimTime::ZERO, 0, first, 0, &mut ids, &mut sched)
+            .is_none());
+
+        // ...so an equally large follow-up bounces QueueFull well past
+        // `max_retries`. It must neither fail over nor give up.
+        let mut req = pump.stage_seg(big, big, true, 2);
+        let mut now = SimTime::ZERO;
+        let mut attempt = 0;
+        for round in 0..12u32 {
+            let armed = ids;
+            let gave_up = pump.submit_seg(now, 0, req, attempt, &mut ids, &mut sched);
+            assert!(gave_up.is_none(), "round {round}: gave up on a busy node");
+            assert_eq!(ids, armed + 1, "round {round}: no retry armed");
+            let r = pump.take_retry(armed).expect("armed retry");
+            assert_eq!(r.io, 0, "round {round}: retry wandered off-node");
+            assert!(r.attempt <= 4, "round {round}: attempt counter uncapped");
+            now += backoff_delay(base, attempt);
+            req = r.req;
+            attempt = r.attempt;
+        }
+        assert_eq!(pump.stats().failovers, 0);
+        assert_eq!(pump.stats().retries, 12);
+
+        // Drain the node; the parked segment goes through on the next try.
+        let done = pump.nodes()[0].next_done().expect("segment in service");
+        let t = now.max(done);
+        match pump.node_tick(t, 0, &mut sched) {
+            NodeTick::Seg { owner, .. } => assert_eq!(owner, 1),
+            other => panic!("expected the first segment to complete, got {other:?}"),
+        }
+        assert!(pump
+            .submit_seg(t, 0, req, attempt, &mut ids, &mut sched)
+            .is_none());
+        assert_eq!(pump.owner_of(req.id), Some(2));
+
+        // Accepted-request accounting saw exactly the two acceptances.
+        let l = pump.node_loads()[0];
+        assert_eq!((l.write_reqs, l.write_bytes), (2, 2 * big));
     }
 }

@@ -35,7 +35,7 @@ use sio_core::hash::FastMap;
 use sio_core::trace::{Trace, TraceSink};
 use sio_fskit::file::{FileSpec, FileState};
 use sio_fskit::mode::AccessMode;
-use sio_fskit::pump::{FailoverPolicy, NodeTick, SegmentPump};
+use sio_fskit::pump::{FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
 use sio_fskit::{FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TraceRecorder};
 use std::collections::BTreeMap;
 
@@ -254,6 +254,11 @@ impl Pfs {
     /// Total stripe segments completed across all I/O nodes.
     pub fn segments_completed(&self) -> u64 {
         self.pump.segments_completed()
+    }
+
+    /// Accepted-request accounting per I/O node.
+    pub fn node_loads(&self) -> &[NodeLoad] {
+        self.pump.node_loads()
     }
 
     fn state(&mut self, file: u32) -> &mut FileState {

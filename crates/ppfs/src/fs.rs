@@ -41,7 +41,7 @@ use sio_fskit::config::FsConfig;
 use sio_fskit::fault::FaultRouter;
 use sio_fskit::file::FileSpec;
 use sio_fskit::mode::AccessMode;
-use sio_fskit::pump::{FailoverPolicy, NodeTick, SegmentPump};
+use sio_fskit::pump::{FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
 use sio_fskit::recorder::TraceRecorder;
 use sio_fskit::sync::{SyncLedger, SyncWaiter};
 use sio_fskit::table::{FileTable, MetaServer};
@@ -284,6 +284,11 @@ impl Ppfs {
     /// I/O nodes whose arrays are still degraded.
     pub fn degraded_nodes(&self) -> u32 {
         self.pump.degraded_nodes()
+    }
+
+    /// Accepted-request accounting per I/O node.
+    pub fn node_loads(&self) -> &[NodeLoad] {
+        self.pump.node_loads()
     }
 
     /// Current length of a file.

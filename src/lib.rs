@@ -9,12 +9,16 @@
 //! * [`pfs`] (`sio-pfs`) — Intel PFS model with the six parallel access modes.
 //! * [`ppfs`] (`sio-ppfs`) — portable parallel file system with tunable
 //!   caching / prefetching / write-behind / aggregation policies.
+//! * [`cio`] (`sio-cio`) — collective two-phase I/O backend: extent exchange
+//!   over the mesh, conforming stripe-aligned partition, one aggregated
+//!   transfer per touched I/O node.
 //! * [`apps`] (`sio-apps`) — ESCAT, RENDER, and HTF application skeletons.
 //! * [`analysis`] (`sio-analysis`) — regeneration of every table and figure.
 
 pub use paragon_sim as paragon;
 pub use sio_analysis as analysis;
 pub use sio_apps as apps;
+pub use sio_cio as cio;
 pub use sio_core as core;
 pub use sio_pfs as pfs;
 pub use sio_ppfs as ppfs;

@@ -11,11 +11,14 @@
 
 use sio::apps::workload::{
     parallel_write_kernel, run_workload, run_workload_with_faults, sequential_read_kernel, Backend,
+    Workload,
 };
 use sio::apps::EscatParams;
+use sio::core::event::IoOp;
 use sio::core::sddf;
+use sio::paragon::program::{IoRequest, ScriptOp};
 use sio::paragon::{FaultSchedule, MachineConfig, SimDuration, SimTime};
-use sio::pfs::AccessMode;
+use sio::pfs::{AccessMode, FileSpec};
 use sio::ppfs::PolicyConfig;
 
 fn m() -> MachineConfig {
@@ -30,7 +33,11 @@ fn secs(s: u64) -> SimTime {
 fn none_and_empty_schedule_are_bit_identical_to_run_workload() {
     let machine = m();
     let w = EscatParams::small(8, 6).workload();
-    for backend in [Backend::Pfs, Backend::Ppfs(PolicyConfig::escat_tuned())] {
+    for backend in [
+        Backend::Pfs,
+        Backend::Ppfs(PolicyConfig::escat_tuned()),
+        Backend::Cio,
+    ] {
         let plain = run_workload(&machine, &w, &backend);
         let none = run_workload_with_faults(&machine, &w, &backend, None);
         let empty = FaultSchedule::new();
@@ -84,7 +91,11 @@ fn single_fault_schedules_never_panic() {
 
     let w = EscatParams::small(8, 6).workload();
     for (name, schedule) in &schedules {
-        for backend in [Backend::Pfs, Backend::Ppfs(PolicyConfig::escat_tuned())] {
+        for backend in [
+            Backend::Pfs,
+            Backend::Ppfs(PolicyConfig::escat_tuned()),
+            Backend::Cio,
+        ] {
             let out = run_workload_with_faults(&machine, &w, &backend, Some(schedule));
             assert!(out.report.clean(), "{name} on {backend:?} did not finish");
         }
@@ -234,4 +245,87 @@ fn ppfs_crash_loses_then_replays_write_behind_data() {
         stats.replayed_segments > 0,
         "lost segments were not replayed on recovery"
     );
+}
+
+/// Interleaved collective writers on one shared file, finishing with a
+/// `Sync` — the shape whose aggregated transfers land on every I/O node,
+/// so an aggregator-side crash hits a collective mid-flight.
+fn collective_write_workload(nodes: u64, rounds: u64, chunk: u64) -> Workload {
+    let scripts = (0..nodes)
+        .map(|node| {
+            let mut ops = vec![
+                ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+                ScriptOp::Barrier(0),
+            ];
+            for k in 0..rounds {
+                let mut req = IoRequest::write(0, chunk);
+                req.offset = Some((k * nodes + node) * chunk);
+                ops.push(ScriptOp::Io(req));
+            }
+            ops.push(ScriptOp::Io(IoRequest::sync(0)));
+            ops.push(ScriptOp::Io(IoRequest::close(0)));
+            ops
+        })
+        .collect();
+    Workload {
+        label: "cio-collective-crash".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts,
+        groups: Vec::new(),
+    }
+}
+
+/// Killing every aggregator target mid-collective must propagate one typed
+/// `Unavailable` fault to *all* participants of the collective — every
+/// member's write completes with zero bytes, the trailing `Sync` does not
+/// park forever, and the run drains to a clean finish.
+#[test]
+fn cio_aggregator_crash_propagates_typed_fault_to_all_members() {
+    let machine = MachineConfig::tiny(4, 2);
+    let w = collective_write_workload(4, 3, 48 * 1024);
+    let mut s = FaultSchedule::new();
+    for io in 0..machine.io_nodes {
+        s.node_crash(SimTime::ZERO, io);
+    }
+    let out = run_workload_with_faults(&machine, &w, &Backend::Cio, Some(&s));
+    assert!(out.report.clean(), "typed failure must not hang the app");
+    // Every member of every collective observed the fault: all 12 writes
+    // completed with zero bytes, none were silently dropped.
+    let writes: Vec<_> = out.trace.of_op(IoOp::Write).collect();
+    assert_eq!(writes.len(), 12);
+    assert!(
+        writes.iter().all(|e| e.bytes == 0),
+        "some members did not see the fault"
+    );
+    let pf = out.pfs_faults.expect("cio reports fault counters");
+    // Unavailable is counted once per affected member, so whole
+    // collectives' worth of results are typed — at least one full
+    // 4-member collective failed together.
+    assert!(pf.unavailable >= 4, "fault not fanned out: {pf:?}");
+    // The Sync still committed (an empty durability interval, not a hang).
+    assert_eq!(out.trace.of_op(IoOp::Flush).count(), 4);
+}
+
+/// With a single aggregator target down and no recovery, the shared pump's
+/// retry + buddy failover must drain every aggregated transfer: all bytes
+/// served, failovers accounted, no typed failures, and the trailing `Sync`
+/// released on every node.
+#[test]
+fn cio_aggregator_crash_fails_over_and_drains_cleanly() {
+    let machine = MachineConfig::tiny(4, 2);
+    let w = collective_write_workload(4, 3, 48 * 1024);
+    let mut s = FaultSchedule::new();
+    s.node_crash(SimTime::ZERO, 0);
+    let out = run_workload_with_faults(&machine, &w, &Backend::Cio, Some(&s));
+    assert!(out.report.clean(), "failover did not drain");
+    let pf = out.pfs_faults.expect("cio reports fault counters");
+    assert!(pf.retries > 0, "rejections were not retried");
+    assert!(pf.failovers > 0, "no buddy failover happened");
+    assert_eq!(pf.unavailable, 0, "failover path leaked typed failures");
+    // Every member's write still carries its full payload.
+    let writes: Vec<_> = out.trace.of_op(IoOp::Write).collect();
+    assert_eq!(writes.len(), 12);
+    assert!(writes.iter().all(|e| e.bytes == 48 * 1024));
+    // And the Sync parked + released on all four nodes (no hung waiters).
+    assert_eq!(out.trace.of_op(IoOp::Flush).count(), 4);
 }

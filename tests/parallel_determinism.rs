@@ -89,6 +89,20 @@ fn fault_suite_is_worker_count_invariant() {
     });
 }
 
+/// The X6 collective-I/O suite fans its workload × scale × backend grid
+/// out through the same executor; the two-phase exchange and aggregated
+/// dispatch must not introduce any worker-count dependence.
+#[test]
+fn cio_suite_is_worker_count_invariant() {
+    let machine = m();
+    let ep = EscatParams::small(8, 4);
+    let rp = RenderParams::small(8, 2);
+    let hp = HtfParams::small(8);
+    assert_jobs_invariant("cio_suite", |jobs| {
+        experiments::cio_suite_jobs(&machine, &ep, &rp, &hp, &[4, 8], jobs)
+    });
+}
+
 /// The X5 recovery suite layers crash/resume pairs and a derived durable
 /// cut on top of the executor; the three fan-out phases must stay
 /// worker-count invariant end to end.
