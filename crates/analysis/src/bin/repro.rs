@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--fast] [--perf] [--jobs N] [--out DIR] [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|all]
+//! repro [--fast] [--perf] [--jobs N] [--out DIR] [--crash-frac F] [--log-mb MB] [--drain-mbps R]
+//!       [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|blog|all]...
 //! ```
 //!
 //! Paper-scale runs (`escat`, `render`, `htf`) use the 128-node Caltech
@@ -22,6 +23,7 @@
 //! measure the host and are the one non-deterministic line.
 
 use paragon_sim::MachineConfig;
+use sio_analysis::burst;
 use sio_analysis::characterize::Characterization;
 use sio_analysis::experiments;
 use sio_analysis::figures;
@@ -29,10 +31,11 @@ use sio_analysis::recovery;
 use sio_analysis::report;
 use sio_analysis::runner;
 use sio_apps::{EscatParams, HtfParams, RenderParams};
+use std::fmt;
 use std::path::PathBuf;
 
 /// Every experiment name `repro` accepts.
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "escat",
     "render",
     "htf",
@@ -43,11 +46,56 @@ const EXPERIMENTS: [&str; 11] = [
     "faults",
     "recover",
     "cio",
+    "blog",
     "all",
 ];
 
 const USAGE: &str = "usage: repro [--fast] [--perf] [--jobs N] [--out DIR] [--crash-frac F] \
-     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|all]...";
+     [--log-mb MB] [--drain-mbps R] \
+     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|blog|all]...";
+
+/// Why an argument list was rejected. A typed error rather than a bare
+/// message: tests assert on the failure class and the offending option,
+/// and `main` renders every class through one `Display` path.
+#[derive(Debug, PartialEq)]
+enum CliError {
+    /// An option that takes a value appeared last on the command line.
+    MissingValue {
+        option: &'static str,
+        expected: &'static str,
+    },
+    /// An option's value failed validation — out of range, wrong type, or
+    /// non-finite. Nothing is silently clamped into range.
+    InvalidValue {
+        option: &'static str,
+        expected: &'static str,
+        got: String,
+    },
+    UnknownOption(String),
+    UnknownExperiment(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue { option, expected } => {
+                write!(f, "{option} requires {expected}")
+            }
+            CliError::InvalidValue {
+                option,
+                expected,
+                got,
+            } => write!(f, "{option} requires {expected}, got '{got}'"),
+            CliError::UnknownOption(o) => write!(f, "unknown option '{o}'"),
+            CliError::UnknownExperiment(e) => write!(
+                f,
+                "unknown experiment '{}' (expected one of: {})",
+                e,
+                EXPERIMENTS.join(", ")
+            ),
+        }
+    }
+}
 
 #[derive(Debug, PartialEq)]
 struct Cli {
@@ -57,16 +105,21 @@ struct Cli {
     help: bool,
     out: PathBuf,
     jobs: Option<usize>,
-    /// Custom crash fraction for the `recover` suite (replaces the canned
-    /// scenarios with a single `crash@F` cell per workload × interval).
+    /// Custom crash fraction for the `recover` and `blog` suites (replaces
+    /// the canned scenarios with a single `crash@F` cell; `1` crashes at
+    /// the healthy wall, i.e. at the last possible instant).
     crash_frac: Option<f64>,
+    /// Per-node burst-log capacity override for the `blog` suite, MB.
+    log_mb: Option<u64>,
+    /// Burst-log drain bandwidth override for the `blog` suite, MB/s.
+    drain_mbps: Option<f64>,
     what: Vec<String>,
 }
 
-/// Parse and validate an argument list. Every rejection names the bad
-/// argument and what would be accepted, so the caller can print it and
-/// exit non-zero.
-fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+/// Parse and validate an argument list. Every rejection is a typed
+/// [`CliError`] naming the bad argument and what would be accepted; the
+/// caller prints it and exits non-zero.
+fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
     let mut cli = Cli {
         fast: false,
         perf: false,
@@ -74,48 +127,89 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, String
         out: PathBuf::from("results"),
         jobs: None,
         crash_frac: None,
+        log_mb: None,
+        drain_mbps: None,
         what: Vec::new(),
     };
     let mut args = argv.into_iter();
+    let value = |args: &mut dyn Iterator<Item = String>,
+                 option: &'static str,
+                 expected: &'static str|
+     -> Result<String, CliError> {
+        args.next()
+            .ok_or(CliError::MissingValue { option, expected })
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => cli.fast = true,
             "--perf" => cli.perf = true,
             "-h" | "--help" => cli.help = true,
             "--jobs" => {
-                let v = args.next().ok_or("--jobs requires a positive integer")?;
+                let expected = "a positive integer";
+                let v = value(&mut args, "--jobs", expected)?;
                 match v.parse::<usize>() {
                     Ok(n) if n > 0 => cli.jobs = Some(n),
-                    _ => return Err(format!("--jobs requires a positive integer, got '{v}'")),
+                    _ => {
+                        return Err(CliError::InvalidValue {
+                            option: "--jobs",
+                            expected,
+                            got: v,
+                        })
+                    }
                 }
             }
             "--out" => {
-                let dir = args.next().ok_or("--out requires a directory argument")?;
+                let dir = value(&mut args, "--out", "a directory argument")?;
                 cli.out = PathBuf::from(dir);
             }
             "--crash-frac" => {
-                let v = args
-                    .next()
-                    .ok_or("--crash-frac requires a fraction in (0, 1)")?;
+                let expected = "a fraction in (0, 1]";
+                let v = value(&mut args, "--crash-frac", expected)?;
                 match v.parse::<f64>() {
-                    Ok(f) if f > 0.0 && f < 1.0 => cli.crash_frac = Some(f),
+                    Ok(f) if f > 0.0 && f <= 1.0 => cli.crash_frac = Some(f),
                     _ => {
-                        return Err(format!(
-                            "--crash-frac requires a fraction strictly between 0 and 1, got '{v}'"
-                        ))
+                        return Err(CliError::InvalidValue {
+                            option: "--crash-frac",
+                            expected,
+                            got: v,
+                        })
+                    }
+                }
+            }
+            "--log-mb" => {
+                let expected = "a positive whole number of megabytes";
+                let v = value(&mut args, "--log-mb", expected)?;
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => cli.log_mb = Some(n),
+                    _ => {
+                        return Err(CliError::InvalidValue {
+                            option: "--log-mb",
+                            expected,
+                            got: v,
+                        })
+                    }
+                }
+            }
+            "--drain-mbps" => {
+                let expected = "a positive finite MB/s rate";
+                let v = value(&mut args, "--drain-mbps", expected)?;
+                match v.parse::<f64>() {
+                    Ok(r) if r > 0.0 && r.is_finite() => cli.drain_mbps = Some(r),
+                    _ => {
+                        return Err(CliError::InvalidValue {
+                            option: "--drain-mbps",
+                            expected,
+                            got: v,
+                        })
                     }
                 }
             }
             other if other.starts_with('-') => {
-                return Err(format!("unknown option '{other}'"));
+                return Err(CliError::UnknownOption(other.to_string()));
             }
             other => {
                 if !EXPERIMENTS.contains(&other) {
-                    return Err(format!(
-                        "unknown experiment '{}' (expected one of: {})",
-                        other,
-                        EXPERIMENTS.join(", ")
-                    ));
+                    return Err(CliError::UnknownExperiment(other.to_string()));
                 }
                 cli.what.push(other.to_string());
             }
@@ -781,6 +875,108 @@ fn run_recover(cli: &Cli) {
     println!("{body}");
 }
 
+fn run_blog(cli: &Cli) {
+    let _phase = sio_core::perf::phase("blog");
+    let m = machine(cli.fast);
+    let (ep, rp, hp) = if cli.fast {
+        (
+            EscatParams::small(8, 8),
+            RenderParams::small(8, 4),
+            HtfParams::small(8),
+        )
+    } else {
+        (
+            EscatParams::paper(),
+            RenderParams::paper(),
+            HtfParams::paper(),
+        )
+    };
+    eprintln!("[repro] burst-buffer suite (X7: log tier over pfs/ppfs/cio)...");
+    let rows = burst::blog_suite_overrides_jobs(
+        &m,
+        &ep,
+        &rp,
+        &hp,
+        cli.log_mb,
+        cli.drain_mbps,
+        runner::configured_jobs(),
+    );
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    let mut b = String::new();
+    b.push_str(
+        "workload    inner  log(MB)  drain(MB/s)  crash  commit(ms)  direct(ms)  speedup  epoch  pend(MB)  replay(s)  ttr(s)  dttr(s)  lost(MB)  occ(MB)  stall(s)\n",
+    );
+    for r in &rows {
+        b.push_str(&format!(
+            "{:<11} {:<6} {:>7} {:>12.1} {:>6.2} {:>11.3} {:>11.3} {:>7.1}x {:>3}/{:<2} {:>8.1} {:>10.1} {:>7.1} {:>8.1} {:>9.3} {:>8.1} {:>8.3}\n",
+            r.workload,
+            r.inner,
+            r.log_mb,
+            r.drain_mbps,
+            r.crash_frac,
+            r.commit_ms,
+            r.direct_commit_ms,
+            r.commit_speedup,
+            r.durable_epoch,
+            r.epochs,
+            r.pending_mb,
+            r.replay_secs,
+            r.ttr_secs,
+            r.direct_ttr_secs,
+            r.lost_mb,
+            r.occ_peak_mb,
+            r.stall_secs,
+        ));
+    }
+    body.push_str(&report::section(
+        "X7 — burst-buffer tier (log-speed commits, crash-consistent drain, recovery replay)",
+        &b,
+    ));
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.workload,
+                r.inner,
+                r.log_mb,
+                r.drain_mbps,
+                r.crash_frac,
+                r.commit_ms,
+                r.direct_commit_ms,
+                r.commit_speedup,
+                r.wall_secs,
+                r.direct_wall_secs,
+                r.durable_epoch,
+                r.direct_epoch,
+                r.epochs,
+                r.pending_mb,
+                r.replay_secs,
+                r.ttr_secs,
+                r.direct_ttr_secs,
+                r.lost_mb,
+                r.direct_lost_mb,
+                r.occ_peak_mb,
+                r.stall_secs
+            )
+        })
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "blog",
+        "workload,inner,log_mb,drain_mbps,crash_frac,commit_ms,direct_commit_ms,commit_speedup,wall_secs,direct_wall_secs,durable_epoch,direct_epoch,epochs,pending_mb,replay_secs,ttr_secs,direct_ttr_secs,lost_mb,direct_lost_mb,occ_peak_mb,stall_secs",
+        &csv,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "blog", &body).expect("write report");
+    println!("{body}");
+}
+
 fn run_ablations(cli: &Cli) {
     let _phase = sio_core::perf::phase("ablations");
     let m = machine(cli.fast);
@@ -894,6 +1090,7 @@ fn main() {
             "faults" => run_faults(&cli),
             "recover" => run_recover(&cli),
             "cio" => run_cio(&cli),
+            "blog" => run_blog(&cli),
             "all" => {
                 // Independent experiments fan out over the sweep runner;
                 // each simulation is single-threaded and deterministic, so
@@ -910,6 +1107,7 @@ fn main() {
                     Box::new(move || run_faults(cli)),
                     Box::new(move || run_recover(cli)),
                     Box::new(move || run_cio(cli)),
+                    Box::new(move || run_blog(cli)),
                 ];
                 runner::par_run(runner::configured_jobs(), tasks);
             }
@@ -926,7 +1124,7 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<Cli, String> {
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
         parse_args_from(args.iter().map(|s| s.to_string()))
     }
 
@@ -967,42 +1165,125 @@ mod tests {
     #[test]
     fn rejects_unknown_experiment_with_suggestions() {
         let err = parse(&["recoverr"]).unwrap_err();
-        assert!(err.contains("unknown experiment 'recoverr'"), "{err}");
-        assert!(err.contains("recover"), "{err}");
+        assert_eq!(err, CliError::UnknownExperiment("recoverr".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("unknown experiment 'recoverr'"), "{msg}");
+        assert!(msg.contains("recover"), "{msg}");
+        assert!(msg.contains("blog"), "{msg}");
     }
 
     #[test]
     fn rejects_unknown_option() {
         let err = parse(&["--job", "4"]).unwrap_err();
-        assert!(err.contains("unknown option '--job'"), "{err}");
+        assert_eq!(err, CliError::UnknownOption("--job".to_string()));
+        assert!(err.to_string().contains("unknown option '--job'"), "{err}");
     }
 
     #[test]
     fn rejects_bad_jobs_values() {
-        for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
-            let err = parse(bad).unwrap_err();
-            assert!(err.contains("--jobs"), "{err}");
+        assert!(matches!(
+            parse(&["--jobs"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--jobs",
+                ..
+            }
+        ));
+        for bad in ["0", "many"] {
+            let err = parse(&["--jobs", bad]).unwrap_err();
+            assert_eq!(
+                err,
+                CliError::InvalidValue {
+                    option: "--jobs",
+                    expected: "a positive integer",
+                    got: bad.to_string(),
+                }
+            );
         }
     }
 
     #[test]
+    fn accepts_crash_frac_up_to_one() {
+        // The interval is half-open: crashing exactly at the healthy wall
+        // (the last possible instant) is meaningful, crashing at 0 is not.
+        assert_eq!(parse(&["--crash-frac", "1"]).unwrap().crash_frac, Some(1.0));
+        assert_eq!(
+            parse(&["--crash-frac", "0.5"]).unwrap().crash_frac,
+            Some(0.5)
+        );
+    }
+
+    #[test]
     fn rejects_malformed_crash_frac() {
-        for bad in [
-            &["--crash-frac"][..],
-            &["--crash-frac", "0"],
-            &["--crash-frac", "1"],
-            &["--crash-frac", "1.5"],
-            &["--crash-frac", "-0.2"],
-            &["--crash-frac", "half"],
-        ] {
-            let err = parse(bad).unwrap_err();
-            assert!(err.contains("--crash-frac"), "{err}");
+        assert!(matches!(
+            parse(&["--crash-frac"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--crash-frac",
+                ..
+            }
+        ));
+        for bad in ["0", "1.5", "-0.2", "half", "NaN"] {
+            let err = parse(&["--crash-frac", bad]).unwrap_err();
+            assert_eq!(
+                err,
+                CliError::InvalidValue {
+                    option: "--crash-frac",
+                    expected: "a fraction in (0, 1]",
+                    got: bad.to_string(),
+                },
+                "'{bad}' must be rejected, not clamped"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_and_validates_blog_knobs() {
+        let cli = parse(&["--log-mb", "128", "--drain-mbps", "12.5", "blog"]).unwrap();
+        assert_eq!(cli.log_mb, Some(128));
+        assert_eq!(cli.drain_mbps, Some(12.5));
+        assert_eq!(cli.what, vec!["blog"]);
+
+        assert!(matches!(
+            parse(&["--log-mb"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--log-mb",
+                ..
+            }
+        ));
+        for bad in ["0", "-4", "64.5", "big"] {
+            assert!(matches!(
+                parse(&["--log-mb", bad]).unwrap_err(),
+                CliError::InvalidValue {
+                    option: "--log-mb",
+                    ..
+                }
+            ));
+        }
+        assert!(matches!(
+            parse(&["--drain-mbps"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--drain-mbps",
+                ..
+            }
+        ));
+        for bad in ["0", "-8", "inf", "NaN", "slow"] {
+            assert!(matches!(
+                parse(&["--drain-mbps", bad]).unwrap_err(),
+                CliError::InvalidValue {
+                    option: "--drain-mbps",
+                    ..
+                }
+            ));
         }
     }
 
     #[test]
     fn rejects_missing_out_dir() {
-        let err = parse(&["--out"]).unwrap_err();
-        assert!(err.contains("--out"), "{err}");
+        assert!(matches!(
+            parse(&["--out"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--out",
+                ..
+            }
+        ));
     }
 }

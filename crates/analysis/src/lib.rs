@@ -12,6 +12,10 @@
 //!   (who dominates, by roughly what factor);
 //! * [`experiments`] — one driver per experiment in DESIGN.md's index,
 //!   used by the `repro` binary, the integration tests, and the benches;
+//! * [`recovery`] — the X5 crash/recovery orchestration and durable-cut
+//!   analysis, and [`burst`] — the X7 burst-buffer sweep putting the
+//!   `sio-blog` log tier in front of each backend and measuring commit
+//!   latency, time-to-recovery, and lost work against going direct;
 //! * [`runner`] — the parallel sweep executor: every experiment sweep
 //!   fans its independent, deterministic simulations out over a bounded
 //!   worker pool (`--jobs N` / `SIO_JOBS`), with results in input order;
@@ -20,6 +24,7 @@
 //! The `repro` binary (`cargo run -p sio-analysis --bin repro --release`)
 //! regenerates every artifact into `results/`.
 
+pub mod burst;
 pub mod characterize;
 pub mod compare;
 pub mod experiments;

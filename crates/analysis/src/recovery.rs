@@ -38,7 +38,7 @@ pub struct DurableCut {
 /// Checkpoint commits of one writer, in commit order: the `j`-th completed
 /// checkpoint-file write pairs with the `j`-th completed checkpoint-file
 /// sync. A write past the sync count was still unsynced at the crash.
-fn commit_events<'a>(
+pub(crate) fn commit_events<'a>(
     trace: &'a Trace,
     plan: &CheckpointPlan,
     node: u32,
@@ -108,6 +108,70 @@ pub fn durable_cut(
                 full[..len].to_vec()
             };
             match store.try_commit(&slots[n as usize], &bytes) {
+                Ok(e) => {
+                    committed[n as usize] = e;
+                    valid += 1;
+                }
+                Err(_) => torn += 1,
+            }
+        }
+    }
+    let epoch = (0..plan.nodes as usize)
+        .map(|n| {
+            if committed[n] >= final_boundary(units[n], plan.interval) {
+                plan.epochs
+            } else {
+                committed[n]
+            }
+        })
+        .min()
+        .unwrap_or(0);
+    DurableCut {
+        epoch,
+        commits_valid: valid,
+        commits_torn: torn,
+    }
+}
+
+/// Derive the durable epoch from a crashed run under the **burst-log
+/// tier** (DESIGN.md §5): a checkpoint record is durable iff its log frame
+/// validates — the append completed by the crash, and the log device
+/// commits whole checksummed frames, so in-flight appends never reach the
+/// trace and traced appends never tear — **or** its drain into the wrapped
+/// backend completed. Drained records were necessarily appended first, so
+/// the traced-append test subsumes the union; unlike [`durable_cut`], a
+/// commit does not need its `Sync` to have completed (the byte-level
+/// frame-validation rule is exercised directly by the
+/// `checkpoint_atomicity` proptests over the blog crate's `BurstLog`).
+pub fn durable_cut_logged(
+    trace: &Trace,
+    plan: &CheckpointPlan,
+    units: &[u32],
+    crash: SimTime,
+) -> DurableCut {
+    assert_eq!(
+        units.len(),
+        plan.nodes as usize,
+        "one unit count per writer"
+    );
+    let mut store = CheckpointStore::new();
+    let slots = plan.slot_names();
+    let (mut valid, mut torn) = (0u32, 0u32);
+    let mut committed = vec![0u32; plan.nodes as usize];
+    for n in 0..plan.nodes {
+        let (writes, _) = commit_events(trace, plan, n);
+        for w in writes {
+            let slot_idx = w.offset / plan.record_bytes;
+            let epoch = ((slot_idx - n as u64) / plan.nodes as u64) as u32 + 1;
+            let full = plan.image(n, epoch).encode();
+            // Appends that completed by the crash are whole frames; a
+            // crashed engine abandons later completions, so anything else
+            // never made the trace.
+            if w.end > crash.nanos() {
+                torn += 1;
+                continue;
+            }
+            match store.try_commit(&slots[n as usize], &full) {
                 Ok(e) => {
                     committed[n as usize] = e;
                     valid += 1;
@@ -228,7 +292,10 @@ pub fn recover_scenario(name: &str, ckpt_wall: SimTime) -> (f64, Option<FaultSch
                 .strip_prefix("crash@")
                 .and_then(|s| s.parse::<f64>().ok())
             {
-                if f > 0.0 && f < 1.0 {
+                // Half-open (0, 1]: crashing exactly at the healthy wall is
+                // a legal boundary case (nothing is lost, recovery is pure
+                // detection + replay), crashing at or before 0 is not.
+                if f > 0.0 && f <= 1.0 {
                     return (f, None);
                 }
             }

@@ -12,6 +12,7 @@
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::program::{IoRequest, IoToken};
 use paragon_sim::{FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime};
+use sio_blog::{Blog, BlogParams, BlogStats, DrainBackend};
 use sio_cio::{Cio, CioStats};
 use sio_core::trace::{Trace, TraceSink};
 use sio_fskit::NodeLoad;
@@ -68,6 +69,63 @@ pub trait FsBackend: IoService {
     /// Collective-I/O machinery counters, when this backend keeps them.
     fn cio_stats(&self) -> Option<CioStats> {
         None
+    }
+
+    /// Burst-log drain-health counters, when this backend is wrapped by the
+    /// log tier.
+    fn blog_stats(&self) -> Option<BlogStats> {
+        None
+    }
+
+    /// Accept a coalesced burst-log drain extent as background write
+    /// traffic (no application-visible trace event). Only backends that
+    /// ride the shared segment pump support drains; the log tier refuses to
+    /// wrap anything else at parse time, so reaching the default is a bug.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        let _ = (node, now, file, offset, bytes, token, sched);
+        panic!("backend does not support drain traffic");
+    }
+
+    /// Whether acknowledged data was lost to exhausted redundancy
+    /// (surfaced by the log tier as `DataLoss` on the next `Sync`).
+    fn any_data_lost(&self) -> bool {
+        false
+    }
+}
+
+/// A boxed backend can serve as the inner tier under the burst log: drains
+/// route through [`FsBackend::submit_drain`], and the log tier traces its
+/// absorbed writes into the same sink as the inner backend.
+impl DrainBackend for Box<dyn FsBackend> {
+    fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        (**self).submit_drain(node, now, file, offset, bytes, token, sched)
+    }
+
+    fn drain_sink(&mut self) -> &mut TraceSink {
+        (**self).sink_mut()
+    }
+
+    fn any_data_lost(&self) -> bool {
+        (**self).any_data_lost()
     }
 }
 
@@ -135,6 +193,23 @@ impl FsBackend for Pfs {
     fn node_loads(&self) -> Vec<NodeLoad> {
         Pfs::node_loads(self).to_vec()
     }
+
+    fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        Pfs::submit_drain(self, node, now, file, offset, bytes, token, sched)
+    }
+
+    fn any_data_lost(&self) -> bool {
+        Pfs::any_data_lost(self)
+    }
 }
 
 impl FsBackend for Ppfs {
@@ -168,6 +243,23 @@ impl FsBackend for Ppfs {
 
     fn node_loads(&self) -> Vec<NodeLoad> {
         Ppfs::node_loads(self).to_vec()
+    }
+
+    fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        Ppfs::submit_drain(self, node, now, file, offset, bytes, token, sched)
+    }
+
+    fn any_data_lost(&self) -> bool {
+        Ppfs::any_data_lost(self)
     }
 }
 
@@ -215,6 +307,76 @@ impl FsBackend for Cio {
     fn cio_stats(&self) -> Option<CioStats> {
         Some(Cio::cio_stats(self))
     }
+
+    fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        Cio::submit_drain(self, node, now, file, offset, bytes, token, sched)
+    }
+
+    fn any_data_lost(&self) -> bool {
+        Cio::any_data_lost(self)
+    }
+}
+
+/// The log tier over any boxed inner backend is itself a backend: file
+/// registration, counters, and fault surfaces forward to the inner tier;
+/// the wrapper adds its own drain-health counters.
+impl FsBackend for Blog<Box<dyn FsBackend>> {
+    fn register_file(&mut self, spec: FileSpec) -> u32 {
+        self.inner_mut().register_file(spec)
+    }
+
+    fn mark_checkpoint_covered(&mut self, file: u32) {
+        self.inner_mut().mark_checkpoint_covered(file)
+    }
+
+    fn sink_mut(&mut self) -> &mut TraceSink {
+        self.inner_mut().sink_mut()
+    }
+
+    fn finish_trace(self: Box<Self>) -> Trace {
+        (*self).into_inner().finish_trace()
+    }
+
+    fn rebuild_totals(&self) -> (u64, u64) {
+        self.inner().rebuild_totals()
+    }
+
+    fn degraded_nodes(&self) -> u32 {
+        self.inner().degraded_nodes()
+    }
+
+    fn ppfs_stats(&self) -> Option<PpfsStats> {
+        self.inner().ppfs_stats()
+    }
+
+    fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        self.inner().pfs_fault_stats()
+    }
+
+    fn node_loads(&self) -> Vec<NodeLoad> {
+        self.inner().node_loads()
+    }
+
+    fn cio_stats(&self) -> Option<CioStats> {
+        self.inner().cio_stats()
+    }
+
+    fn blog_stats(&self) -> Option<BlogStats> {
+        Some(self.stats())
+    }
+
+    fn any_data_lost(&self) -> bool {
+        DrainBackend::any_data_lost(self.inner())
+    }
 }
 
 /// Which file system serves a workload. This is the *specification* — a
@@ -228,6 +390,9 @@ pub enum BackendSpec {
     Ppfs(PolicyConfig),
     /// The collective two-phase I/O backend (`sio-cio`).
     Cio,
+    /// The host-side burst-log tier (`sio-blog`) in front of an inner
+    /// backend. Never nests: `parse` rejects `blog+blog+…`.
+    Blog(Box<BackendSpec>, BlogParams),
 }
 
 /// The historical name of [`BackendSpec`]; existing call sites construct
@@ -239,6 +404,14 @@ impl BackendSpec {
     /// `ppfs` defaults to the ESCAT-tuned policy; suffixed variants pick the
     /// other calibrated policies.
     pub fn parse(name: &str) -> Option<BackendSpec> {
+        if let Some(inner) = name.strip_prefix("blog+") {
+            // The log tier wraps a concrete backend, never itself.
+            if inner.starts_with("blog") {
+                return None;
+            }
+            let spec = BackendSpec::parse(inner)?;
+            return Some(BackendSpec::Blog(Box::new(spec), BlogParams::default()));
+        }
         match name {
             "pfs" => Some(BackendSpec::Pfs),
             "ppfs" | "ppfs-escat" => Some(BackendSpec::Ppfs(PolicyConfig::escat_tuned())),
@@ -256,6 +429,7 @@ impl BackendSpec {
             BackendSpec::Pfs => "pfs",
             BackendSpec::Ppfs(_) => "ppfs",
             BackendSpec::Cio => "cio",
+            BackendSpec::Blog(..) => "blog",
         }
     }
 
@@ -273,6 +447,9 @@ impl BackendSpec {
                 Box::new(Ppfs::with_faults(machine, *policy, sink, schedule))
             }
             BackendSpec::Cio => Box::new(Cio::with_faults(machine, sink, schedule)),
+            BackendSpec::Blog(inner, params) => {
+                Box::new(Blog::new(inner.build(machine, sink, schedule), *params))
+            }
         }
     }
 }
@@ -301,7 +478,17 @@ impl BackendRegistry {
     /// [`BackendSpec::parse`]; each factory resolves its name through it.
     pub fn builtin() -> BackendRegistry {
         let mut r = BackendRegistry::new();
-        for name in ["pfs", "ppfs", "ppfs-escat", "ppfs-pargos", "ppfs-wt", "cio"] {
+        for name in [
+            "pfs",
+            "ppfs",
+            "ppfs-escat",
+            "ppfs-pargos",
+            "ppfs-wt",
+            "cio",
+            "blog+pfs",
+            "blog+ppfs",
+            "blog+cio",
+        ] {
             let spec = BackendSpec::parse(name).expect("builtin name parses");
             r.register(name, Box::new(move |m, s, f| spec.build(m, s, f)));
         }
@@ -357,6 +544,23 @@ mod tests {
             BackendSpec::Ppfs(PolicyConfig::escat_tuned()).name(),
             "ppfs"
         );
+    }
+
+    #[test]
+    fn blog_wraps_any_inner_but_never_itself() {
+        let wrapped = BackendSpec::parse("blog+pfs").expect("blog+pfs parses");
+        assert_eq!(wrapped.name(), "blog");
+        assert_eq!(
+            wrapped,
+            BackendSpec::Blog(Box::new(BackendSpec::Pfs), BlogParams::default())
+        );
+        assert!(BackendSpec::parse("blog+cio").is_some());
+        assert!(BackendSpec::parse("blog+ppfs-pargos").is_some());
+        // No nesting, no unknown inner, no bare prefix.
+        assert_eq!(BackendSpec::parse("blog+blog+pfs"), None);
+        assert_eq!(BackendSpec::parse("blog+nfs"), None);
+        assert_eq!(BackendSpec::parse("blog+"), None);
+        assert_eq!(BackendSpec::parse("blog"), None);
     }
 
     #[test]

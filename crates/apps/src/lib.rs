@@ -45,4 +45,5 @@ pub use checkpoint::{CheckpointPlan, CheckpointedWorkload};
 pub use escat::EscatParams;
 pub use htf::HtfParams;
 pub use render::RenderParams;
+pub use sio_blog::{BlogParams, BlogStats};
 pub use workload::{run_workload, Backend, RunOutput, Workload};

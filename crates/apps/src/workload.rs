@@ -16,6 +16,7 @@ use paragon_sim::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sio_blog::BlogStats;
 use sio_cio::CioStats;
 use sio_core::perf;
 use sio_core::trace::{Trace, TraceSink};
@@ -61,6 +62,8 @@ pub struct RunOutput {
     pub node_loads: Vec<NodeLoad>,
     /// Collective-I/O machinery counters when the CIO backend ran.
     pub cio: Option<CioStats>,
+    /// Burst-log drain-health counters when the log tier wrapped the run.
+    pub blog: Option<BlogStats>,
 }
 
 impl RunOutput {
@@ -112,13 +115,15 @@ fn run_engine<S: IoService>(
 
 /// Publish one run's hot-path totals to the global perf aggregate (a no-op
 /// unless collection was enabled, e.g. by `repro --perf`).
-fn submit_perf(engine_perf: EnginePerf, sink: &TraceSink) {
+fn submit_perf(engine_perf: EnginePerf, sink: &TraceSink, blog: Option<BlogStats>) {
     perf::submit(perf::RunPerf {
         events: engine_perf.events,
         heap_peak: engine_perf.heap_peak,
         channel_peak: engine_perf.channel_peak,
         trace_events: sink.len() as u64,
         trace_bytes: sink.buffered_bytes(),
+        log_occ_peak: blog.map_or(0, |b| b.occupancy_peak),
+        log_stall_ns: blog.map_or(0, |b| b.stall_ns),
     });
 }
 
@@ -167,8 +172,9 @@ pub fn run_workload_crashable(
         fs.mark_checkpoint_covered(file);
     }
     let (report, mut fs, engine_perf) = run_engine(machine, workload, fs, stop_at);
+    let blog = fs.blog_stats();
     fs.sink_mut().set_run_info(nodes, report.wall.nanos());
-    submit_perf(engine_perf, fs.sink_mut());
+    submit_perf(engine_perf, fs.sink_mut(), blog);
     let ppfs_stats = fs.ppfs_stats();
     let pfs_faults = fs.pfs_fault_stats();
     let rebuild = fs.rebuild_totals();
@@ -184,6 +190,7 @@ pub fn run_workload_crashable(
         degraded_nodes,
         node_loads,
         cio,
+        blog,
     }
 }
 

@@ -253,6 +253,37 @@ fn server_cache_two_level(c: &mut Criterion) {
     });
 }
 
+fn burst_log_drain(c: &mut Criterion) {
+    use sio_blog::{BurstLog, LogRecord};
+    // The drainer's host-side hot loop: append framed records, reclaim the
+    // drained prefix in pump-sized batches, replay the survivors (the
+    // recovery path walks the same frames).
+    let mut group = c.benchmark_group("blog");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("drain_cycle_10k_frames", |b| {
+        let payload = vec![0xA5u8; 4096];
+        b.iter(|| {
+            let mut log = BurstLog::new();
+            for i in 0..10_000u32 {
+                log.append(&LogRecord {
+                    epoch: i / 100 + 1,
+                    file: 7,
+                    offset: i as u64 * 4096,
+                    payload: payload.clone(),
+                });
+            }
+            // Drain-and-GC in 256-record batches, like the pump does.
+            for _ in 0..(10_000 / 256) {
+                log.gc(256);
+            }
+            let survivors = BurstLog::replay(log.as_bytes());
+            assert_eq!(survivors.len(), 10_000 - 256 * (10_000 / 256));
+            black_box(survivors.len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     engine_dispatch,
@@ -264,7 +295,8 @@ criterion_group!(
     full_machine_escat_small,
     replay_reconstruction,
     mix_combination,
-    server_cache_two_level
+    server_cache_two_level,
+    burst_log_drain
 );
 fn main() {
     sio_bench::configure_sweep_jobs();

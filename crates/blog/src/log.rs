@@ -1,0 +1,262 @@
+//! Byte-level burst-log model: framed, checksummed append records.
+//!
+//! This is the recovery-facing view of the log device the DES wrapper
+//! ([`crate::fs::Blog`]) simulates in time. Each appended record becomes one
+//! self-validating frame:
+//!
+//! ```text
+//! +-------+-------+------+--------+-----+----------+------------------+
+//! | magic | epoch | file | offset | len | checksum | payload (len B)  |
+//! | 4 B   | 4 B   | 4 B  | 8 B    | 8 B | 8 B      |                  |
+//! +-------+-------+------+--------+-----+----------+------------------+
+//! ```
+//!
+//! All integers little-endian; the checksum is 64-bit FNV-1a
+//! ([`sio_core::sddf::fingerprint_bytes`]) over the header fields that
+//! precede it plus the payload — the same discipline as
+//! [`sio_core::checkpoint`]: a torn tail (any truncation, any flipped
+//! byte) never validates, so [`replay`](BurstLog::replay) returns exactly
+//! the durable prefix.
+//!
+//! Garbage collection is head-pointer advance: once a record's drain
+//! transfer into the wrapped backend completes, [`BurstLog::gc`] drops
+//! whole frames from the front. The head pointer is persisted only at
+//! frame boundaries, so a crash mid-GC leaves a log that still replays
+//! from a valid frame start (the proptests crash GC at every record
+//! boundary).
+
+use sio_core::sddf::fingerprint_bytes;
+
+/// Frame magic: "SLOG".
+pub const LOG_MAGIC: [u8; 4] = *b"SLOG";
+
+/// Fixed frame-header length in bytes (through the checksum field).
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4 + 8 + 8 + 8;
+
+/// One logical record: an extent of `payload` bytes written to `file` at
+/// `offset` during checkpoint `epoch` (0 for non-checkpoint data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Checkpoint epoch the record belongs to (0 = plain data).
+    pub epoch: u32,
+    /// Target file id in the wrapped backend.
+    pub file: u32,
+    /// Byte offset of the extent in the target file.
+    pub offset: u64,
+    /// Extent payload.
+    pub payload: Vec<u8>,
+}
+
+impl LogRecord {
+    /// Total framed size of this record on the log.
+    pub fn framed_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.payload.len()
+    }
+}
+
+/// An append-only byte log with frame-boundary garbage collection.
+#[derive(Debug, Clone, Default)]
+pub struct BurstLog {
+    buf: Vec<u8>,
+    /// Framed lengths of live records, front to back (GC bookkeeping).
+    frame_lens: Vec<usize>,
+}
+
+impl BurstLog {
+    /// An empty log.
+    pub fn new() -> BurstLog {
+        BurstLog::default()
+    }
+
+    /// Append one framed record.
+    pub fn append(&mut self, rec: &LogRecord) {
+        let mut header = Vec::with_capacity(FRAME_HEADER_LEN);
+        header.extend_from_slice(&LOG_MAGIC);
+        header.extend_from_slice(&rec.epoch.to_le_bytes());
+        header.extend_from_slice(&rec.file.to_le_bytes());
+        header.extend_from_slice(&rec.offset.to_le_bytes());
+        header.extend_from_slice(&(rec.payload.len() as u64).to_le_bytes());
+        let mut sum_input = header.clone();
+        sum_input.extend_from_slice(&rec.payload);
+        let checksum = fingerprint_bytes(&sum_input);
+        self.buf.extend_from_slice(&header);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf.extend_from_slice(&rec.payload);
+        self.frame_lens.push(rec.framed_len());
+    }
+
+    /// The raw log bytes (what survives a crash, modulo a torn tail).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of live (not yet collected) records.
+    pub fn len(&self) -> usize {
+        self.frame_lens.len()
+    }
+
+    /// Whether the log holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.frame_lens.is_empty()
+    }
+
+    /// Advance the head past the first `records` frames (their drain
+    /// transfers completed). The head only ever lands on a frame boundary,
+    /// so a crash after any prefix of a multi-record GC leaves a log that
+    /// replays cleanly.
+    pub fn gc(&mut self, records: usize) {
+        let n = records.min(self.frame_lens.len());
+        let drop_bytes: usize = self.frame_lens[..n].iter().sum();
+        self.buf.drain(..drop_bytes);
+        self.frame_lens.drain(..n);
+    }
+
+    /// Replay a (possibly torn) byte image of a log: decode frames front to
+    /// back, stopping at the first frame that fails to validate. Returns
+    /// exactly the durable record prefix.
+    pub fn replay(bytes: &[u8]) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= FRAME_HEADER_LEN {
+            let h = &bytes[at..at + FRAME_HEADER_LEN];
+            if h[0..4] != LOG_MAGIC {
+                break;
+            }
+            let epoch = u32::from_le_bytes(h[4..8].try_into().unwrap());
+            let file = u32::from_le_bytes(h[8..12].try_into().unwrap());
+            let offset = u64::from_le_bytes(h[12..20].try_into().unwrap());
+            let len = u64::from_le_bytes(h[20..28].try_into().unwrap()) as usize;
+            let stored_sum = u64::from_le_bytes(h[28..36].try_into().unwrap());
+            let payload_start = at + FRAME_HEADER_LEN;
+            let Some(payload_end) = payload_start.checked_add(len) else {
+                break;
+            };
+            if payload_end > bytes.len() {
+                break; // torn tail: payload truncated
+            }
+            let payload = &bytes[payload_start..payload_end];
+            let mut sum_input = Vec::with_capacity(FRAME_HEADER_LEN - 8 + len);
+            sum_input.extend_from_slice(&h[..FRAME_HEADER_LEN - 8]);
+            sum_input.extend_from_slice(payload);
+            if fingerprint_bytes(&sum_input) != stored_sum {
+                break;
+            }
+            out.push(LogRecord {
+                epoch,
+                file,
+                offset,
+                payload: payload.to_vec(),
+            });
+            at = payload_end;
+        }
+        out
+    }
+}
+
+/// The log-aware durable-cut rule (DESIGN.md §5): epoch `e` is durable iff
+/// every epoch `1..=e` is covered by a validating log frame **or** a
+/// completed drain transfer. `replayed` is the output of
+/// [`BurstLog::replay`] on the crashed log image; `drained` lists the
+/// epochs whose drain into the wrapped backend completed before the crash.
+pub fn durable_epoch(replayed: &[LogRecord], drained: &[u32]) -> u32 {
+    let mut e = 0u32;
+    loop {
+        let next = e + 1;
+        let in_log = replayed.iter().any(|r| r.epoch == next);
+        let in_backend = drained.contains(&next);
+        if in_log || in_backend {
+            e = next;
+        } else {
+            return e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u32, offset: u64, payload: &[u8]) -> LogRecord {
+        LogRecord {
+            epoch,
+            file: 7,
+            offset,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let mut log = BurstLog::new();
+        let a = rec(1, 0, b"alpha");
+        let b = rec(2, 4096, b"beta-payload");
+        log.append(&a);
+        log.append(&b);
+        assert_eq!(BurstLog::replay(log.as_bytes()), vec![a, b]);
+    }
+
+    #[test]
+    fn any_truncation_never_yields_a_torn_record() {
+        let mut log = BurstLog::new();
+        log.append(&rec(1, 0, b"first-record-payload"));
+        log.append(&rec(2, 100, b"second"));
+        let full = log.as_bytes();
+        let first_len = FRAME_HEADER_LEN + b"first-record-payload".len();
+        for cut in 0..full.len() {
+            let replayed = BurstLog::replay(&full[..cut]);
+            // A cut inside frame k yields exactly the records before k.
+            let expect = if cut < first_len {
+                0
+            } else if cut < full.len() {
+                1
+            } else {
+                2
+            };
+            assert_eq!(replayed.len(), expect, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_invalidates_its_frame_only_when_before_it() {
+        let mut log = BurstLog::new();
+        log.append(&rec(1, 0, b"aaaa"));
+        log.append(&rec(2, 10, b"bbbb"));
+        let mut bytes = log.as_bytes().to_vec();
+        // Flip a byte in the second frame's payload: first record survives.
+        let idx = bytes.len() - 1;
+        bytes[idx] ^= 0xff;
+        let replayed = BurstLog::replay(&bytes);
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].epoch, 1);
+    }
+
+    #[test]
+    fn gc_drops_whole_frames_and_keeps_the_tail_valid() {
+        let mut log = BurstLog::new();
+        for e in 1..=4 {
+            log.append(&rec(e, e as u64 * 100, b"payload"));
+        }
+        log.gc(2);
+        assert_eq!(log.len(), 2);
+        let replayed = BurstLog::replay(log.as_bytes());
+        assert_eq!(
+            replayed.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // GC past the end is a no-op clamp.
+        log.gc(99);
+        assert!(log.is_empty());
+        assert!(BurstLog::replay(log.as_bytes()).is_empty());
+    }
+
+    #[test]
+    fn durable_epoch_takes_log_or_backend() {
+        let replayed = vec![rec(2, 0, b"x"), rec(3, 0, b"y")];
+        // Epoch 1 drained, 2-3 still in the log: cut = 3.
+        assert_eq!(durable_epoch(&replayed, &[1]), 3);
+        // Epoch 1 nowhere: nothing is durable.
+        assert_eq!(durable_epoch(&replayed, &[]), 0);
+        // Everything drained, log empty: cut = backend.
+        assert_eq!(durable_epoch(&[], &[1, 2]), 2);
+    }
+}

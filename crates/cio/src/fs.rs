@@ -298,6 +298,65 @@ impl Cio {
         self.pump.rebuild_chunks_total()
     }
 
+    /// Whether any accepted write was served by an array with exhausted
+    /// redundancy (acknowledged data is gone).
+    pub fn any_data_lost(&self) -> bool {
+        self.pump.any_data_lost()
+    }
+
+    /// Submit a burst-log drain extent: a singleton asynchronous write
+    /// collective dispatched straight through the phase-2 path, so drains
+    /// inherit the conforming partition, pump staging, backoff/failover,
+    /// and the hard deadline — but record no application-visible trace
+    /// event (the member is `is_async`) and are not counted in the
+    /// application-collective stats.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        self.state(file).extend_to(offset + bytes);
+        if bytes == 0 {
+            sched.complete_io(
+                token,
+                now,
+                IoResult {
+                    bytes: 0,
+                    queued: SimDuration::ZERO,
+                    service: SimDuration::ZERO,
+                    fault: None,
+                },
+            );
+            return;
+        }
+        let members = vec![RMember {
+            token,
+            node,
+            issued: now,
+            is_async: true,
+            offset,
+            bytes,
+        }];
+        let extents = [Extent { offset, bytes }];
+        let domains = partition::partition(&self.cfg.layout, &extents);
+        self.dispatch_collective(
+            now,
+            PendingExchange {
+                file,
+                write: true,
+                members,
+                domains,
+            },
+            sched,
+        );
+    }
+
     /// Member bytes rebuilt across all I/O nodes.
     pub fn rebuilt_bytes_total(&self) -> u64 {
         self.pump.rebuilt_bytes_total()

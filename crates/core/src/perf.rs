@@ -27,6 +27,8 @@ static HEAP_PEAK: AtomicU64 = AtomicU64::new(0);
 static CHANNEL_PEAK: AtomicU64 = AtomicU64::new(0);
 static TRACE_EVENTS: AtomicU64 = AtomicU64::new(0);
 static TRACE_BYTES: AtomicU64 = AtomicU64::new(0);
+static LOG_OCC_PEAK: AtomicU64 = AtomicU64::new(0);
+static LOG_STALL_NS: AtomicU64 = AtomicU64::new(0);
 
 static PHASES: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
 
@@ -58,6 +60,10 @@ pub struct RunPerf {
     pub trace_events: u64,
     /// In-memory bytes of the captured trace.
     pub trace_bytes: u64,
+    /// Highest burst-log occupancy any node reached (0 without the tier).
+    pub log_occ_peak: u64,
+    /// Time appends spent parked on a full burst log, ns.
+    pub log_stall_ns: u64,
 }
 
 /// Fold one run's totals into the process-wide aggregate. No-op (one relaxed
@@ -72,6 +78,8 @@ pub fn submit(run: RunPerf) {
     CHANNEL_PEAK.fetch_max(run.channel_peak, Ordering::Relaxed);
     TRACE_EVENTS.fetch_add(run.trace_events, Ordering::Relaxed);
     TRACE_BYTES.fetch_add(run.trace_bytes, Ordering::Relaxed);
+    LOG_OCC_PEAK.fetch_max(run.log_occ_peak, Ordering::Relaxed);
+    LOG_STALL_NS.fetch_add(run.log_stall_ns, Ordering::Relaxed);
 }
 
 /// Times a named phase from creation to drop; records nothing when
@@ -116,6 +124,10 @@ pub struct PerfSnapshot {
     pub trace_events: u64,
     /// In-memory trace bytes across all runs.
     pub trace_bytes: u64,
+    /// Max burst-log occupancy across all runs (0 without the log tier).
+    pub log_occ_peak: u64,
+    /// Burst-log full-log stall time across all runs, ns.
+    pub log_stall_ns: u64,
     /// (phase name, wall ns), merged by name and sorted by name.
     pub phases: Vec<(String, u64)>,
 }
@@ -124,7 +136,7 @@ impl PerfSnapshot {
     /// The deterministic part of the snapshot: everything except host wall
     /// times. Two sweeps of the same work must agree on this exactly,
     /// whatever the worker count.
-    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
         (
             self.runs,
             self.events,
@@ -132,6 +144,8 @@ impl PerfSnapshot {
             self.channel_peak,
             self.trace_events,
             self.trace_bytes,
+            self.log_occ_peak,
+            self.log_stall_ns,
         )
     }
 
@@ -148,6 +162,14 @@ impl PerfSnapshot {
         ));
         out.push_str(&format!("{:<24} {}\n", "trace events", self.trace_events));
         out.push_str(&format!("{:<24} {}\n", "trace bytes", self.trace_bytes));
+        if self.log_occ_peak > 0 || self.log_stall_ns > 0 {
+            out.push_str(&format!("{:<24} {}\n", "burst-log peak", self.log_occ_peak));
+            out.push_str(&format!(
+                "{:<24} {:.1} ms\n",
+                "burst-log stall",
+                self.log_stall_ns as f64 / 1e6
+            ));
+        }
         if !self.phases.is_empty() {
             out.push_str("phase wall times:\n");
             for (name, ns) in &self.phases {
@@ -175,6 +197,8 @@ pub fn snapshot() -> PerfSnapshot {
         channel_peak: CHANNEL_PEAK.load(Ordering::Relaxed),
         trace_events: TRACE_EVENTS.load(Ordering::Relaxed),
         trace_bytes: TRACE_BYTES.load(Ordering::Relaxed),
+        log_occ_peak: LOG_OCC_PEAK.load(Ordering::Relaxed),
+        log_stall_ns: LOG_STALL_NS.load(Ordering::Relaxed),
         phases,
     }
 }
@@ -187,6 +211,8 @@ pub fn reset() {
     CHANNEL_PEAK.store(0, Ordering::SeqCst);
     TRACE_EVENTS.store(0, Ordering::SeqCst);
     TRACE_BYTES.store(0, Ordering::SeqCst);
+    LOG_OCC_PEAK.store(0, Ordering::SeqCst);
+    LOG_STALL_NS.store(0, Ordering::SeqCst);
     PHASES.lock().unwrap().clear();
 }
 
@@ -214,6 +240,8 @@ mod tests {
             channel_peak: 2,
             trace_events: 3,
             trace_bytes: 96,
+            log_occ_peak: 70,
+            log_stall_ns: 400,
         });
         submit(RunPerf {
             events: 5,
@@ -221,6 +249,8 @@ mod tests {
             channel_peak: 1,
             trace_events: 2,
             trace_bytes: 64,
+            log_occ_peak: 30,
+            log_stall_ns: 100,
         });
         {
             let _g = phase("demo");
@@ -229,7 +259,8 @@ mod tests {
             let _g = phase("demo");
         }
         let snap = snapshot();
-        assert_eq!(snap.counters(), (2, 15, 9, 2, 5, 160));
+        // Sums for additive counters, maxima for the peaks.
+        assert_eq!(snap.counters(), (2, 15, 9, 2, 5, 160, 70, 500));
         assert_eq!(snap.phases.len(), 1, "same-name phases merge");
         assert_eq!(snap.phases[0].0, "demo");
         let text = snap.render();

@@ -146,6 +146,48 @@ pub fn fault_params() -> FaultParams {
     }
 }
 
+/// Local burst-log device parameters (the host-side log-structured tier,
+/// `sio-blog`).
+///
+/// Calibration rationale — the tier models a node-local append device of
+/// the Paragon era (a dedicated spindle partition or battery-backed buffer
+/// card) that commits sequentially, with no seek, no RPC serialization, and
+/// no server queueing:
+///
+/// * `append_latency` — fixed per-record commit latency (DMA setup + frame
+///   checksum): ~500 µs, two orders below the PFS software path for a
+///   checkpoint record (`seek_shared_rpc` + `atomic_write_rpc` + queueing).
+/// * `append_rate` — sustained sequential append bandwidth, ~30 MB/s: a
+///   striped local pair outruns one 8.8 MB/s shared RAID-3 array but stays
+///   far below memory speed, so log capacity still matters.
+/// * `frame_bytes` — per-record framing overhead (magic, epoch, extent,
+///   checksum) charged against log capacity, mirroring the on-log layout
+///   used by the byte-level recovery model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDeviceParams {
+    /// Fixed commit latency per appended record.
+    pub append_latency: SimDuration,
+    /// Sustained sequential append bandwidth, bytes/second.
+    pub append_rate: f64,
+    /// Framing overhead charged per record against log capacity.
+    pub frame_bytes: u64,
+}
+
+impl Default for LogDeviceParams {
+    fn default() -> Self {
+        log_device_params()
+    }
+}
+
+/// Burst-log device calibration (see the struct docs).
+pub fn log_device_params() -> LogDeviceParams {
+    LogDeviceParams {
+        append_latency: SimDuration::from_micros(500),
+        append_rate: 30.0e6,
+        frame_bytes: 64,
+    }
+}
+
 /// Software-path calibration (see the table in the struct docs).
 pub fn io_sw_costs() -> IoSwCosts {
     IoSwCosts {

@@ -79,6 +79,14 @@ pub struct Sched {
 }
 
 impl Sched {
+    /// An empty scheduling buffer. Wrapper services (e.g. a burst-log tier
+    /// fronting an inner backend) hand a private `Sched` to the wrapped
+    /// service so they can inspect and filter its completions before
+    /// forwarding them to the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Complete the I/O identified by `token` at time `at`.
     pub fn complete_io(&mut self, token: IoToken, at: SimTime, result: IoResult) {
         self.completions.push((token, at, result));
@@ -88,6 +96,16 @@ impl Sched {
     /// `at` with the given timer id.
     pub fn timer(&mut self, at: SimTime, timer: u64) {
         self.timers.push((at, timer));
+    }
+
+    /// Drain the buffered completions (wrapper-service filtering hook).
+    pub fn take_completions(&mut self) -> Vec<(IoToken, SimTime, IoResult)> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Drain the buffered timers (wrapper-service filtering hook).
+    pub fn take_timers(&mut self) -> Vec<(SimTime, u64)> {
+        std::mem::take(&mut self.timers)
     }
 }
 

@@ -261,6 +261,41 @@ impl Pfs {
         self.pump.node_loads()
     }
 
+    /// Whether any accepted write was lost to exhausted redundancy.
+    pub fn any_data_lost(&self) -> bool {
+        self.pump.any_data_lost()
+    }
+
+    /// Accept one coalesced burst-log drain extent as a background write:
+    /// the full dispatch path (staging, backoff, buddy failover, fault
+    /// typing, timeouts) with no application-visible trace event — the
+    /// caller owns `token` and hears the completion through `sched`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        self.dispatch(
+            now,
+            token,
+            node,
+            file,
+            true,
+            offset,
+            bytes,
+            now,
+            true,
+            Vec::new(),
+            sched,
+        );
+    }
+
     fn state(&mut self, file: u32) -> &mut FileState {
         self.files.state(file)
     }

@@ -104,6 +104,16 @@ enum Transfer {
     },
     /// Background write-back of dirty extents.
     Flush { file: u32, segs_left: u32 },
+    /// Burst-log drain extent: a background write owned by the log tier
+    /// (synthetic token, no application-visible trace event).
+    Drain {
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        bytes: u64,
+        issued: SimTime,
+        segs_left: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -289,6 +299,56 @@ impl Ppfs {
     /// Accepted-request accounting per I/O node.
     pub fn node_loads(&self) -> &[NodeLoad] {
         self.pump.node_loads()
+    }
+
+    /// Whether any accepted write was lost to exhausted redundancy.
+    pub fn any_data_lost(&self) -> bool {
+        self.pump.any_data_lost()
+    }
+
+    /// Accept one coalesced burst-log drain extent as a background write
+    /// through the stripe-pinned pump (capped backoff, park/replay on
+    /// crash). The caller owns `token`; no application event is traced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_drain(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        token: IoToken,
+        sched: &mut Sched,
+    ) {
+        self.files.state(file).extend_to(offset + bytes);
+        let tid = self.next_transfer;
+        self.next_transfer += 1;
+        let segs = self.submit_extent(now, tid, file, offset, bytes, true, sched);
+        if segs == 0 {
+            // Degenerate extent: nothing staged, complete immediately.
+            sched.complete_io(
+                token,
+                now,
+                IoResult {
+                    bytes,
+                    queued: SimDuration::ZERO,
+                    service: SimDuration::ZERO,
+                    fault: None,
+                },
+            );
+            return;
+        }
+        self.transfers.insert(
+            tid,
+            Transfer::Drain {
+                token,
+                node,
+                file,
+                bytes,
+                issued: now,
+                segs_left: segs,
+            },
+        );
     }
 
     /// Current length of a file.
@@ -809,7 +869,8 @@ impl Ppfs {
             let left = match t {
                 Transfer::Fetch { segs_left, .. }
                 | Transfer::AppWrite { segs_left, .. }
-                | Transfer::Flush { segs_left, .. } => segs_left,
+                | Transfer::Flush { segs_left, .. }
+                | Transfer::Drain { segs_left, .. } => segs_left,
             };
             *left -= 1;
             *left == 0
@@ -854,6 +915,28 @@ impl Ppfs {
             Transfer::Flush { file, .. } => {
                 self.drain_sync_waiters(file, now, sched);
             }
+            Transfer::Drain {
+                token,
+                node,
+                file,
+                bytes,
+                issued,
+                ..
+            } => {
+                let rate = self.cfg.io_sw.client_byte_rate;
+                let done = self.client.copy_done(node, now, bytes, rate);
+                sched.complete_io(
+                    token,
+                    done,
+                    IoResult {
+                        bytes,
+                        queued: SimDuration::ZERO,
+                        service: done.since(issued),
+                        fault: None,
+                    },
+                );
+                self.drain_sync_waiters(file, now, sched);
+            }
         }
     }
 
@@ -864,7 +947,9 @@ impl Ppfs {
     fn has_outstanding_writes(&self, file: u32) -> bool {
         self.transfers.values().any(|t| {
             matches!(t,
-                Transfer::Flush { file: f, .. } | Transfer::AppWrite { file: f, .. }
+                Transfer::Flush { file: f, .. }
+                | Transfer::AppWrite { file: f, .. }
+                | Transfer::Drain { file: f, .. }
                     if *f == file)
         })
     }

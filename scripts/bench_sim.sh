@@ -3,7 +3,9 @@
 # BENCH_sim.json:
 #
 #   * engine micro-bench throughput (events dispatched per second in the
-#     `engine/dispatch_128k_events` bench), and
+#     `engine/dispatch_128k_events` bench),
+#   * burst-log drain throughput (frames through the append/GC/replay
+#     cycle per second in the `blog/drain_cycle_10k_frames` bench), and
 #   * wall time of a full `repro all` at paper scale (perf counters off).
 #
 # Each is sampled BENCH_REPS times (default 3) and the best sample kept —
@@ -54,6 +56,18 @@ for _ in $(seq "$REPS"); do
     eps_samples+=("$eps")
 done
 
+drain_samples=()
+for _ in $(seq "$REPS"); do
+    fps=$(cargo bench -q -p sio-bench --bench micro -- blog/drain_cycle_10k_frames 2>/dev/null |
+        awk '/blog\/drain_cycle_10k_frames/ {print $(NF - 1)}')
+    if [ -z "$fps" ]; then
+        echo "[bench_sim] failed to parse drain bench output" >&2
+        exit 1
+    fi
+    echo "[bench_sim] drain sample: $fps frames/s" >&2
+    drain_samples+=("$fps")
+done
+
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 ms_samples=()
@@ -67,6 +81,7 @@ done
 
 MODE="$MODE" NOTE="$NOTE" \
     EPS_SAMPLES="${eps_samples[*]}" MS_SAMPLES="${ms_samples[*]}" \
+    DRAIN_SAMPLES="${drain_samples[*]}" \
     REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     DATE="$(date -u +%F)" \
     python3 - <<'EOF'
@@ -74,11 +89,13 @@ import json, os, sys
 
 eps = max(int(s) for s in os.environ["EPS_SAMPLES"].split())
 ms = min(int(s) for s in os.environ["MS_SAMPLES"].split())
+drain = max(int(s) for s in os.environ["DRAIN_SAMPLES"].split())
 entry = {
     "rev": os.environ["REV"],
     "date": os.environ["DATE"],
     "engine_events_per_sec": eps,
     "engine_ns_per_iter": round(128_000 / eps * 1e9),
+    "drain_frames_per_sec": drain,
     "repro_all_ms": ms,
 }
 if os.environ["NOTE"]:
@@ -110,6 +127,11 @@ if mode == "check":
         f"floor {floor:.0f}: {verdict}"
     )
     print(f"[bench_sim] repro all: {ms} ms (baseline {base['repro_all_ms']} ms)")
+    if "drain_frames_per_sec" in base:
+        print(
+            f"[bench_sim] drain: {drain} frames/s "
+            f"(baseline {base['drain_frames_per_sec']})"
+        )
     os.makedirs("target", exist_ok=True)
     doc["history"].append(entry)
     with open("target/BENCH_sim.json", "w") as f:

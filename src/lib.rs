@@ -12,12 +12,16 @@
 //! * [`cio`] (`sio-cio`) — collective two-phase I/O backend: extent exchange
 //!   over the mesh, conforming stripe-aligned partition, one aggregated
 //!   transfer per touched I/O node.
+//! * [`blog`] (`sio-blog`) — host-side log-structured burst-buffer tier:
+//!   checkpoint writes commit to a per-node append log at near-local speed
+//!   and drain asynchronously into any wrapped backend.
 //! * [`apps`] (`sio-apps`) — ESCAT, RENDER, and HTF application skeletons.
 //! * [`analysis`] (`sio-analysis`) — regeneration of every table and figure.
 
 pub use paragon_sim as paragon;
 pub use sio_analysis as analysis;
 pub use sio_apps as apps;
+pub use sio_blog as blog;
 pub use sio_cio as cio;
 pub use sio_core as core;
 pub use sio_pfs as pfs;

@@ -368,3 +368,72 @@ fn request_accounting_conserves_bytes_per_io_node() {
         assert_eq!(union_bytes(&out.trace, IoOp::Write), TOTAL, "{name}");
     }
 }
+
+/// The burst-log wrapper's durability contract, for every inner backend in
+/// the registry: a `Sync` commits at log speed (its Flush interval is far
+/// shorter than the direct backend's), but by the end of a clean run every
+/// acknowledged byte must have drained into the inner tier — the log holds
+/// nothing, and the inner I/O nodes accepted exactly the logical volume.
+/// Backends outside the log tier must report no drain-health counters.
+#[test]
+fn blog_sync_commits_fast_but_drains_fully_by_run_end() {
+    const NODES: u64 = 2;
+    const ROUNDS: u64 = 3;
+    const CHUNK: u64 = 64 * 1024;
+    const TOTAL: u64 = NODES * ROUNDS * CHUNK;
+    let scripts = (0..NODES)
+        .map(|node| {
+            let mut ops = vec![
+                ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+                ScriptOp::Barrier(0),
+            ];
+            for k in 0..ROUNDS {
+                let mut req = IoRequest::write(0, CHUNK);
+                req.offset = Some((k * NODES + node) * CHUNK);
+                ops.push(ScriptOp::Io(req));
+                ops.push(ScriptOp::Io(IoRequest::sync(0)));
+            }
+            ops.push(ScriptOp::Io(IoRequest::close(0)));
+            ops
+        })
+        .collect();
+    let w = Workload {
+        label: "conformance-blog-drain".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts,
+        groups: Vec::new(),
+    };
+    for (name, b) in conformance_backends() {
+        let out = run_workload(&m(), &w, &b);
+        assert!(out.report.clean(), "{name} did not finish");
+        let flush_mean_ns = {
+            let flushes: Vec<_> = out.trace.of_op(IoOp::Flush).collect();
+            assert_eq!(flushes.len(), (NODES * ROUNDS) as usize, "{name}");
+            flushes.iter().map(|e| e.duration()).sum::<u64>() / flushes.len() as u64
+        };
+        let physical_writes: u64 = out.node_loads.iter().map(|l| l.write_bytes).sum();
+        match out.blog {
+            Some(stats) => {
+                // Every acknowledged byte reached the log, then the inner
+                // tier; the log is empty at run end.
+                assert_eq!(stats.appended_bytes, TOTAL, "{name}");
+                assert_eq!(stats.drained_bytes, TOTAL, "{name}");
+                assert_eq!(stats.pending_bytes, 0, "{name}: bytes stranded");
+                assert_eq!(physical_writes, TOTAL, "{name}: drain volume");
+                // Sync commits at local-log latency, well under the inner
+                // backends' software flush path.
+                assert!(
+                    flush_mean_ns < 5_000_000,
+                    "{name}: slow commit ({flush_mean_ns} ns)"
+                );
+            }
+            None => {
+                assert!(!name.starts_with("blog"), "{name}: missing blog stats");
+                assert!(
+                    flush_mean_ns >= 5_000_000,
+                    "{name}: direct flush implausibly fast ({flush_mean_ns} ns)"
+                );
+            }
+        }
+    }
+}
