@@ -24,6 +24,7 @@
 
 use paragon_sim::MachineConfig;
 use sio_analysis::burst;
+use sio_analysis::chaos;
 use sio_analysis::characterize::Characterization;
 use sio_analysis::experiments;
 use sio_analysis::figures;
@@ -35,7 +36,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// Every experiment name `repro` accepts.
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "escat",
     "render",
     "htf",
@@ -47,12 +48,13 @@ const EXPERIMENTS: [&str; 12] = [
     "recover",
     "cio",
     "blog",
+    "chaos",
     "all",
 ];
 
 const USAGE: &str = "usage: repro [--fast] [--perf] [--jobs N] [--out DIR] [--crash-frac F] \
-     [--log-mb MB] [--drain-mbps R] \
-     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|blog|all]...";
+     [--log-mb MB] [--drain-mbps R] [--chaos-seed N] [--cells N] \
+     [escat|render|htf|ppfs-ablation|crossover|ablations|scaling|faults|recover|cio|blog|chaos|all]...";
 
 /// Why an argument list was rejected. A typed error rather than a bare
 /// message: tests assert on the failure class and the offending option,
@@ -113,6 +115,12 @@ struct Cli {
     log_mb: Option<u64>,
     /// Burst-log drain bandwidth override for the `blog` suite, MB/s.
     drain_mbps: Option<f64>,
+    /// Campaign seed for the `chaos` suite (default 42 — the golden seed).
+    chaos_seed: Option<u64>,
+    /// Campaign size for the `chaos` suite (default 50 cells). Zero-cell
+    /// campaigns are rejected at parse time: a sweep that runs nothing
+    /// would "pass" its invariants vacuously.
+    cells: Option<u32>,
     what: Vec<String>,
 }
 
@@ -129,6 +137,8 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, CliErr
         crash_frac: None,
         log_mb: None,
         drain_mbps: None,
+        chaos_seed: None,
+        cells: None,
         what: Vec::new(),
     };
     let mut args = argv.into_iter();
@@ -198,6 +208,34 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Cli, CliErr
                     _ => {
                         return Err(CliError::InvalidValue {
                             option: "--drain-mbps",
+                            expected,
+                            got: v,
+                        })
+                    }
+                }
+            }
+            "--chaos-seed" => {
+                let expected = "a 64-bit unsigned integer";
+                let v = value(&mut args, "--chaos-seed", expected)?;
+                match v.parse::<u64>() {
+                    Ok(n) => cli.chaos_seed = Some(n),
+                    _ => {
+                        return Err(CliError::InvalidValue {
+                            option: "--chaos-seed",
+                            expected,
+                            got: v,
+                        })
+                    }
+                }
+            }
+            "--cells" => {
+                let expected = "a positive cell count";
+                let v = value(&mut args, "--cells", expected)?;
+                match v.parse::<u32>() {
+                    Ok(n) if n > 0 => cli.cells = Some(n),
+                    _ => {
+                        return Err(CliError::InvalidValue {
+                            option: "--cells",
                             expected,
                             got: v,
                         })
@@ -977,6 +1015,127 @@ fn run_blog(cli: &Cli) {
     println!("{body}");
 }
 
+fn run_chaos(cli: &Cli) {
+    let _phase = sio_core::perf::phase("chaos");
+    let m = machine(cli.fast);
+    let (ep, rp, hp) = if cli.fast {
+        (
+            EscatParams::small(8, 8),
+            RenderParams::small(8, 4),
+            HtfParams::small(8),
+        )
+    } else {
+        (
+            EscatParams::paper(),
+            RenderParams::paper(),
+            HtfParams::paper(),
+        )
+    };
+    let seed = cli.chaos_seed.unwrap_or(42);
+    let cells = cli.cells.unwrap_or(50);
+    eprintln!(
+        "[repro] chaos campaign (X8: seed {seed}, {cells} cells over every backend x fault domain)..."
+    );
+    let rows = chaos::chaos_suite_jobs(&m, &ep, &rp, &hp, seed, cells, runner::configured_jobs());
+    let violations = rows.iter().filter(|r| !r.invariants_ok()).count();
+
+    let mut body = String::new();
+    if cli.fast {
+        body.push_str(
+            "NOTE: --fast uses scaled-down parameters; paper-vs-measured checks are expected to deviate.\n\n",
+        );
+    }
+    let mut b = String::new();
+    b.push_str(&format!("campaign seed {seed}, {cells} cells\n"));
+    b.push_str(
+        "cell  workload    backend     domains          ev  crash  wall(s)    slow   ops    fault  avail   p99(ms)  retry  fo  unavail  epoch  ok\n",
+    );
+    for r in &rows {
+        b.push_str(&format!(
+            "{:>4}  {:<10} {:<11} {:<16} {:>3} {:>6.2} {:>9.2} {:>7.2}x {:>6} {:>6} {:>6.3} {:>9.3} {:>6} {:>3} {:>8} {:>3}/{:<2} {:>3}\n",
+            r.cell,
+            r.workload,
+            r.backend,
+            r.domains,
+            r.events,
+            r.crash_frac,
+            r.wall_secs,
+            r.slowdown,
+            r.ops,
+            r.faulted,
+            r.availability,
+            r.p99_ms,
+            r.retries,
+            r.failovers,
+            r.unavailable,
+            r.durable_epoch,
+            r.epochs,
+            if r.invariants_ok() { "yes" } else { "NO" },
+        ));
+    }
+    body.push_str(&report::section(
+        "X8 — chaos campaign (randomized fault sweeps, per-cell invariants)",
+        &b,
+    ));
+
+    let summary = chaos::domain_summary(&rows);
+    let mut b = String::new();
+    b.push_str("domain  cells  avail    p99(ms)   fault  ok\n");
+    for s in &summary {
+        b.push_str(&format!(
+            "{:<7} {:>5} {:>6.3} {:>10.3} {:>7} {:>3}/{}\n",
+            s.domain, s.cells, s.availability, s.mean_p99_ms, s.faulted, s.cells_ok, s.cells
+        ));
+    }
+    b.push_str(&format!(
+        "\ninvariant violations: {violations} of {} cells\n",
+        rows.len()
+    ));
+    body.push_str(&report::section("X8 — per-domain summary", &b));
+
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.cell,
+                r.workload,
+                r.backend,
+                r.domains,
+                r.events,
+                r.crash_frac,
+                r.healthy_wall_secs,
+                r.wall_secs,
+                r.slowdown,
+                r.ops,
+                r.faulted,
+                r.availability,
+                r.p99_ms,
+                r.retries,
+                r.failovers,
+                r.unavailable,
+                r.timeouts,
+                r.durable_epoch,
+                r.epochs,
+                r.hang_clean,
+                r.typed_ok,
+                r.conserved,
+                r.cut_ok
+            )
+        })
+        .collect();
+    report::write_csv(
+        &cli.out,
+        "chaos",
+        "cell,workload,backend,domains,events,crash_frac,healthy_wall_secs,wall_secs,slowdown,ops,faulted,availability,p99_ms,retries,failovers,unavailable,timeouts,durable_epoch,epochs,hang_clean,typed_ok,conserved,cut_ok",
+        &csv,
+    )
+    .expect("write csv");
+    report::write_text(&cli.out, "chaos", &body).expect("write report");
+    println!("{body}");
+    assert_eq!(violations, 0, "chaos campaign found invariant violations");
+}
+
 fn run_ablations(cli: &Cli) {
     let _phase = sio_core::perf::phase("ablations");
     let m = machine(cli.fast);
@@ -1091,6 +1250,7 @@ fn main() {
             "recover" => run_recover(&cli),
             "cio" => run_cio(&cli),
             "blog" => run_blog(&cli),
+            "chaos" => run_chaos(&cli),
             "all" => {
                 // Independent experiments fan out over the sweep runner;
                 // each simulation is single-threaded and deterministic, so
@@ -1108,6 +1268,7 @@ fn main() {
                     Box::new(move || run_recover(cli)),
                     Box::new(move || run_cio(cli)),
                     Box::new(move || run_blog(cli)),
+                    Box::new(move || run_chaos(cli)),
                 ];
                 runner::par_run(runner::configured_jobs(), tasks);
             }
@@ -1273,6 +1434,52 @@ mod tests {
                     ..
                 }
             ));
+        }
+    }
+
+    #[test]
+    fn accepts_and_validates_chaos_knobs() {
+        let cli = parse(&["--chaos-seed", "7", "--cells", "12", "chaos"]).unwrap();
+        assert_eq!(cli.chaos_seed, Some(7));
+        assert_eq!(cli.cells, Some(12));
+        assert_eq!(cli.what, vec!["chaos"]);
+
+        assert!(matches!(
+            parse(&["--chaos-seed"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--chaos-seed",
+                ..
+            }
+        ));
+        for bad in ["-1", "7.5", "lucky"] {
+            assert!(matches!(
+                parse(&["--chaos-seed", bad]).unwrap_err(),
+                CliError::InvalidValue {
+                    option: "--chaos-seed",
+                    ..
+                }
+            ));
+        }
+        assert!(matches!(
+            parse(&["--cells"]).unwrap_err(),
+            CliError::MissingValue {
+                option: "--cells",
+                ..
+            }
+        ));
+        // A zero-cell campaign passes every invariant vacuously — reject
+        // it rather than report a hollow success.
+        for bad in ["0", "-3", "4.5", "some"] {
+            let err = parse(&["--cells", bad]).unwrap_err();
+            assert_eq!(
+                err,
+                CliError::InvalidValue {
+                    option: "--cells",
+                    expected: "a positive cell count",
+                    got: bad.to_string(),
+                },
+                "'{bad}' must be rejected, not clamped"
+            );
         }
     }
 

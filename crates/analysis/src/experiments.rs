@@ -800,6 +800,7 @@ pub fn raid_degraded_jobs(machine: &MachineConfig, jobs: usize) -> Vec<RaidRow> 
             programs,
             fs,
         );
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean());
         let trace = engine.into_service().finish_trace();

@@ -16,6 +16,10 @@
 //!   analysis, and [`burst`] — the X7 burst-buffer sweep putting the
 //!   `sio-blog` log tier in front of each backend and measuring commit
 //!   latency, time-to-recovery, and lost work against going direct;
+//! * [`chaos`] — the X8 chaos campaign engine: seeded randomized fault
+//!   sweeps composing disk, node, link, and metadata faults across every
+//!   registered backend, with per-cell liveness, typed-fault,
+//!   byte-conservation, durable-cut, and trace invariants;
 //! * [`runner`] — the parallel sweep executor: every experiment sweep
 //!   fans its independent, deterministic simulations out over a bounded
 //!   worker pool (`--jobs N` / `SIO_JOBS`), with results in input order;
@@ -25,6 +29,7 @@
 //! regenerates every artifact into `results/`.
 
 pub mod burst;
+pub mod chaos;
 pub mod characterize;
 pub mod compare;
 pub mod experiments;

@@ -15,7 +15,7 @@ use paragon_sim::{FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime};
 use sio_blog::{Blog, BlogParams, BlogStats, DrainBackend};
 use sio_cio::{Cio, CioStats};
 use sio_core::trace::{Trace, TraceSink};
-use sio_fskit::NodeLoad;
+use sio_fskit::{MetaStats, NodeLoad};
 use sio_pfs::fs::FaultStats;
 use sio_pfs::{FileSpec, Pfs};
 use sio_ppfs::{PolicyConfig, Ppfs, PpfsStats};
@@ -56,6 +56,13 @@ pub trait FsBackend: IoService {
 
     /// PFS fault-machinery counters, when this backend keeps them.
     fn pfs_fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
+
+    /// Metadata-server fault counters (replica failovers, parked-RPC
+    /// retries, typed unavailability), when this backend serializes
+    /// metadata through the replicated [`sio_fskit::MetaServer`].
+    fn meta_stats(&self) -> Option<MetaStats> {
         None
     }
 
@@ -190,6 +197,10 @@ impl FsBackend for Pfs {
         Some(self.fault_stats())
     }
 
+    fn meta_stats(&self) -> Option<MetaStats> {
+        Some(Pfs::meta_stats(self))
+    }
+
     fn node_loads(&self) -> Vec<NodeLoad> {
         Pfs::node_loads(self).to_vec()
     }
@@ -239,6 +250,10 @@ impl FsBackend for Ppfs {
 
     fn ppfs_stats(&self) -> Option<PpfsStats> {
         Some(self.stats())
+    }
+
+    fn meta_stats(&self) -> Option<MetaStats> {
+        Some(Ppfs::meta_stats(self))
     }
 
     fn node_loads(&self) -> Vec<NodeLoad> {
@@ -308,6 +323,10 @@ impl FsBackend for Cio {
         Some(Cio::cio_stats(self))
     }
 
+    fn meta_stats(&self) -> Option<MetaStats> {
+        Some(Cio::meta_stats(self))
+    }
+
     fn submit_drain(
         &mut self,
         node: NodeId,
@@ -368,6 +387,10 @@ impl FsBackend for Blog<Box<dyn FsBackend>> {
 
     fn cio_stats(&self) -> Option<CioStats> {
         self.inner().cio_stats()
+    }
+
+    fn meta_stats(&self) -> Option<MetaStats> {
+        self.inner().meta_stats()
     }
 
     fn blog_stats(&self) -> Option<BlogStats> {

@@ -20,7 +20,7 @@ use sio_blog::BlogStats;
 use sio_cio::CioStats;
 use sio_core::perf;
 use sio_core::trace::{Trace, TraceSink};
-use sio_fskit::NodeLoad;
+pub use sio_fskit::{MetaStats, NodeLoad};
 use sio_pfs::{AccessMode, FaultStats, FileSpec};
 use sio_ppfs::PpfsStats;
 
@@ -64,6 +64,9 @@ pub struct RunOutput {
     pub cio: Option<CioStats>,
     /// Burst-log drain-health counters when the log tier wrapped the run.
     pub blog: Option<BlogStats>,
+    /// Metadata-server fault counters (failovers, parked-RPC retries, typed
+    /// unavailability) for backends on the replicated metadata service.
+    pub meta: Option<MetaStats>,
 }
 
 impl RunOutput {
@@ -72,6 +75,12 @@ impl RunOutput {
         self.report.wall.as_secs_f64()
     }
 }
+
+/// Default liveness-watchdog deadline for every workload run: 10⁷ simulated
+/// seconds. The longest legitimate suite run is ~2 × 10⁴ s, three orders of
+/// magnitude below; a livelocked retry loop blows past this in bounded host
+/// time and surfaces as a typed `HangReport` instead of hanging CI.
+pub const WATCHDOG_DEADLINE: SimTime = paragon_sim::DEFAULT_WATCHDOG;
 
 fn run_engine<S: IoService>(
     machine: &MachineConfig,
@@ -92,6 +101,7 @@ fn run_engine<S: IoService>(
         .collect();
     let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
     let mut engine = Engine::new(mesh, machine.comm, programs, service);
+    engine.set_watchdog(WATCHDOG_DEADLINE);
     for g in &workload.groups {
         engine.add_group(g.clone());
     }
@@ -102,9 +112,10 @@ fn run_engine<S: IoService>(
             let report = engine.run();
             assert!(
                 report.clean(),
-                "workload '{}' deadlocked; blocked nodes: {:?}",
+                "workload '{}' stuck; blocked nodes: {:?}; watchdog: {:?}",
                 workload.label,
-                report.blocked
+                report.blocked,
+                report.hang
             );
             report
         }
@@ -181,6 +192,7 @@ pub fn run_workload_crashable(
     let degraded_nodes = fs.degraded_nodes();
     let node_loads = fs.node_loads();
     let cio = fs.cio_stats();
+    let meta = fs.meta_stats();
     RunOutput {
         trace: fs.finish_trace(),
         report,
@@ -191,6 +203,7 @@ pub fn run_workload_crashable(
         node_loads,
         cio,
         blog,
+        meta,
     }
 }
 

@@ -47,13 +47,14 @@ use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use paragon_sim::ionode::{RejectReason, SegmentReq};
 use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
-use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
+use paragon_sim::{LinkQuality, LinkState, MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
 use sio_core::hash::FastMap;
 use sio_core::trace::{Trace, TraceSink};
 use sio_fskit::file::{FileSpec, FileState};
 use sio_fskit::mode::AccessMode;
-use sio_fskit::pump::{FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
+use sio_fskit::pump::{backoff_delay, FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
+use sio_fskit::table::{MetaStats, MetaVerdict};
 use sio_fskit::{FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TraceRecorder};
 
 use crate::partition::{self, Domain, Extent};
@@ -163,6 +164,22 @@ pub struct CioFaultStats {
     pub data_loss_events: u64,
 }
 
+/// A metadata RPC parked by a full metadata outage, awaiting a backoff
+/// retry probe.
+#[derive(Debug, Clone, Copy)]
+struct ParkedMeta {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    op: IoOp,
+    cost: SimDuration,
+    /// Result bytes on success (file length for `Lsize`, 0 otherwise).
+    bytes: u64,
+    issued: SimTime,
+    /// Retry probes already made.
+    attempt: u32,
+}
+
 /// The collective two-phase I/O model.
 pub struct Cio {
     cfg: CioConfig,
@@ -170,8 +187,12 @@ pub struct Cio {
     pump: SegmentPump,
     files: FileTable,
     recorder: TraceRecorder,
-    /// Global metadata server.
+    /// Global metadata server (replicated; buddy failover under faults).
     meta: MetaServer,
+    /// Metadata RPCs parked by a full outage (timer id → parked RPC).
+    parked_meta: FastMap<u64, ParkedMeta>,
+    /// Interconnect link quality per I/O-node region (exchange-phase costs).
+    links: LinkState,
     /// Per-file metadata-owner queues for shared-file seeks.
     seek_free: Vec<SimTime>,
     /// Per-file gather buckets.
@@ -210,6 +231,7 @@ impl Cio {
         let ionodes = machine.build_io_nodes();
         let faults = FaultRouter::new(schedule, ionodes.len());
         let next_timer = ionodes.len() as u64;
+        let links = LinkState::healthy(ionodes.len());
         let pump = SegmentPump::new(
             ionodes,
             FailoverPolicy::Buddy {
@@ -224,6 +246,8 @@ impl Cio {
             files,
             recorder: TraceRecorder::new(sink),
             meta: MetaServer::new(),
+            parked_meta: FastMap::default(),
+            links,
             seek_free: Vec::new(),
             gather: FastMap::default(),
             exchange: FastMap::default(),
@@ -277,6 +301,11 @@ impl Cio {
     /// Collective-machinery counters.
     pub fn cio_stats(&self) -> CioStats {
         self.stats
+    }
+
+    /// Metadata fault-machinery counters (all zero on a healthy run).
+    pub fn meta_stats(&self) -> MetaStats {
+        self.meta.stats()
     }
 
     /// Fault-machinery counters (all zero on a healthy run).
@@ -763,8 +792,12 @@ impl Cio {
         // shuffle — every member ships its overlap with each domain to
         // that domain's aggregator (writes) or receives it (reads); the
         // phase ends when the longest member↔aggregator message lands.
-        let descriptors = self.cfg.mesh.broadcast_time(
+        // Descriptor allgather touches every region, so it pays the worst
+        // link quality in force; a healthy link state is bit-identical to
+        // the plain broadcast.
+        let descriptors = self.cfg.mesh.broadcast_time_via(
             &self.cfg.comm,
+            self.links.worst(),
             p as u32,
             DESCRIPTOR_BYTES * members.len() as u64,
         );
@@ -781,7 +814,10 @@ impl Cio {
                 });
                 if ov > 0 {
                     let hops = self.cfg.mesh.compute_hops(m.node, aggregator);
-                    shuffle = shuffle.max(self.cfg.mesh.msg_time(&self.cfg.comm, hops, ov));
+                    // The shuffle message lands in the domain's I/O-node
+                    // region: it pays that region's link quality.
+                    let q = self.links.region(d.io_node);
+                    shuffle = shuffle.max(self.cfg.mesh.msg_time_via(&self.cfg.comm, q, hops, ov));
                 }
             }
         }
@@ -894,6 +930,109 @@ impl Cio {
                 }
             }
             FaultKind::NodeRecover => self.pump.recover(now, ev.io_node, sched),
+            FaultKind::LinkDegrade { bw_div, lat_mult } => {
+                // Data-path segments into the region's I/O node stretch by
+                // the bandwidth divisor; the exchange phase consults the
+                // region's quality through the link state.
+                self.pump.apply_link_degrade(ev.io_node, bw_div);
+                self.links
+                    .degrade(ev.io_node, LinkQuality { bw_div, lat_mult });
+            }
+            FaultKind::LinkHeal => {
+                self.pump.apply_link_heal(ev.io_node);
+                self.links.heal(ev.io_node);
+            }
+            FaultKind::MetaStall { for_dur } => self.meta.stall(now, ev.io_node, for_dur),
+            FaultKind::MetaCrash => self.meta.crash(ev.io_node),
+            FaultKind::MetaRecover => self.meta.recover(ev.io_node),
+        }
+    }
+
+    /// Serve a metadata RPC through the replicated server, parking it with
+    /// bounded backoff retries when both replicas are down. A healthy run
+    /// never parks, so this is bit-identical to the historical direct path.
+    #[allow(clippy::too_many_arguments)]
+    fn meta_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        op: IoOp,
+        cost: SimDuration,
+        bytes: u64,
+        sched: &mut Sched,
+    ) {
+        match self.meta.try_op(now, cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder
+                    .complete_op(sched, token, node, file, op, now, done, None, bytes);
+            }
+            MetaVerdict::Outage => {
+                let parked = ParkedMeta {
+                    token,
+                    node,
+                    file,
+                    op,
+                    cost,
+                    bytes,
+                    issued: now,
+                    attempt: 0,
+                };
+                self.park_meta(now, parked, sched);
+            }
+        }
+    }
+
+    /// Arm one backoff retry probe for a parked metadata RPC.
+    fn park_meta(&mut self, now: SimTime, parked: ParkedMeta, sched: &mut Sched) {
+        self.meta.note_retry();
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.parked_meta.insert(id, parked);
+        sched.timer(
+            now + backoff_delay(self.fault_params.retry_base, parked.attempt),
+            id,
+        );
+    }
+
+    /// A parked metadata RPC's retry timer fired: re-probe the replicas,
+    /// park again while the retry budget lasts, then surface the outage as
+    /// a typed [`IoFault::Unavailable`] — never hang.
+    fn retry_meta(&mut self, now: SimTime, mut parked: ParkedMeta, sched: &mut Sched) {
+        match self.meta.try_op(now, parked.cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder.complete_op(
+                    sched,
+                    parked.token,
+                    parked.node,
+                    parked.file,
+                    parked.op,
+                    parked.issued,
+                    done,
+                    None,
+                    parked.bytes,
+                );
+            }
+            MetaVerdict::Outage => {
+                if parked.attempt < self.fault_params.max_retries {
+                    parked.attempt += 1;
+                    self.park_meta(now, parked, sched);
+                } else {
+                    self.meta.note_unavailable();
+                    self.fault_stats.unavailable += 1;
+                    self.recorder.fail_op(
+                        sched,
+                        parked.token,
+                        parked.node,
+                        parked.file,
+                        parked.op,
+                        parked.issued,
+                        now,
+                        IoFault::Unavailable,
+                    );
+                }
+            }
         }
     }
 
@@ -1007,18 +1146,7 @@ impl IoService for Cio {
                 } else {
                     self.cfg.io_sw.open
                 };
-                let done = self.meta.op(now, cost);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Open,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Open, cost, 0, sched);
             }
             IoVerb::Close => {
                 self.state(req.file).close(node);
@@ -1027,18 +1155,8 @@ impl IoService for Cio {
                 // now go.
                 self.try_trigger(req.file, true, false, now, sched);
                 self.try_trigger(req.file, false, false, now, sched);
-                let done = self.meta.op(now, self.cfg.io_sw.close);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Close,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                let cost = self.cfg.io_sw.close;
+                self.meta_op(now, token, node, req.file, IoOp::Close, cost, 0, sched);
             }
             IoVerb::Seek => {
                 let target = req.offset.expect("seek needs an offset");
@@ -1091,19 +1209,9 @@ impl IoService for Cio {
                 );
             }
             IoVerb::Lsize => {
-                let done = self.meta.op(now, self.cfg.io_sw.lsize);
+                let cost = self.cfg.io_sw.lsize;
                 let len = self.file_len(req.file);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Lsize,
-                    now,
-                    done,
-                    None,
-                    len,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Lsize, cost, len, sched);
             }
             IoVerb::Sync => {
                 // A commit must not park behind members that will never
@@ -1175,6 +1283,8 @@ impl IoService for Cio {
                 self.fault_stats.timeouts += 1;
                 self.fail_collective(cid, IoFault::Timeout, now, sched);
             }
+        } else if let Some(parked) = self.parked_meta.remove(&timer) {
+            self.retry_meta(now, parked, sched);
         } else {
             // Phase-1 exchange complete: dispatch the collective.
             let x = self.exchange.remove(&timer).expect("unknown timer");
@@ -1214,6 +1324,7 @@ mod tests {
             .collect();
         let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
         let mut engine = Engine::new(mesh, machine.comm, programs, cio);
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean(), "blocked nodes: {:?}", report.blocked);
         (engine, report)

@@ -1,7 +1,7 @@
 //! Timer-based delivery of a [`FaultSchedule`].
 
 use paragon_sim::engine::Sched;
-use paragon_sim::fault::{FaultEvent, FaultSchedule};
+use paragon_sim::fault::{FaultDomain, FaultEvent, FaultSchedule, META_REPLICAS};
 use sio_core::hash::FastMap;
 
 /// Delivers a deterministic [`FaultSchedule`] to a backend: each event is
@@ -16,17 +16,25 @@ pub struct FaultRouter {
 }
 
 impl FaultRouter {
-    /// New router over a schedule. Panics if any event targets an I/O node
-    /// the machine does not have — a malformed schedule is a caller bug, not
-    /// a simulated fault.
+    /// New router over a schedule. Panics if any event targets an index its
+    /// fault domain does not have — I/O node for disk/node faults, link
+    /// region for link faults (one region per I/O node column), metadata
+    /// replica for meta faults. A malformed schedule is a caller bug, not a
+    /// simulated fault.
     pub fn new(schedule: FaultSchedule, io_nodes: usize) -> FaultRouter {
-        assert!(
-            schedule
-                .events()
-                .iter()
-                .all(|e| (e.io_node as usize) < io_nodes),
-            "fault schedule targets a nonexistent i/o node"
-        );
+        for e in schedule.events() {
+            let bound = match e.kind.domain() {
+                FaultDomain::Disk | FaultDomain::Node | FaultDomain::Link => io_nodes,
+                FaultDomain::Meta => META_REPLICAS as usize,
+            };
+            assert!(
+                (e.io_node as usize) < bound,
+                "fault schedule targets index {} outside the {} domain (bound {})",
+                e.io_node,
+                e.kind.domain().label(),
+                bound
+            );
+        }
         FaultRouter {
             schedule,
             timers: FastMap::default(),

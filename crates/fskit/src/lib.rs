@@ -57,4 +57,4 @@ pub use mode::AccessMode;
 pub use pump::{FailoverPolicy, NodeLoad, NodeTick, PumpStats, RetrySeg, SegmentPump};
 pub use recorder::TraceRecorder;
 pub use sync::{SyncLedger, SyncWaiter};
-pub use table::{FileTable, MetaServer};
+pub use table::{FileTable, MetaServer, MetaStats, MetaVerdict};

@@ -529,6 +529,21 @@ impl SegmentPump {
         }
     }
 
+    /// Degrade the edge link into one I/O node: newly started segments'
+    /// transfer times stretch by `mult` until [`SegmentPump::apply_link_heal`]
+    /// (in-flight segments keep their committed service times). Repeated
+    /// degrades compose by keeping the worse multiplier.
+    pub fn apply_link_degrade(&mut self, io: u32, mult: f64) {
+        let node = &mut self.ionodes[io as usize];
+        let mult = node.link_mult().max(mult);
+        node.set_link_mult(mult);
+    }
+
+    /// Heal the edge link into one I/O node back to full bandwidth.
+    pub fn apply_link_heal(&mut self, io: u32) {
+        self.ionodes[io as usize].set_link_mult(1.0);
+    }
+
     /// Resubmit every segment parked against a recovered node.
     pub fn resubmit_replays(&mut self, now: SimTime, io: u32, ids: &mut u64, sched: &mut Sched) {
         let mine: Vec<(u32, SegmentReq)>;

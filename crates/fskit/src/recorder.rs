@@ -77,6 +77,36 @@ impl TraceRecorder {
         );
     }
 
+    /// Record and acknowledge a *failed* operation: the interval spans the
+    /// whole attempt (issue through the final exhausted retry) and the
+    /// token completes with zero bytes and the typed `fault`. This is how a
+    /// metadata RPC that rode out a full outage surfaces
+    /// [`IoFault::Unavailable`] instead of hanging.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fail_op(
+        &mut self,
+        sched: &mut Sched,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        op: IoOp,
+        start: SimTime,
+        done: SimTime,
+        fault: IoFault,
+    ) {
+        self.record(IoEvent::new(node, file, op).span(start.nanos(), done.nanos()));
+        sched.complete_io(
+            token,
+            done,
+            IoResult {
+                bytes: 0,
+                queued: SimDuration::ZERO,
+                service: done.since(start),
+                fault: Some(fault),
+            },
+        );
+    }
+
     /// Record and acknowledge a drained `Sync` commit: the flush cost is
     /// paid after the file drains at `now`, the traced interval spans the
     /// full `issued..done` commit latency, and `fault` reports durability

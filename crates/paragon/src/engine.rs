@@ -190,6 +190,45 @@ pub struct EnginePerf {
     pub channel_peak: u64,
 }
 
+/// Default liveness-watchdog deadline: 10⁷ simulated seconds, orders of
+/// magnitude beyond any legitimate run in this repository, so arming it
+/// can never change a healthy result — it only converts an otherwise
+/// unbounded stuck run into a terminating one with a typed [`HangReport`].
+pub const DEFAULT_WATCHDOG: SimTime = SimTime(10_000_000 * 1_000_000_000);
+
+/// Why the liveness watchdog declared a run stuck rather than finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HangReason {
+    /// The event heap drained with programs unfinished — a deadlock or
+    /// missing partner: no future event can wake the parked nodes.
+    Exhausted,
+    /// Simulated time crossed the watchdog deadline with programs still
+    /// unfinished — a livelock (e.g. an unbounded retry loop) that keeps
+    /// generating events without ever finishing.
+    DeadlineExceeded {
+        /// The armed deadline that was crossed.
+        deadline: SimTime,
+    },
+}
+
+/// Typed diagnosis of a stuck run, produced when the liveness watchdog
+/// (see [`Engine::set_watchdog`]) distinguishes "stuck" from "finished":
+/// which nodes are parked, which I/O requests never completed, and how many
+/// service timers were abandoned in the heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// Simulated time at which the hang was declared.
+    pub at: SimTime,
+    /// What tripped the watchdog.
+    pub reason: HangReason,
+    /// Nodes whose programs never reached `Done`.
+    pub parked_nodes: Vec<NodeId>,
+    /// I/O tokens still in flight (issued but never completed).
+    pub pending_requests: Vec<IoToken>,
+    /// Service timers abandoned unprocessed in the event heap.
+    pub killed_timers: u64,
+}
+
 /// Final run statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
@@ -202,12 +241,15 @@ pub struct EngineReport {
     /// Nodes still blocked when the event queue drained (deadlock or missing
     /// partner); empty on a clean run.
     pub blocked: Vec<NodeId>,
+    /// Liveness-watchdog diagnosis; `Some` only when a watchdog was armed
+    /// and the run was declared stuck rather than finished or crash-cut.
+    pub hang: Option<HangReport>,
 }
 
 impl EngineReport {
-    /// True when every node finished.
+    /// True when every node finished and no watchdog tripped.
     pub fn clean(&self) -> bool {
-        self.blocked.is_empty()
+        self.blocked.is_empty() && self.hang.is_none()
     }
 }
 
@@ -252,6 +294,9 @@ pub struct Engine<S: IoService> {
     heap_peak: usize,
     channel_buffered: u64,
     channel_peak: u64,
+    /// Liveness-watchdog deadline: a run whose simulated time crosses this
+    /// with programs unfinished is declared stuck (see [`HangReport`]).
+    watchdog: Option<SimTime>,
 }
 
 impl<S: IoService> Engine<S> {
@@ -302,7 +347,25 @@ impl<S: IoService> Engine<S> {
             heap_peak: 0,
             channel_buffered: 0,
             channel_peak: 0,
+            watchdog: None,
         }
+    }
+
+    /// Arm the liveness watchdog at [`DEFAULT_WATCHDOG`] — the idiom for
+    /// tests and sweeps that drive the engine directly rather than through
+    /// a harness that picks its own deadline.
+    pub fn set_default_watchdog(&mut self) {
+        self.set_watchdog(DEFAULT_WATCHDOG);
+    }
+
+    /// Arm the liveness watchdog: if simulated time crosses `deadline` while
+    /// any program is unfinished, or the event heap drains with programs
+    /// unfinished, the run stops and the report carries a typed
+    /// [`HangReport`] instead of spinning until the event budget blows.
+    /// (A zero-time livelock — events that never advance the clock — is
+    /// still caught by the hard `MAX_EVENTS` backstop.)
+    pub fn set_watchdog(&mut self, deadline: SimTime) {
+        self.watchdog = Some(deadline);
     }
 
     /// Register a node group for barriers/broadcasts; returns its id.
@@ -431,9 +494,16 @@ impl<S: IoService> Engine<S> {
         // periodic flush firing long after the programs finished with
         // nothing left to flush).
         let mut wall = SimTime::ZERO;
+        let mut hang: Option<HangReport> = None;
         while let Some(&Reverse((t, _, _))) = self.heap.peek() {
             if t > stop {
                 break;
+            }
+            if let Some(deadline) = self.watchdog {
+                if t > deadline && !self.done.iter().all(|d| *d) {
+                    hang = Some(self.hang_report(t, HangReason::DeadlineExceeded { deadline }));
+                    break;
+                }
             }
             let Reverse((t, _seq, slot)) = self.heap.pop().expect("peeked event vanished");
             let ev = self.slab[slot as usize];
@@ -467,11 +537,54 @@ impl<S: IoService> Engine<S> {
         let blocked: Vec<NodeId> = (0..self.programs.len() as NodeId)
             .filter(|&n| !self.done[n as usize])
             .collect();
+        // Quiescence check: the heap drained (nothing was abandoned past a
+        // crash cut or a tripped deadline) yet programs never finished —
+        // that is "stuck", not "finished".
+        if hang.is_none() && self.watchdog.is_some() && self.heap.is_empty() && !blocked.is_empty()
+        {
+            hang = Some(self.hang_report(self.now, HangReason::Exhausted));
+        }
         EngineReport {
             wall,
             events: self.events_processed,
             nodes_done: self.done.iter().filter(|d| **d).count() as u32,
             blocked,
+            hang,
+        }
+    }
+
+    /// Snapshot the stuck state: parked nodes, in-flight I/O tokens, and the
+    /// service timers that will never fire.
+    fn hang_report(&self, at: SimTime, reason: HangReason) -> HangReport {
+        let parked_nodes: Vec<NodeId> = (0..self.programs.len() as NodeId)
+            .filter(|&n| !self.done[n as usize])
+            .collect();
+        let pending_requests: Vec<IoToken> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| match st {
+                Some(
+                    TokenState::Sync(..)
+                    | TokenState::AsyncPending(..)
+                    | TokenState::AsyncWaited(..),
+                ) => Some(self.token_base + i as IoToken),
+                _ => None,
+            })
+            .collect();
+        let killed_timers = self
+            .heap
+            .iter()
+            .filter(|Reverse((_, _, slot))| {
+                matches!(self.slab[*slot as usize], Ev::ServiceTimer(_))
+            })
+            .count() as u64;
+        HangReport {
+            at,
+            reason,
+            parked_nodes,
+            pending_requests,
+            killed_timers,
         }
     }
 
@@ -955,5 +1068,94 @@ mod tests {
         let rb = b.run();
         assert_eq!(ra, rb);
         assert_eq!(a.service().submitted, b.service().submitted);
+    }
+
+    /// A service that never completes requests and keeps re-arming a timer:
+    /// the shape of a livelocked retry loop.
+    struct BlackHoleService {
+        next_timer: u64,
+    }
+
+    impl IoService for BlackHoleService {
+        fn submit(
+            &mut self,
+            _node: NodeId,
+            now: SimTime,
+            _req: IoRequest,
+            _token: IoToken,
+            _is_async: bool,
+            sched: &mut Sched,
+        ) {
+            sched.timer(now + SimDuration::from_millis(10), self.next_timer);
+            self.next_timer += 1;
+        }
+
+        fn on_timer(&mut self, now: SimTime, _timer: u64, sched: &mut Sched) {
+            sched.timer(now + SimDuration::from_millis(10), self.next_timer);
+            self.next_timer += 1;
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_livelock_with_typed_report() {
+        let mesh = Mesh::for_nodes(2, 1);
+        let programs: Vec<Box<dyn NodeProgram>> = vec![
+            Box::new(ScriptProgram::new(vec![ScriptOp::Io(IoRequest::read(
+                1, 64,
+            ))])),
+            Box::new(ScriptProgram::new(vec![])),
+        ];
+        let mut e = Engine::new(
+            mesh,
+            CommCosts::default(),
+            programs,
+            BlackHoleService { next_timer: 0 },
+        );
+        e.set_watchdog(SimTime(0) + SimDuration::from_secs(1));
+        let report = e.run();
+        assert!(!report.clean());
+        let hang = report.hang.expect("watchdog must trip");
+        assert_eq!(
+            hang.reason,
+            HangReason::DeadlineExceeded {
+                deadline: SimTime(0) + SimDuration::from_secs(1)
+            }
+        );
+        assert!(hang.at > SimTime(0) + SimDuration::from_secs(1));
+        assert_eq!(hang.parked_nodes, vec![0]);
+        assert_eq!(hang.pending_requests.len(), 1, "the read never completed");
+        assert_eq!(hang.killed_timers, 1, "the re-armed timer was abandoned");
+        // Far fewer events than the livelock would otherwise generate.
+        assert!(report.events < 1000);
+    }
+
+    #[test]
+    fn watchdog_reports_exhausted_heap_as_stuck() {
+        let mut e = engine_for(vec![vec![ScriptOp::Recv { from: 1, tag: 0 }], vec![]]);
+        e.set_watchdog(SimTime(u64::MAX - 1));
+        let report = e.run();
+        assert!(!report.clean());
+        assert_eq!(report.blocked, vec![0]);
+        let hang = report.hang.expect("quiescence with parked nodes is a hang");
+        assert_eq!(hang.reason, HangReason::Exhausted);
+        assert_eq!(hang.parked_nodes, vec![0]);
+        assert_eq!(hang.killed_timers, 0);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_clean_and_crash_cut_runs() {
+        // Clean run: deadline far out, programs finish, no report.
+        let mut e = engine_for(vec![vec![ScriptOp::Compute(SimDuration::from_secs(3))]]);
+        e.set_watchdog(SimTime(0) + SimDuration::from_secs(100));
+        let report = e.run();
+        assert!(report.clean());
+        assert_eq!(report.hang, None);
+
+        // Crash cut: abandoned events past `stop` are a crash, not a hang.
+        let mut e = engine_for(vec![vec![ScriptOp::Compute(SimDuration::from_secs(3))]]);
+        e.set_watchdog(SimTime(0) + SimDuration::from_secs(100));
+        let report = e.run_until(SimTime(0) + SimDuration::from_secs(1));
+        assert_eq!(report.hang, None);
+        assert_eq!(report.blocked, vec![0]);
     }
 }

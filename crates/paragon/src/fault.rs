@@ -44,14 +44,90 @@ pub enum FaultKind {
     NodeCrash,
     /// The node comes back (empty queues; the array state survives).
     NodeRecover,
+    /// Congest the mesh links of the region serving the target I/O node:
+    /// link bandwidth is divided by `bw_div` and hop latency multiplied by
+    /// `lat_mult` until a `LinkHeal` on the same region. Multiple degrades
+    /// compose by taking the worse multiplier.
+    LinkDegrade {
+        /// Bandwidth divisor, ≥ 1.
+        bw_div: f64,
+        /// Hop-latency multiplier, ≥ 1.
+        lat_mult: f64,
+    },
+    /// Restore the region's links to healthy bandwidth and latency.
+    LinkHeal,
+    /// The metadata replica (the event's `io_node` field is the replica
+    /// index: 0 = primary, 1 = buddy) stops serving for `for_dur`; queued
+    /// RPCs complete late but never fail.
+    MetaStall {
+        /// Length of the stall.
+        for_dur: SimDuration,
+    },
+    /// The metadata replica crashes: RPCs fail over to the surviving buddy;
+    /// with both replicas down they park with bounded retry and surface
+    /// `IoFault::Unavailable` when the retries are exhausted.
+    MetaCrash,
+    /// The metadata replica comes back.
+    MetaRecover,
 }
 
+/// Which layer of the machine a [`FaultKind`] strikes. The chaos campaign
+/// aggregates availability and latency per domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultDomain {
+    /// RAID member-disk failures and rebuilds.
+    Disk,
+    /// Whole-I/O-node stalls, crashes, recoveries.
+    Node,
+    /// Mesh-link congestion (bandwidth/latency degradation).
+    Link,
+    /// Metadata-server outages and stalls.
+    Meta,
+}
+
+impl FaultDomain {
+    /// Stable short label (`disk`/`node`/`link`/`meta`) for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultDomain::Disk => "disk",
+            FaultDomain::Node => "node",
+            FaultDomain::Link => "link",
+            FaultDomain::Meta => "meta",
+        }
+    }
+}
+
+impl FaultKind {
+    /// The fault domain this kind belongs to.
+    pub fn domain(&self) -> FaultDomain {
+        match self {
+            FaultKind::DiskFail { .. } | FaultKind::DiskRepair => FaultDomain::Disk,
+            FaultKind::NodeStall { .. } | FaultKind::NodeCrash | FaultKind::NodeRecover => {
+                FaultDomain::Node
+            }
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkHeal => FaultDomain::Link,
+            FaultKind::MetaStall { .. } | FaultKind::MetaCrash | FaultKind::MetaRecover => {
+                FaultDomain::Meta
+            }
+        }
+    }
+}
+
+/// Number of metadata replicas the meta fault domain targets (primary +
+/// buddy); `Meta*` events address them through the event's `io_node` field.
+pub const META_REPLICAS: u32 = 2;
+
 /// One scheduled fault: `kind` applied to `io_node` at absolute time `at`.
+///
+/// The `io_node` field is the target index *within the kind's domain*:
+/// an I/O-node index for disk and node kinds, a link-region index (one
+/// region per I/O node's edge links) for link kinds, and a metadata replica
+/// index (`0..`[`META_REPLICAS`]) for meta kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {
     /// Absolute simulation time at which the fault fires.
     pub at: SimTime,
-    /// Target I/O node index.
+    /// Target index within the kind's domain (see the struct docs).
     pub io_node: u32,
     /// What happens.
     pub kind: FaultKind,
@@ -136,6 +212,62 @@ impl FaultSchedule {
             at,
             io_node,
             kind: FaultKind::NodeRecover,
+        })
+    }
+
+    /// Schedule link congestion on `region` (the edge links serving I/O
+    /// node `region`): bandwidth ÷ `bw_div`, hop latency × `lat_mult`.
+    pub fn link_degrade(
+        &mut self,
+        at: SimTime,
+        region: u32,
+        bw_div: f64,
+        lat_mult: f64,
+    ) -> &mut Self {
+        assert!(
+            bw_div >= 1.0 && bw_div.is_finite() && lat_mult >= 1.0 && lat_mult.is_finite(),
+            "link degradation multipliers must be finite and ≥ 1 (got ÷{bw_div}, ×{lat_mult})"
+        );
+        self.push(FaultEvent {
+            at,
+            io_node: region,
+            kind: FaultKind::LinkDegrade { bw_div, lat_mult },
+        })
+    }
+
+    /// Schedule the region's links back to healthy.
+    pub fn link_heal(&mut self, at: SimTime, region: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node: region,
+            kind: FaultKind::LinkHeal,
+        })
+    }
+
+    /// Schedule a metadata-replica stall (`replica` 0 = primary, 1 = buddy).
+    pub fn meta_stall(&mut self, at: SimTime, replica: u32, for_dur: SimDuration) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node: replica,
+            kind: FaultKind::MetaStall { for_dur },
+        })
+    }
+
+    /// Schedule a metadata-replica crash.
+    pub fn meta_crash(&mut self, at: SimTime, replica: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node: replica,
+            kind: FaultKind::MetaCrash,
+        })
+    }
+
+    /// Schedule a metadata-replica recovery.
+    pub fn meta_recover(&mut self, at: SimTime, replica: u32) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            io_node: replica,
+            kind: FaultKind::MetaRecover,
         })
     }
 
@@ -228,6 +360,38 @@ mod tests {
         assert_eq!(times, vec![10, 10, 20, 40]);
         // Tie at t=10 resolves in favor of `a`.
         assert_eq!(m.events()[0].kind, FaultKind::DiskFail { disk: 0 });
+    }
+
+    #[test]
+    fn new_domains_classify_and_keep_time_order() {
+        let mut s = FaultSchedule::new();
+        s.meta_crash(SimTime(40), 0)
+            .link_degrade(SimTime(10), 2, 4.0, 2.0)
+            .meta_recover(SimTime(60), 0)
+            .link_heal(SimTime(50), 2)
+            .meta_stall(SimTime(20), 1, SimDuration::from_millis(5));
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![10, 20, 40, 50, 60]);
+        let domains: Vec<FaultDomain> = s.events().iter().map(|e| e.kind.domain()).collect();
+        assert_eq!(
+            domains,
+            vec![
+                FaultDomain::Link,
+                FaultDomain::Meta,
+                FaultDomain::Meta,
+                FaultDomain::Link,
+                FaultDomain::Meta,
+            ]
+        );
+        assert_eq!(FaultKind::DiskFail { disk: 1 }.domain(), FaultDomain::Disk);
+        assert_eq!(FaultKind::NodeCrash.domain(), FaultDomain::Node);
+        assert_eq!(FaultDomain::Link.label(), "link");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn link_degrade_rejects_sub_unity_multipliers() {
+        FaultSchedule::new().link_degrade(SimTime(1), 0, 0.5, 1.0);
     }
 
     #[test]

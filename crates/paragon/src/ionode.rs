@@ -139,6 +139,9 @@ pub struct IoNodeSim {
     down: bool,
     /// No new work starts before this time (transient stall).
     stalled_until: SimTime,
+    /// Link-congestion multiplier on segment transfer time (1.0 = healthy
+    /// links into this node; `LinkDegrade` fault events raise it).
+    link_mult: f64,
     /// Rebuild bytes completed (statistics).
     rebuilt_bytes: u64,
     /// Rebuild chunks completed (statistics).
@@ -161,9 +164,26 @@ impl IoNodeSim {
             rebuild_chunk: crate::calibration::fault_params().rebuild_chunk,
             down: false,
             stalled_until: SimTime::ZERO,
+            link_mult: 1.0,
             rebuilt_bytes: 0,
             rebuild_chunks: 0,
         }
+    }
+
+    /// Set the link-congestion multiplier for traffic into this node
+    /// (`1.0` restores healthy links). Applies to segments started after
+    /// the call; in-flight work is unaffected, like a stall's tail.
+    pub fn set_link_mult(&mut self, mult: f64) {
+        assert!(
+            mult >= 1.0 && mult.is_finite(),
+            "link multiplier must be ≥ 1"
+        );
+        self.link_mult = mult;
+    }
+
+    /// Current link-congestion multiplier.
+    pub fn link_mult(&self) -> f64 {
+        self.link_mult
     }
 
     /// Mutable access to the underlying array (fault injection).
@@ -221,6 +241,12 @@ impl IoNodeSim {
             // Served from redundancy on behalf of a crashed peer: pay the
             // reconstruction penalty regardless of direction.
             mech = mech.mul_f64(crate::calibration::raid_params().degraded_read_penalty);
+        }
+        if self.link_mult != 1.0 {
+            // Congested edge links: delivery into the node is the binding
+            // constraint, so the segment's service stretches by the link
+            // multiplier. Healthy links (exactly 1.0) skip the float path.
+            mech = mech.mul_f64(self.link_mult);
         }
         let begin = now.max(self.stalled_until);
         let done = begin + self.per_request + mech;
@@ -637,5 +663,40 @@ mod tests {
         fo.failover = true;
         let _ = b.submit(SimTime(0), fo);
         assert!(b.next_done().unwrap() > a.next_done().unwrap());
+    }
+
+    #[test]
+    fn link_congestion_stretches_new_segments_only() {
+        let mut a = node(QueueDiscipline::Fifo);
+        let mut b = node(QueueDiscipline::Fifo);
+        b.set_link_mult(4.0);
+        let _ = a.submit(SimTime(0), seg(1, 0, 1 << 20));
+        let _ = b.submit(SimTime(0), seg(1, 0, 1 << 20));
+        assert!(b.next_done().unwrap() > a.next_done().unwrap());
+        // In-flight work is unaffected by a multiplier change...
+        let mut c = node(QueueDiscipline::Fifo);
+        let _ = c.submit(SimTime(0), seg(1, 0, 1 << 20));
+        let before = c.next_done().unwrap();
+        c.set_link_mult(8.0);
+        assert_eq!(c.next_done().unwrap(), before);
+        // ...and healing restores healthy service exactly.
+        c.complete_head(before);
+        c.set_link_mult(1.0);
+        let _ = c.submit(before, seg(2, 1 << 20, 1 << 20));
+        let healthy = {
+            let mut d = node(QueueDiscipline::Fifo);
+            let _ = d.submit(SimTime(0), seg(1, 0, 1 << 20));
+            let t = d.next_done().unwrap();
+            d.complete_head(t);
+            let _ = d.submit(t, seg(2, 1 << 20, 1 << 20));
+            d.next_done().unwrap().since(t)
+        };
+        assert_eq!(c.next_done().unwrap().since(before), healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "link multiplier")]
+    fn link_mult_rejects_sub_unity() {
+        node(QueueDiscipline::Fifo).set_link_mult(0.5);
     }
 }

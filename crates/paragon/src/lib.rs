@@ -39,9 +39,12 @@ pub mod program;
 pub mod raid;
 pub mod time;
 
-pub use engine::{Engine, EnginePerf, EngineReport, IoService, Sched};
-pub use fault::{FaultEvent, FaultKind, FaultSchedule};
+pub use engine::{
+    Engine, EnginePerf, EngineReport, HangReason, HangReport, IoService, Sched, DEFAULT_WATCHDOG,
+};
+pub use fault::{FaultDomain, FaultEvent, FaultKind, FaultSchedule, META_REPLICAS};
 pub use machine::MachineConfig;
+pub use mesh::{LinkQuality, LinkState};
 pub use program::{GroupId, IoFault, IoRequest, IoResult, IoVerb, NodeProgram, Resume, Step};
 pub use time::{SimDuration, SimTime};
 

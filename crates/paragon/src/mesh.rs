@@ -33,6 +33,86 @@ impl Default for CommCosts {
     }
 }
 
+/// Health of one link region: multipliers applied on top of the healthy
+/// [`CommCosts`]. A region covers the edge links serving one I/O node —
+/// the granularity at which the chaos layer's `LinkDegrade`/`LinkHeal`
+/// fault events strike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkQuality {
+    /// Bandwidth divisor, ≥ 1 (1 = healthy).
+    pub bw_div: f64,
+    /// Hop-latency multiplier, ≥ 1 (1 = healthy).
+    pub lat_mult: f64,
+}
+
+impl LinkQuality {
+    /// Healthy links: both multipliers exactly 1.
+    pub const HEALTHY: LinkQuality = LinkQuality {
+        bw_div: 1.0,
+        lat_mult: 1.0,
+    };
+
+    /// Whether either multiplier departs from healthy.
+    pub fn degraded(&self) -> bool {
+        self.bw_div != 1.0 || self.lat_mult != 1.0
+    }
+
+    /// Compose two degradations: the worse multiplier wins on each axis.
+    pub fn worse(self, other: LinkQuality) -> LinkQuality {
+        LinkQuality {
+            bw_div: self.bw_div.max(other.bw_div),
+            lat_mult: self.lat_mult.max(other.lat_mult),
+        }
+    }
+}
+
+/// Per-region link health for a whole machine: one [`LinkQuality`] per I/O
+/// node's edge-link region, mutated by `LinkDegrade`/`LinkHeal` fault
+/// events as a run progresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkState {
+    regions: Vec<LinkQuality>,
+}
+
+impl LinkState {
+    /// All regions healthy.
+    pub fn healthy(regions: usize) -> LinkState {
+        LinkState {
+            regions: vec![LinkQuality::HEALTHY; regions],
+        }
+    }
+
+    /// Degrade `region`, composing with any degradation already in force
+    /// (the worse multiplier wins on each axis).
+    pub fn degrade(&mut self, region: u32, q: LinkQuality) {
+        let slot = &mut self.regions[region as usize];
+        *slot = slot.worse(q);
+    }
+
+    /// Restore `region` to healthy.
+    pub fn heal(&mut self, region: u32) {
+        self.regions[region as usize] = LinkQuality::HEALTHY;
+    }
+
+    /// The quality of one region.
+    pub fn region(&self, region: u32) -> LinkQuality {
+        self.regions[region as usize]
+    }
+
+    /// The worst quality across all regions — what a broadcast touching
+    /// every region experiences.
+    pub fn worst(&self) -> LinkQuality {
+        self.regions
+            .iter()
+            .fold(LinkQuality::HEALTHY, |acc, &q| acc.worse(q))
+    }
+
+    /// Whether any region is degraded.
+    pub fn any_degraded(&self) -> bool {
+        self.regions.iter().any(|q| q.degraded())
+    }
+}
+
 /// 2-D mesh geometry with compute nodes in the body and I/O nodes on the
 /// right edge column.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -123,6 +203,46 @@ impl Mesh {
             + transfer_time(bytes, costs.bandwidth);
         per_stage.times(stages as u64)
     }
+
+    /// [`Mesh::msg_time`] over links of quality `q`. Healthy quality takes
+    /// the exact healthy path, so runs without link faults are bit-identical
+    /// to runs that never consult a [`LinkState`].
+    pub fn msg_time_via(
+        &self,
+        costs: &CommCosts,
+        q: LinkQuality,
+        hops: u32,
+        bytes: u64,
+    ) -> SimDuration {
+        if !q.degraded() {
+            return self.msg_time(costs, hops, bytes);
+        }
+        costs.sw_overhead
+            + costs.hop_latency.times(hops as u64).mul_f64(q.lat_mult)
+            + transfer_time(bytes, costs.bandwidth / q.bw_div)
+    }
+
+    /// [`Mesh::broadcast_time`] over links of quality `q` (same healthy-path
+    /// bit-identity guarantee as [`Mesh::msg_time_via`]).
+    pub fn broadcast_time_via(
+        &self,
+        costs: &CommCosts,
+        q: LinkQuality,
+        n: u32,
+        bytes: u64,
+    ) -> SimDuration {
+        if !q.degraded() {
+            return self.broadcast_time(costs, n, bytes);
+        }
+        if n <= 1 {
+            return SimDuration::ZERO;
+        }
+        let stages = 32 - (n - 1).leading_zeros();
+        let per_stage = costs.sw_overhead
+            + costs.hop_latency.times(2).mul_f64(q.lat_mult)
+            + transfer_time(bytes, costs.bandwidth / q.bw_div);
+        per_stage.times(stages as u64)
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +322,57 @@ mod tests {
     fn bad_node_panics() {
         let m = Mesh::for_nodes(4, 1);
         let _ = m.compute_pos(4);
+    }
+
+    #[test]
+    fn healthy_link_quality_is_bit_identical() {
+        let m = Mesh::for_nodes(128, 16);
+        let c = CommCosts::default();
+        for (hops, bytes) in [(1, 0u64), (3, 64), (9, 1 << 20), (17, 123_456)] {
+            assert_eq!(
+                m.msg_time_via(&c, LinkQuality::HEALTHY, hops, bytes),
+                m.msg_time(&c, hops, bytes)
+            );
+            assert_eq!(
+                m.broadcast_time_via(&c, LinkQuality::HEALTHY, hops, bytes),
+                m.broadcast_time(&c, hops, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_links_cost_more_and_compose_worse() {
+        let m = Mesh::for_nodes(128, 16);
+        let c = CommCosts::default();
+        let q = LinkQuality {
+            bw_div: 4.0,
+            lat_mult: 2.0,
+        };
+        assert!(m.msg_time_via(&c, q, 5, 1 << 20) > m.msg_time(&c, 5, 1 << 20));
+        assert!(m.broadcast_time_via(&c, q, 64, 4096) > m.broadcast_time(&c, 64, 4096));
+
+        let mut state = LinkState::healthy(4);
+        assert!(!state.any_degraded());
+        state.degrade(
+            2,
+            LinkQuality {
+                bw_div: 2.0,
+                lat_mult: 8.0,
+            },
+        );
+        state.degrade(2, q);
+        // Composition takes the worse multiplier per axis.
+        assert_eq!(
+            state.region(2),
+            LinkQuality {
+                bw_div: 4.0,
+                lat_mult: 8.0
+            }
+        );
+        assert_eq!(state.worst(), state.region(2));
+        assert!(state.any_degraded());
+        state.heal(2);
+        assert!(!state.any_degraded());
+        assert_eq!(state.worst(), LinkQuality::HEALTHY);
     }
 }

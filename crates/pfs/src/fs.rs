@@ -29,13 +29,15 @@ use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use paragon_sim::ionode::{RejectReason, SegmentReq};
 use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
 use paragon_sim::raid::RaidError;
+use paragon_sim::{LinkQuality, LinkState};
 use paragon_sim::{MachineConfig, NodeId, SimDuration, SimTime};
 use sio_core::event::{IoEvent, IoOp};
 use sio_core::hash::FastMap;
 use sio_core::trace::{Trace, TraceSink};
 use sio_fskit::file::{FileSpec, FileState};
 use sio_fskit::mode::AccessMode;
-use sio_fskit::pump::{FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
+use sio_fskit::pump::{backoff_delay, FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
+use sio_fskit::table::{MetaStats, MetaVerdict};
 use sio_fskit::{FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TraceRecorder};
 use std::collections::BTreeMap;
 
@@ -91,6 +93,22 @@ struct Deferred {
     issued: SimTime,
 }
 
+/// A metadata RPC parked by a full metadata outage, awaiting a backoff
+/// retry probe.
+#[derive(Debug, Clone, Copy)]
+struct ParkedMeta {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    op: IoOp,
+    cost: SimDuration,
+    /// Result bytes on success (file length for `Lsize`, 0 otherwise).
+    bytes: u64,
+    issued: SimTime,
+    /// Retry probes already made.
+    attempt: u32,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ParkedSync {
     token: IoToken,
@@ -107,8 +125,12 @@ pub struct Pfs {
     pump: SegmentPump,
     files: FileTable,
     recorder: TraceRecorder,
-    /// Global metadata server.
+    /// Global metadata server (replicated; buddy failover under faults).
     meta: MetaServer,
+    /// Metadata RPCs parked by a full outage (timer id -> parked RPC).
+    parked_meta: FastMap<u64, ParkedMeta>,
+    /// Interconnect link quality per I/O-node region (collective costs).
+    links: LinkState,
     /// Per-file metadata-owner queues for shared-file seeks.
     seek_free: Vec<SimTime>,
     pending: FastMap<IoToken, Pending>,
@@ -148,6 +170,7 @@ impl Pfs {
         let ionodes = machine.build_io_nodes();
         let faults = FaultRouter::new(schedule, ionodes.len());
         let next_deferred = ionodes.len() as u64;
+        let links = LinkState::healthy(ionodes.len());
         let pump = SegmentPump::new(
             ionodes,
             FailoverPolicy::Buddy {
@@ -162,6 +185,8 @@ impl Pfs {
             files,
             recorder: TraceRecorder::new(sink),
             meta: MetaServer::new(),
+            parked_meta: FastMap::default(),
+            links,
             seek_free: Vec::new(),
             pending: FastMap::default(),
             deferred: FastMap::default(),
@@ -220,6 +245,11 @@ impl Pfs {
     /// error, not a panic.
     pub fn fail_disk(&mut self, io_node: u32, disk: u32) -> Result<(), RaidError> {
         self.pump.node_mut(io_node).array_mut().fail_disk(disk)
+    }
+
+    /// Metadata fault-machinery counters (all zero on a healthy run).
+    pub fn meta_stats(&self) -> MetaStats {
+        self.meta.stats()
     }
 
     /// Fault-machinery counters (all zero on a healthy run).
@@ -563,6 +593,109 @@ impl Pfs {
                 }
             }
             FaultKind::NodeRecover => self.pump.recover(now, ev.io_node, sched),
+            FaultKind::LinkDegrade { bw_div, lat_mult } => {
+                // Data-path segments into the region's I/O node stretch by
+                // the bandwidth divisor; collective costs consult the
+                // region's quality through the link state.
+                self.pump.apply_link_degrade(ev.io_node, bw_div);
+                self.links
+                    .degrade(ev.io_node, LinkQuality { bw_div, lat_mult });
+            }
+            FaultKind::LinkHeal => {
+                self.pump.apply_link_heal(ev.io_node);
+                self.links.heal(ev.io_node);
+            }
+            FaultKind::MetaStall { for_dur } => self.meta.stall(now, ev.io_node, for_dur),
+            FaultKind::MetaCrash => self.meta.crash(ev.io_node),
+            FaultKind::MetaRecover => self.meta.recover(ev.io_node),
+        }
+    }
+
+    /// Serve a metadata RPC through the replicated server, parking it with
+    /// bounded backoff retries when both replicas are down. A healthy run
+    /// never parks, so this is bit-identical to the historical direct path.
+    #[allow(clippy::too_many_arguments)]
+    fn meta_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        op: IoOp,
+        cost: SimDuration,
+        bytes: u64,
+        sched: &mut Sched,
+    ) {
+        match self.meta.try_op(now, cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder
+                    .complete_op(sched, token, node, file, op, now, done, None, bytes);
+            }
+            MetaVerdict::Outage => {
+                let parked = ParkedMeta {
+                    token,
+                    node,
+                    file,
+                    op,
+                    cost,
+                    bytes,
+                    issued: now,
+                    attempt: 0,
+                };
+                self.park_meta(now, parked, sched);
+            }
+        }
+    }
+
+    /// Arm one backoff retry probe for a parked metadata RPC.
+    fn park_meta(&mut self, now: SimTime, parked: ParkedMeta, sched: &mut Sched) {
+        self.meta.note_retry();
+        let id = self.next_deferred;
+        self.next_deferred += 1;
+        self.parked_meta.insert(id, parked);
+        sched.timer(
+            now + backoff_delay(self.fault_params.retry_base, parked.attempt),
+            id,
+        );
+    }
+
+    /// A parked metadata RPC's retry timer fired: re-probe the replicas,
+    /// park again while the retry budget lasts, then surface the outage as
+    /// a typed [`IoFault::Unavailable`] — never hang.
+    fn retry_meta(&mut self, now: SimTime, mut parked: ParkedMeta, sched: &mut Sched) {
+        match self.meta.try_op(now, parked.cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder.complete_op(
+                    sched,
+                    parked.token,
+                    parked.node,
+                    parked.file,
+                    parked.op,
+                    parked.issued,
+                    done,
+                    None,
+                    parked.bytes,
+                );
+            }
+            MetaVerdict::Outage => {
+                if parked.attempt < self.fault_params.max_retries {
+                    parked.attempt += 1;
+                    self.park_meta(now, parked, sched);
+                } else {
+                    self.meta.note_unavailable();
+                    self.fault_stats.unavailable += 1;
+                    self.recorder.fail_op(
+                        sched,
+                        parked.token,
+                        parked.node,
+                        parked.file,
+                        parked.op,
+                        parked.issued,
+                        now,
+                        IoFault::Unavailable,
+                    );
+                }
+            }
         }
     }
 
@@ -576,7 +709,10 @@ impl Pfs {
             // M_GLOBAL: one physical I/O, then an internal broadcast to the
             // participant group.
             let n = (p.collective.len() + 1) as u32;
-            done += self.cfg.mesh.broadcast_time(&self.cfg.comm, n, p.bytes);
+            done +=
+                self.cfg
+                    .mesh
+                    .broadcast_time_via(&self.cfg.comm, self.links.worst(), n, p.bytes);
         }
         let op = match (p.write, p.is_async) {
             (true, _) => IoOp::Write,
@@ -904,33 +1040,12 @@ impl IoService for Pfs {
                 } else {
                     self.cfg.io_sw.open
                 };
-                let done = self.meta.op(now, cost);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Open,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Open, cost, 0, sched);
             }
             IoVerb::Close => {
                 self.state(req.file).close(node);
-                let done = self.meta.op(now, self.cfg.io_sw.close);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Close,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                let cost = self.cfg.io_sw.close;
+                self.meta_op(now, token, node, req.file, IoOp::Close, cost, 0, sched);
             }
             IoVerb::Seek => {
                 let target = req.offset.expect("seek needs an offset");
@@ -981,19 +1096,9 @@ impl IoService for Pfs {
                 );
             }
             IoVerb::Lsize => {
-                let done = self.meta.op(now, self.cfg.io_sw.lsize);
+                let cost = self.cfg.io_sw.lsize;
                 let len = self.file_len(req.file);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Lsize,
-                    now,
-                    done,
-                    None,
-                    len,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Lsize, cost, len, sched);
             }
             IoVerb::Sync => {
                 // Commit: acknowledge only after every in-flight write on
@@ -1079,6 +1184,8 @@ impl IoService for Pfs {
                 self.fault_stats.timeouts += 1;
                 self.fail_token(token, IoFault::Timeout, now, sched);
             }
+        } else if let Some(parked) = self.parked_meta.remove(&timer) {
+            self.retry_meta(now, parked, sched);
         } else {
             // Deferred dispatch (M_LOG pointer-token acquisition).
             let d = self.deferred.remove(&timer).expect("unknown deferred op");
@@ -1129,6 +1236,7 @@ mod tests {
             .collect();
         let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
         let mut engine = Engine::new(mesh, machine.comm, programs, pfs);
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean(), "blocked nodes: {:?}", report.blocked);
         let mut pfs = engine.into_service();
@@ -1332,6 +1440,7 @@ mod tests {
             .collect();
         let mesh = Mesh::for_nodes(4, 2);
         let mut engine = Engine::new(mesh, m.comm, programs, pfs);
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean());
         // All four nodes see both reads traced...
@@ -1486,6 +1595,7 @@ mod tests {
             }
             let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(script()))];
             let mut engine = Engine::new(Mesh::for_nodes(1, 1), m.comm, programs, pfs);
+            engine.set_default_watchdog();
             engine.run();
             let trace = engine.into_service().finish_trace();
             let dur = trace.of_op(IoOp::Read).next().unwrap().duration();

@@ -28,6 +28,7 @@ use crate::cache::{BlockCache, BlockState};
 use crate::policy::PolicyConfig;
 use crate::prefetch::StreamPrefetcher;
 use crate::write_behind::{DirtyBuffer, Extent};
+use paragon_sim::calibration::FaultParams;
 use paragon_sim::engine::{IoService, Sched};
 use paragon_sim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use paragon_sim::program::{IoFault, IoRequest, IoResult, IoToken, IoVerb};
@@ -41,10 +42,10 @@ use sio_fskit::config::FsConfig;
 use sio_fskit::fault::FaultRouter;
 use sio_fskit::file::FileSpec;
 use sio_fskit::mode::AccessMode;
-use sio_fskit::pump::{FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
+use sio_fskit::pump::{backoff_delay, FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
 use sio_fskit::recorder::TraceRecorder;
 use sio_fskit::sync::{SyncLedger, SyncWaiter};
-use sio_fskit::table::{FileTable, MetaServer};
+use sio_fskit::table::{FileTable, MetaServer, MetaStats, MetaVerdict};
 
 /// Running statistics of a PPFS instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,6 +129,22 @@ struct ReadPending {
     blocks_left: u32,
 }
 
+/// A metadata RPC parked by a full metadata outage, awaiting a backoff
+/// retry probe.
+#[derive(Debug, Clone, Copy)]
+struct ParkedMeta {
+    token: IoToken,
+    node: NodeId,
+    file: u32,
+    op: IoOp,
+    cost: SimDuration,
+    /// Result bytes on success (file length for `Lsize`, 0 otherwise).
+    bytes: u64,
+    issued: SimTime,
+    /// Retry probes already made.
+    attempt: u32,
+}
+
 /// The PPFS file system.
 pub struct Ppfs {
     cfg: FsConfig,
@@ -163,6 +180,10 @@ pub struct Ppfs {
     advice: FastMap<u32, FileAdvice>,
     /// Scheduled fault delivery (armed at run start; empty on healthy runs).
     faults: FaultRouter,
+    /// Fault-handling calibration (meta-RPC backoff and retry budget).
+    fault_params: FaultParams,
+    /// Metadata RPCs parked by a full outage (timer id -> parked RPC).
+    parked_meta: FastMap<u64, ParkedMeta>,
     /// `Sync` commits parked until their file's write-back traffic lands.
     syncs: SyncLedger,
     /// Files whose contents are reconstructible from a durable checkpoint
@@ -231,6 +252,8 @@ impl Ppfs {
             next_hit_timer,
             advice: FastMap::default(),
             faults,
+            fault_params: machine.fault,
+            parked_meta: FastMap::default(),
             syncs: SyncLedger::new(),
             checkpoint_covered: FastSet::default(),
             cfg,
@@ -356,6 +379,11 @@ impl Ppfs {
         self.files.len_of(file)
     }
 
+    /// Metadata fault-machinery counters (all zero on a healthy run).
+    pub fn meta_stats(&self) -> MetaStats {
+        self.meta.stats()
+    }
+
     /// The pattern the adaptive prefetcher has inferred for a stream, if the
     /// stream exists.
     pub fn inferred_pattern(
@@ -449,6 +477,104 @@ impl Ppfs {
                 self.pump.recover(now, ev.io_node, sched);
                 self.pump
                     .resubmit_replays(now, ev.io_node, &mut self.next_hit_timer, sched);
+            }
+            // PPFS has no mesh-collective phase, so a degraded link region
+            // is felt entirely as stretched segment delivery into the
+            // region's I/O node (the bandwidth divisor); the latency
+            // multiplier has no separate PPFS-visible term.
+            FaultKind::LinkDegrade { bw_div, .. } => {
+                self.pump.apply_link_degrade(ev.io_node, bw_div);
+            }
+            FaultKind::LinkHeal => self.pump.apply_link_heal(ev.io_node),
+            FaultKind::MetaStall { for_dur } => self.meta.stall(now, ev.io_node, for_dur),
+            FaultKind::MetaCrash => self.meta.crash(ev.io_node),
+            FaultKind::MetaRecover => self.meta.recover(ev.io_node),
+        }
+    }
+
+    /// Serve a metadata RPC through the replicated server, parking it with
+    /// bounded backoff retries when both replicas are down. A healthy run
+    /// never parks, so this is bit-identical to the historical direct path.
+    #[allow(clippy::too_many_arguments)]
+    fn meta_op(
+        &mut self,
+        now: SimTime,
+        token: IoToken,
+        node: NodeId,
+        file: u32,
+        op: IoOp,
+        cost: SimDuration,
+        bytes: u64,
+        sched: &mut Sched,
+    ) {
+        match self.meta.try_op(now, cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder
+                    .complete_op(sched, token, node, file, op, now, done, None, bytes);
+            }
+            MetaVerdict::Outage => {
+                let parked = ParkedMeta {
+                    token,
+                    node,
+                    file,
+                    op,
+                    cost,
+                    bytes,
+                    issued: now,
+                    attempt: 0,
+                };
+                self.park_meta(now, parked, sched);
+            }
+        }
+    }
+
+    /// Arm one backoff retry probe for a parked metadata RPC.
+    fn park_meta(&mut self, now: SimTime, parked: ParkedMeta, sched: &mut Sched) {
+        self.meta.note_retry();
+        let id = self.next_hit_timer;
+        self.next_hit_timer += 1;
+        self.parked_meta.insert(id, parked);
+        sched.timer(
+            now + backoff_delay(self.fault_params.retry_base, parked.attempt),
+            id,
+        );
+    }
+
+    /// A parked metadata RPC's retry timer fired: re-probe the replicas,
+    /// park again while the retry budget lasts, then surface the outage as
+    /// a typed [`IoFault::Unavailable`] — never hang.
+    fn retry_meta(&mut self, now: SimTime, mut parked: ParkedMeta, sched: &mut Sched) {
+        match self.meta.try_op(now, parked.cost) {
+            MetaVerdict::Done(done) => {
+                self.recorder.complete_op(
+                    sched,
+                    parked.token,
+                    parked.node,
+                    parked.file,
+                    parked.op,
+                    parked.issued,
+                    done,
+                    None,
+                    parked.bytes,
+                );
+            }
+            MetaVerdict::Outage => {
+                if parked.attempt < self.fault_params.max_retries {
+                    parked.attempt += 1;
+                    self.park_meta(now, parked, sched);
+                } else {
+                    self.meta.note_unavailable();
+                    self.recorder.fail_op(
+                        sched,
+                        parked.token,
+                        parked.node,
+                        parked.file,
+                        parked.op,
+                        parked.issued,
+                        now,
+                        IoFault::Unavailable,
+                    );
+                }
             }
         }
     }
@@ -1014,34 +1140,13 @@ impl IoService for Ppfs {
                 } else {
                     self.cfg.io_sw.open
                 };
-                let done = self.meta.op(now, cost);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Open,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Open, cost, 0, sched);
             }
             IoVerb::Close => {
                 self.flush_dirty(now, node, req.file, sched);
                 self.files.state(req.file).close(node);
-                let done = self.meta.op(now, self.cfg.io_sw.close);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Close,
-                    now,
-                    done,
-                    None,
-                    0,
-                );
+                let cost = self.cfg.io_sw.close;
+                self.meta_op(now, token, node, req.file, IoOp::Close, cost, 0, sched);
             }
             IoVerb::Seek => {
                 // Client-managed pointers: always local, always cheap.
@@ -1108,19 +1213,9 @@ impl IoService for Ppfs {
                 }
             }
             IoVerb::Lsize => {
-                let done = self.meta.op(now, self.cfg.io_sw.lsize);
+                let cost = self.cfg.io_sw.lsize;
                 let len = self.file_len(req.file);
-                self.recorder.complete_op(
-                    sched,
-                    token,
-                    node,
-                    req.file,
-                    IoOp::Lsize,
-                    now,
-                    done,
-                    None,
-                    len,
-                );
+                self.meta_op(now, token, node, req.file, IoOp::Lsize, cost, len, sched);
             }
             IoVerb::Read | IoVerb::Write => {
                 let pos = self.files.state(req.file).pos.entry(node).or_insert(0);
@@ -1203,6 +1298,8 @@ impl IoService for Ppfs {
             // Server-cache hit delivery: no server install (they came from
             // there).
             self.complete_blocks(now, node, file, blocks, false, sched);
+        } else if let Some(parked) = self.parked_meta.remove(&timer) {
+            self.retry_meta(now, parked, sched);
         } else {
             panic!("unknown timer {timer}");
         }
@@ -1276,6 +1373,7 @@ mod tests {
             programs,
             fs,
         );
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean(), "blocked: {:?}", report.blocked);
         let mut fs = engine.into_service();
@@ -1528,6 +1626,7 @@ mod tests {
         }
         let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
         let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        engine.set_default_watchdog();
         engine.run();
         use sio_core::classify::AccessPattern;
         assert_eq!(
@@ -1620,6 +1719,7 @@ mod tests {
         }
         let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
         let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        engine.set_default_watchdog();
         let report = engine.run();
         assert!(report.clean());
         let stats = engine.service().stats();
@@ -1652,6 +1752,7 @@ mod tests {
         let ops = vec![open(0), ScriptOp::Io(IoRequest::write(0, 2048))];
         let programs: Vec<Box<dyn NodeProgram>> = vec![Box::new(ScriptProgram::new(ops))];
         let mut engine = Engine::new(Mesh::for_nodes(4, 2), m.comm, programs, fs);
+        engine.set_default_watchdog();
         engine.run();
         assert_eq!(engine.service().stats().flushed_bytes, 2048);
     }

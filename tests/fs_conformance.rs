@@ -183,6 +183,78 @@ fn fault_delivery_degrades_the_array_on_every_backend() {
     }
 }
 
+/// A full metadata outage (both replicas crashed at t=0, never recovered)
+/// must surface as *typed* `IoFault::Unavailable` completions on every
+/// backend — the parked-retry machinery probes with bounded backoff, gives
+/// up, and the run still terminates watchdog-clean. No backend may panic,
+/// hang, or silently drop the metadata verbs: failed calls are traced like
+/// successful ones.
+#[test]
+fn meta_outage_fails_typed_and_terminates_on_every_backend() {
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .meta_crash(SimTime::ZERO, 0)
+        .meta_crash(SimTime::ZERO, 1);
+    let w = meta_workload();
+    for (name, b) in conformance_backends() {
+        let out = run_workload_with_faults(&m(), &w, &b, Some(&schedule));
+        assert!(out.report.clean(), "{name} did not terminate cleanly");
+        let meta = out.meta.unwrap_or_else(|| panic!("{name}: no meta stats"));
+        assert!(
+            meta.unavailable > 0,
+            "{name}: outage produced no typed Unavailable completion"
+        );
+        assert!(meta.retries > 0, "{name}: no parked-retry probes");
+        // Every metadata verb the program issued is in the trace, failed
+        // or not — one Open, two Lsize, one Close.
+        assert_eq!(out.trace.of_op(IoOp::Open).count(), 1, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Lsize).count(), 2, "{name}");
+        assert_eq!(out.trace.of_op(IoOp::Close).count(), 1, "{name}");
+    }
+}
+
+/// Link congestion moves no user data: a run with every mesh region
+/// degraded from t=0 (quarter bandwidth, doubled hop latency) must finish
+/// clean on every backend, accept exactly the same per-I/O-node byte
+/// volume as the healthy run, and never finish faster than it.
+#[test]
+fn link_degraded_runs_conserve_bytes_on_every_backend() {
+    let machine = m();
+    let mut schedule = FaultSchedule::new();
+    for region in 0..machine.io_nodes {
+        schedule.link_degrade(SimTime::ZERO, region, 4.0, 2.0);
+    }
+    let scripts = (0..2u64)
+        .map(|node| {
+            vec![
+                ScriptOp::Io(IoRequest::open(0, AccessMode::MUnix.code())),
+                ScriptOp::Io(IoRequest::seek(0, node * 512 * 1024)),
+                ScriptOp::Io(IoRequest::write(0, 512 * 1024)),
+                ScriptOp::Io(IoRequest::close(0)),
+            ]
+        })
+        .collect();
+    let w = Workload {
+        label: "conformance-link".to_string(),
+        files: vec![FileSpec::output("f")],
+        scripts,
+        groups: Vec::new(),
+    };
+    for (name, b) in conformance_backends() {
+        let healthy = run_workload(&machine, &w, &b);
+        let out = run_workload_with_faults(&machine, &w, &b, Some(&schedule));
+        assert!(out.report.clean(), "{name} did not finish degraded");
+        assert_eq!(
+            out.node_loads, healthy.node_loads,
+            "{name}: congestion changed per-node byte accounting"
+        );
+        assert!(
+            out.report.wall >= healthy.report.wall,
+            "{name}: degraded run beat the healthy wall"
+        );
+    }
+}
+
 /// A crash/recover cycle must drain to a clean finish on every backend, via
 /// that backend's own failover policy: PFS and CIO retry with backoff (then
 /// buddy failover), PPFS parks stripe-pinned segments and replays them on

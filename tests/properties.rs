@@ -472,4 +472,45 @@ proptest! {
             prop_assert!(w[0].at <= w[1].at);
         }
     }
+
+    /// The chaos-campaign generator is a pure function of `(seed, cells,
+    /// io_nodes)`: reproducible, seed-sensitive, with every cell's draws in
+    /// the documented bounds and its absolute schedules well-formed for any
+    /// healthy wall.
+    #[test]
+    fn chaos_specs_are_seeded_and_in_bounds(
+        seed in any::<u64>(),
+        cells in 1u32..40,
+        io_nodes in 1u32..16,
+    ) {
+        use sio::analysis::chaos::{chaos_specs, CHAOS_WORKLOADS};
+        use sio::paragon::SimTime;
+        let a = chaos_specs(seed, cells, io_nodes);
+        prop_assert_eq!(&a, &chaos_specs(seed, cells, io_nodes),
+            "same seed must give the same campaign");
+        prop_assert_eq!(a.len(), cells as usize);
+        for (i, s) in a.iter().enumerate() {
+            prop_assert_eq!(s.cell as usize, i);
+            prop_assert!(CHAOS_WORKLOADS.contains(&s.workload));
+            prop_assert!(!s.faults.is_empty() && s.faults.len() <= 3);
+            prop_assert!((1..=8u32).contains(&s.event_count()));
+            // One draw per struck domain — the invariant checks rely on it.
+            prop_assert_eq!(s.domains().len(), s.faults.len());
+            if let Some(f) = s.crash_frac {
+                prop_assert!((0.30..0.80).contains(&f));
+            }
+            // The absolute schedule is valid (in-range targets, ordered
+            // events) whatever the baseline wall turns out to be.
+            let sched = s.schedule(SimTime(1_000_000_000));
+            prop_assert_eq!(sched.len() as u32, s.event_count());
+            for w in sched.events().windows(2) {
+                prop_assert!(w[0].at <= w[1].at);
+            }
+        }
+        // A campaign spanning the registry rotation covers every backend.
+        if cells >= 9 {
+            let seen: BTreeSet<&str> = a.iter().map(|s| s.backend).collect();
+            prop_assert_eq!(seen.len(), 9);
+        }
+    }
 }
