@@ -115,6 +115,11 @@ where
 ///   run, the pool joins cleanly (no deadlock, no poisoned locks — item
 ///   and result locks are never held across `f`), and the error reports
 ///   the **first panicking index in input order** with its payload.
+/// * A worker-thread *spawn* failure (OS resource exhaustion) is not
+///   fatal: the pool degrades to however many workers did spawn — serial
+///   on the calling thread at worst — with a logged warning. The calling
+///   thread always participates, so the sweep completes even when every
+///   spawn fails; an error return is reserved for panicking jobs.
 pub fn try_par_map_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Result<Vec<R>>
 where
     T: Send,
@@ -148,9 +153,21 @@ where
         worker();
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(worker);
+            // Spawn `jobs - 1` helpers; the calling thread is the last
+            // worker. If the OS refuses a thread (fd/memory exhaustion),
+            // degrade to the workers already running instead of killing
+            // the whole sweep — correctness never depends on pool width,
+            // only wall time does.
+            for w in 1..jobs {
+                if let Err(e) = spawn_scoped_worker(scope, w, &worker) {
+                    eprintln!(
+                        "[runner] worker spawn failed ({e}); \
+                         degrading sweep to {w} of {jobs} workers"
+                    );
+                    break;
+                }
             }
+            worker();
         });
     }
 
@@ -177,6 +194,45 @@ where
         Some(e) => Err(e),
         None => Ok(out),
     }
+}
+
+/// Spawn one pool worker on a scoped thread, reporting OS failure as a
+/// typed `io::Error` instead of panicking (the `Scope::spawn` default).
+/// Tests inject failures through [`FORCED_SPAWN_FAILURES`] to pin the
+/// degradation path.
+fn spawn_scoped_worker<'scope, F>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    index: usize,
+    worker: &'scope F,
+) -> std::io::Result<()>
+where
+    F: Fn() + Sync,
+{
+    if take_forced_spawn_failure() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "forced spawn failure (test hook)",
+        ));
+    }
+    std::thread::Builder::new()
+        .name(format!("sweep-{index}"))
+        .spawn_scoped(scope, worker)
+        .map(|_| ())
+}
+
+/// Remaining forced spawn failures (test hook; always zero in production).
+static FORCED_SPAWN_FAILURES: AtomicUsize = AtomicUsize::new(0);
+
+/// Make the next `n` worker spawns fail as if the OS were out of threads.
+#[doc(hidden)]
+pub fn force_spawn_failures(n: usize) {
+    FORCED_SPAWN_FAILURES.store(n, Ordering::Relaxed);
+}
+
+fn take_forced_spawn_failure() -> bool {
+    FORCED_SPAWN_FAILURES
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 /// Run a batch of heterogeneous tasks (e.g. the `repro all` experiment
@@ -274,6 +330,45 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.index, 0);
         assert_eq!(done.load(Ordering::Relaxed), 9);
+    }
+
+    /// Serializes the tests that poke the process-global forced-failure
+    /// counter, so the parallel test harness cannot interleave them.
+    static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spawn_failure_degrades_to_fewer_workers() {
+        let _serial = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // First spawn attempt fails: the pool proceeds with the calling
+        // thread plus whatever spawned (here: calling thread only), and
+        // the sweep still completes with bit-identical results.
+        force_spawn_failures(1);
+        let out = par_map_jobs(4, (0..40u64).collect(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..40u64).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(FORCED_SPAWN_FAILURES.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn total_spawn_failure_still_completes_serially() {
+        let _serial = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Every spawn fails: serial execution on the calling thread, and
+        // job panics still surface as the typed error, not a process kill.
+        let _quiet = quiet_panics();
+        force_spawn_failures(usize::MAX);
+        let out = par_map_jobs(8, (0..10u32).collect(), |_, x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        let err = try_par_map_jobs(8, (0..10u32).collect(), |_, x| {
+            if x == 4 {
+                panic!("job blew up");
+            }
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 4);
+        force_spawn_failures(0);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use paragon_sim::engine::IoService;
 use paragon_sim::mesh::Mesh;
 use paragon_sim::program::{IoRequest, NodeProgram, ScriptOp, ScriptProgram};
 use paragon_sim::{
-    Engine, EnginePerf, EngineReport, FaultSchedule, MachineConfig, NodeId, SimDuration, SimTime,
+    Engine, EnginePerf, EngineReport, FaultSchedule, MachineConfig, NodeId, ShardedEngine,
+    SimDuration, SimTime,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,12 +95,44 @@ fn run_engine<S: IoService>(
         workload.scripts.len(),
         machine.compute_nodes
     );
+    let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
+    // `--shards N` / `SIO_SHARDS` routes the run through the region-sharded
+    // PDES front end; traces, reports, and perf counters are byte-identical
+    // to the serial engine for every shard count (see `paragon_sim::pdes`).
+    let shards = paragon_sim::configured_shards();
+    if shards > 1 {
+        let programs: Vec<Box<dyn NodeProgram + Send>> = workload
+            .scripts
+            .iter()
+            .map(|s| Box::new(ScriptProgram::new(s.clone())) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut engine = ShardedEngine::new(mesh, machine.comm, programs, service, shards);
+        engine.set_watchdog(WATCHDOG_DEADLINE);
+        for g in &workload.groups {
+            engine.add_group(g.clone());
+        }
+        let report = match stop_at {
+            Some(t) => engine.run_until(t),
+            None => {
+                let report = engine.run();
+                assert!(
+                    report.clean(),
+                    "workload '{}' stuck; blocked nodes: {:?}; watchdog: {:?}",
+                    workload.label,
+                    report.blocked,
+                    report.hang
+                );
+                report
+            }
+        };
+        let engine_perf = engine.perf();
+        return (report, engine.into_service(), engine_perf);
+    }
     let programs: Vec<Box<dyn NodeProgram>> = workload
         .scripts
         .iter()
         .map(|s| Box::new(ScriptProgram::new(s.clone())) as Box<dyn NodeProgram>)
         .collect();
-    let mesh = Mesh::for_nodes(machine.compute_nodes, machine.io_nodes);
     let mut engine = Engine::new(mesh, machine.comm, programs, service);
     engine.set_watchdog(WATCHDOG_DEADLINE);
     for g in &workload.groups {

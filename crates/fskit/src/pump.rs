@@ -329,7 +329,17 @@ impl SegmentPump {
     ) -> Option<u64> {
         match self.ionodes[io as usize].submit(now, req) {
             SubmitOutcome::Started => {
-                let t = self.ionodes[io as usize].next_done().expect("just started");
+                // Invariant (see `IoNodeModel::submit`): `Started` is only
+                // returned after the request is parked as the in-service
+                // work, so `next_done()` is `Some`. This holds under the
+                // sharded engine too: services — and therefore every
+                // `IoNodeModel` — run only inside the coordinator's serial
+                // commit phase (`paragon_sim::pdes`), never concurrently
+                // with shard pre-stepping, so no cross-shard delivery can
+                // interleave between `submit` and `next_done`.
+                let t = self.ionodes[io as usize]
+                    .next_done()
+                    .expect("submit returned Started with no in-service work");
                 sched.timer(t, io as u64);
                 self.note_load(io, &req);
                 None

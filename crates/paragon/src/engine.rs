@@ -297,6 +297,11 @@ pub struct Engine<S: IoService> {
     /// Liveness-watchdog deadline: a run whose simulated time crosses this
     /// with programs unfinished is declared stuck (see [`HangReport`]).
     watchdog: Option<SimTime>,
+    /// Time of the last processed *effectful* event (no-effect service
+    /// timers excluded); becomes `EngineReport::wall`.
+    run_wall: SimTime,
+    /// Hang diagnosis recorded mid-run by the watchdog, if any.
+    hang: Option<HangReport>,
 }
 
 impl<S: IoService> Engine<S> {
@@ -348,6 +353,8 @@ impl<S: IoService> Engine<S> {
             channel_buffered: 0,
             channel_peak: 0,
             watchdog: None,
+            run_wall: SimTime::ZERO,
+            hang: None,
         }
     }
 
@@ -412,7 +419,9 @@ impl<S: IoService> Engine<S> {
                 slot
             }
             None => {
-                let slot = self.slab.len() as u32;
+                // Checked: a wrapped slot index would silently alias another
+                // event's payload and corrupt the heap.
+                let slot = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
                 self.slab.push(ev);
                 slot
             }
@@ -430,7 +439,7 @@ impl<S: IoService> Engine<S> {
             .entry((from as u64) << 32 | tag as u64)
             .or_insert_with(|| {
                 table.push(Channel::default());
-                (table.len() - 1) as u32
+                u32::try_from(table.len() - 1).expect("channel table exceeds u32 slots")
             });
         *slot as usize
     }
@@ -484,25 +493,44 @@ impl<S: IoService> Engine<S> {
     /// `blocked` list names the nodes that died mid-program. A `stop` of
     /// `SimTime(u64::MAX)` is an ordinary full run.
     pub fn run_until(&mut self, stop: SimTime) -> EngineReport {
+        self.begin_run();
+        let _ = self.pump(None, stop);
+        self.finish_run()
+    }
+
+    /// Start a run: let the service arm standing timers, then seed every
+    /// node's `Resume::Start` event at time zero. Split out of
+    /// [`Engine::run_until`] so the sharded window driver
+    /// ([`crate::pdes::ShardedEngine`]) can interleave parallel pre-stepping
+    /// between bounded [`Engine::pump`] calls.
+    pub(crate) fn begin_run(&mut self) {
         let mut sched = Sched::default();
         self.service.on_start(&mut sched);
         self.drain_sched(sched);
         for node in 0..self.programs.len() as NodeId {
             self.push(SimTime::ZERO, Ev::Resume(node, Resume::Start));
         }
-        // Wall time excludes trailing no-effect service timers (e.g. a
-        // periodic flush firing long after the programs finished with
-        // nothing left to flush).
-        let mut wall = SimTime::ZERO;
-        let mut hang: Option<HangReport> = None;
+    }
+
+    /// Process events with `t <= stop` and, when `horizon` is `Some(h)`,
+    /// `t < h`. Returns `true` when the run is over — heap drained, next
+    /// event past the crash cut `stop`, or the watchdog tripped — and
+    /// `false` when the horizon was reached with work remaining.
+    pub(crate) fn pump(&mut self, horizon: Option<SimTime>, stop: SimTime) -> bool {
         while let Some(&Reverse((t, _, _))) = self.heap.peek() {
             if t > stop {
-                break;
+                return true;
+            }
+            if let Some(h) = horizon {
+                if t >= h {
+                    return false;
+                }
             }
             if let Some(deadline) = self.watchdog {
                 if t > deadline && !self.done.iter().all(|d| *d) {
-                    hang = Some(self.hang_report(t, HangReason::DeadlineExceeded { deadline }));
-                    break;
+                    self.hang =
+                        Some(self.hang_report(t, HangReason::DeadlineExceeded { deadline }));
+                    return true;
                 }
             }
             let Reverse((t, _seq, slot)) = self.heap.pop().expect("peeked event vanished");
@@ -518,21 +546,30 @@ impl<S: IoService> Engine<S> {
             match ev {
                 Ev::Resume(node, resume) => {
                     self.step_node(node, resume);
-                    wall = self.now;
+                    self.run_wall = self.now;
                 }
                 Ev::IoComplete(token, result) => {
                     self.io_complete(token, result);
-                    wall = self.now;
+                    self.run_wall = self.now;
                 }
                 Ev::ServiceTimer(timer) => {
+                    // Wall time excludes trailing no-effect service timers
+                    // (e.g. a periodic flush firing long after the programs
+                    // finished with nothing left to flush).
                     let mut sched = Sched::default();
                     self.service.on_timer(self.now, timer, &mut sched);
                     if self.drain_sched(sched) {
-                        wall = self.now;
+                        self.run_wall = self.now;
                     }
                 }
             }
         }
+        true
+    }
+
+    /// Close out a run: notify the service, collect blocked nodes, apply the
+    /// quiescence check, and assemble the report.
+    pub(crate) fn finish_run(&mut self) -> EngineReport {
         self.service.on_run_end(self.now);
         let blocked: Vec<NodeId> = (0..self.programs.len() as NodeId)
             .filter(|&n| !self.done[n as usize])
@@ -540,16 +577,38 @@ impl<S: IoService> Engine<S> {
         // Quiescence check: the heap drained (nothing was abandoned past a
         // crash cut or a tripped deadline) yet programs never finished —
         // that is "stuck", not "finished".
+        let mut hang = self.hang.take();
         if hang.is_none() && self.watchdog.is_some() && self.heap.is_empty() && !blocked.is_empty()
         {
             hang = Some(self.hang_report(self.now, HangReason::Exhausted));
         }
         EngineReport {
-            wall,
+            wall: self.run_wall,
             events: self.events_processed,
             nodes_done: self.done.iter().filter(|d| **d).count() as u32,
             blocked,
             hang,
+        }
+    }
+
+    /// Timestamp of the earliest queued event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Collect every pending node-resume event strictly below `horizon`.
+    /// Each node has at most one resume in flight (a node is stepped only
+    /// when it unblocks, and each step parks it again), so the result holds
+    /// at most one entry per node; heap order does not matter here because
+    /// a pending resume's payload and its node's program state are sealed
+    /// until the event is popped.
+    pub(crate) fn pending_resumes_below(&self, horizon: SimTime, out: &mut Vec<(NodeId, Resume)>) {
+        for Reverse((t, _, slot)) in self.heap.iter() {
+            if *t < horizon {
+                if let Ev::Resume(node, resume) = self.slab[*slot as usize] {
+                    out.push((node, resume));
+                }
+            }
         }
     }
 
@@ -645,7 +704,8 @@ impl<S: IoService> Engine<S> {
                 state.arrived.push(node);
                 if state.arrived.len() == size {
                     let members = std::mem::take(&mut state.arrived);
-                    let release = self.now + self.mesh.barrier_time(&self.comm, size as u32);
+                    let size = u32::try_from(size).expect("group size exceeds u32");
+                    let release = self.now + self.mesh.barrier_time(&self.comm, size);
                     for member in members {
                         self.push(release, Ev::Resume(member, Resume::BarrierDone));
                     }
@@ -694,8 +754,8 @@ impl<S: IoService> Engine<S> {
                     let members = std::mem::take(&mut state.arrived);
                     let payload = state.bytes;
                     state.bytes = 0;
-                    let done =
-                        self.now + self.mesh.broadcast_time(&self.comm, size as u32, payload);
+                    let size = u32::try_from(size).expect("group size exceeds u32");
+                    let done = self.now + self.mesh.broadcast_time(&self.comm, size, payload);
                     for member in members {
                         self.push(done, Ev::Resume(member, Resume::BroadcastDone));
                     }

@@ -208,6 +208,12 @@ impl IoNodeSim {
     }
 
     /// Submit a segment at time `now`.
+    ///
+    /// Contract: when this returns [`SubmitOutcome::Started`], the request
+    /// has been parked as the in-service work and [`IoNodeModel::next_done`]
+    /// reports its completion time — callers (e.g. `fskit`'s segment pump)
+    /// rely on that pairing to arm their completion timers immediately
+    /// after a `Started` return.
     pub fn submit(&mut self, now: SimTime, req: SegmentReq) -> SubmitOutcome {
         if self.down {
             return SubmitOutcome::Rejected(RejectReason::Down);

@@ -1,0 +1,608 @@
+//! Intra-run PDES: a region-sharded front end over the serial engine.
+//!
+//! [`ShardedEngine`] partitions the compute nodes into contiguous mesh
+//! regions ([`Mesh::region_partition`]) and runs the simulation as a
+//! synchronous-window conservative PDES:
+//!
+//! 1. **Window.** Each round starts at the global event floor `F` (the
+//!    earliest queued event anywhere) and extends to `H = F + L`, where
+//!    `L` is the conservative lookahead [`Mesh::region_lookahead`] — the
+//!    minimum simulated time any region needs to influence another
+//!    (cheapest cross-region message, barrier release, or broadcast
+//!    stage).
+//! 2. **Pre-step (parallel).** Every shard walks its pending node-resume
+//!    events inside `[F, H)` and executes the program transitions for
+//!    them on its own worker, memoizing the resulting [`Step`]s. This is
+//!    conservative, not optimistic: a node has at most one resume in
+//!    flight, and its program state and resume payload are sealed from
+//!    the moment the event is scheduled until it is popped, so every
+//!    pre-computed transition is guaranteed to commit — there is no
+//!    rollback path.
+//! 3. **Commit (serial).** The coordinator pumps the engine through the
+//!    window in exact global `(time, seq)` order. Program transitions hit
+//!    the per-shard memo instead of re-running; side effects — service
+//!    submissions, token lifecycle, channels, collectives, timer
+//!    scheduling — are applied by the same code as the serial engine, in
+//!    the same order.
+//!
+//! Because the commit phase replays the serial engine's own event loop,
+//! traces, reports, and [`EnginePerf`] counters are **byte-identical to
+//! the serial engine by construction** for every shard count — the
+//! golden-digest suites hold at `--shards 1`, `2`, and `8` without a
+//! separate merge step, and `repro --perf` stays shard-invariant. The
+//! timer-id contract needed by `fskit` (service timer ids are allocated
+//! and fired in serial commit order) is preserved for the same reason.
+//!
+//! Scaling consequently follows Amdahl over the transition share of the
+//! run: workloads whose per-node programs do real work per step scale
+//! with cores, while pure script replay (trivial transitions) is bounded
+//! by the serial commit loop. The worker pool sizes itself to
+//! `min(shards, cores)`; `SIO_PDES_THREADS` overrides it (useful to
+//! exercise the threaded path on small hosts).
+
+use crate::engine::{Engine, EnginePerf, EngineReport, IoService};
+use crate::mesh::{CommCosts, Mesh};
+use crate::program::{GroupId, NodeProgram, Resume, Step};
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Process-wide shard-count knob, fed by `--shards N` on the `repro`
+/// binary or the `SIO_SHARDS` environment variable (same contract as the
+/// sweep-level `SIO_JOBS` knob in `analysis::runner`).
+static CONFIGURED_SHARDS: AtomicU32 = AtomicU32::new(0);
+
+/// Default shard count: `SIO_SHARDS` if set to a positive integer, else 1
+/// (the serial engine).
+pub fn default_shards() -> u32 {
+    if let Ok(v) = std::env::var("SIO_SHARDS") {
+        if let Ok(n) = v.trim().parse::<u32>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("[pdes] ignoring invalid SIO_SHARDS={v:?} (want a positive integer)");
+    }
+    1
+}
+
+/// Set the process-wide shard count; `0` clears the override back to
+/// [`default_shards`].
+pub fn set_shards(shards: u32) {
+    CONFIGURED_SHARDS.store(shards, Ordering::Relaxed);
+}
+
+/// The effective shard count: the [`set_shards`] override, else
+/// [`default_shards`].
+pub fn configured_shards() -> u32 {
+    match CONFIGURED_SHARDS.load(Ordering::Relaxed) {
+        0 => default_shards(),
+        n => n,
+    }
+}
+
+/// One region's share of the simulation: the real node programs and the
+/// per-node memo of pre-stepped transitions. Owned behind a mutex that is
+/// only ever contended *between* phases (workers hold it during pre-step,
+/// the coordinator's proxies during commit), never within one.
+struct ShardState {
+    /// First node id in this region (nodes are contiguous).
+    start: NodeId,
+    programs: Vec<Box<dyn NodeProgram + Send>>,
+    /// Pre-stepped transition per node, consumed by the commit phase.
+    memo: Vec<Option<Step>>,
+}
+
+impl ShardState {
+    /// Pre-step a batch of sealed `(node, resume)` pairs, memoizing the
+    /// transitions for the commit phase.
+    fn prestep(&mut self, batch: &[(NodeId, Resume)]) {
+        for &(node, resume) in batch {
+            let i = (node - self.start) as usize;
+            debug_assert!(self.memo[i].is_none(), "node {node} pre-stepped twice");
+            self.memo[i] = Some(self.programs[i].step(node, resume));
+        }
+    }
+}
+
+/// The per-node program the inner serial engine sees: consumes the memo
+/// filled by the pre-step phase, falling back to stepping the real program
+/// inline for transitions created mid-window.
+struct ShardProxy {
+    shard: Arc<Mutex<ShardState>>,
+}
+
+impl NodeProgram for ShardProxy {
+    fn step(&mut self, node: NodeId, resume: Resume) -> Step {
+        let mut shard = self.shard.lock().expect("shard state poisoned");
+        let i = (node - shard.start) as usize;
+        match shard.memo[i].take() {
+            Some(step) => step,
+            None => shard.programs[i].step(node, resume),
+        }
+    }
+}
+
+/// Worker-pool size: `SIO_PDES_THREADS` if set to a positive integer,
+/// else the host's available parallelism, capped at the shard count.
+fn default_threads(shards: usize) -> usize {
+    let cores = if let Ok(v) = std::env::var("SIO_PDES_THREADS") {
+        v.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    cores.min(shards).max(1)
+}
+
+/// The region-sharded engine. Construction mirrors [`Engine::new`] plus a
+/// shard count; the run API ([`ShardedEngine::run`],
+/// [`ShardedEngine::run_until`], watchdog, groups, perf, service access)
+/// delegates to the inner serial engine, so reports, hang diagnoses, and
+/// perf counters aggregate across shards exactly as the serial engine
+/// would produce them.
+pub struct ShardedEngine<S: IoService> {
+    inner: Engine<S>,
+    shards: Vec<Arc<Mutex<ShardState>>>,
+    regions: Vec<Range<NodeId>>,
+    lookahead: SimDuration,
+    threads: usize,
+}
+
+impl<S: IoService> ShardedEngine<S> {
+    /// Build a sharded engine over `programs` (node `i` runs
+    /// `programs[i]`), split into at most `shards` contiguous mesh
+    /// regions. `shards <= 1` (or a single-node run) still works — the
+    /// window loop simply never fans out.
+    pub fn new(
+        mesh: Mesh,
+        comm: CommCosts,
+        programs: Vec<Box<dyn NodeProgram + Send>>,
+        service: S,
+        shards: u32,
+    ) -> ShardedEngine<S> {
+        let n = programs.len() as u32;
+        let regions = Mesh::region_partition(n, shards);
+        let lookahead = mesh.region_lookahead(&comm, &regions);
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "sharded engine requires nonzero comm costs for lookahead"
+        );
+        let mut progs = programs.into_iter();
+        let mut shard_arcs = Vec::with_capacity(regions.len());
+        let mut proxies: Vec<Box<dyn NodeProgram>> = Vec::with_capacity(n as usize);
+        for r in &regions {
+            let len = (r.end - r.start) as usize;
+            let state = ShardState {
+                start: r.start,
+                programs: progs.by_ref().take(len).collect(),
+                memo: std::iter::repeat_with(|| None).take(len).collect(),
+            };
+            let arc = Arc::new(Mutex::new(state));
+            for _ in 0..len {
+                proxies.push(Box::new(ShardProxy { shard: arc.clone() }));
+            }
+            shard_arcs.push(arc);
+        }
+        let threads = default_threads(shard_arcs.len());
+        ShardedEngine {
+            inner: Engine::new(mesh, comm, proxies, service),
+            shards: shard_arcs,
+            regions,
+            lookahead,
+            threads,
+        }
+    }
+
+    /// Number of non-empty shards actually formed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead bounding each synchronization window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Override the worker-pool size (tests use this to force the threaded
+    /// path on small hosts deterministically).
+    #[doc(hidden)]
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// See [`Engine::set_watchdog`].
+    pub fn set_watchdog(&mut self, deadline: SimTime) {
+        self.inner.set_watchdog(deadline);
+    }
+
+    /// See [`Engine::set_default_watchdog`].
+    pub fn set_default_watchdog(&mut self) {
+        self.inner.set_default_watchdog();
+    }
+
+    /// See [`Engine::add_group`].
+    pub fn add_group(&mut self, nodes: Vec<NodeId>) -> GroupId {
+        self.inner.add_group(nodes)
+    }
+
+    /// See [`Engine::perf`]. Shard-count-invariant by construction.
+    pub fn perf(&self) -> EnginePerf {
+        self.inner.perf()
+    }
+
+    /// See [`Engine::service`].
+    pub fn service(&self) -> &S {
+        self.inner.service()
+    }
+
+    /// See [`Engine::service_mut`].
+    pub fn service_mut(&mut self) -> &mut S {
+        self.inner.service_mut()
+    }
+
+    /// Consume the engine, returning the service.
+    pub fn into_service(self) -> S {
+        self.inner.into_service()
+    }
+
+    /// Run to completion. See [`Engine::run`].
+    pub fn run(&mut self) -> EngineReport {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until the event queue drains or simulated time would pass
+    /// `stop` (crash cut). See [`Engine::run_until`] — the report is
+    /// identical to the serial engine's.
+    pub fn run_until(&mut self, stop: SimTime) -> EngineReport {
+        self.inner.begin_run();
+        if self.threads <= 1 || self.shards.len() <= 1 {
+            self.drive_inline(stop);
+        } else {
+            self.drive_threaded(stop);
+        }
+        self.inner.finish_run()
+    }
+
+    /// Map a node id to its shard index (regions are contiguous and
+    /// sorted, and there are at most a handful of them).
+    fn shard_of(&self, node: NodeId) -> usize {
+        self.regions
+            .iter()
+            .position(|r| r.contains(&node))
+            .expect("node outside every region")
+    }
+
+    /// Split the sealed pending resumes below `horizon` into per-shard
+    /// batches. Returns `None` when there is nothing to pre-step.
+    fn window_batches(&mut self, horizon: SimTime) -> Option<Vec<Vec<(NodeId, Resume)>>> {
+        let mut pending = Vec::new();
+        self.inner.pending_resumes_below(horizon, &mut pending);
+        if pending.is_empty() {
+            return None;
+        }
+        let mut batches = vec![Vec::new(); self.shards.len()];
+        for (node, resume) in pending {
+            let s = self.shard_of(node);
+            batches[s].push((node, resume));
+        }
+        Some(batches)
+    }
+
+    /// Single-threaded window loop: same windows, same memo machinery, no
+    /// fan-out. Used when only one worker would exist anyway; results are
+    /// identical to the threaded path by construction.
+    fn drive_inline(&mut self, stop: SimTime) {
+        while let Some(f) = self.inner.next_event_time() {
+            if f > stop {
+                break;
+            }
+            let horizon = SimTime(f.0.saturating_add(self.lookahead.0));
+            if let Some(batches) = self.window_batches(horizon) {
+                for (s, batch) in batches.iter().enumerate() {
+                    if !batch.is_empty() {
+                        self.shards[s]
+                            .lock()
+                            .expect("shard state poisoned")
+                            .prestep(batch);
+                    }
+                }
+            }
+            if self.inner.pump(Some(horizon), stop) {
+                break;
+            }
+        }
+    }
+
+    /// Threaded window loop: persistent workers (round-robin over shards)
+    /// pre-step each window's batches in parallel; the coordinator then
+    /// commits the window serially.
+    fn drive_threaded(&mut self, stop: SimTime) {
+        let threads = self.threads.min(self.shards.len());
+        // Per-worker job channels; one shared ack channel. A job is one
+        // shard's batch for the current window.
+        let (ack_tx, ack_rx) = mpsc::channel::<()>();
+        let mut job_txs = Vec::with_capacity(threads);
+        let mut job_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<(usize, Vec<(NodeId, Resume)>)>();
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+        let shards = &self.shards;
+        let inner = &mut self.inner;
+        let regions = &self.regions;
+        let lookahead = self.lookahead;
+        std::thread::scope(|scope| {
+            for rx in job_rxs {
+                let ack = ack_tx.clone();
+                let shards = &*shards;
+                scope.spawn(move || {
+                    while let Ok((s, batch)) = rx.recv() {
+                        shards[s]
+                            .lock()
+                            .expect("shard state poisoned")
+                            .prestep(&batch);
+                        if ack.send(()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(ack_tx);
+            while let Some(f) = inner.next_event_time() {
+                if f > stop {
+                    break;
+                }
+                let horizon = SimTime(f.0.saturating_add(lookahead.0));
+                let mut pending = Vec::new();
+                inner.pending_resumes_below(horizon, &mut pending);
+                let mut outstanding = 0usize;
+                if !pending.is_empty() {
+                    let mut batches = vec![Vec::new(); shards.len()];
+                    for (node, resume) in pending {
+                        let s = regions
+                            .iter()
+                            .position(|r| r.contains(&node))
+                            .expect("node outside every region");
+                        batches[s].push((node, resume));
+                    }
+                    for (s, batch) in batches.into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            job_txs[s % threads]
+                                .send((s, batch))
+                                .expect("pre-step worker died");
+                            outstanding += 1;
+                        }
+                    }
+                    for _ in 0..outstanding {
+                        ack_rx.recv().expect("pre-step worker died");
+                    }
+                }
+                if inner.pump(Some(horizon), stop) {
+                    break;
+                }
+            }
+            drop(job_txs);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{IoRequest, IoResult, IoToken, ScriptOp, ScriptProgram};
+    use crate::Sched;
+
+    /// Deterministic recording service (mirror of the serial engine's test
+    /// service): fixed latency, logs submissions and iowaits.
+    struct FixedService {
+        latency: SimDuration,
+        submitted: Vec<(NodeId, crate::program::IoVerb, SimTime)>,
+        iowaits: Vec<(NodeId, SimDuration)>,
+    }
+
+    impl FixedService {
+        fn new() -> FixedService {
+            FixedService {
+                latency: SimDuration::from_millis(1),
+                submitted: Vec::new(),
+                iowaits: Vec::new(),
+            }
+        }
+    }
+
+    impl IoService for FixedService {
+        fn submit(
+            &mut self,
+            node: NodeId,
+            now: SimTime,
+            req: IoRequest,
+            token: IoToken,
+            _is_async: bool,
+            sched: &mut Sched,
+        ) {
+            self.submitted.push((node, req.verb, now));
+            sched.complete_io(
+                token,
+                now + self.latency,
+                IoResult {
+                    bytes: req.bytes,
+                    queued: SimDuration::ZERO,
+                    service: self.latency,
+                    fault: None,
+                },
+            );
+        }
+
+        fn on_timer(&mut self, _now: SimTime, _timer: u64, _sched: &mut Sched) {}
+
+        fn issue_cost(&self, _node: NodeId, _req: &IoRequest) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+
+        fn on_iowait(&mut self, node: NodeId, _file: u32, s: SimTime, e: SimTime) {
+            self.iowaits.push((node, e.since(s)));
+        }
+    }
+
+    /// A mixed workload exercising every step kind: compute jitter,
+    /// sync/async I/O, barriers, eager sends into blocking receives.
+    fn mixed_programs(n: u32) -> Vec<Vec<ScriptOp>> {
+        (0..n)
+            .map(|i| {
+                let mut ops = vec![
+                    ScriptOp::Compute(SimDuration::from_micros(u64::from(i) * 7 + 3)),
+                    ScriptOp::Io(IoRequest::read(1 + i, 4096)),
+                    ScriptOp::Barrier(0),
+                    ScriptOp::IoAsync(IoRequest::write(1 + i, 65536)),
+                    ScriptOp::Compute(SimDuration::from_micros(40)),
+                    ScriptOp::WaitOldest,
+                ];
+                // A ring of eager messages that crosses every region cut.
+                ops.push(ScriptOp::Send {
+                    to: (i + 1) % n,
+                    bytes: 512,
+                    tag: 9,
+                });
+                ops.push(ScriptOp::Recv {
+                    from: (i + n - 1) % n,
+                    tag: 9,
+                });
+                ops.push(ScriptOp::Barrier(0));
+                ops
+            })
+            .collect()
+    }
+
+    fn run_serial(progs: Vec<Vec<ScriptOp>>) -> (EngineReport, EnginePerf, FixedService) {
+        let n = progs.len() as u32;
+        let mesh = Mesh::for_nodes(n.max(2), 1);
+        let programs: Vec<Box<dyn NodeProgram>> = progs
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+            .collect();
+        let mut e = Engine::new(mesh, CommCosts::default(), programs, FixedService::new());
+        e.set_default_watchdog();
+        let report = e.run();
+        let perf = e.perf();
+        (report, perf, e.into_service())
+    }
+
+    fn run_sharded(
+        progs: Vec<Vec<ScriptOp>>,
+        shards: u32,
+        threads: Option<usize>,
+    ) -> (EngineReport, EnginePerf, FixedService) {
+        let n = progs.len() as u32;
+        let mesh = Mesh::for_nodes(n.max(2), 1);
+        let programs: Vec<Box<dyn NodeProgram + Send>> = progs
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut e = ShardedEngine::new(
+            mesh,
+            CommCosts::default(),
+            programs,
+            FixedService::new(),
+            shards,
+        );
+        if let Some(t) = threads {
+            e.set_threads(t);
+        }
+        e.set_default_watchdog();
+        let report = e.run();
+        let perf = e.perf();
+        (report, perf, e.into_service())
+    }
+
+    #[test]
+    fn sharded_matches_serial_exactly_for_every_shard_count() {
+        let (sr, sp, ss) = run_serial(mixed_programs(16));
+        for shards in [1, 2, 3, 8] {
+            let (r, p, s) = run_sharded(mixed_programs(16), shards, None);
+            assert_eq!(r, sr, "report diverged at {shards} shards");
+            assert_eq!(p, sp, "perf diverged at {shards} shards");
+            assert_eq!(
+                s.submitted, ss.submitted,
+                "I/O order diverged at {shards} shards"
+            );
+            assert_eq!(s.iowaits, ss.iowaits, "iowaits diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn threaded_prestep_matches_inline() {
+        let (ir, ip, is_) = run_sharded(mixed_programs(24), 8, Some(1));
+        let (tr, tp, ts) = run_sharded(mixed_programs(24), 8, Some(4));
+        assert_eq!(tr, ir);
+        assert_eq!(tp, ip);
+        assert_eq!(ts.submitted, is_.submitted);
+        assert_eq!(ts.iowaits, is_.iowaits);
+    }
+
+    #[test]
+    fn crash_cut_matches_serial() {
+        let cut = SimTime(0) + SimDuration::from_micros(500);
+        let n = 12;
+        let mesh = Mesh::for_nodes(n, 1);
+        let serial: Vec<Box<dyn NodeProgram>> = mixed_programs(n)
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+            .collect();
+        let mut se = Engine::new(
+            mesh,
+            CommCosts::default(),
+            serial,
+            FixedService::new(),
+        );
+        let sr = se.run_until(cut);
+        let sharded: Vec<Box<dyn NodeProgram + Send>> = mixed_programs(n)
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut pe =
+            ShardedEngine::new(mesh, CommCosts::default(), sharded, FixedService::new(), 4);
+        let pr = pe.run_until(cut);
+        assert_eq!(pr, sr);
+        assert_eq!(pe.perf(), se.perf());
+    }
+
+    #[test]
+    fn hang_report_aggregates_across_shards() {
+        // Node 0 (shard 0) waits on a message node 7 (last shard) never
+        // sends; the hang diagnosis must name the parked node even though
+        // its program lives in a different shard than the coordinator loop.
+        let mut progs: Vec<Vec<ScriptOp>> = (0..8)
+            .map(|_| vec![ScriptOp::Compute(SimDuration::from_micros(5))])
+            .collect();
+        progs[0].push(ScriptOp::Recv { from: 7, tag: 1 });
+        let (report, _, _) = run_sharded(progs, 4, None);
+        assert!(!report.clean());
+        let hang = report.hang.expect("quiescent with a parked node");
+        assert_eq!(hang.parked_nodes, vec![0]);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_node_count() {
+        let progs = mixed_programs(3);
+        let (r, p, _) = run_sharded(progs, 64, None);
+        let (sr, sp, _) = run_serial(mixed_programs(3));
+        assert_eq!(r, sr);
+        assert_eq!(p, sp);
+    }
+
+    #[test]
+    fn configured_shards_round_trips() {
+        set_shards(4);
+        assert_eq!(configured_shards(), 4);
+        set_shards(0);
+        assert_eq!(configured_shards(), default_shards());
+    }
+}

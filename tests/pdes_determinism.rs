@@ -1,0 +1,245 @@
+//! The intra-run sharded engine (`paragon_sim::pdes`) must be invisible in
+//! the output: for any workload, any shard count, and any worker-pool
+//! width, the sharded engine produces the *same bytes* as the serial
+//! engine — identical reports, identical `EnginePerf` counters, identical
+//! service-level submission and completion order, identical traces.
+//!
+//! Two layers pin this:
+//!
+//! * a proptest over randomized phase-structured programs (compute jitter,
+//!   sync/async I/O against an order-sensitive FIFO disk, eager message
+//!   rings, barriers, broadcasts) comparing the serial engine against 1-,
+//!   2-, and 8-shard runs, inline and threaded;
+//! * full-stack ESCAT/RENDER/HTF runs through `run_workload` under the
+//!   `SIO_SHARDS` knob, comparing trace fingerprints and engine reports.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sio::apps::workload::{run_workload, Backend};
+use sio::apps::{EscatParams, HtfParams, RenderParams};
+use sio::core::sddf;
+use sio::paragon::engine::{Engine, EnginePerf, EngineReport, IoService, Sched};
+use sio::paragon::mesh::{CommCosts, Mesh};
+use sio::paragon::pdes::ShardedEngine;
+use sio::paragon::program::{
+    IoRequest, IoResult, IoToken, IoVerb, NodeProgram, ScriptOp, ScriptProgram,
+};
+use sio::paragon::{MachineConfig, NodeId, SimDuration, SimTime};
+
+/// A deterministic single-queue "disk": completions are strictly FIFO in
+/// submission order, so *any* divergence in the order the engine hands
+/// requests to the service shifts every later completion time. This makes
+/// the service a sensitive detector for event-ordering bugs — far more
+/// sensitive than a fixed-latency service, where reordering two equal-cost
+/// requests is invisible.
+#[derive(Default)]
+struct FifoDiskService {
+    last_done: SimTime,
+    submissions: Vec<(NodeId, IoVerb, u64, SimTime, SimTime)>,
+    iowaits: Vec<(NodeId, u32, SimTime, SimTime)>,
+}
+
+impl IoService for FifoDiskService {
+    fn submit(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        req: IoRequest,
+        token: IoToken,
+        _is_async: bool,
+        sched: &mut Sched,
+    ) {
+        let start = now.max(self.last_done);
+        let done = start + SimDuration::from_micros(3) + SimDuration(req.bytes.max(1) * 2);
+        self.last_done = done;
+        self.submissions
+            .push((node, req.verb, req.bytes, now, done));
+        sched.complete_io(
+            token,
+            done,
+            IoResult {
+                bytes: req.bytes,
+                queued: start.since(now),
+                service: done.since(start),
+                fault: None,
+            },
+        );
+    }
+
+    fn on_timer(&mut self, _now: SimTime, _timer: u64, _sched: &mut Sched) {}
+
+    fn issue_cost(&self, _node: NodeId, _req: &IoRequest) -> SimDuration {
+        SimDuration::from_micros(5)
+    }
+
+    fn on_iowait(&mut self, node: NodeId, file: u32, s: SimTime, e: SimTime) {
+        self.iowaits.push((node, file, s, e));
+    }
+}
+
+/// One randomized bulk-synchronous phase, expanded per node into script
+/// ops. The flag bits select which machinery the phase exercises.
+type Phase = (u64, u64, u8);
+
+const ASYNC_IO: u8 = 1;
+const RING: u8 = 2;
+const BARRIER: u8 = 4;
+const BROADCAST: u8 = 8;
+
+/// Expand `phases` into one deterministic script per node. Message rings
+/// and collectives are always fully matched, so the workload can never
+/// deadlock; compute jitter is a per-node, per-phase hash so nodes arrive
+/// at synchronization points in nontrivial orders.
+fn scripts(n: u32, phases: &[Phase]) -> Vec<Vec<ScriptOp>> {
+    (0..n)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for (p, &(spread, bytes, flags)) in phases.iter().enumerate() {
+                let jitter = (u64::from(i) * 2_654_435_761 + p as u64 * 40_503) % (spread + 1);
+                ops.push(ScriptOp::Compute(SimDuration::from_micros(1 + jitter)));
+                let file = 1 + i;
+                if flags & ASYNC_IO != 0 {
+                    ops.push(ScriptOp::IoAsync(IoRequest::write(file, bytes)));
+                    ops.push(ScriptOp::Compute(SimDuration::from_micros(20)));
+                    ops.push(ScriptOp::WaitOldest);
+                } else {
+                    ops.push(ScriptOp::Io(IoRequest::read(file, bytes)));
+                }
+                if flags & RING != 0 {
+                    ops.push(ScriptOp::Send {
+                        to: (i + 1) % n,
+                        bytes: bytes.min(4096),
+                        tag: p as u32,
+                    });
+                    ops.push(ScriptOp::Recv {
+                        from: (i + n - 1) % n,
+                        tag: p as u32,
+                    });
+                }
+                if flags & BROADCAST != 0 {
+                    ops.push(ScriptOp::Broadcast {
+                        root: (p as u32) % n,
+                        bytes,
+                        group: 0,
+                    });
+                }
+                if flags & BARRIER != 0 {
+                    ops.push(ScriptOp::Barrier(0));
+                }
+            }
+            ops.push(ScriptOp::WaitAll);
+            ops
+        })
+        .collect()
+}
+
+type Observed = (
+    EngineReport,
+    EnginePerf,
+    Vec<(NodeId, IoVerb, u64, SimTime, SimTime)>,
+    Vec<(NodeId, u32, SimTime, SimTime)>,
+);
+
+fn run_serial(n: u32, phases: &[Phase]) -> Observed {
+    let mesh = Mesh::for_nodes(n.max(2), 1);
+    let programs: Vec<Box<dyn NodeProgram>> = scripts(n, phases)
+        .into_iter()
+        .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+        .collect();
+    let mut e = Engine::new(
+        mesh,
+        CommCosts::default(),
+        programs,
+        FifoDiskService::default(),
+    );
+    e.set_default_watchdog();
+    let report = e.run();
+    let perf = e.perf();
+    let s = e.into_service();
+    (report, perf, s.submissions, s.iowaits)
+}
+
+fn run_sharded(n: u32, phases: &[Phase], shards: u32, threads: Option<usize>) -> Observed {
+    let mesh = Mesh::for_nodes(n.max(2), 1);
+    let programs: Vec<Box<dyn NodeProgram + Send>> = scripts(n, phases)
+        .into_iter()
+        .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+        .collect();
+    let mut e = ShardedEngine::new(
+        mesh,
+        CommCosts::default(),
+        programs,
+        FifoDiskService::default(),
+        shards,
+    );
+    if let Some(t) = threads {
+        e.set_threads(t);
+    }
+    e.set_default_watchdog();
+    let report = e.run();
+    let perf = e.perf();
+    let s = e.into_service();
+    (report, perf, s.submissions, s.iowaits)
+}
+
+proptest! {
+    /// 1-, 2-, and 8-shard runs (inline and threaded) reproduce the serial
+    /// engine's report, perf counters, submission order, and iowait
+    /// intervals exactly, for arbitrary phase-structured workloads.
+    #[test]
+    fn sharded_runs_match_serial_for_random_workloads(
+        n in 2u32..13,
+        phases in vec((0u64..200, 1u64..65_536, 0u8..16), 1..5),
+    ) {
+        let baseline = run_serial(n, &phases);
+        prop_assert!(baseline.0.clean(), "random workload must finish clean");
+        for shards in [1u32, 2, 8] {
+            let got = run_sharded(n, &phases, shards, None);
+            prop_assert_eq!(&got.0, &baseline.0, "report diverged at {} shards", shards);
+            prop_assert_eq!(&got.1, &baseline.1, "perf diverged at {} shards", shards);
+            prop_assert_eq!(&got.2, &baseline.2, "submissions diverged at {} shards", shards);
+            prop_assert_eq!(&got.3, &baseline.3, "iowaits diverged at {} shards", shards);
+        }
+        // Same check with a forced multi-thread worker pool (the window
+        // pre-step fan-out), independent of the host's core count.
+        let got = run_sharded(n, &phases, 8, Some(3));
+        prop_assert_eq!(&got.0, &baseline.0, "threaded report diverged");
+        prop_assert_eq!(&got.1, &baseline.1, "threaded perf diverged");
+        prop_assert_eq!(&got.2, &baseline.2, "threaded submissions diverged");
+        prop_assert_eq!(&got.3, &baseline.3, "threaded iowaits diverged");
+    }
+}
+
+/// Full-stack shard-count invariance: the paper workloads through the real
+/// PFS backend, driven by the `SIO_SHARDS` knob exactly as `repro --shards`
+/// sets it, must produce byte-identical traces and reports. (The golden
+/// digest suites extend this same check to every committed artifact.)
+#[test]
+fn workload_traces_are_shard_count_invariant() {
+    let machine = MachineConfig::tiny(8, 4);
+    let workloads = [
+        ("escat", EscatParams::small(8, 6).workload()),
+        ("render", RenderParams::small(8, 4).workload()),
+        ("htf-pscf", HtfParams::small(8).pscf_workload()),
+    ];
+    sio::paragon::set_shards(1);
+    let baselines: Vec<(u64, usize, EngineReport)> = workloads
+        .iter()
+        .map(|(_, w)| {
+            let out = run_workload(&machine, w, &Backend::Pfs);
+            (sddf::fingerprint(&out.trace), out.trace.len(), out.report)
+        })
+        .collect();
+    for shards in [2u32, 8] {
+        sio::paragon::set_shards(shards);
+        for ((name, w), base) in workloads.iter().zip(&baselines) {
+            let out = run_workload(&machine, w, &Backend::Pfs);
+            assert_eq!(
+                (sddf::fingerprint(&out.trace), out.trace.len(), out.report),
+                *base,
+                "{name}: shards={shards} diverged from serial"
+            );
+        }
+    }
+    sio::paragon::set_shards(0);
+}
