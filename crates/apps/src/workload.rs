@@ -125,6 +125,14 @@ fn run_engine<S: IoService>(
                 report
             }
         };
+        // Engine-phase wall split: how much host time went to parallel
+        // pre-stepping vs committing windows. This is the one intentionally
+        // non-deterministic perf output (wall clock, not event counts); the
+        // phase *names* are identical in both branches so `repro --perf`
+        // output keeps its shape at every shard count.
+        let (pre_ns, commit_ns) = engine.phase_wall_ns();
+        perf::phase_ns("engine/pre_step", pre_ns);
+        perf::phase_ns("engine/commit", commit_ns);
         let engine_perf = engine.perf();
         return (report, engine.into_service(), engine_perf);
     }
@@ -138,6 +146,7 @@ fn run_engine<S: IoService>(
     for g in &workload.groups {
         engine.add_group(g.clone());
     }
+    let run_start = std::time::Instant::now();
     let report = match stop_at {
         // A crashed run legitimately ends with blocked nodes: they died.
         Some(t) => engine.run_until(t),
@@ -153,6 +162,11 @@ fn run_engine<S: IoService>(
             report
         }
     };
+    // The serial engine is all commit loop — no pre-step phase exists.
+    // Recording 0/total under the same names keeps the `repro --perf`
+    // phase table's shape shard-count-invariant.
+    perf::phase_ns("engine/pre_step", 0);
+    perf::phase_ns("engine/commit", run_start.elapsed().as_nanos() as u64);
     let engine_perf = engine.perf();
     (report, engine.into_service(), engine_perf)
 }

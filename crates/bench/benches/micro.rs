@@ -131,6 +131,46 @@ fn pdes_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn commit_scaling(c: &mut Criterion) {
+    // The commit-bound complement of `pdes_scaling`: trivially cheap script
+    // transitions (replay shape — all cost is in popping, sequencing, and
+    // re-pushing events), 64 nodes × 600 computes with a barrier every 120.
+    // Nearly every window is closed, so 8 shards exercise the batched
+    // per-lane splice path where 1 shard runs the serial pop loop. The
+    // commit_{1,8}shard ratio is the shard-local commit lever's own gate
+    // (asserted in scripts/bench_sim.sh only on ≥8-core hosts).
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(64 * 600));
+    let scripts = || -> Vec<Box<dyn NodeProgram + Send>> {
+        (0..64u64)
+            .map(|n| {
+                let mut ops = Vec::with_capacity(605);
+                for k in 0..600u64 {
+                    let jitter = (n * 2_654_435_761 + k * 40_503) % 90;
+                    ops.push(ScriptOp::Compute(SimDuration::from_micros(1 + jitter)));
+                    if (k + 1).is_multiple_of(120) {
+                        ops.push(ScriptOp::Barrier(0));
+                    }
+                }
+                Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>
+            })
+            .collect()
+    };
+    for shards in [1u32, 8] {
+        group.bench_function(&format!("commit_{shards}shard"), |b| {
+            b.iter(|| {
+                let mesh = Mesh::for_nodes(64, 4);
+                let mut engine =
+                    ShardedEngine::new(mesh, CommCosts::default(), scripts(), NullService, shards);
+                let report = engine.run();
+                assert!(report.clean());
+                black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn stripe_mapping(c: &mut Criterion) {
     let layout = StripeLayout::pfs(16);
     let mut group = c.benchmark_group("stripe");
@@ -348,6 +388,7 @@ criterion_group!(
     micro,
     engine_dispatch,
     pdes_scaling,
+    commit_scaling,
     stripe_mapping,
     block_cache,
     dirty_buffer,

@@ -55,7 +55,9 @@ use sio_fskit::file::{FileSpec, FileState};
 use sio_fskit::mode::AccessMode;
 use sio_fskit::pump::{backoff_delay, FailoverPolicy, NodeLoad, NodeTick, SegmentPump};
 use sio_fskit::table::{MetaStats, MetaVerdict};
-use sio_fskit::{FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TraceRecorder};
+use sio_fskit::{
+    FaultRouter, FileTable, MetaServer, SyncLedger, SyncWaiter, TimerLanes, TraceRecorder,
+};
 
 use crate::partition::{self, Domain, Extent};
 
@@ -202,8 +204,9 @@ pub struct Cio {
     /// Dispatched collectives (collective id → state).
     collectives: FastMap<u64, Collective>,
     next_coll: u64,
-    /// Shared timer-id counter (faults, retries, timeouts, exchanges).
-    next_timer: u64,
+    /// Timer-id lanes: per-I/O-node completion timers plus the dynamic
+    /// lane (faults, retries, timeouts, exchanges).
+    timers: TimerLanes,
     /// `Sync` commits parked until their file has no in-flight writes.
     syncs: SyncLedger,
     /// Per-node serial client copy path.
@@ -230,7 +233,7 @@ impl Cio {
         let cfg = CioConfig::from_machine(machine);
         let ionodes = machine.build_io_nodes();
         let faults = FaultRouter::new(schedule, ionodes.len());
-        let next_timer = ionodes.len() as u64;
+        let timers = TimerLanes::new(ionodes.len());
         let links = LinkState::healthy(ionodes.len());
         let pump = SegmentPump::new(
             ionodes,
@@ -253,7 +256,7 @@ impl Cio {
             exchange: FastMap::default(),
             collectives: FastMap::default(),
             next_coll: 0,
-            next_timer,
+            timers,
             syncs: SyncLedger::new(),
             client: ClientPath::new(),
             fault_params: machine.fault,
@@ -318,7 +321,7 @@ impl Cio {
     }
 
     /// Accepted-request accounting per I/O node.
-    pub fn node_loads(&self) -> &[NodeLoad] {
+    pub fn node_loads(&self) -> Vec<NodeLoad> {
         self.pump.node_loads()
     }
 
@@ -574,7 +577,7 @@ impl Cio {
     ) {
         if let Some(cid) = self
             .pump
-            .submit_seg(now, io, req, attempt, &mut self.next_timer, sched)
+            .submit_seg(now, io, req, attempt, &mut self.timers, sched)
         {
             let members = self
                 .collectives
@@ -653,8 +656,7 @@ impl Cio {
         if self.faults_enabled() && self.collectives.contains_key(&cid) {
             // Hard deadline: no collective hangs forever under a fault
             // schedule with no recovery.
-            let id = self.next_timer;
-            self.next_timer += 1;
+            let id = self.timers.alloc();
             self.timeout_timers.insert(id, cid);
             sched.timer(now + self.fault_params.request_timeout, id);
         }
@@ -850,8 +852,7 @@ impl Cio {
             domains,
         };
         if ready > now {
-            let id = self.next_timer;
-            self.next_timer += 1;
+            let id = self.timers.alloc();
             self.exchange.insert(id, pending);
             sched.timer(ready, id);
         } else {
@@ -916,7 +917,7 @@ impl Cio {
                             req,
                             0,
                             RejectReason::Down,
-                            &mut self.next_timer,
+                            &mut self.timers,
                             sched,
                         ) {
                             let members = self
@@ -987,8 +988,7 @@ impl Cio {
     /// Arm one backoff retry probe for a parked metadata RPC.
     fn park_meta(&mut self, now: SimTime, parked: ParkedMeta, sched: &mut Sched) {
         self.meta.note_retry();
-        let id = self.next_timer;
-        self.next_timer += 1;
+        let id = self.timers.alloc();
         self.parked_meta.insert(id, parked);
         sched.timer(
             now + backoff_delay(self.fault_params.retry_base, parked.attempt),
@@ -1235,11 +1235,11 @@ impl IoService for Cio {
     }
 
     fn on_start(&mut self, sched: &mut Sched) {
-        self.faults.arm_all(&mut self.next_timer, sched);
+        self.faults.arm_all(&mut self.timers, sched);
     }
 
     fn on_timer(&mut self, now: SimTime, timer: u64, sched: &mut Sched) {
-        if (timer as usize) < self.pump.len() {
+        if self.timers.is_node_timer(timer) {
             match self.pump.node_tick(now, timer, sched) {
                 NodeTick::Stale => debug_assert!(
                     self.faults_enabled(),
@@ -1397,7 +1397,7 @@ mod tests {
         assert_eq!(stats.aggregated_extents, 2);
         assert!(stats.exchange > SimDuration::ZERO);
         assert_eq!(engine.service().segments_completed(), 2);
-        let loads = engine.service().node_loads().to_vec();
+        let loads = engine.service().node_loads();
         assert_eq!(loads.len(), 2);
         for l in &loads {
             assert_eq!(l.write_reqs, 1, "one aggregated request per node");

@@ -15,9 +15,17 @@
 //!   recovery, and a full queue retries forever with capped backoff
 //!   (write-behind data has nowhere else to go).
 //!
-//! Timer ids are allocated from the *backend's* counter (`ids: &mut u64`)
-//! so the id sequence — and the engine's FIFO tie-breaking on it — is
-//! byte-identical to a hand-inlined implementation.
+//! Each I/O node's simulator state and its accepted-request accounting
+//! live together in one `IoLane`, the unit of state a PDES shard owns:
+//! everything inside a lane is touched only through that node's events
+//! (shard-local), while buddy failover and stripe replay — the two places
+//! a segment *changes lanes* — are boundary traffic that only ever runs
+//! in the serial commit phase. Backoff retries stay on their lane.
+//!
+//! Timer ids are drawn from the backend's [`TimerLanes`] allocator so the
+//! id sequence — and the engine's FIFO tie-breaking on it — is
+//! byte-identical to a hand-inlined implementation at every shard count
+//! (see [`crate::lanes`] for the invariance argument).
 
 use paragon_sim::engine::Sched;
 use paragon_sim::ionode::{Completion, IoNodeSim, RejectReason, SegmentReq, SubmitOutcome};
@@ -25,6 +33,7 @@ use paragon_sim::raid::RaidError;
 use paragon_sim::{SimDuration, SimTime};
 use sio_core::hash::FastMap;
 
+use crate::lanes::TimerLanes;
 use crate::layout::{Segment, StripeLayout};
 use paragon_sim::program::IoFault;
 
@@ -113,9 +122,17 @@ pub enum NodeTick {
 /// the segment ids allocated for them, in dispatch order.
 pub type StagedExtent = (Vec<(u32, SegmentReq)>, Vec<u64>);
 
+/// One I/O node's shard-owned state: the queue/array simulator and the
+/// accepted-request accounting for that node, grouped so everything a
+/// single node's events touch lives behind one index.
+struct IoLane {
+    sim: IoNodeSim,
+    load: NodeLoad,
+}
+
 /// The segment pump over a machine's I/O nodes.
 pub struct SegmentPump {
-    ionodes: Vec<IoNodeSim>,
+    lanes: Vec<IoLane>,
     policy: FailoverPolicy,
     retry_base: SimDuration,
     /// Completed-segment routing: segment id → owner (request token for
@@ -130,8 +147,6 @@ pub struct SegmentPump {
     /// Segments parked at a crashed node, resubmitted on recovery.
     replay: Vec<(u32, SegmentReq)>,
     stats: PumpStats,
-    /// Accepted-request accounting, indexed by I/O node.
-    loads: Vec<NodeLoad>,
 }
 
 impl SegmentPump {
@@ -141,9 +156,14 @@ impl SegmentPump {
         policy: FailoverPolicy,
         retry_base: SimDuration,
     ) -> SegmentPump {
-        let loads = vec![NodeLoad::default(); ionodes.len()];
         SegmentPump {
-            ionodes,
+            lanes: ionodes
+                .into_iter()
+                .map(|sim| IoLane {
+                    sim,
+                    load: NodeLoad::default(),
+                })
+                .collect(),
             policy,
             retry_base,
             seg_owner: FastMap::default(),
@@ -152,28 +172,27 @@ impl SegmentPump {
             retry_timers: FastMap::default(),
             replay: Vec::new(),
             stats: PumpStats::default(),
-            loads,
         }
     }
 
     /// Number of I/O nodes (timer ids below this are node timers).
     pub fn len(&self) -> usize {
-        self.ionodes.len()
+        self.lanes.len()
     }
 
     /// Whether the pump drives any I/O nodes at all.
     pub fn is_empty(&self) -> bool {
-        self.ionodes.is_empty()
+        self.lanes.is_empty()
     }
 
-    /// The I/O nodes (read-only).
-    pub fn nodes(&self) -> &[IoNodeSim] {
-        &self.ionodes
+    /// One I/O node (read-only).
+    pub fn node(&self, io: u32) -> &IoNodeSim {
+        &self.lanes[io as usize].sim
     }
 
     /// Mutable access to one I/O node (fault injection, tuning).
     pub fn node_mut(&mut self, io: u32) -> &mut IoNodeSim {
-        &mut self.ionodes[io as usize]
+        &mut self.lanes[io as usize].sim
     }
 
     /// Pump counters.
@@ -181,13 +200,13 @@ impl SegmentPump {
         self.stats
     }
 
-    /// Accepted-request accounting per I/O node.
-    pub fn node_loads(&self) -> &[NodeLoad] {
-        &self.loads
+    /// Accepted-request accounting per I/O node, in node order.
+    pub fn node_loads(&self) -> Vec<NodeLoad> {
+        self.lanes.iter().map(|l| l.load).collect()
     }
 
     fn note_load(&mut self, io: u32, req: &SegmentReq) {
-        let l = &mut self.loads[io as usize];
+        let l = &mut self.lanes[io as usize].load;
         if req.write {
             l.write_reqs += 1;
             l.write_bytes += req.bytes;
@@ -285,7 +304,7 @@ impl SegmentPump {
         bytes: u64,
         write: bool,
         owner: u64,
-        ids: &mut u64,
+        lanes: &mut TimerLanes,
         sched: &mut Sched,
     ) -> u32 {
         let mut segs = std::mem::take(&mut self.seg_scratch);
@@ -304,7 +323,7 @@ impl SegmentPump {
                 sequential: false,
                 failover: false,
             };
-            let gave_up = self.submit_seg(now, seg.io_node, req, 0, ids, sched);
+            let gave_up = self.submit_seg(now, seg.io_node, req, 0, lanes, sched);
             debug_assert!(gave_up.is_none(), "extent submission cannot give up");
             count += 1;
             self.stats.segments += 1;
@@ -324,10 +343,10 @@ impl SegmentPump {
         io: u32,
         req: SegmentReq,
         attempt: u32,
-        ids: &mut u64,
+        lanes: &mut TimerLanes,
         sched: &mut Sched,
     ) -> Option<u64> {
-        match self.ionodes[io as usize].submit(now, req) {
+        match self.lanes[io as usize].sim.submit(now, req) {
             SubmitOutcome::Started => {
                 // Invariant (see `IoNodeModel::submit`): `Started` is only
                 // returned after the request is parked as the in-service
@@ -337,7 +356,8 @@ impl SegmentPump {
                 // commit phase (`paragon_sim::pdes`), never concurrently
                 // with shard pre-stepping, so no cross-shard delivery can
                 // interleave between `submit` and `next_done`.
-                let t = self.ionodes[io as usize]
+                let t = self.lanes[io as usize]
+                    .sim
                     .next_done()
                     .expect("submit returned Started with no in-service work");
                 sched.timer(t, io as u64);
@@ -349,14 +369,16 @@ impl SegmentPump {
                 None
             }
             SubmitOutcome::Rejected(reason) => {
-                self.handle_rejection(now, io, req, attempt, reason, ids, sched)
+                self.handle_rejection(now, io, req, attempt, reason, lanes, sched)
             }
         }
     }
 
     /// A segment was rejected (or lost to a crash): back off and retry,
     /// fail over, park for replay, or report the owner for give-up,
-    /// according to the failover policy.
+    /// according to the failover policy. Failover and replay re-route a
+    /// segment to a *different* lane — boundary traffic under the PDES
+    /// ownership contract (serial commit phase only).
     #[allow(clippy::too_many_arguments)]
     pub fn handle_rejection(
         &mut self,
@@ -365,7 +387,7 @@ impl SegmentPump {
         req: SegmentReq,
         attempt: u32,
         reason: RejectReason,
-        ids: &mut u64,
+        lanes: &mut TimerLanes,
         sched: &mut Sched,
     ) -> Option<u64> {
         match self.policy {
@@ -377,22 +399,22 @@ impl SegmentPump {
                 // give-up against two healthy-but-busy nodes. Retry
                 // forever with capped backoff; the backlog drains.
                 RejectReason::QueueFull => {
-                    self.arm_retry(now, io, req, attempt, (attempt + 1).min(4), ids, sched);
+                    self.arm_retry(now, io, req, attempt, (attempt + 1).min(4), lanes, sched);
                     None
                 }
                 RejectReason::Down => {
                     if attempt < max_retries {
-                        self.arm_retry(now, io, req, attempt, attempt + 1, ids, sched);
+                        self.arm_retry(now, io, req, attempt, attempt + 1, lanes, sched);
                         None
                     } else if !req.failover {
                         // This node is unreachable: reconstruct from
                         // redundancy on the buddy node (at the degraded
                         // penalty).
                         self.stats.failovers += 1;
-                        let buddy = (io + 1) % self.ionodes.len() as u32;
+                        let buddy = (io + 1) % self.lanes.len() as u32;
                         let mut r = req;
                         r.failover = true;
-                        self.submit_seg(now, buddy, r, 0, ids, sched)
+                        self.submit_seg(now, buddy, r, 0, lanes, sched)
                     } else {
                         // Primary and buddy both refused: the request
                         // cannot be served.
@@ -406,7 +428,7 @@ impl SegmentPump {
                     // Unbounded retries with capped backoff: write-behind
                     // data has nowhere else to go.
                     RejectReason::QueueFull => {
-                        self.arm_retry(now, io, req, attempt, (attempt + 1).min(4), ids, sched)
+                        self.arm_retry(now, io, req, attempt, (attempt + 1).min(4), lanes, sched)
                     }
                 }
                 None
@@ -422,13 +444,12 @@ impl SegmentPump {
         req: SegmentReq,
         attempt: u32,
         next_attempt: u32,
-        ids: &mut u64,
+        lanes: &mut TimerLanes,
         sched: &mut Sched,
     ) {
         self.stats.retries += 1;
         let delay = backoff_delay(self.retry_base, attempt);
-        let id = *ids;
-        *ids += 1;
+        let id = lanes.alloc();
         self.retry_timers.insert(
             id,
             RetrySeg {
@@ -467,12 +488,12 @@ impl SegmentPump {
     /// finished segment to its owner.
     pub fn node_tick(&mut self, now: SimTime, timer: u64, sched: &mut Sched) -> NodeTick {
         let io = timer as usize;
-        let due = matches!(self.ionodes[io].next_done(), Some(t) if t <= now);
+        let due = matches!(self.lanes[io].sim.next_done(), Some(t) if t <= now);
         if !due {
             return NodeTick::Stale;
         }
-        let completion = self.ionodes[io].complete_head(now);
-        if let Some(t) = self.ionodes[io].next_done() {
+        let completion = self.lanes[io].sim.complete_head(now);
+        if let Some(t) = self.lanes[io].sim.next_done() {
             sched.timer(t, timer);
         }
         match completion {
@@ -490,10 +511,10 @@ impl SegmentPump {
     /// exhausted the array's redundancy (a data-loss event). A malformed
     /// event (bad index) is a reportable no-op.
     pub fn apply_disk_fail(&mut self, io: u32, disk: u32) -> bool {
-        match self.ionodes[io as usize].array_mut().fail_disk(disk) {
+        match self.lanes[io as usize].sim.array_mut().fail_disk(disk) {
             Ok(()) => false,
             Err(RaidError::DoubleFailure { .. }) => {
-                self.ionodes[io as usize].array_mut().mark_data_lost();
+                self.lanes[io as usize].sim.array_mut().mark_data_lost();
                 true
             }
             Err(_) => false,
@@ -502,12 +523,13 @@ impl SegmentPump {
 
     /// A hot spare arrived: start the timed background rebuild.
     pub fn apply_disk_repair(&mut self, now: SimTime, io: u32, sched: &mut Sched) {
-        if self.ionodes[io as usize]
+        if self.lanes[io as usize]
+            .sim
             .array_mut()
             .start_rebuild()
             .is_ok()
         {
-            if let Some(t) = self.ionodes[io as usize].maybe_start_rebuild(now) {
+            if let Some(t) = self.lanes[io as usize].sim.maybe_start_rebuild(now) {
                 sched.timer(t, io as u64);
             }
         }
@@ -515,7 +537,7 @@ impl SegmentPump {
 
     /// Stall one node's service for a duration.
     pub fn apply_stall(&mut self, now: SimTime, io: u32, for_dur: SimDuration, sched: &mut Sched) {
-        if let Some(t) = self.ionodes[io as usize].stall(now, for_dur) {
+        if let Some(t) = self.lanes[io as usize].sim.stall(now, for_dur) {
             sched.timer(t, io as u64);
         }
     }
@@ -523,7 +545,7 @@ impl SegmentPump {
     /// Crash one node, returning the in-service and queued segments it
     /// loses. The backend decides their fate (retry chain or replay park).
     pub fn crash(&mut self, io: u32) -> Vec<SegmentReq> {
-        self.ionodes[io as usize].crash()
+        self.lanes[io as usize].sim.crash()
     }
 
     /// Park a lost segment for resubmission when its node recovers.
@@ -533,8 +555,8 @@ impl SegmentPump {
 
     /// Recover a crashed node (and resume any interrupted rebuild).
     pub fn recover(&mut self, now: SimTime, io: u32, sched: &mut Sched) {
-        self.ionodes[io as usize].recover();
-        if let Some(t) = self.ionodes[io as usize].maybe_start_rebuild(now) {
+        self.lanes[io as usize].sim.recover();
+        if let Some(t) = self.lanes[io as usize].sim.maybe_start_rebuild(now) {
             sched.timer(t, io as u64);
         }
     }
@@ -544,25 +566,31 @@ impl SegmentPump {
     /// (in-flight segments keep their committed service times). Repeated
     /// degrades compose by keeping the worse multiplier.
     pub fn apply_link_degrade(&mut self, io: u32, mult: f64) {
-        let node = &mut self.ionodes[io as usize];
+        let node = &mut self.lanes[io as usize].sim;
         let mult = node.link_mult().max(mult);
         node.set_link_mult(mult);
     }
 
     /// Heal the edge link into one I/O node back to full bandwidth.
     pub fn apply_link_heal(&mut self, io: u32) {
-        self.ionodes[io as usize].set_link_mult(1.0);
+        self.lanes[io as usize].sim.set_link_mult(1.0);
     }
 
     /// Resubmit every segment parked against a recovered node.
-    pub fn resubmit_replays(&mut self, now: SimTime, io: u32, ids: &mut u64, sched: &mut Sched) {
+    pub fn resubmit_replays(
+        &mut self,
+        now: SimTime,
+        io: u32,
+        lanes: &mut TimerLanes,
+        sched: &mut Sched,
+    ) {
         let mine: Vec<(u32, SegmentReq)>;
         (mine, self.replay) = std::mem::take(&mut self.replay)
             .into_iter()
             .partition(|(n, _)| *n == io);
         for (n, req) in mine {
             self.stats.replayed += 1;
-            let gave_up = self.submit_seg(now, n, req, 0, ids, sched);
+            let gave_up = self.submit_seg(now, n, req, 0, lanes, sched);
             debug_assert!(gave_up.is_none(), "replay resubmission cannot give up");
         }
     }
@@ -571,35 +599,38 @@ impl SegmentPump {
 
     /// Rebuild chunks completed across all I/O nodes.
     pub fn rebuild_chunks_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuild_chunks()).sum()
+        self.lanes.iter().map(|l| l.sim.rebuild_chunks()).sum()
     }
 
     /// Member bytes rebuilt across all I/O nodes.
     pub fn rebuilt_bytes_total(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.rebuilt_bytes()).sum()
+        self.lanes.iter().map(|l| l.sim.rebuilt_bytes()).sum()
     }
 
     /// I/O nodes whose arrays are still degraded.
     pub fn degraded_nodes(&self) -> u32 {
-        self.ionodes.iter().filter(|n| n.array().degraded()).count() as u32
+        self.lanes
+            .iter()
+            .filter(|l| l.sim.array().degraded())
+            .count() as u32
     }
 
     /// Sum of queueing delay accumulated across all I/O nodes.
     pub fn total_queueing(&self) -> SimDuration {
-        self.ionodes
+        self.lanes
             .iter()
-            .map(|n| n.queued_total())
+            .map(|l| l.sim.queued_total())
             .fold(SimDuration::ZERO, |a, b| a + b)
     }
 
     /// Total stripe segments completed across all I/O nodes.
     pub fn segments_completed(&self) -> u64 {
-        self.ionodes.iter().map(|n| n.completed()).sum()
+        self.lanes.iter().map(|l| l.sim.completed()).sum()
     }
 
     /// Whether any array has exhausted its redundancy (durable ≠ healthy).
     pub fn any_data_lost(&self) -> bool {
-        self.ionodes.iter().any(|n| n.array().data_lost())
+        self.lanes.iter().any(|l| l.sim.array().data_lost())
     }
 }
 
@@ -647,14 +678,14 @@ mod tests {
         }
         let base = SimDuration::from_millis(50);
         let mut pump = SegmentPump::new(ionodes, FailoverPolicy::Buddy { max_retries: 2 }, base);
-        let mut ids = pump.len() as u64;
+        let mut lanes = TimerLanes::new(pump.len());
         let mut sched = Sched::default();
 
         // A max-slot-size aggregated segment occupies node 0...
         let big = DEFAULT_FILE_SLOT;
         let first = pump.stage_seg(0, big, true, 1);
         assert!(pump
-            .submit_seg(SimTime::ZERO, 0, first, 0, &mut ids, &mut sched)
+            .submit_seg(SimTime::ZERO, 0, first, 0, &mut lanes, &mut sched)
             .is_none());
 
         // ...so an equally large follow-up bounces QueueFull well past
@@ -663,11 +694,13 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut attempt = 0;
         for round in 0..12u32 {
-            let armed = ids;
-            let gave_up = pump.submit_seg(now, 0, req, attempt, &mut ids, &mut sched);
+            // Dynamic-lane ids are allocated in submit order, one per round.
+            let armed = pump.len() as u64 + u64::from(round);
+            let gave_up = pump.submit_seg(now, 0, req, attempt, &mut lanes, &mut sched);
             assert!(gave_up.is_none(), "round {round}: gave up on a busy node");
-            assert_eq!(ids, armed + 1, "round {round}: no retry armed");
-            let r = pump.take_retry(armed).expect("armed retry");
+            let r = pump
+                .take_retry(armed)
+                .unwrap_or_else(|| panic!("round {round}: no retry armed"));
             assert_eq!(r.io, 0, "round {round}: retry wandered off-node");
             assert!(r.attempt <= 4, "round {round}: attempt counter uncapped");
             now += backoff_delay(base, attempt);
@@ -678,14 +711,14 @@ mod tests {
         assert_eq!(pump.stats().retries, 12);
 
         // Drain the node; the parked segment goes through on the next try.
-        let done = pump.nodes()[0].next_done().expect("segment in service");
+        let done = pump.node(0).next_done().expect("segment in service");
         let t = now.max(done);
         match pump.node_tick(t, 0, &mut sched) {
             NodeTick::Seg { owner, .. } => assert_eq!(owner, 1),
             other => panic!("expected the first segment to complete, got {other:?}"),
         }
         assert!(pump
-            .submit_seg(t, 0, req, attempt, &mut ids, &mut sched)
+            .submit_seg(t, 0, req, attempt, &mut lanes, &mut sched)
             .is_none());
         assert_eq!(pump.owner_of(req.id), Some(2));
 

@@ -21,6 +21,14 @@
 //!   ([`IoNodeSim::maybe_start_rebuild`]): foreground has priority, rebuild
 //!   fills idle gaps, and each in-flight chunk delays queued foreground work
 //!   behind it.
+//!
+//! PDES ownership: an `IoNodeSim` (queue, array, stall/crash state) is
+//! *shard-owned* — it is only ever mutated by its own node's events
+//! (submissions routed to it, its completion timer, faults addressed to
+//! it), all of which are service interactions and therefore run in the
+//! sharded engine's serial commit phase (DESIGN.md §8). The interactions
+//! that move work *between* nodes — buddy failover and stripe replay —
+//! live in `fskit::pump`, classified there as boundary traffic.
 
 use crate::raid::Raid3;
 use crate::time::{SimDuration, SimTime};
@@ -210,7 +218,7 @@ impl IoNodeSim {
     /// Submit a segment at time `now`.
     ///
     /// Contract: when this returns [`SubmitOutcome::Started`], the request
-    /// has been parked as the in-service work and [`IoNodeModel::next_done`]
+    /// has been parked as the in-service work and [`IoNodeSim::next_done`]
     /// reports its completion time — callers (e.g. `fskit`'s segment pump)
     /// rely on that pairing to arm their completion timers immediately
     /// after a `Started` return.

@@ -1,4 +1,4 @@
-//! Intra-run PDES: a region-sharded front end over the serial engine.
+//! Intra-run PDES: a region-sharded front end over the lane-based engine.
 //!
 //! [`ShardedEngine`] partitions the compute nodes into contiguous mesh
 //! regions ([`Mesh::region_partition`]) and runs the simulation as a
@@ -11,62 +11,139 @@
 //!    (cheapest cross-region message, barrier release, or broadcast
 //!    stage).
 //! 2. **Pre-step (parallel).** Every shard walks its pending node-resume
-//!    events inside `[F, H)` and executes the program transitions for
-//!    them on its own worker, memoizing the resulting [`Step`]s. This is
-//!    conservative, not optimistic: a node has at most one resume in
-//!    flight, and its program state and resume payload are sealed from
-//!    the moment the event is scheduled until it is popped, so every
-//!    pre-computed transition is guaranteed to commit — there is no
-//!    rollback path.
-//! 3. **Commit (serial).** The coordinator pumps the engine through the
-//!    window in exact global `(time, seq)` order. Program transitions hit
-//!    the per-shard memo instead of re-running; side effects — service
-//!    submissions, token lifecycle, channels, collectives, timer
-//!    scheduling — are applied by the same code as the serial engine, in
-//!    the same order.
+//!    events inside `[F, H)` and *chains* the program transitions for
+//!    them on its own worker: it keeps stepping a node while the step is
+//!    a `Compute` landing below the horizon, memoizing every [`Step`]
+//!    and recording the chain shape as a
+//!    `NodeChain`. This is conservative, not
+//!    optimistic: a node has at most one resume in flight, a computing
+//!    node blocks on nothing, and its program state and resume payloads
+//!    are sealed until the events are popped — so every pre-computed
+//!    transition is guaranteed to commit and there is no rollback path.
+//! 3. **Commit.** Two cases, decided per window:
+//!    * **Closed window, batch commit.** When every queued event below
+//!      the horizon is a node resume (no I/O completion or service
+//!      timer — the *purity* check) and every chain ends inside its own
+//!      region (`BeyondHorizon` or `Done`, never a boundary step), the
+//!      window's entire effect is already determined. A cheap
+//!      merge-simulation (`Engine::plan_closed_window`) replays the pop
+//!      order arithmetically, pre-assigning the exact sequence numbers
+//!      the serial engine would have assigned, and the per-region event
+//!      lanes are then spliced in one batch — in parallel, since shard
+//!      state is disjoint. Resumes created and consumed inside the
+//!      window never touch a heap at all.
+//!    * **Boundary window, serial commit.** Otherwise the coordinator
+//!      pumps the engine through the window in exact global
+//!      `(time, seq)` order, exactly as the serial engine would; program
+//!      transitions hit the per-shard memo queues instead of
+//!      re-running. Service models (I/O-node queues, disks, RAID
+//!      rebuild), messages, collectives, and timer dispatch — the
+//!      cross-shard traffic — only ever run here.
 //!
-//! Because the commit phase replays the serial engine's own event loop,
-//! traces, reports, and [`EnginePerf`] counters are **byte-identical to
-//! the serial engine by construction** for every shard count — the
-//! golden-digest suites hold at `--shards 1`, `2`, and `8` without a
-//! separate merge step, and `repro --perf` stays shard-invariant. The
-//! timer-id contract needed by `fskit` (service timer ids are allocated
-//! and fired in serial commit order) is preserved for the same reason.
+//! Both paths replicate the serial engine's event order and sequence
+//! numbering exactly, so traces, reports, and [`EnginePerf`] counters are
+//! **byte-identical to the serial engine by construction** for every shard
+//! count — the golden-digest suites hold at `--shards 1`, `2`, and `8`
+//! without a separate merge step, and `repro --perf` stays
+//! shard-invariant. The timer-id contract needed by `fskit` (service
+//! timer ids are allocated and fired in serial commit order) is preserved
+//! because service code only ever runs in the serial commit path.
 //!
-//! Scaling consequently follows Amdahl over the transition share of the
-//! run: workloads whose per-node programs do real work per step scale
-//! with cores, while pure script replay (trivial transitions) is bounded
-//! by the serial commit loop. The worker pool sizes itself to
-//! `min(shards, cores)`; `SIO_PDES_THREADS` overrides it (useful to
-//! exercise the threaded path on small hosts).
+//! Scaling now has two levers: transition-heavy programs parallelize in
+//! the pre-step phase (PR 9), and replay/script workloads — whose windows
+//! are almost all closed — skip the serial pop/dispatch/push loop
+//! entirely in the batch commit. Cross-region traffic (messages,
+//! collectives, every service interaction) still serializes; DESIGN.md §8
+//! classifies what is shard-owned versus boundary. The worker pool sizes
+//! itself to `min(shards, cores)`; `SIO_PDES_THREADS` overrides it
+//! (useful to exercise the threaded path on small hosts).
 
-use crate::engine::{Engine, EnginePerf, EngineReport, IoService};
+use crate::engine::{ChainEnd, Engine, EnginePerf, EngineReport, IoService, NodeChain};
 use crate::mesh::{CommCosts, Mesh};
 use crate::program::{GroupId, NodeProgram, Resume, Step};
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Process-wide shard-count knob, fed by `--shards N` on the `repro`
 /// binary or the `SIO_SHARDS` environment variable (same contract as the
 /// sweep-level `SIO_JOBS` knob in `analysis::runner`).
 static CONFIGURED_SHARDS: AtomicU32 = AtomicU32::new(0);
 
-/// Default shard count: `SIO_SHARDS` if set to a positive integer, else 1
-/// (the serial engine).
-pub fn default_shards() -> u32 {
-    if let Ok(v) = std::env::var("SIO_SHARDS") {
-        if let Ok(n) = v.trim().parse::<u32>() {
-            if n > 0 {
-                return n;
-            }
-        }
-        eprintln!("[pdes] ignoring invalid SIO_SHARDS={v:?} (want a positive integer)");
+/// Typed parse failure for the PDES environment knobs (`SIO_SHARDS`,
+/// `SIO_PDES_THREADS`) — the same shape as the `repro` CLI's option errors,
+/// so a bad knob produces one explicit, greppable line instead of a silent
+/// fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The rejected raw value.
+    pub got: String,
+}
+
+impl fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid value {:?} for {}: expected a positive integer",
+            self.got, self.var
+        )
     }
-    1
+}
+
+impl std::error::Error for EnvKnobError {}
+
+/// Parse one PDES knob: a positive integer, with `0`, signs, and
+/// non-numeric input all rejected as typed errors.
+fn parse_knob(var: &'static str, raw: &str) -> Result<u64, EnvKnobError> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(EnvKnobError {
+            var,
+            got: raw.to_string(),
+        }),
+    }
+}
+
+/// Shard count from a raw `SIO_SHARDS` value (`None` = unset → 1, the
+/// serial engine). Split from the environment read so the rejection rules
+/// are unit-testable without touching process state.
+fn shards_from(raw: Option<&str>) -> Result<u32, EnvKnobError> {
+    match raw {
+        None => Ok(1),
+        Some(v) => parse_knob("SIO_SHARDS", v).map(|n| u32::try_from(n).unwrap_or(u32::MAX)),
+    }
+}
+
+/// Worker-pool size from a raw `SIO_PDES_THREADS` value (`None` = unset →
+/// the host's available parallelism).
+fn threads_from(raw: Option<&str>) -> Result<usize, EnvKnobError> {
+    match raw {
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        Some(v) => {
+            parse_knob("SIO_PDES_THREADS", v).map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+        }
+    }
+}
+
+/// Default shard count: `SIO_SHARDS` if set to a positive integer, else 1
+/// (the serial engine). An invalid value warns (typed [`EnvKnobError`])
+/// and runs serial rather than silently guessing.
+pub fn default_shards() -> u32 {
+    match shards_from(std::env::var("SIO_SHARDS").ok().as_deref()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("[pdes] {e}; running serial (1 shard)");
+            1
+        }
+    }
 }
 
 /// Set the process-wide shard count; `0` clears the override back to
@@ -84,33 +161,84 @@ pub fn configured_shards() -> u32 {
     }
 }
 
+/// Chain-length backstop: a program livelocked on zero-length `Compute`
+/// steps would otherwise chain forever inside one window (the serial
+/// engine's `MAX_EVENTS` backstop only counts *committed* events). A
+/// truncated chain is classified as a boundary chain, so the window falls
+/// back to the serial commit path and the backstop applies.
+const MAX_CHAIN: usize = 4096;
+
 /// One region's share of the simulation: the real node programs and the
-/// per-node memo of pre-stepped transitions. Owned behind a mutex that is
-/// only ever contended *between* phases (workers hold it during pre-step,
-/// the coordinator's proxies during commit), never within one.
+/// per-node memo queues of pre-stepped transitions. Owned behind a mutex
+/// that is only ever contended *between* phases (workers hold it during
+/// pre-step, the coordinator's proxies during serial commit), never within
+/// one.
 struct ShardState {
     /// First node id in this region (nodes are contiguous).
     start: NodeId,
     programs: Vec<Box<dyn NodeProgram + Send>>,
-    /// Pre-stepped transition per node, consumed by the commit phase.
-    memo: Vec<Option<Step>>,
+    /// Pre-stepped transition chain per node, consumed front-to-back by
+    /// the commit phase (one entry per in-window resume of that node).
+    memo: Vec<VecDeque<Step>>,
 }
 
 impl ShardState {
-    /// Pre-step a batch of sealed `(node, resume)` pairs, memoizing the
-    /// transitions for the commit phase.
-    fn prestep(&mut self, batch: &[(NodeId, Resume)]) {
-        for &(node, resume) in batch {
+    /// Pre-step a batch of sealed pending resumes, walking each node's
+    /// compute chain up to the window horizon and memoizing every
+    /// transition for the commit phase. Appends one [`NodeChain`] per
+    /// batch entry describing the chain's shape for the window planner.
+    fn prestep(
+        &mut self,
+        batch: &[(SimTime, u64, NodeId, Resume)],
+        horizon: SimTime,
+        out: &mut Vec<NodeChain>,
+    ) {
+        for &(t0, seq0, node, resume) in batch {
             let i = (node - self.start) as usize;
-            debug_assert!(self.memo[i].is_none(), "node {node} pre-stepped twice");
-            self.memo[i] = Some(self.programs[i].step(node, resume));
+            debug_assert!(self.memo[i].is_empty(), "node {node} pre-stepped twice");
+            let mut t = t0;
+            let mut resume = resume;
+            let mut computes = Vec::new();
+            let end = loop {
+                let step = self.programs[i].step(node, resume);
+                match step {
+                    Step::Compute(d) => {
+                        self.memo[i].push_back(step);
+                        computes.push(d);
+                        t += d;
+                        if t >= horizon {
+                            break ChainEnd::BeyondHorizon;
+                        }
+                        if computes.len() >= MAX_CHAIN {
+                            break ChainEnd::Boundary;
+                        }
+                        resume = Resume::Computed;
+                    }
+                    Step::Done => {
+                        self.memo[i].push_back(step);
+                        break ChainEnd::Done;
+                    }
+                    other => {
+                        self.memo[i].push_back(other);
+                        break ChainEnd::Boundary;
+                    }
+                }
+            };
+            out.push(NodeChain {
+                node,
+                t0,
+                seq0,
+                computes,
+                end,
+            });
         }
     }
 }
 
 /// The per-node program the inner serial engine sees: consumes the memo
-/// filled by the pre-step phase, falling back to stepping the real program
-/// inline for transitions created mid-window.
+/// queue filled by the pre-step phase front-to-back (one entry per
+/// resume), falling back to stepping the real program inline for
+/// transitions created mid-window.
 struct ShardProxy {
     shard: Arc<Mutex<ShardState>>,
 }
@@ -119,7 +247,7 @@ impl NodeProgram for ShardProxy {
     fn step(&mut self, node: NodeId, resume: Resume) -> Step {
         let mut shard = self.shard.lock().expect("shard state poisoned");
         let i = (node - shard.start) as usize;
-        match shard.memo[i].take() {
+        match shard.memo[i].pop_front() {
             Some(step) => step,
             None => shard.programs[i].step(node, resume),
         }
@@ -127,16 +255,15 @@ impl NodeProgram for ShardProxy {
 }
 
 /// Worker-pool size: `SIO_PDES_THREADS` if set to a positive integer,
-/// else the host's available parallelism, capped at the shard count.
+/// else the host's available parallelism, capped at the shard count. An
+/// invalid value warns (typed [`EnvKnobError`]) and runs one worker.
 fn default_threads(shards: usize) -> usize {
-    let cores = if let Ok(v) = std::env::var("SIO_PDES_THREADS") {
-        v.trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or(1)
-    } else {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+    let cores = match threads_from(std::env::var("SIO_PDES_THREADS").ok().as_deref()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("[pdes] {e}; using 1 worker");
+            1
+        }
     };
     cores.min(shards).max(1)
 }
@@ -144,8 +271,8 @@ fn default_threads(shards: usize) -> usize {
 /// The region-sharded engine. Construction mirrors [`Engine::new`] plus a
 /// shard count; the run API ([`ShardedEngine::run`],
 /// [`ShardedEngine::run_until`], watchdog, groups, perf, service access)
-/// delegates to the inner serial engine, so reports, hang diagnoses, and
-/// perf counters aggregate across shards exactly as the serial engine
+/// delegates to the inner lane-based engine, so reports, hang diagnoses,
+/// and perf counters aggregate across shards exactly as the serial engine
 /// would produce them.
 pub struct ShardedEngine<S: IoService> {
     inner: Engine<S>,
@@ -153,6 +280,12 @@ pub struct ShardedEngine<S: IoService> {
     regions: Vec<Range<NodeId>>,
     lookahead: SimDuration,
     threads: usize,
+    /// Host-wall nanoseconds spent in the parallel pre-step phase
+    /// (chaining transitions, splitting batches).
+    prestep_ns: u64,
+    /// Host-wall nanoseconds spent committing windows (batch splices and
+    /// serial pumps).
+    commit_ns: u64,
 }
 
 impl<S: IoService> ShardedEngine<S> {
@@ -182,7 +315,7 @@ impl<S: IoService> ShardedEngine<S> {
             let state = ShardState {
                 start: r.start,
                 programs: progs.by_ref().take(len).collect(),
-                memo: std::iter::repeat_with(|| None).take(len).collect(),
+                memo: std::iter::repeat_with(VecDeque::new).take(len).collect(),
             };
             let arc = Arc::new(Mutex::new(state));
             for _ in 0..len {
@@ -191,12 +324,16 @@ impl<S: IoService> ShardedEngine<S> {
             shard_arcs.push(arc);
         }
         let threads = default_threads(shard_arcs.len());
+        let mut inner = Engine::new(mesh, comm, proxies, service);
+        inner.configure_lanes(&regions);
         ShardedEngine {
-            inner: Engine::new(mesh, comm, proxies, service),
+            inner,
             shards: shard_arcs,
             regions,
             lookahead,
             threads,
+            prestep_ns: 0,
+            commit_ns: 0,
         }
     }
 
@@ -208,6 +345,15 @@ impl<S: IoService> ShardedEngine<S> {
     /// The conservative lookahead bounding each synchronization window.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    /// Host-wall nanoseconds spent in the two engine phases so far:
+    /// `(pre_step, commit)`. Wall shares are the one output that is *not*
+    /// shard-count-invariant (that is the point of measuring them); they
+    /// feed `repro --perf` through `sio_core::perf::phase_ns` and never
+    /// touch [`EnginePerf`], which stays deterministic.
+    pub fn phase_wall_ns(&self) -> (u64, u64) {
+        (self.prestep_ns, self.commit_ns)
     }
 
     /// Override the worker-pool size (tests use this to force the threaded
@@ -272,125 +418,183 @@ impl<S: IoService> ShardedEngine<S> {
 
     /// Map a node id to its shard index (regions are contiguous and
     /// sorted, and there are at most a handful of them).
-    fn shard_of(&self, node: NodeId) -> usize {
-        self.regions
+    fn shard_of(regions: &[Range<NodeId>], node: NodeId) -> usize {
+        regions
             .iter()
             .position(|r| r.contains(&node))
             .expect("node outside every region")
     }
 
-    /// Split the sealed pending resumes below `horizon` into per-shard
-    /// batches. Returns `None` when there is nothing to pre-step.
-    fn window_batches(&mut self, horizon: SimTime) -> Option<Vec<Vec<(NodeId, Resume)>>> {
-        let mut pending = Vec::new();
-        self.inner.pending_resumes_below(horizon, &mut pending);
-        if pending.is_empty() {
-            return None;
+    /// Commit one pre-stepped window. A *closed* window — pure (only node
+    /// resumes below the horizon), every chain region-internal, and the
+    /// horizon clear of both the crash cut and the watchdog deadline — is
+    /// applied as one batched lane splice. Anything else falls back to the
+    /// serial pump, which consumes the same memo queues in exact global
+    /// order. Returns `true` when the run is over.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_chains(
+        inner: &mut Engine<S>,
+        shards: &[Arc<Mutex<ShardState>>],
+        regions: &[Range<NodeId>],
+        threads: usize,
+        horizon: SimTime,
+        stop: SimTime,
+        pure: bool,
+        chains: &[NodeChain],
+    ) -> bool {
+        let closed = pure
+            && !chains.is_empty()
+            && chains.iter().all(|c| c.end != ChainEnd::Boundary)
+            && horizon <= stop
+            && inner.watchdog_deadline().is_none_or(|d| horizon <= d);
+        if !closed {
+            return inner.pump(Some(horizon), stop);
         }
-        let mut batches = vec![Vec::new(); self.shards.len()];
-        for (node, resume) in pending {
-            let s = self.shard_of(node);
-            batches[s].push((node, resume));
+        let plan = inner.plan_closed_window(chains, horizon);
+        inner.apply_closed_window(&plan, threads);
+        // The plan consumed every memoized step; clear the chains' memos so
+        // the next window's pre-step starts from clean queues.
+        for c in chains {
+            let s = Self::shard_of(regions, c.node);
+            let mut shard = shards[s].lock().expect("shard state poisoned");
+            let i = (c.node - shard.start) as usize;
+            shard.memo[i].clear();
         }
-        Some(batches)
+        false
     }
 
-    /// Single-threaded window loop: same windows, same memo machinery, no
+    /// Single-threaded window loop: same windows, same chain machinery, no
     /// fan-out. Used when only one worker would exist anyway; results are
     /// identical to the threaded path by construction.
     fn drive_inline(&mut self, stop: SimTime) {
+        let mut pending = Vec::new();
+        let mut chains: Vec<NodeChain> = Vec::new();
         while let Some(f) = self.inner.next_event_time() {
             if f > stop {
                 break;
             }
             let horizon = SimTime(f.0.saturating_add(self.lookahead.0));
-            if let Some(batches) = self.window_batches(horizon) {
+            let t_pre = Instant::now();
+            pending.clear();
+            chains.clear();
+            let pure = self.inner.pending_resumes_below(horizon, &mut pending);
+            if !pending.is_empty() {
+                let mut batches = vec![Vec::new(); self.shards.len()];
+                for &entry in &pending {
+                    batches[Self::shard_of(&self.regions, entry.2)].push(entry);
+                }
                 for (s, batch) in batches.iter().enumerate() {
                     if !batch.is_empty() {
                         self.shards[s]
                             .lock()
                             .expect("shard state poisoned")
-                            .prestep(batch);
+                            .prestep(batch, horizon, &mut chains);
                     }
                 }
             }
-            if self.inner.pump(Some(horizon), stop) {
+            self.prestep_ns += t_pre.elapsed().as_nanos() as u64;
+            let t_commit = Instant::now();
+            let over = Self::commit_chains(
+                &mut self.inner,
+                &self.shards,
+                &self.regions,
+                self.threads,
+                horizon,
+                stop,
+                pure,
+                &chains,
+            );
+            self.commit_ns += t_commit.elapsed().as_nanos() as u64;
+            if over {
                 break;
             }
         }
     }
 
     /// Threaded window loop: persistent workers (round-robin over shards)
-    /// pre-step each window's batches in parallel; the coordinator then
-    /// commits the window serially.
+    /// pre-step each window's batches in parallel and hand the resulting
+    /// chains back; the coordinator then commits the window — batched for
+    /// closed windows, serial otherwise.
     fn drive_threaded(&mut self, stop: SimTime) {
         let threads = self.threads.min(self.shards.len());
         // Per-worker job channels; one shared ack channel. A job is one
-        // shard's batch for the current window.
-        let (ack_tx, ack_rx) = mpsc::channel::<()>();
+        // shard's batch for the current window; the ack carries the chains.
+        let (ack_tx, ack_rx) = mpsc::channel::<Vec<NodeChain>>();
         let mut job_txs = Vec::with_capacity(threads);
         let mut job_rxs = Vec::with_capacity(threads);
         for _ in 0..threads {
-            let (tx, rx) = mpsc::channel::<(usize, Vec<(NodeId, Resume)>)>();
+            let (tx, rx) = mpsc::channel::<(usize, Vec<(SimTime, u64, NodeId, Resume)>, SimTime)>();
             job_txs.push(tx);
             job_rxs.push(rx);
         }
         let shards = &self.shards;
-        let inner = &mut self.inner;
         let regions = &self.regions;
+        let inner = &mut self.inner;
         let lookahead = self.lookahead;
+        let mut prestep_ns = 0u64;
+        let mut commit_ns = 0u64;
         std::thread::scope(|scope| {
             for rx in job_rxs {
                 let ack = ack_tx.clone();
                 let shards = &*shards;
                 scope.spawn(move || {
-                    while let Ok((s, batch)) = rx.recv() {
-                        shards[s]
-                            .lock()
-                            .expect("shard state poisoned")
-                            .prestep(&batch);
-                        if ack.send(()).is_err() {
+                    while let Ok((s, batch, horizon)) = rx.recv() {
+                        let mut chains = Vec::with_capacity(batch.len());
+                        shards[s].lock().expect("shard state poisoned").prestep(
+                            &batch,
+                            horizon,
+                            &mut chains,
+                        );
+                        if ack.send(chains).is_err() {
                             break;
                         }
                     }
                 });
             }
             drop(ack_tx);
+            let mut pending = Vec::new();
+            let mut chains: Vec<NodeChain> = Vec::new();
             while let Some(f) = inner.next_event_time() {
                 if f > stop {
                     break;
                 }
                 let horizon = SimTime(f.0.saturating_add(lookahead.0));
-                let mut pending = Vec::new();
-                inner.pending_resumes_below(horizon, &mut pending);
-                let mut outstanding = 0usize;
+                let t_pre = Instant::now();
+                pending.clear();
+                chains.clear();
+                let pure = inner.pending_resumes_below(horizon, &mut pending);
                 if !pending.is_empty() {
                     let mut batches = vec![Vec::new(); shards.len()];
-                    for (node, resume) in pending {
-                        let s = regions
-                            .iter()
-                            .position(|r| r.contains(&node))
-                            .expect("node outside every region");
-                        batches[s].push((node, resume));
+                    for &entry in &pending {
+                        batches[Self::shard_of(regions, entry.2)].push(entry);
                     }
+                    let mut outstanding = 0usize;
                     for (s, batch) in batches.into_iter().enumerate() {
                         if !batch.is_empty() {
                             job_txs[s % threads]
-                                .send((s, batch))
+                                .send((s, batch, horizon))
                                 .expect("pre-step worker died");
                             outstanding += 1;
                         }
                     }
                     for _ in 0..outstanding {
-                        ack_rx.recv().expect("pre-step worker died");
+                        chains.extend(ack_rx.recv().expect("pre-step worker died"));
                     }
                 }
-                if inner.pump(Some(horizon), stop) {
+                prestep_ns += t_pre.elapsed().as_nanos() as u64;
+                let t_commit = Instant::now();
+                let over = Self::commit_chains(
+                    inner, shards, regions, threads, horizon, stop, pure, &chains,
+                );
+                commit_ns += t_commit.elapsed().as_nanos() as u64;
+                if over {
                     break;
                 }
             }
             drop(job_txs);
         });
+        self.prestep_ns += prestep_ns;
+        self.commit_ns += commit_ns;
     }
 }
 
@@ -481,6 +685,25 @@ mod tests {
             .collect()
     }
 
+    /// A replay-shaped workload: long per-node compute chains with jittered
+    /// durations, synchronized by an occasional barrier. Almost every
+    /// window is closed, so this drives the batch-commit path hard.
+    fn replay_programs(n: u32) -> Vec<Vec<ScriptOp>> {
+        (0..n)
+            .map(|i| {
+                let mut ops = Vec::new();
+                for k in 0..120u64 {
+                    let jitter = (u64::from(i) * 2_654_435_761 + k * 40_503) % 90;
+                    ops.push(ScriptOp::Compute(SimDuration::from_micros(1 + jitter)));
+                    if k % 40 == 39 {
+                        ops.push(ScriptOp::Barrier(0));
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+
     fn run_serial(progs: Vec<Vec<ScriptOp>>) -> (EngineReport, EnginePerf, FixedService) {
         let n = progs.len() as u32;
         let mesh = Mesh::for_nodes(n.max(2), 1);
@@ -538,6 +761,20 @@ mod tests {
     }
 
     #[test]
+    fn replay_chains_batch_commit_matches_serial() {
+        let (sr, sp, ss) = run_serial(replay_programs(24));
+        for shards in [1, 2, 3, 8] {
+            let (r, p, s) = run_sharded(replay_programs(24), shards, None);
+            assert_eq!(r, sr, "report diverged at {shards} shards");
+            assert_eq!(p, sp, "perf diverged at {shards} shards");
+            assert_eq!(s.submitted, ss.submitted);
+        }
+        let (r, p, _) = run_sharded(replay_programs(24), 8, Some(3));
+        assert_eq!(r, sr, "threaded batch commit diverged");
+        assert_eq!(p, sp);
+    }
+
+    #[test]
     fn threaded_prestep_matches_inline() {
         let (ir, ip, is_) = run_sharded(mixed_programs(24), 8, Some(1));
         let (tr, tp, ts) = run_sharded(mixed_programs(24), 8, Some(4));
@@ -556,12 +793,7 @@ mod tests {
             .into_iter()
             .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
             .collect();
-        let mut se = Engine::new(
-            mesh,
-            CommCosts::default(),
-            serial,
-            FixedService::new(),
-        );
+        let mut se = Engine::new(mesh, CommCosts::default(), serial, FixedService::new());
         let sr = se.run_until(cut);
         let sharded: Vec<Box<dyn NodeProgram + Send>> = mixed_programs(n)
             .into_iter()
@@ -572,6 +804,49 @@ mod tests {
         let pr = pe.run_until(cut);
         assert_eq!(pr, sr);
         assert_eq!(pe.perf(), se.perf());
+    }
+
+    #[test]
+    fn replay_crash_cut_matches_serial() {
+        // A crash cut landing inside a batch-committable stretch must force
+        // the serial fallback past the cut, not batch beyond it.
+        let cut = SimTime(0) + SimDuration::from_micros(700);
+        let n = 16;
+        let mesh = Mesh::for_nodes(n, 1);
+        let serial: Vec<Box<dyn NodeProgram>> = replay_programs(n)
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+            .collect();
+        let mut se = Engine::new(mesh, CommCosts::default(), serial, FixedService::new());
+        let sr = se.run_until(cut);
+        let sharded: Vec<Box<dyn NodeProgram + Send>> = replay_programs(n)
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut pe =
+            ShardedEngine::new(mesh, CommCosts::default(), sharded, FixedService::new(), 4);
+        let pr = pe.run_until(cut);
+        assert_eq!(pr, sr);
+        assert_eq!(pe.perf(), se.perf());
+    }
+
+    /// A service that swallows every request: tokens never complete, so any
+    /// node issuing I/O parks forever — the shape of a lost request.
+    struct LostIoService;
+
+    impl IoService for LostIoService {
+        fn submit(
+            &mut self,
+            _node: NodeId,
+            _now: SimTime,
+            _req: IoRequest,
+            _token: IoToken,
+            _is_async: bool,
+            _sched: &mut Sched,
+        ) {
+        }
+
+        fn on_timer(&mut self, _now: SimTime, _timer: u64, _sched: &mut Sched) {}
     }
 
     #[test]
@@ -590,6 +865,37 @@ mod tests {
     }
 
     #[test]
+    fn hang_report_spans_first_and_last_shard_with_pending_requests() {
+        // Parked nodes in the first shard (node 0, dead recv), a middle
+        // shard (node 3, lost I/O), and the last shard (node 7, dead recv):
+        // the forced hang must aggregate all three parked nodes and the
+        // in-flight token across every shard's lane, not just shard 0's.
+        let mut progs: Vec<Vec<ScriptOp>> = (0..8)
+            .map(|_| vec![ScriptOp::Compute(SimDuration::from_micros(5))])
+            .collect();
+        progs[0].push(ScriptOp::Recv { from: 1, tag: 3 });
+        progs[3].push(ScriptOp::Io(IoRequest::read(1, 4096)));
+        progs[7].push(ScriptOp::Recv { from: 6, tag: 3 });
+        let n = progs.len() as u32;
+        let mesh = Mesh::for_nodes(n, 1);
+        let programs: Vec<Box<dyn NodeProgram + Send>> = progs
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut e = ShardedEngine::new(mesh, CommCosts::default(), programs, LostIoService, 4);
+        e.set_default_watchdog();
+        let report = e.run();
+        assert!(!report.clean());
+        let hang = report.hang.expect("lost I/O and dead receives must hang");
+        assert_eq!(hang.parked_nodes, vec![0, 3, 7]);
+        assert_eq!(
+            hang.pending_requests.len(),
+            1,
+            "the lost read stays in flight"
+        );
+    }
+
+    #[test]
     fn shard_count_clamps_to_node_count() {
         let progs = mixed_programs(3);
         let (r, p, _) = run_sharded(progs, 64, None);
@@ -604,5 +910,50 @@ mod tests {
         assert_eq!(configured_shards(), 4);
         set_shards(0);
         assert_eq!(configured_shards(), default_shards());
+    }
+
+    #[test]
+    fn shard_knob_rejects_zero_and_garbage_with_typed_error() {
+        assert_eq!(shards_from(None), Ok(1));
+        assert_eq!(shards_from(Some("4")), Ok(4));
+        assert_eq!(shards_from(Some(" 8 ")), Ok(8));
+        for bad in ["0", "-3", "nope", "", "2.5", "+0"] {
+            let err = shards_from(Some(bad)).expect_err(bad);
+            assert_eq!(err.var, "SIO_SHARDS");
+            assert_eq!(err.got, bad);
+        }
+        assert_eq!(
+            shards_from(Some("0")).unwrap_err().to_string(),
+            "invalid value \"0\" for SIO_SHARDS: expected a positive integer"
+        );
+    }
+
+    #[test]
+    fn thread_knob_rejects_zero_and_garbage_with_typed_error() {
+        assert_eq!(threads_from(Some("3")), Ok(3));
+        assert!(threads_from(None).expect("unset uses host parallelism") >= 1);
+        for bad in ["0", "-1", "many", " ", "1e3"] {
+            let err = threads_from(Some(bad)).expect_err(bad);
+            assert_eq!(err.var, "SIO_PDES_THREADS");
+            assert_eq!(err.got, bad);
+        }
+    }
+
+    #[test]
+    fn phase_wall_split_covers_both_phases() {
+        let n = 16;
+        let mesh = Mesh::for_nodes(n, 1);
+        let programs: Vec<Box<dyn NodeProgram + Send>> = replay_programs(n)
+            .into_iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+            .collect();
+        let mut e =
+            ShardedEngine::new(mesh, CommCosts::default(), programs, FixedService::new(), 4);
+        assert_eq!(e.phase_wall_ns(), (0, 0));
+        let report = e.run();
+        assert!(report.clean());
+        let (pre, commit) = e.phase_wall_ns();
+        assert!(pre > 0, "pre-step share never measured");
+        assert!(commit > 0, "commit share never measured");
     }
 }

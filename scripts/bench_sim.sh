@@ -7,6 +7,9 @@
 #   * sharded-engine throughput at 1 and 8 shards (`engine/pdes_1shard`,
 #     `engine/pdes_8shard` — spin-transition workload whose pre-step phase
 #     parallelizes; on a 1-core host the two are expected to tie),
+#   * commit throughput at 1 and 8 shards (`engine/commit_1shard`,
+#     `engine/commit_8shard` — replay-shaped workload whose closed windows
+#     batch-commit per shard lane; on a 1-core host expected to tie),
 #   * burst-log drain throughput (frames through the append/GC/replay
 #     cycle per second in the `blog/drain_cycle_10k_frames` bench), and
 #   * wall time of a full `repro all` at paper scale (perf counters off).
@@ -74,6 +77,21 @@ for _ in $(seq "$REPS"); do
     pdes8_samples+=("$p8")
 done
 
+commit1_samples=()
+commit8_samples=()
+for _ in $(seq "$REPS"); do
+    out=$(cargo bench -q -p sio-bench --bench micro -- engine/commit 2>/dev/null)
+    c1=$(awk '/engine\/commit_1shard/ {print $(NF - 1)}' <<<"$out")
+    c8=$(awk '/engine\/commit_8shard/ {print $(NF - 1)}' <<<"$out")
+    if [ -z "$c1" ] || [ -z "$c8" ]; then
+        echo "[bench_sim] failed to parse commit bench output" >&2
+        exit 1
+    fi
+    echo "[bench_sim] commit sample: 1shard $c1 elem/s, 8shard $c8 elem/s" >&2
+    commit1_samples+=("$c1")
+    commit8_samples+=("$c8")
+done
+
 drain_samples=()
 for _ in $(seq "$REPS"); do
     fps=$(cargo bench -q -p sio-bench --bench micro -- blog/drain_cycle_10k_frames 2>/dev/null |
@@ -101,6 +119,7 @@ MODE="$MODE" NOTE="$NOTE" \
     EPS_SAMPLES="${eps_samples[*]}" MS_SAMPLES="${ms_samples[*]}" \
     DRAIN_SAMPLES="${drain_samples[*]}" \
     PDES1_SAMPLES="${pdes1_samples[*]}" PDES8_SAMPLES="${pdes8_samples[*]}" \
+    COMMIT1_SAMPLES="${commit1_samples[*]}" COMMIT8_SAMPLES="${commit8_samples[*]}" \
     HOST_CPUS="$(nproc 2>/dev/null || echo 1)" \
     REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     DATE="$(date -u +%F)" \
@@ -112,6 +131,8 @@ ms = min(int(s) for s in os.environ["MS_SAMPLES"].split())
 drain = max(int(s) for s in os.environ["DRAIN_SAMPLES"].split())
 pdes1 = max(int(s) for s in os.environ["PDES1_SAMPLES"].split())
 pdes8 = max(int(s) for s in os.environ["PDES8_SAMPLES"].split())
+commit1 = max(int(s) for s in os.environ["COMMIT1_SAMPLES"].split())
+commit8 = max(int(s) for s in os.environ["COMMIT8_SAMPLES"].split())
 host_cpus = int(os.environ["HOST_CPUS"])
 entry = {
     "rev": os.environ["REV"],
@@ -120,6 +141,8 @@ entry = {
     "engine_ns_per_iter": round(128_000 / eps * 1e9),
     "pdes_1shard_elems_per_sec": pdes1,
     "pdes_8shard_elems_per_sec": pdes8,
+    "commit_1shard_elems_per_sec": commit1,
+    "commit_8shard_elems_per_sec": commit8,
     "host_cpus": host_cpus,
     "drain_frames_per_sec": drain,
     "repro_all_ms": ms,
@@ -162,7 +185,16 @@ if mode == "check":
             f"{base['pdes_8shard_elems_per_sec']}; floor {pfloor:.0f}: {pverdict}"
         )
         failed = failed or pdes8 < pfloor
+    if "commit_8shard_elems_per_sec" in base:
+        cfloor = frac * base["commit_8shard_elems_per_sec"]
+        cverdict = "ok" if commit8 >= cfloor else "REGRESSION"
+        print(
+            f"[bench_sim] commit 8shard: {commit8} elem/s vs baseline "
+            f"{base['commit_8shard_elems_per_sec']}; floor {cfloor:.0f}: {cverdict}"
+        )
+        failed = failed or commit8 < cfloor
     ratio = pdes8 / pdes1
+    cratio = commit8 / commit1
     if host_cpus >= 8:
         rverdict = "ok" if ratio >= 3.0 else "SCALING REGRESSION"
         print(
@@ -170,10 +202,20 @@ if mode == "check":
             f"({host_cpus} cores, need >= 3.0x): {rverdict}"
         )
         failed = failed or ratio < 3.0
+        cverdict = "ok" if cratio >= 2.0 else "SCALING REGRESSION"
+        print(
+            f"[bench_sim] commit scaling: {cratio:.2f}x at 8 shards "
+            f"({host_cpus} cores, need >= 2.0x): {cverdict}"
+        )
+        failed = failed or cratio < 2.0
     else:
         print(
             f"[bench_sim] pdes scaling: {ratio:.2f}x at 8 shards "
             f"({host_cpus} cores — 3x gate needs >= 8, skipped)"
+        )
+        print(
+            f"[bench_sim] commit scaling: {cratio:.2f}x at 8 shards "
+            f"({host_cpus} cores — 2x gate needs >= 8, skipped)"
         )
     print(f"[bench_sim] repro all: {ms} ms (baseline {base['repro_all_ms']} ms)")
     if "drain_frames_per_sec" in base:

@@ -182,6 +182,77 @@ fn run_sharded(n: u32, phases: &[Phase], shards: u32, threads: Option<usize>) ->
     (report, perf, s.submissions, s.iowaits)
 }
 
+/// Expand a replay-shaped (commit-heavy) workload: long per-node chains of
+/// jittered computes broken only by an occasional barrier, with a single
+/// I/O phase at the end. Almost every window the sharded engine forms over
+/// this is *closed* (only node resumes below the horizon), so the runs are
+/// dominated by the batched per-lane commit path rather than the serial
+/// pump — the exact path `repro all`'s script replays stress.
+fn replay_scripts(n: u32, steps: u64, spread: u64, barrier_every: u64) -> Vec<Vec<ScriptOp>> {
+    (0..n)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for k in 0..steps {
+                let jitter = (u64::from(i) * 2_654_435_761 + k * 40_503) % (spread + 1);
+                ops.push(ScriptOp::Compute(SimDuration::from_micros(1 + jitter)));
+                if (k + 1) % barrier_every == 0 {
+                    ops.push(ScriptOp::Barrier(0));
+                }
+            }
+            ops.push(ScriptOp::Io(IoRequest::write(1 + i, 8192)));
+            ops.push(ScriptOp::WaitAll);
+            ops
+        })
+        .collect()
+}
+
+fn run_serial_scripts(n: u32, scripts: Vec<Vec<ScriptOp>>) -> Observed {
+    let mesh = Mesh::for_nodes(n.max(2), 1);
+    let programs: Vec<Box<dyn NodeProgram>> = scripts
+        .into_iter()
+        .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram>)
+        .collect();
+    let mut e = Engine::new(
+        mesh,
+        CommCosts::default(),
+        programs,
+        FifoDiskService::default(),
+    );
+    e.set_default_watchdog();
+    let report = e.run();
+    let perf = e.perf();
+    let s = e.into_service();
+    (report, perf, s.submissions, s.iowaits)
+}
+
+fn run_sharded_scripts(
+    n: u32,
+    scripts: Vec<Vec<ScriptOp>>,
+    shards: u32,
+    threads: Option<usize>,
+) -> Observed {
+    let mesh = Mesh::for_nodes(n.max(2), 1);
+    let programs: Vec<Box<dyn NodeProgram + Send>> = scripts
+        .into_iter()
+        .map(|ops| Box::new(ScriptProgram::new(ops)) as Box<dyn NodeProgram + Send>)
+        .collect();
+    let mut e = ShardedEngine::new(
+        mesh,
+        CommCosts::default(),
+        programs,
+        FifoDiskService::default(),
+        shards,
+    );
+    if let Some(t) = threads {
+        e.set_threads(t);
+    }
+    e.set_default_watchdog();
+    let report = e.run();
+    let perf = e.perf();
+    let s = e.into_service();
+    (report, perf, s.submissions, s.iowaits)
+}
+
 proptest! {
     /// 1-, 2-, and 8-shard runs (inline and threaded) reproduce the serial
     /// engine's report, perf counters, submission order, and iowait
@@ -207,6 +278,38 @@ proptest! {
         prop_assert_eq!(&got.1, &baseline.1, "threaded perf diverged");
         prop_assert_eq!(&got.2, &baseline.2, "threaded submissions diverged");
         prop_assert_eq!(&got.3, &baseline.3, "threaded iowaits diverged");
+    }
+
+    /// The batched closed-window commit path reproduces the serial engine
+    /// exactly on replay-shaped (commit-heavy) workloads: randomized chain
+    /// lengths, compute jitter, and barrier cadence across shard counts,
+    /// inline and threaded. This is the shard-local commit lever's own
+    /// workload shape — a regression here means the merge-simulation's
+    /// pop/seq replication diverged from the serial loop.
+    #[test]
+    fn replay_commit_heavy_runs_match_serial(
+        n in 2u32..17,
+        steps in 20u64..120,
+        spread in 0u64..150,
+        barrier_every in 10u64..60,
+    ) {
+        let baseline = run_serial_scripts(n, replay_scripts(n, steps, spread, barrier_every));
+        prop_assert!(baseline.0.clean(), "replay workload must finish clean");
+        for shards in [2u32, 8] {
+            let got = run_sharded_scripts(
+                n, replay_scripts(n, steps, spread, barrier_every), shards, None,
+            );
+            prop_assert_eq!(&got.0, &baseline.0, "report diverged at {} shards", shards);
+            prop_assert_eq!(&got.1, &baseline.1, "perf diverged at {} shards", shards);
+            prop_assert_eq!(&got.2, &baseline.2, "submissions diverged at {} shards", shards);
+            prop_assert_eq!(&got.3, &baseline.3, "iowaits diverged at {} shards", shards);
+        }
+        let got = run_sharded_scripts(
+            n, replay_scripts(n, steps, spread, barrier_every), 8, Some(3),
+        );
+        prop_assert_eq!(&got.0, &baseline.0, "threaded report diverged");
+        prop_assert_eq!(&got.1, &baseline.1, "threaded perf diverged");
+        prop_assert_eq!(&got.2, &baseline.2, "threaded submissions diverged");
     }
 }
 
@@ -240,6 +343,34 @@ fn workload_traces_are_shard_count_invariant() {
                 "{name}: shards={shards} diverged from serial"
             );
         }
+    }
+    sio::paragon::set_shards(0);
+}
+
+/// `repro chaos` composition under sharding: randomized fault campaigns
+/// exercise the riskiest cross-shard paths — link and metadata fault
+/// domains, node crashes with buddy failover and replay, crash cuts
+/// landing mid-window — across every backend family. The full campaign
+/// rows (timings, fault counters, invariant verdicts) must be identical at
+/// every shard count; the golden chaos digest extends this same check to
+/// the committed 50-cell artifact in CI.
+#[test]
+fn chaos_campaign_is_shard_count_invariant() {
+    let machine = MachineConfig::tiny(8, 4);
+    let escat = EscatParams::small(8, 6);
+    let render = RenderParams::small(8, 4);
+    let htf = HtfParams::small(8);
+    sio::paragon::set_shards(1);
+    let baseline =
+        sio::analysis::chaos::chaos_suite_jobs(&machine, &escat, &render, &htf, 42, 6, 1);
+    assert!(
+        baseline.iter().all(|r| r.invariants_ok()),
+        "chaos invariants must hold serially before comparing shard counts"
+    );
+    for shards in [2u32, 8] {
+        sio::paragon::set_shards(shards);
+        let got = sio::analysis::chaos::chaos_suite_jobs(&machine, &escat, &render, &htf, 42, 6, 1);
+        assert_eq!(got, baseline, "chaos campaign diverged at {shards} shards");
     }
     sio::paragon::set_shards(0);
 }
